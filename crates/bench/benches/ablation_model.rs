@@ -1,0 +1,94 @@
+//! Architecture ablations for the design choices the paper fixes in §IV:
+//! readout operator (max vs mean vs sum), pooling ratio (0.25/0.5/0.75/1.0),
+//! and GCN depth (1/2/3 layers). Measures forward-pass cost for each —
+//! quality ablations live in the `ablations` integration test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gnn4ip_data::{designs::synth_design, SynthSize};
+use gnn4ip_dfg::graph_from_verilog;
+use gnn4ip_nn::{ConvKind, GraphInput, Hw2Vec, Hw2VecConfig, Readout};
+
+fn graph() -> GraphInput {
+    let src = synth_design(5, SynthSize::Large);
+    GraphInput::from_dfg(&graph_from_verilog(&src, None).expect("graph"))
+}
+
+fn bench_readout(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation/readout");
+    group.sample_size(20);
+    for ro in [Readout::Max, Readout::Mean, Readout::Sum] {
+        let model = Hw2Vec::new(
+            Hw2VecConfig {
+                readout: ro,
+                ..Hw2VecConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ro.tag()), &g, |b, g| {
+            b.iter(|| std::hint::black_box(model.embed(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_ratio(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation/pool_ratio");
+    group.sample_size(20);
+    for ratio in [0.25f32, 0.5, 0.75, 1.0] {
+        let model = Hw2Vec::new(
+            Hw2VecConfig {
+                pool_ratio: ratio,
+                ..Hw2VecConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &g, |b, g| {
+            b.iter(|| std::hint::black_box(model.embed(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation/gcn_layers");
+    group.sample_size(20);
+    for layers in [1usize, 2, 3, 4] {
+        let model = Hw2Vec::new(
+            Hw2VecConfig {
+                layers,
+                ..Hw2VecConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &g, |b, g| {
+            b.iter(|| std::hint::black_box(model.embed(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_kind(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation/conv_kind");
+    group.sample_size(20);
+    for conv in [ConvKind::Gcn, ConvKind::Sage] {
+        let model = Hw2Vec::new(
+            Hw2VecConfig {
+                conv,
+                ..Hw2VecConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(conv.tag()), &g, |b, g| {
+            b.iter(|| std::hint::black_box(model.embed(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readout, bench_pool_ratio, bench_layers, bench_conv_kind);
+criterion_main!(benches);

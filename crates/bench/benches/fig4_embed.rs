@@ -1,0 +1,59 @@
+//! Fig. 4b/4c machinery timing: embedding a processor corpus, PCA
+//! projection, and t-SNE at the paper's 250-point scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gnn4ip_data::{designs::processors, vary_design, VariationConfig};
+use gnn4ip_dfg::graph_from_verilog;
+use gnn4ip_eval::{pca, tsne, TsneConfig};
+use gnn4ip_nn::{GraphInput, Hw2Vec, Hw2VecConfig};
+
+fn processor_graphs(per: usize) -> Vec<GraphInput> {
+    let mut graphs = Vec::new();
+    for (src, top) in [
+        (processors::mips_pipeline(), "mips_pipeline"),
+        (processors::mips_single(), "mips_single"),
+    ] {
+        for v in 0..per as u64 {
+            let inst = vary_design(&src, v, &VariationConfig::default()).expect("variation");
+            graphs.push(GraphInput::from_dfg(
+                &graph_from_verilog(&inst, Some(top)).expect("graph"),
+            ));
+        }
+    }
+    graphs
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let graphs = processor_graphs(8);
+    let model = Hw2Vec::new(Hw2VecConfig::default(), 7);
+    let embeddings: Vec<Vec<f32>> = graphs.iter().map(|g| model.embed(g)).collect();
+    // pad to the paper's 250 points by cycling (timing only)
+    let embeddings250: Vec<Vec<f32>> = (0..250)
+        .map(|i| embeddings[i % embeddings.len()].clone())
+        .collect();
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("embed_processor_instance", |b| {
+        b.iter(|| std::hint::black_box(model.embed(&graphs[0])))
+    });
+    group.bench_function("pca_250x16_to_2d", |b| {
+        b.iter(|| std::hint::black_box(pca(&embeddings250, 2)))
+    });
+    group.bench_function("tsne_250x16_to_3d_100iter", |b| {
+        b.iter(|| {
+            std::hint::black_box(tsne(
+                &embeddings250,
+                &TsneConfig {
+                    iterations: 100,
+                    ..TsneConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table I timing columns: per-sample train and test time, RTL-scale vs
+//! netlist-scale graphs.
+//!
+//! The paper reports 0.577/0.566 ms per RTL sample and 5.999/5.918 ms per
+//! netlist sample, noting "the longer timing for netlists lies in the fact
+//! that ... netlist DFGs with 3500 nodes on average are larger than RTL
+//! DFGs with 1000 nodes on average". The shape to reproduce: netlist-scale
+//! graphs cost several times more per sample than RTL-scale graphs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gnn4ip_data::{designs::synth_design, iscas, SynthSize};
+use gnn4ip_dfg::graph_from_verilog;
+use gnn4ip_nn::{
+    cosine_embedding_loss, GraphInput, Hw2Vec, Hw2VecConfig, Mode, PairLabel,
+};
+use gnn4ip_tensor::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rtl_scale_graph() -> GraphInput {
+    // ~RTL-scale (paper mean ~1000 nodes)
+    let src = synth_design(3, SynthSize::Large);
+    GraphInput::from_dfg(&graph_from_verilog(&src, None).expect("rtl graph"))
+}
+
+fn netlist_scale_graph() -> GraphInput {
+    // c6288-class: thousands of nodes (paper netlist mean ~3500)
+    GraphInput::from_dfg(
+        &graph_from_verilog(&iscas::c6288(), Some("c6288")).expect("netlist graph"),
+    )
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let model = Hw2Vec::new(Hw2VecConfig::default(), 7);
+    let rtl = rtl_scale_graph();
+    let net = netlist_scale_graph();
+    let mut group = c.benchmark_group("table1/test_time_per_sample");
+    group.sample_size(20);
+    group.bench_function(format!("rtl_{}_nodes", rtl.node_count()), |b| {
+        b.iter(|| std::hint::black_box(model.embed(&rtl)))
+    });
+    group.bench_function(format!("netlist_{}_nodes", net.node_count()), |b| {
+        b.iter(|| std::hint::black_box(model.embed(&net)))
+    });
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let model = Hw2Vec::new(Hw2VecConfig::default(), 7);
+    let rtl = rtl_scale_graph();
+    let net = netlist_scale_graph();
+    let mut group = c.benchmark_group("table1/train_time_per_sample");
+    group.sample_size(10);
+    for (name, g) in [("rtl", &rtl), ("netlist", &net)] {
+        group.bench_function(format!("{name}_{}_nodes", g.node_count()), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(1),
+                |mut rng| {
+                    let tape = Tape::new();
+                    let vars = model.params().inject(&tape);
+                    let ha = model.forward(&tape, &vars, g, &mut Mode::Train(&mut rng));
+                    let hb = model.forward(&tape, &vars, g, &mut Mode::Train(&mut rng));
+                    let loss =
+                        cosine_embedding_loss(ha.cosine(hb), PairLabel::Similar, 0.5);
+                    std::hint::black_box(tape.backward(loss));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_train_step);
+criterion_main!(benches);

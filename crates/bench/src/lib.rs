@@ -1,0 +1,13 @@
+//! # gnn4ip-bench
+//!
+//! Benchmark harness for the GNN4IP reproduction: the `repro` binary
+//! regenerates every table and figure of the paper, and the Criterion
+//! benches measure per-sample timing (Table I's timing columns), DFG
+//! extraction scalability (§I-B), and architecture ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+
+pub use report::TextTable;

@@ -1,0 +1,216 @@
+//! The end-to-end GNN4IP API — Algorithm 1 of the paper.
+//!
+//! `hw2vec(p)` turns a hardware design into a graph embedding;
+//! `gnn4ip(p1, p2)` compares two designs by cosine similarity and applies
+//! the decision boundary δ.
+
+use gnn4ip_dfg::graph_from_verilog;
+use gnn4ip_hdl::ParseVerilogError;
+use gnn4ip_nn::{GraphInput, Hw2Vec, Hw2VecConfig};
+
+/// The verdict of a piracy check (Algorithm 1's output plus the evidence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Cosine similarity `Ŷ ∈ [-1, 1]` (Eq. 6).
+    pub score: f32,
+    /// Decision boundary δ in force.
+    pub delta: f32,
+    /// `score > delta` — the binary piracy label.
+    pub piracy: bool,
+}
+
+/// A trained (or freshly initialized) GNN4IP detector.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_core::Gnn4Ip;
+///
+/// let detector = Gnn4Ip::with_seed(42);
+/// let a = "module inv(input a, output y); assign y = ~a; endmodule";
+/// let verdict = detector.check(a, a)?;
+/// assert!(verdict.score > 0.99); // identical designs
+/// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gnn4Ip {
+    model: Hw2Vec,
+    delta: f32,
+}
+
+impl Gnn4Ip {
+    /// Creates a detector with the paper's default architecture and an
+    /// untuned decision boundary of 0.5.
+    pub fn new(config: Hw2VecConfig, seed: u64) -> Self {
+        Self {
+            model: Hw2Vec::new(config, seed),
+            delta: 0.5,
+        }
+    }
+
+    /// Creates a detector with all defaults from a seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(Hw2VecConfig::default(), seed)
+    }
+
+    /// Wraps an externally trained model.
+    pub fn from_model(model: Hw2Vec, delta: f32) -> Self {
+        Self { model, delta }
+    }
+
+    /// The underlying hw2vec model.
+    pub fn model(&self) -> &Hw2Vec {
+        &self.model
+    }
+
+    /// Mutable access to the model (for training).
+    pub fn model_mut(&mut self) -> &mut Hw2Vec {
+        &mut self.model
+    }
+
+    /// The decision boundary δ.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+
+    /// Adjusts δ ("the user can adjust it to decide how much similarity is
+    /// considered piracy", §IV-D).
+    pub fn set_delta(&mut self, delta: f32) {
+        self.delta = delta;
+    }
+
+    /// `hw2vec(p)`: Verilog source → graph embedding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures from the DFG pipeline.
+    pub fn hw2vec(&self, verilog: &str, top: Option<&str>) -> Result<Vec<f32>, ParseVerilogError> {
+        let g = graph_from_verilog(verilog, top)?;
+        Ok(self.model.embed(&GraphInput::from_dfg(&g)))
+    }
+
+    /// Embeds an already-extracted graph.
+    pub fn embed(&self, graph: &GraphInput) -> Vec<f32> {
+        self.model.embed(graph)
+    }
+
+    /// `gnn4ip(p1, p2)`: full Algorithm 1 on two Verilog sources.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures for either source.
+    pub fn check(&self, p1: &str, p2: &str) -> Result<Verdict, ParseVerilogError> {
+        self.check_with_tops(p1, None, p2, None)
+    }
+
+    /// [`Gnn4Ip::check`] with explicit top-module names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures for either source.
+    pub fn check_with_tops(
+        &self,
+        p1: &str,
+        top1: Option<&str>,
+        p2: &str,
+        top2: Option<&str>,
+    ) -> Result<Verdict, ParseVerilogError> {
+        let g1 = GraphInput::from_dfg(&graph_from_verilog(p1, top1)?);
+        let g2 = GraphInput::from_dfg(&graph_from_verilog(p2, top2)?);
+        Ok(self.verdict_on_graphs(&g1, &g2))
+    }
+
+    /// Algorithm 1 on prepared graphs (no parsing).
+    pub fn verdict_on_graphs(&self, g1: &GraphInput, g2: &GraphInput) -> Verdict {
+        let score = self.model.similarity(g1, g2);
+        Verdict {
+            score,
+            delta: self.delta,
+            piracy: score > self.delta,
+        }
+    }
+
+    /// Serializes model + δ to text.
+    pub fn to_text(&self) -> String {
+        format!("delta {}\n{}", self.delta, self.model.to_text())
+    }
+
+    /// Restores a detector serialized by [`Gnn4Ip::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed section.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let (first, rest) = text
+            .split_once('\n')
+            .ok_or_else(|| "empty detector text".to_string())?;
+        let delta = first
+            .strip_prefix("delta ")
+            .ok_or_else(|| format!("bad delta line '{first}'"))?
+            .parse::<f32>()
+            .map_err(|e| format!("bad delta value: {e}"))?;
+        Ok(Self {
+            model: Hw2Vec::from_text(rest)?,
+            delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV: &str = "module inv(input a, output y); assign y = ~a; endmodule";
+    const ADDER: &str = "module add(input [3:0] a, input [3:0] b, output [3:0] s);
+                           assign s = a + b;
+                         endmodule";
+
+    #[test]
+    fn identical_sources_score_one() {
+        let d = Gnn4Ip::with_seed(1);
+        let v = d.check(INV, INV).expect("checks");
+        assert!(v.score > 0.999);
+        assert!(v.piracy);
+    }
+
+    #[test]
+    fn verdict_respects_delta() {
+        let mut d = Gnn4Ip::with_seed(2);
+        let v = d.check(INV, ADDER).expect("checks");
+        d.set_delta(1.1); // nothing exceeds 1.0
+        let v2 = d.check(INV, ADDER).expect("checks");
+        assert_eq!(v.score, v2.score);
+        assert!(!v2.piracy);
+    }
+
+    #[test]
+    fn hw2vec_embedding_width() {
+        let d = Gnn4Ip::with_seed(3);
+        assert_eq!(d.hw2vec(INV, None).expect("embeds").len(), 16);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut d = Gnn4Ip::with_seed(4);
+        d.set_delta(0.25);
+        let text = d.to_text();
+        let d2 = Gnn4Ip::from_text(&text).expect("loads");
+        assert_eq!(d2.delta(), 0.25);
+        assert_eq!(
+            d.hw2vec(ADDER, None).expect("a"),
+            d2.hw2vec(ADDER, None).expect("b")
+        );
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let d = Gnn4Ip::with_seed(5);
+        assert!(d.check("module broken(", INV).is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Gnn4Ip::from_text("").is_err());
+        assert!(Gnn4Ip::from_text("delta zzz\n").is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Experiment-level training pipeline: corpus → trained detector →
+//! accuracy/timing numbers in the shape of Table I.
+
+use std::time::Instant;
+
+use gnn4ip_data::{split_pairs, Corpus, LabeledPair};
+use gnn4ip_eval::ConfusionMatrix;
+use gnn4ip_nn::{
+    score_pairs, train, tune_delta, GraphInput, Hw2VecConfig, PairLabel, PairSample,
+    TrainConfig, TrainReport,
+};
+
+use crate::api::Gnn4Ip;
+
+/// Everything one Table-I-style run produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The trained detector (δ already tuned on the training split).
+    pub detector: Gnn4Ip,
+    /// Loss trajectory.
+    pub train_report: TrainReport,
+    /// Confusion matrix on the held-out test pairs at the tuned δ.
+    pub test_confusion: ConfusionMatrix,
+    /// Accuracy on the test pairs.
+    pub test_accuracy: f64,
+    /// Tuned decision boundary.
+    pub delta: f32,
+    /// Wall-clock training time per sample (milliseconds) — Table I's
+    /// "train time per sample".
+    pub train_ms_per_sample: f64,
+    /// Wall-clock inference time per sample (milliseconds) — Table I's
+    /// "test time per sample".
+    pub test_ms_per_sample: f64,
+    /// Total pairs (dataset size column).
+    pub n_pairs: usize,
+    /// Number of distinct graphs.
+    pub n_graphs: usize,
+    /// Test-split scores with their ground-truth labels (for Fig. 4a
+    /// reruns at other δ and for §IV-F rates).
+    pub test_scores: Vec<(f32, bool)>,
+}
+
+/// Converts corpus pairs into trainer samples.
+pub fn to_pair_samples(pairs: &[LabeledPair]) -> Vec<PairSample> {
+    pairs
+        .iter()
+        .map(|p| PairSample {
+            a: p.a,
+            b: p.b,
+            label: if p.similar {
+                PairLabel::Similar
+            } else {
+                PairLabel::Different
+            },
+        })
+        .collect()
+}
+
+/// Prepares model inputs for every graph in a corpus.
+pub fn corpus_inputs(corpus: &Corpus) -> Vec<GraphInput> {
+    corpus.graphs.iter().map(GraphInput::from_dfg).collect()
+}
+
+/// Runs the full Table-I protocol on a corpus: form pairs, 80/20 split,
+/// train, tune δ on the training split, evaluate on the test split, and
+/// time both phases per sample.
+///
+/// `max_different` caps the number of no-piracy pairs (the paper uses ~3.5x
+/// more different pairs than similar ones).
+///
+/// # Panics
+///
+/// Panics if the corpus yields no pairs.
+pub fn run_experiment(
+    corpus: &Corpus,
+    model_config: Hw2VecConfig,
+    train_config: &TrainConfig,
+    max_different: usize,
+    seed: u64,
+) -> ExperimentOutcome {
+    let graphs = corpus_inputs(corpus);
+    let pairs = corpus.pairs(max_different, seed);
+    assert!(!pairs.is_empty(), "corpus produced no pairs");
+    let (train_pairs, test_pairs) = split_pairs(&pairs, 0.2, seed ^ 0xDEAD);
+    let train_samples = to_pair_samples(&train_pairs);
+    let test_samples = to_pair_samples(&test_pairs);
+
+    let mut detector = Gnn4Ip::new(model_config, seed);
+    let t0 = Instant::now();
+    let report = train(detector.model_mut(), &graphs, &train_samples, train_config);
+    let train_elapsed = t0.elapsed();
+    let train_samples_seen = train_samples.len() * train_config.epochs;
+    let train_ms_per_sample =
+        train_elapsed.as_secs_f64() * 1e3 / train_samples_seen.max(1) as f64;
+
+    // tune δ on the training split
+    let train_scores = score_pairs(detector.model(), &graphs, &train_samples);
+    let train_labels: Vec<PairLabel> = train_samples.iter().map(|p| p.label).collect();
+    let (delta, _) = tune_delta(&train_scores, &train_labels);
+    detector.set_delta(delta);
+
+    // evaluate + time the test split
+    let t1 = Instant::now();
+    let test_scores = score_pairs(detector.model(), &graphs, &test_samples);
+    let test_elapsed = t1.elapsed();
+    let test_ms_per_sample =
+        test_elapsed.as_secs_f64() * 1e3 / test_samples.len().max(1) as f64;
+
+    let labels: Vec<bool> = test_samples
+        .iter()
+        .map(|p| p.label == PairLabel::Similar)
+        .collect();
+    let cm = ConfusionMatrix::from_scores(&test_scores, &labels, delta);
+    ExperimentOutcome {
+        detector,
+        train_report: report,
+        test_accuracy: cm.accuracy(),
+        test_confusion: cm,
+        delta,
+        train_ms_per_sample,
+        test_ms_per_sample,
+        n_pairs: pairs.len(),
+        n_graphs: graphs.len(),
+        test_scores: test_scores.into_iter().zip(labels).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_data::CorpusSpec;
+
+    fn quick_train_config() -> TrainConfig {
+        TrainConfig {
+            epochs: 12,
+            batch_size: 16,
+            lr: 0.01,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn experiment_learns_small_rtl_corpus() {
+        let corpus = Corpus::build(&CorpusSpec::rtl_small()).expect("corpus");
+        let out = run_experiment(
+            &corpus,
+            Hw2VecConfig::default(),
+            &quick_train_config(),
+            150,
+            1,
+        );
+        assert!(
+            out.test_accuracy >= 0.8,
+            "test accuracy {} (cm {:?})",
+            out.test_accuracy,
+            out.test_confusion
+        );
+        assert!(out.train_ms_per_sample > 0.0);
+        assert!(out.test_ms_per_sample > 0.0);
+        assert_eq!(out.n_graphs, corpus.graphs.len());
+    }
+
+    #[test]
+    fn tuned_delta_is_in_range() {
+        let corpus = Corpus::build(&CorpusSpec::rtl_small()).expect("corpus");
+        let out = run_experiment(
+            &corpus,
+            Hw2VecConfig::default(),
+            &quick_train_config(),
+            100,
+            2,
+        );
+        assert!((-1.0..=1.0).contains(&out.delta), "delta {}", out.delta);
+    }
+
+    #[test]
+    fn pair_sample_conversion_preserves_labels() {
+        let pairs = [
+            LabeledPair { a: 0, b: 1, similar: true },
+            LabeledPair { a: 0, b: 2, similar: false },
+        ];
+        let samples = to_pair_samples(&pairs);
+        assert_eq!(samples[0].label, PairLabel::Similar);
+        assert_eq!(samples[1].label, PairLabel::Different);
+    }
+}

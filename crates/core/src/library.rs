@@ -1,0 +1,233 @@
+//! An indexed library of owned IP embeddings for portfolio screening.
+//!
+//! The paper motivates GNN4IP with scalability: "the manual review of
+//! hardware design is not feasible in practice". [`IpLibrary`] is the
+//! deployment shape of that claim — embed every owned core once, then scan
+//! each incoming design against the whole library in embedding space
+//! (one hw2vec forward pass + `n` cosine similarities).
+
+use gnn4ip_hdl::ParseVerilogError;
+use gnn4ip_nn::cosine_of;
+
+use crate::api::Gnn4Ip;
+
+/// One registered IP core.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    embedding: Vec<f32>,
+}
+
+/// A match produced by [`IpLibrary::scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryMatch {
+    /// Name of the registered IP.
+    pub name: String,
+    /// Cosine similarity of the suspect to this IP.
+    pub score: f32,
+    /// Whether the score exceeds the detector's δ.
+    pub piracy: bool,
+}
+
+/// A library of embedded IP cores.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_core::{Gnn4Ip, IpLibrary};
+///
+/// let detector = Gnn4Ip::with_seed(1);
+/// let mut lib = IpLibrary::new();
+/// lib.register_source(&detector, "inv",
+///     "module inv(input a, output y); assign y = ~a; endmodule", None)?;
+/// let hits = lib.scan(&detector,
+///     "module inv(input a, output y); assign y = ~a; endmodule", None)?;
+/// assert_eq!(hits[0].name, "inv");
+/// assert!(hits[0].score > 0.99);
+/// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IpLibrary {
+    entries: Vec<Entry>,
+}
+
+impl IpLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered IPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Registers a precomputed embedding.
+    pub fn register(&mut self, name: impl Into<String>, embedding: Vec<f32>) {
+        self.entries.push(Entry {
+            name: name.into(),
+            embedding,
+        });
+    }
+
+    /// Embeds `verilog` with `detector` and registers it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures.
+    pub fn register_source(
+        &mut self,
+        detector: &Gnn4Ip,
+        name: impl Into<String>,
+        verilog: &str,
+        top: Option<&str>,
+    ) -> Result<(), ParseVerilogError> {
+        let embedding = detector.hw2vec(verilog, top)?;
+        self.register(name, embedding);
+        Ok(())
+    }
+
+    /// Scans a suspect design against every registered IP; matches are
+    /// sorted by descending score.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures for the suspect source.
+    pub fn scan(
+        &self,
+        detector: &Gnn4Ip,
+        verilog: &str,
+        top: Option<&str>,
+    ) -> Result<Vec<LibraryMatch>, ParseVerilogError> {
+        let suspect = detector.hw2vec(verilog, top)?;
+        Ok(self.scan_embedding(detector, &suspect))
+    }
+
+    /// Scans a precomputed suspect embedding.
+    pub fn scan_embedding(&self, detector: &Gnn4Ip, suspect: &[f32]) -> Vec<LibraryMatch> {
+        let mut out: Vec<LibraryMatch> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let score = cosine_of(suspect, &e.embedding);
+                LibraryMatch {
+                    name: e.name.clone(),
+                    score,
+                    piracy: score > detector.delta(),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Serializes the library (names + embeddings) to text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("ip-library v1\n");
+        for e in &self.entries {
+            let cells: Vec<String> = e.embedding.iter().map(|v| format!("{v:e}")).collect();
+            s.push_str(&format!("{}\t{}\n", e.name, cells.join(" ")));
+        }
+        s
+    }
+
+    /// Restores a library written by [`IpLibrary::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty library text")?;
+        if header != "ip-library v1" {
+            return Err(format!("unsupported library header '{header}'"));
+        }
+        let mut lib = Self::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (name, rest) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: missing tab", no + 2))?;
+            let embedding: Vec<f32> = rest
+                .split_whitespace()
+                .map(|t| t.parse::<f32>().map_err(|e| format!("line {}: {e}", no + 2)))
+                .collect::<Result<_, _>>()?;
+            lib.register(name, embedding);
+        }
+        Ok(lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV: &str = "module inv(input a, output y); assign y = ~a; endmodule";
+    const XOR2: &str = "module x2(input a, input b, output y); assign y = a ^ b; endmodule";
+    const ADD: &str = "module add(input [3:0] a, input [3:0] b, output [3:0] s);
+                         assign s = a + b;
+                       endmodule";
+
+    fn library() -> (Gnn4Ip, IpLibrary) {
+        let detector = Gnn4Ip::with_seed(6);
+        let mut lib = IpLibrary::new();
+        lib.register_source(&detector, "inv", INV, None).expect("inv");
+        lib.register_source(&detector, "xor2", XOR2, None).expect("xor2");
+        lib.register_source(&detector, "add", ADD, None).expect("add");
+        (detector, lib)
+    }
+
+    #[test]
+    fn scan_ranks_the_exact_copy_first() {
+        let (detector, lib) = library();
+        let hits = lib.scan(&detector, XOR2, None).expect("scan");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].name, "xor2");
+        assert!(hits[0].score > 0.999);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn names_and_len() {
+        let (_, lib) = library();
+        assert_eq!(lib.len(), 3);
+        assert!(!lib.is_empty());
+        assert_eq!(lib.names(), vec!["inv", "xor2", "add"]);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let (detector, lib) = library();
+        let restored = IpLibrary::from_text(&lib.to_text()).expect("loads");
+        assert_eq!(restored, lib);
+        let hits = restored.scan(&detector, INV, None).expect("scan");
+        assert_eq!(hits[0].name, "inv");
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(IpLibrary::from_text("").is_err());
+        assert!(IpLibrary::from_text("ip-library v1\nno-tab-here").is_err());
+        assert!(IpLibrary::from_text("ip-library v1\nx\tnot_a_number").is_err());
+    }
+
+    #[test]
+    fn empty_library_scans_to_nothing() {
+        let detector = Gnn4Ip::with_seed(7);
+        let lib = IpLibrary::new();
+        let hits = lib.scan(&detector, INV, None).expect("scan");
+        assert!(hits.is_empty());
+    }
+}

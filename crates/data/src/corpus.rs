@@ -1,0 +1,371 @@
+//! Corpus assembly: designs → instances → DFGs → labeled pairs.
+//!
+//! Mirrors §IV-A of the paper: a collection of distinct circuit designs with
+//! several instances each (RTL codes or netlists), from which *similar*
+//! pairs (two instances of one design = piracy) and *different* pairs
+//! (instances of two designs = no piracy) are formed, then split 80/20 into
+//! train and test sets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use gnn4ip_dfg::{graph_from_verilog, Dfg};
+use gnn4ip_hdl::{elaborate, Evaluator, ParseVerilogError};
+
+use crate::designs::{netlist_designs, rtl_designs, Design, Level, SynthSize};
+use crate::obfuscate::{obfuscate_netlist, ObfuscationConfig};
+use crate::variation::{vary_design, VariationConfig};
+
+/// Specification of a corpus to build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSpec {
+    /// Abstraction level.
+    pub level: Level,
+    /// Number of distinct designs.
+    pub n_designs: usize,
+    /// Instances generated per design (including the canonical variant 0).
+    pub instances_per_design: usize,
+    /// Size of synthetic fill designs.
+    pub size: SynthSize,
+    /// Gate count for synthetic netlists.
+    pub netlist_gates: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Verify each variant of a verifiable design against the evaluation
+    /// oracle on sampled stimuli (slower; catches transform bugs).
+    pub verify: bool,
+}
+
+impl CorpusSpec {
+    /// A small RTL corpus for tests and examples.
+    pub fn rtl_small() -> Self {
+        Self {
+            level: Level::Rtl,
+            n_designs: 8,
+            instances_per_design: 4,
+            size: SynthSize::Small,
+            netlist_gates: 120,
+            seed: 7,
+            verify: false,
+        }
+    }
+
+    /// The paper-scale RTL corpus: 50 designs, ~390 instances.
+    pub fn rtl_paper() -> Self {
+        Self {
+            level: Level::Rtl,
+            n_designs: 50,
+            instances_per_design: 8,
+            size: SynthSize::Large,
+            netlist_gates: 400,
+            seed: 7,
+            verify: false,
+        }
+    }
+
+    /// A small netlist corpus for tests and examples.
+    pub fn netlist_small() -> Self {
+        Self {
+            level: Level::Netlist,
+            n_designs: 6,
+            instances_per_design: 3,
+            size: SynthSize::Small,
+            netlist_gates: 120,
+            seed: 7,
+            verify: false,
+        }
+    }
+
+    /// The paper-scale netlist corpus: ~143 instances.
+    pub fn netlist_paper() -> Self {
+        Self {
+            level: Level::Netlist,
+            n_designs: 20,
+            instances_per_design: 7,
+            size: SynthSize::Medium,
+            netlist_gates: 500,
+            seed: 7,
+            verify: false,
+        }
+    }
+}
+
+/// One concrete hardware instance (a Verilog file in the paper's terms).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Index into [`Corpus::designs`].
+    pub design: usize,
+    /// Variation/obfuscation seed that produced it (0 = canonical).
+    pub variant: u64,
+    /// Verilog source.
+    pub source: String,
+}
+
+/// A labeled pair of instance indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// First instance index.
+    pub a: usize,
+    /// Second instance index.
+    pub b: usize,
+    /// `true` when both instances derive from the same design (piracy).
+    pub similar: bool,
+}
+
+/// A fully built corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The distinct designs.
+    pub designs: Vec<Design>,
+    /// All generated instances.
+    pub instances: Vec<Instance>,
+    /// One extracted DFG per instance (same indexing).
+    pub graphs: Vec<Dfg>,
+}
+
+impl Corpus {
+    /// Builds a corpus from a spec: catalog designs, derive instances,
+    /// extract every DFG (in parallel), optionally verify behaviour
+    /// preservation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures and reports any variant that
+    /// fails the equivalence oracle.
+    pub fn build(spec: &CorpusSpec) -> Result<Corpus, ParseVerilogError> {
+        let designs = match spec.level {
+            Level::Rtl => rtl_designs(spec.n_designs, spec.size),
+            Level::Netlist => netlist_designs(spec.n_designs, spec.netlist_gates),
+        };
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut instances = Vec::new();
+        for (di, design) in designs.iter().enumerate() {
+            for k in 0..spec.instances_per_design {
+                let variant = if k == 0 {
+                    0
+                } else {
+                    spec.seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add(di as u64 * 131)
+                        .wrapping_add(k as u64)
+                };
+                let source = match design.level {
+                    Level::Rtl => {
+                        vary_design(&design.source, variant, &VariationConfig::default())?
+                    }
+                    Level::Netlist => {
+                        obfuscate_netlist(&design.source, variant, &ObfuscationConfig::default())?
+                    }
+                };
+                if spec.verify && design.verifiable && variant != 0 {
+                    verify_equivalent(design, &source)?;
+                }
+                instances.push(Instance {
+                    design: di,
+                    variant,
+                    source,
+                });
+            }
+        }
+        let _ = rng.gen::<u64>();
+        let graphs = extract_all(&designs, &instances)?;
+        Ok(Corpus {
+            designs,
+            instances,
+            graphs,
+        })
+    }
+
+    /// Design index of each instance (label vector for clustering plots).
+    pub fn labels(&self) -> Vec<usize> {
+        self.instances.iter().map(|i| i.design).collect()
+    }
+
+    /// Forms labeled pairs: all same-design pairs (similar) and a seeded
+    /// sample of at most `max_different` cross-design pairs.
+    pub fn pairs(&self, max_different: usize, seed: u64) -> Vec<LabeledPair> {
+        let n = self.instances.len();
+        let mut pairs = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.instances[a].design == self.instances[b].design {
+                    pairs.push(LabeledPair { a, b, similar: true });
+                }
+            }
+        }
+        let mut diff: Vec<LabeledPair> = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.instances[a].design != self.instances[b].design {
+                    diff.push(LabeledPair { a, b, similar: false });
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        diff.shuffle(&mut rng);
+        diff.truncate(max_different);
+        pairs.extend(diff);
+        pairs
+    }
+
+    /// Mean node count of the extracted graphs.
+    pub fn mean_nodes(&self) -> f64 {
+        if self.graphs.is_empty() {
+            return 0.0;
+        }
+        self.graphs.iter().map(|g| g.node_count() as f64).sum::<f64>()
+            / self.graphs.len() as f64
+    }
+}
+
+/// Extracts all DFGs in parallel worker threads.
+fn extract_all(
+    designs: &[Design],
+    instances: &[Instance],
+) -> Result<Vec<Dfg>, ParseVerilogError> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = instances.len().div_ceil(threads).max(1);
+    let results: Vec<Result<Vec<Dfg>, ParseVerilogError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = instances
+            .chunks(chunk)
+            .map(|insts| {
+                scope.spawn(move || {
+                    insts
+                        .iter()
+                        .map(|inst| {
+                            let top = &designs[inst.design].top;
+                            let mut g = graph_from_verilog(&inst.source, Some(top))?;
+                            let _ = &mut g;
+                            Ok(g)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extraction worker panicked"))
+            .collect()
+    });
+    let mut graphs = Vec::with_capacity(instances.len());
+    for r in results {
+        graphs.extend(r?);
+    }
+    Ok(graphs)
+}
+
+/// Oracle check: a variant must agree with its base design on sampled
+/// stimuli.
+fn verify_equivalent(design: &Design, variant_src: &str) -> Result<(), ParseVerilogError> {
+    let base_flat = elaborate(&design.source, Some(&design.top))?;
+    let var_flat = elaborate(variant_src, Some(&design.top))?;
+    let base = Evaluator::new(&base_flat)?;
+    let var = Evaluator::new(&var_flat)?;
+    let inputs: Vec<String> = base_flat.inputs().iter().map(|s| s.to_string()).collect();
+    for k in 0..4u64 {
+        let stim: std::collections::HashMap<String, u64> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), k.wrapping_mul(0x9E3779B9).rotate_left(i as u32)))
+            .collect();
+        let lhs = base.eval_outputs(&stim)?;
+        let rhs = var.eval_outputs(&stim)?;
+        if lhs != rhs {
+            return Err(ParseVerilogError::msg(format!(
+                "variant of '{}' diverges from base on stimulus {k}",
+                design.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Splits pairs into train/test with the paper's 80/20 ratio (seeded).
+pub fn split_pairs(
+    pairs: &[LabeledPair],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<LabeledPair>, Vec<LabeledPair>) {
+    let mut shuffled = pairs.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let n_test = ((shuffled.len() as f64) * test_fraction).round() as usize;
+    let test = shuffled.split_off(shuffled.len().saturating_sub(n_test));
+    (shuffled, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rtl_corpus_builds() {
+        let c = Corpus::build(&CorpusSpec::rtl_small()).expect("builds");
+        assert_eq!(c.designs.len(), 8);
+        assert_eq!(c.instances.len(), 32);
+        assert_eq!(c.graphs.len(), 32);
+        assert!(c.mean_nodes() > 10.0);
+    }
+
+    #[test]
+    fn small_netlist_corpus_builds() {
+        let c = Corpus::build(&CorpusSpec::netlist_small()).expect("builds");
+        assert_eq!(c.instances.len(), 18);
+        assert!(c.graphs.iter().all(|g| !g.roots().is_empty()));
+    }
+
+    #[test]
+    fn verified_corpus_builds() {
+        let spec = CorpusSpec {
+            verify: true,
+            n_designs: 5,
+            instances_per_design: 3,
+            ..CorpusSpec::rtl_small()
+        };
+        Corpus::build(&spec).expect("verification passes");
+    }
+
+    #[test]
+    fn pairs_are_labeled_correctly() {
+        let c = Corpus::build(&CorpusSpec::rtl_small()).expect("builds");
+        let pairs = c.pairs(100, 1);
+        for p in &pairs {
+            let same = c.instances[p.a].design == c.instances[p.b].design;
+            assert_eq!(same, p.similar);
+        }
+        let n_similar = pairs.iter().filter(|p| p.similar).count();
+        // 8 designs x C(4,2) = 48 similar pairs
+        assert_eq!(n_similar, 48);
+        assert_eq!(pairs.len() - n_similar, 100);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_sized() {
+        let c = Corpus::build(&CorpusSpec::rtl_small()).expect("builds");
+        let pairs = c.pairs(60, 2);
+        let (train, test) = split_pairs(&pairs, 0.2, 3);
+        assert_eq!(train.len() + test.len(), pairs.len());
+        let frac = test.len() as f64 / pairs.len() as f64;
+        assert!((frac - 0.2).abs() < 0.05, "test fraction {frac}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::build(&CorpusSpec::rtl_small()).expect("a");
+        let b = Corpus::build(&CorpusSpec::rtl_small()).expect("b");
+        assert_eq!(a.instances.len(), b.instances.len());
+        for (x, y) in a.instances.iter().zip(&b.instances) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn labels_match_design_indices() {
+        let c = Corpus::build(&CorpusSpec::rtl_small()).expect("builds");
+        let labels = c.labels();
+        assert_eq!(labels.len(), c.instances.len());
+        assert_eq!(labels[0], 0);
+        assert_eq!(*labels.last().expect("nonempty"), c.designs.len() - 1);
+    }
+}

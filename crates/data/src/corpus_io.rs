@@ -1,0 +1,173 @@
+//! Corpus persistence: write generated instances to a directory of Verilog
+//! files with a manifest, and load such a directory back — so corpora can be
+//! inspected, versioned, shared, or replaced with real proprietary designs.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/manifest.tsv            # design_idx \t design_name \t top \t level \t variant \t file
+//! <dir>/<design>__v<k>.v        # one Verilog file per instance
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use gnn4ip_dfg::graph_from_verilog;
+
+use crate::corpus::{Corpus, Instance};
+use crate::designs::{Design, Level};
+
+/// Writes a corpus to `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = String::from("design_idx\tdesign\ttop\tlevel\tvariant\tfile\n");
+    for inst in &corpus.instances {
+        let design = &corpus.designs[inst.design];
+        let file = format!("{}__v{}.v", design.name, inst.variant);
+        std::fs::write(dir.join(&file), &inst.source)?;
+        manifest.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            inst.design, design.name, design.top, design.level, inst.variant, file
+        ));
+    }
+    std::fs::write(dir.join("manifest.tsv"), manifest)
+}
+
+/// Loads a corpus previously written by [`save_corpus`] (or hand-assembled
+/// in the same layout), re-extracting every DFG.
+///
+/// # Errors
+///
+/// Returns an IO error for filesystem problems and an
+/// `io::ErrorKind::InvalidData` error for malformed manifests or Verilog
+/// that fails to parse.
+pub fn load_corpus(dir: &Path) -> io::Result<Corpus> {
+    let manifest = std::fs::read_to_string(dir.join("manifest.tsv"))?;
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut designs: Vec<Design> = Vec::new();
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut graphs = Vec::new();
+    for (lineno, line) in manifest.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        let [design_idx, name, top, level, variant, file] = cols.as_slice() else {
+            return Err(bad(format!("manifest line {} malformed", lineno + 1)));
+        };
+        let design_idx: usize = design_idx
+            .parse()
+            .map_err(|e| bad(format!("line {}: bad design_idx: {e}", lineno + 1)))?;
+        let variant: u64 = variant
+            .parse()
+            .map_err(|e| bad(format!("line {}: bad variant: {e}", lineno + 1)))?;
+        let level = match *level {
+            "RTL" => Level::Rtl,
+            "netlist" => Level::Netlist,
+            other => return Err(bad(format!("line {}: bad level '{other}'", lineno + 1))),
+        };
+        let source = std::fs::read_to_string(dir.join(file))?;
+        while designs.len() <= design_idx {
+            designs.push(Design {
+                name: name.to_string(),
+                source: String::new(),
+                top: top.to_string(),
+                level,
+                verifiable: false,
+            });
+        }
+        if variant == 0 {
+            designs[design_idx].source = source.clone();
+        }
+        let g = graph_from_verilog(&source, Some(top))
+            .map_err(|e| bad(format!("{file}: {e}")))?;
+        graphs.push(g);
+        instances.push(Instance {
+            design: design_idx,
+            variant,
+            source,
+        });
+    }
+    if instances.is_empty() {
+        return Err(bad("manifest lists no instances".to_string()));
+    }
+    Ok(Corpus {
+        designs,
+        instances,
+        graphs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "gnn4ip_corpus_io_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let spec = CorpusSpec {
+            n_designs: 3,
+            instances_per_design: 2,
+            ..CorpusSpec::rtl_small()
+        };
+        let corpus = Corpus::build(&spec).expect("builds");
+        let dir = tmpdir("roundtrip");
+        save_corpus(&corpus, &dir).expect("saves");
+        let loaded = load_corpus(&dir).expect("loads");
+        assert_eq!(loaded.instances.len(), corpus.instances.len());
+        assert_eq!(loaded.designs.len(), corpus.designs.len());
+        for (a, b) in corpus.instances.iter().zip(&loaded.instances) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.design, b.design);
+        }
+        for (a, b) in corpus.graphs.iter().zip(&loaded.graphs) {
+            assert_eq!(a.node_count(), b.node_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(load_corpus(Path::new("/nonexistent/gnn4ip")).is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_manifest() {
+        let dir = tmpdir("badmanifest");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("manifest.tsv"), "header\nonly three\tcols\there\n")
+            .expect("write");
+        let err = load_corpus(&dir).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_mentions_every_instance() {
+        let spec = CorpusSpec {
+            n_designs: 2,
+            instances_per_design: 3,
+            ..CorpusSpec::rtl_small()
+        };
+        let corpus = Corpus::build(&spec).expect("builds");
+        let dir = tmpdir("manifest");
+        save_corpus(&corpus, &dir).expect("saves");
+        let manifest = std::fs::read_to_string(dir.join("manifest.tsv")).expect("reads");
+        assert_eq!(manifest.lines().count(), 1 + corpus.instances.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

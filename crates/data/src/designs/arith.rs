@@ -1,0 +1,364 @@
+//! Arithmetic design family: floating-point adder (Table II's "FPA"),
+//! multipliers, divider, MAC, barrel shifter, CRC, and Hamming codec.
+
+/// Floating-point adder over a 16-bit half-precision-like format
+/// (1 sign, 5 exponent, 10 mantissa): unpack → align → add/sub → normalize.
+pub fn fpa() -> String {
+    r#"
+module fpa(input [15:0] a, input [15:0] b, output [15:0] sum);
+  wire sign_a;
+  wire sign_b;
+  wire [4:0] exp_a;
+  wire [4:0] exp_b;
+  wire [10:0] man_a;
+  wire [10:0] man_b;
+  wire a_bigger;
+  wire [4:0] exp_big;
+  wire [4:0] exp_diff;
+  wire [10:0] man_big;
+  wire [10:0] man_small_raw;
+  wire [10:0] man_small;
+  wire same_sign;
+  wire [11:0] man_sum;
+  wire [11:0] man_diff;
+  wire [11:0] man_res;
+  wire sign_res;
+  reg [3:0] lz;
+  wire [4:0] exp_norm;
+  wire [10:0] man_norm;
+
+  assign sign_a = a[15];
+  assign sign_b = b[15];
+  assign exp_a = a[14:10];
+  assign exp_b = b[14:10];
+  assign man_a = {1'b1, a[9:0]};
+  assign man_b = {1'b1, b[9:0]};
+  assign a_bigger = {exp_a, a[9:0]} >= {exp_b, b[9:0]};
+  assign exp_big = a_bigger ? exp_a : exp_b;
+  assign exp_diff = a_bigger ? (exp_a - exp_b) : (exp_b - exp_a);
+  assign man_big = a_bigger ? man_a : man_b;
+  assign man_small_raw = a_bigger ? man_b : man_a;
+  assign man_small = man_small_raw >> exp_diff;
+  assign same_sign = (sign_a == sign_b);
+  assign man_sum = {1'b0, man_big} + {1'b0, man_small};
+  assign man_diff = {1'b0, man_big} - {1'b0, man_small};
+  assign man_res = same_sign ? man_sum : man_diff;
+  assign sign_res = a_bigger ? sign_a : sign_b;
+
+  always @(*) begin
+    if (man_res[11]) lz = 4'd0;
+    else if (man_res[10]) lz = 4'd1;
+    else if (man_res[9]) lz = 4'd2;
+    else if (man_res[8]) lz = 4'd3;
+    else if (man_res[7]) lz = 4'd4;
+    else if (man_res[6]) lz = 4'd5;
+    else if (man_res[5]) lz = 4'd6;
+    else if (man_res[4]) lz = 4'd7;
+    else lz = 4'd8;
+  end
+  assign exp_norm = (lz == 4'd0) ? (exp_big + 5'd1) : (exp_big - {1'b0, lz[3:0]} + 5'd1);
+  assign man_norm = (lz == 4'd0) ? man_res[11:1] : (man_res[10:0] << (lz - 4'd1));
+  assign sum = (man_res == 12'd0) ? 16'd0 : {sign_res, exp_norm, man_norm[9:0]};
+endmodule
+"#
+    .to_string()
+}
+
+/// Shift-add multiplier, 8x8 → 16, fully unrolled combinational array.
+pub fn array_mult() -> String {
+    r#"
+module array_mult(input [7:0] x, input [7:0] y, output [15:0] p);
+  wire [15:0] pp0;
+  wire [15:0] pp1;
+  wire [15:0] pp2;
+  wire [15:0] pp3;
+  wire [15:0] pp4;
+  wire [15:0] pp5;
+  wire [15:0] pp6;
+  wire [15:0] pp7;
+  assign pp0 = y[0] ? {8'd0, x} : 16'd0;
+  assign pp1 = y[1] ? {7'd0, x, 1'd0} : 16'd0;
+  assign pp2 = y[2] ? {6'd0, x, 2'd0} : 16'd0;
+  assign pp3 = y[3] ? {5'd0, x, 3'd0} : 16'd0;
+  assign pp4 = y[4] ? {4'd0, x, 4'd0} : 16'd0;
+  assign pp5 = y[5] ? {3'd0, x, 5'd0} : 16'd0;
+  assign pp6 = y[6] ? {2'd0, x, 6'd0} : 16'd0;
+  assign pp7 = y[7] ? {1'd0, x, 7'd0} : 16'd0;
+  assign p = ((pp0 + pp1) + (pp2 + pp3)) + ((pp4 + pp5) + (pp6 + pp7));
+endmodule
+"#
+    .to_string()
+}
+
+/// Restoring divider, 8/8 → quotient+remainder, unrolled.
+pub fn divider() -> String {
+    let mut body = String::from(
+        r#"
+module divider(input [7:0] num, input [7:0] den, output [7:0] quo, output [7:0] rem);
+  wire [7:0] r0;
+  assign r0 = 8'd0;
+"#,
+    );
+    for i in 0..8 {
+        let bit = 7 - i;
+        body.push_str(&format!(
+            "  wire [7:0] t{i};\n  wire [7:0] r{next};\n  wire q{bit};\n  \
+             assign t{i} = {{r{i}[6:0], num[{bit}]}};\n  \
+             assign q{bit} = t{i} >= den;\n  \
+             assign r{next} = q{bit} ? (t{i} - den) : t{i};\n",
+            next = i + 1,
+        ));
+    }
+    body.push_str("  assign quo = {q7, q6, q5, q4, q3, q2, q1, q0};\n");
+    body.push_str("  assign rem = r8;\nendmodule\n");
+    body
+}
+
+/// Multiply-accumulate with saturation.
+pub fn mac() -> String {
+    r#"
+module mac(input [7:0] x, input [7:0] y, input [15:0] acc, output [15:0] out,
+           output sat);
+  wire [15:0] prod;
+  wire [16:0] sum;
+  assign prod = {8'd0, x} * {8'd0, y};
+  assign sum = {1'b0, acc} + {1'b0, prod};
+  assign sat = sum[16];
+  assign out = sat ? 16'd65535 : sum[15:0];
+endmodule
+"#
+    .to_string()
+}
+
+/// Logarithmic barrel shifter (left rotate) for 16-bit words.
+pub fn barrel() -> String {
+    r#"
+module barrel(input [15:0] din, input [3:0] amt, output [15:0] dout);
+  wire [15:0] s1;
+  wire [15:0] s2;
+  wire [15:0] s4;
+  assign s1 = amt[0] ? {din[14:0], din[15]} : din;
+  assign s2 = amt[1] ? {s1[13:0], s1[15:14]} : s1;
+  assign s4 = amt[2] ? {s2[11:0], s2[15:12]} : s2;
+  assign dout = amt[3] ? {s4[7:0], s4[15:8]} : s4;
+endmodule
+"#
+    .to_string()
+}
+
+/// CRC-8 (poly 0x07) over one input byte, unrolled.
+pub fn crc8() -> String {
+    let mut body = String::from(
+        r#"
+module crc8(input [7:0] data, input [7:0] crc_in, output [7:0] crc_out);
+  wire [7:0] c0;
+  assign c0 = crc_in ^ data;
+"#,
+    );
+    for i in 0..8 {
+        body.push_str(&format!(
+            "  wire [7:0] c{next};\n  assign c{next} = c{i}[7] ? ({{c{i}[6:0], 1'b0}} ^ 8'd7) : {{c{i}[6:0], 1'b0}};\n",
+            next = i + 1,
+        ));
+    }
+    body.push_str("  assign crc_out = c8;\nendmodule\n");
+    body
+}
+
+/// Hamming(7,4) encoder + decoder with single-error correction.
+pub fn hamming() -> String {
+    r#"
+module hamming(input [3:0] data, input [6:0] rx, output [6:0] tx,
+               output [3:0] corrected, output err);
+  wire p1;
+  wire p2;
+  wire p4;
+  assign p1 = data[0] ^ data[1] ^ data[3];
+  assign p2 = data[0] ^ data[2] ^ data[3];
+  assign p4 = data[1] ^ data[2] ^ data[3];
+  assign tx = {data[3], data[2], data[1], p4, data[0], p2, p1};
+  wire s1;
+  wire s2;
+  wire s4;
+  wire [2:0] syndrome;
+  assign s1 = rx[0] ^ rx[2] ^ rx[4] ^ rx[6];
+  assign s2 = rx[1] ^ rx[2] ^ rx[5] ^ rx[6];
+  assign s4 = rx[3] ^ rx[4] ^ rx[5] ^ rx[6];
+  assign syndrome = {s4, s2, s1};
+  wire [6:0] fixed;
+  assign fixed = (syndrome == 3'd0) ? rx : (rx ^ (7'd1 << (syndrome - 3'd1)));
+  assign corrected = {fixed[6], fixed[5], fixed[4], fixed[2]};
+  assign err = syndrome != 3'd0;
+endmodule
+"#
+    .to_string()
+}
+
+/// Integer square root (4-bit result from 8-bit input), unrolled
+/// non-restoring style.
+pub fn isqrt() -> String {
+    r#"
+module isqrt(input [7:0] x, output [3:0] root);
+  wire [3:0] r3;
+  wire [3:0] r2;
+  wire [3:0] r1;
+  wire [3:0] r0;
+  wire g3;
+  wire g2;
+  wire g1;
+  wire g0;
+  assign g3 = 12'd64 <= {4'd0, x};
+  assign r3 = g3 ? 4'd8 : 4'd0;
+  assign g2 = ({8'd0, r3 | 4'd4} * {8'd0, r3 | 4'd4}) <= {4'd0, x};
+  assign r2 = g2 ? (r3 | 4'd4) : r3;
+  assign g1 = ({8'd0, r2 | 4'd2} * {8'd0, r2 | 4'd2}) <= {4'd0, x};
+  assign r1 = g1 ? (r2 | 4'd2) : r2;
+  assign g0 = ({8'd0, r1 | 4'd1} * {8'd0, r1 | 4'd1}) <= {4'd0, x};
+  assign r0 = g0 ? (r1 | 4'd1) : r1;
+  assign root = r0;
+endmodule
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_hdl::{elaborate, Evaluator};
+    use std::collections::HashMap;
+
+    fn eval_of(src: &str, top: &str) -> Evaluator {
+        Evaluator::new(&elaborate(src, Some(top)).expect("flat")).expect("eval")
+    }
+
+    fn f16(sign: u64, exp: u64, man: u64) -> u64 {
+        (sign << 15) | (exp << 10) | man
+    }
+
+    #[test]
+    fn fpa_adds_equal_exponents() {
+        let e = eval_of(&fpa(), "fpa");
+        // 1.0 = exp 15 man 0; 1.0 + 1.0 = 2.0 = exp 16 man 0
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("a".to_string(), f16(0, 15, 0)),
+                ("b".to_string(), f16(0, 15, 0)),
+            ]))
+            .expect("runs")["sum"];
+        assert_eq!(out, f16(0, 16, 0), "1.0+1.0 != 2.0: {out:#x}");
+    }
+
+    #[test]
+    fn fpa_cancellation_gives_zero() {
+        let e = eval_of(&fpa(), "fpa");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("a".to_string(), f16(0, 15, 0)),
+                ("b".to_string(), f16(1, 15, 0)),
+            ]))
+            .expect("runs")["sum"];
+        assert_eq!(out, 0, "1.0 + (-1.0) != 0");
+    }
+
+    #[test]
+    fn array_mult_matches_native() {
+        let e = eval_of(&array_mult(), "array_mult");
+        for (x, y) in [(0u64, 0u64), (255, 255), (13, 17), (200, 3)] {
+            let out = e
+                .eval_outputs(&HashMap::from([("x".to_string(), x), ("y".to_string(), y)]))
+                .expect("runs")["p"];
+            assert_eq!(out, x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn divider_matches_native() {
+        let e = eval_of(&divider(), "divider");
+        for (n, d) in [(100u64, 7u64), (255, 16), (9, 3), (5, 255)] {
+            let out = e
+                .eval_outputs(&HashMap::from([
+                    ("num".to_string(), n),
+                    ("den".to_string(), d),
+                ]))
+                .expect("runs");
+            assert_eq!(out["quo"], n / d, "{n}/{d} quo");
+            assert_eq!(out["rem"], n % d, "{n}/{d} rem");
+        }
+    }
+
+    #[test]
+    fn mac_saturates() {
+        let e = eval_of(&mac(), "mac");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("x".to_string(), 255),
+                ("y".to_string(), 255),
+                ("acc".to_string(), 65000),
+            ]))
+            .expect("runs");
+        assert_eq!(out["out"], 65535);
+        assert_eq!(out["sat"], 1);
+    }
+
+    #[test]
+    fn barrel_rotates() {
+        let e = eval_of(&barrel(), "barrel");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("din".to_string(), 0x8001),
+                ("amt".to_string(), 1),
+            ]))
+            .expect("runs")["dout"];
+        assert_eq!(out, 0x0003);
+    }
+
+    #[test]
+    fn hamming_corrects_single_bit_errors() {
+        let enc = eval_of(&hamming(), "hamming");
+        for data in 0..16u64 {
+            let tx = enc
+                .eval_outputs(&HashMap::from([
+                    ("data".to_string(), data),
+                    ("rx".to_string(), 0),
+                ]))
+                .expect("runs")["tx"];
+            for flip in 0..7u64 {
+                let rx = tx ^ (1 << flip);
+                let out = enc
+                    .eval_outputs(&HashMap::from([
+                        ("data".to_string(), data),
+                        ("rx".to_string(), rx),
+                    ]))
+                    .expect("runs");
+                assert_eq!(out["corrected"], data, "data {data} flip {flip}");
+                assert_eq!(out["err"], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        let e = eval_of(&isqrt(), "isqrt");
+        for x in [0u64, 1, 3, 4, 15, 16, 17, 80, 255] {
+            let out = e
+                .eval_outputs(&HashMap::from([("x".to_string(), x)]))
+                .expect("runs")["root"];
+            let expect = (x as f64).sqrt().floor() as u64;
+            assert_eq!(out, expect, "isqrt({x})");
+        }
+    }
+
+    #[test]
+    fn crc8_differs_for_different_inputs() {
+        let e = eval_of(&crc8(), "crc8");
+        let run = |d: u64| {
+            e.eval_outputs(&HashMap::from([
+                ("data".to_string(), d),
+                ("crc_in".to_string(), 0),
+            ]))
+            .expect("runs")["crc_out"]
+        };
+        assert_ne!(run(0x01), run(0x02));
+        assert_ne!(run(0x80), run(0x00));
+    }
+}

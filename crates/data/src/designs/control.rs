@@ -1,0 +1,372 @@
+//! Control-logic design family: FIFO controller, LFSR, priority encoder,
+//! interrupt controller, PWM, arbiters, counters, decoders, register file.
+
+/// Synchronous FIFO controller (pointers + full/empty flags; storage
+/// abstracted behind read/write data ports).
+pub fn fifo_ctrl() -> String {
+    r#"
+module fifo_ctrl(input clk, input reset, input push, input pop,
+                 output reg [3:0] wptr, output reg [3:0] rptr,
+                 output full, output empty, output reg [4:0] count);
+  assign full = count == 5'd16;
+  assign empty = count == 5'd0;
+  always @(posedge clk) begin
+    if (reset) begin
+      wptr <= 4'd0;
+      rptr <= 4'd0;
+      count <= 5'd0;
+    end else begin
+      if (push && !full) begin
+        wptr <= wptr + 4'd1;
+        if (!(pop && !empty)) count <= count + 5'd1;
+      end
+      if (pop && !empty) begin
+        rptr <= rptr + 4'd1;
+        if (!(push && !full)) count <= count - 5'd1;
+      end
+    end
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// 16-bit Fibonacci LFSR (taps 16, 15, 13, 4).
+pub fn lfsr() -> String {
+    r#"
+module lfsr(input clk, input reset, input enable, output reg [15:0] state,
+            output bit_out);
+  wire feedback;
+  assign feedback = state[15] ^ state[14] ^ state[12] ^ state[3];
+  assign bit_out = state[15];
+  always @(posedge clk) begin
+    if (reset) state <= 16'd1;
+    else if (enable) state <= {state[14:0], feedback};
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// 8-to-3 priority encoder with valid flag.
+pub fn priority_encoder() -> String {
+    r#"
+module priority_encoder(input [7:0] req, output reg [2:0] grant, output valid);
+  assign valid = req != 8'd0;
+  always @(*) begin
+    if (req[7]) grant = 3'd7;
+    else if (req[6]) grant = 3'd6;
+    else if (req[5]) grant = 3'd5;
+    else if (req[4]) grant = 3'd4;
+    else if (req[3]) grant = 3'd3;
+    else if (req[2]) grant = 3'd2;
+    else if (req[1]) grant = 3'd1;
+    else grant = 3'd0;
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// Interrupt controller: masking, pending latching, priority resolution —
+/// functionally the c432 class (27-channel controller) at RTL level.
+pub fn interrupt_ctrl() -> String {
+    r#"
+module priority_encoder9(input [8:0] req, output reg [3:0] grant);
+  always @(*) begin
+    if (req[8]) grant = 4'd8;
+    else if (req[7]) grant = 4'd7;
+    else if (req[6]) grant = 4'd6;
+    else if (req[5]) grant = 4'd5;
+    else if (req[4]) grant = 4'd4;
+    else if (req[3]) grant = 4'd3;
+    else if (req[2]) grant = 4'd2;
+    else if (req[1]) grant = 4'd1;
+    else grant = 4'd0;
+  end
+endmodule
+
+module interrupt_ctrl(input clk, input reset,
+                      input [8:0] irq_a, input [8:0] irq_b, input [8:0] irq_c,
+                      input [8:0] mask_a, input [8:0] mask_b, input [8:0] mask_c,
+                      input ack,
+                      output [3:0] vec_a, output [3:0] vec_b, output [3:0] vec_c,
+                      output reg [1:0] active_group, output irq_out);
+  wire [8:0] pend_a;
+  wire [8:0] pend_b;
+  wire [8:0] pend_c;
+  assign pend_a = irq_a & ~mask_a;
+  assign pend_b = irq_b & ~mask_b;
+  assign pend_c = irq_c & ~mask_c;
+  priority_encoder9 pa(.req(pend_a), .grant(vec_a));
+  priority_encoder9 pb(.req(pend_b), .grant(vec_b));
+  priority_encoder9 pc(.req(pend_c), .grant(vec_c));
+  assign irq_out = (pend_a != 9'd0) || (pend_b != 9'd0) || (pend_c != 9'd0);
+  always @(posedge clk) begin
+    if (reset) active_group <= 2'd0;
+    else if (ack) begin
+      if (pend_a != 9'd0) active_group <= 2'd0;
+      else if (pend_b != 9'd0) active_group <= 2'd1;
+      else active_group <= 2'd2;
+    end
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// PWM generator with duty-cycle compare and dead-band.
+pub fn pwm() -> String {
+    r#"
+module pwm(input clk, input reset, input [7:0] duty, input [3:0] deadband,
+           output pwm_high, output pwm_low);
+  reg [7:0] counter;
+  always @(posedge clk) begin
+    if (reset) counter <= 8'd0;
+    else counter <= counter + 8'd1;
+  end
+  wire raw;
+  assign raw = counter < duty;
+  assign pwm_high = raw && (counter >= {4'd0, deadband});
+  assign pwm_low = !raw && (counter < (8'd255 - {4'd0, deadband}));
+endmodule
+"#
+    .to_string()
+}
+
+/// Round-robin arbiter over four requesters.
+pub fn rr_arbiter() -> String {
+    r#"
+module rr_arbiter(input clk, input reset, input [3:0] req,
+                  output reg [3:0] grant);
+  reg [1:0] last;
+  wire [3:0] rot;
+  reg [3:0] pick;
+  assign rot = (req >> (last + 2'd1)) | (req << (3'd4 - {1'd0, last} - 3'd1));
+  always @(*) begin
+    if (rot[0]) pick = 4'd1;
+    else if (rot[1]) pick = 4'd2;
+    else if (rot[2]) pick = 4'd4;
+    else if (rot[3]) pick = 4'd8;
+    else pick = 4'd0;
+  end
+  always @(posedge clk) begin
+    if (reset) begin
+      last <= 2'd3;
+      grant <= 4'd0;
+    end else begin
+      grant <= pick;
+      if (pick != 4'd0) begin
+        if (pick[0]) last <= last + 2'd1;
+        else if (pick[1]) last <= last + 2'd2;
+        else if (pick[2]) last <= last + 2'd3;
+        else last <= last;
+      end
+    end
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// Gray-code counter with binary↔gray converters.
+pub fn gray_counter() -> String {
+    r#"
+module gray_counter(input clk, input reset, input enable,
+                    output [7:0] gray, output reg [7:0] binary);
+  always @(posedge clk) begin
+    if (reset) binary <= 8'd0;
+    else if (enable) binary <= binary + 8'd1;
+  end
+  assign gray = binary ^ (binary >> 1);
+endmodule
+"#
+    .to_string()
+}
+
+/// Seven-segment display decoder (hex).
+pub fn seven_seg() -> String {
+    r#"
+module seven_seg(input [3:0] digit, output reg [6:0] segments);
+  always @(*) begin
+    case (digit)
+      4'h0: segments = 7'b0111111;
+      4'h1: segments = 7'b0000110;
+      4'h2: segments = 7'b1011011;
+      4'h3: segments = 7'b1001111;
+      4'h4: segments = 7'b1100110;
+      4'h5: segments = 7'b1101101;
+      4'h6: segments = 7'b1111101;
+      4'h7: segments = 7'b0000111;
+      4'h8: segments = 7'b1111111;
+      4'h9: segments = 7'b1101111;
+      4'hA: segments = 7'b1110111;
+      4'hB: segments = 7'b1111100;
+      4'hC: segments = 7'b0111001;
+      4'hD: segments = 7'b1011110;
+      4'hE: segments = 7'b1111001;
+      default: segments = 7'b1110001;
+    endcase
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// Watchdog timer with windowed kick.
+pub fn watchdog() -> String {
+    r#"
+module watchdog(input clk, input reset, input kick, input [15:0] timeout,
+                output reg expired, output reg [15:0] counter);
+  always @(posedge clk) begin
+    if (reset) begin
+      counter <= 16'd0;
+      expired <= 1'b0;
+    end else begin
+      if (kick) counter <= 16'd0;
+      else begin
+        if (counter >= timeout) expired <= 1'b1;
+        else counter <= counter + 16'd1;
+      end
+    end
+  end
+endmodule
+"#
+    .to_string()
+}
+
+/// Debouncer + edge detector for a mechanical input.
+pub fn debounce() -> String {
+    r#"
+module debounce(input clk, input reset, input noisy,
+                output reg clean, output rising, output falling);
+  reg [3:0] history;
+  reg clean_q;
+  always @(posedge clk) begin
+    if (reset) begin
+      history <= 4'd0;
+      clean <= 1'b0;
+      clean_q <= 1'b0;
+    end else begin
+      history <= {history[2:0], noisy};
+      clean_q <= clean;
+      if (history == 4'b1111) clean <= 1'b1;
+      else if (history == 4'b0000) clean <= 1'b0;
+    end
+  end
+  assign rising = clean && !clean_q;
+  assign falling = !clean && clean_q;
+endmodule
+"#
+    .to_string()
+}
+
+/// BCD (double-dabble) binary→BCD converter for one byte, unrolled.
+pub fn bcd_convert() -> String {
+    let mut s = String::from(
+        r#"
+module bcd_convert(input [7:0] bin, output [3:0] hundreds, output [3:0] tens,
+                   output [3:0] ones);
+  wire [19:0] s0;
+  assign s0 = {12'd0, bin};
+"#,
+    );
+    for i in 0..8 {
+        s.push_str(&format!(
+            "  wire [19:0] a{i};\n  wire [19:0] s{next};\n  \
+             assign a{i} = {{\n    s{i}[19:16],\n    (s{i}[15:12] > 4'd4) ? (s{i}[15:12] + 4'd3) : s{i}[15:12],\n    (s{i}[11:8] > 4'd4) ? (s{i}[11:8] + 4'd3) : s{i}[11:8],\n    s{i}[7:0] }};\n  \
+             assign s{next} = {{a{i}[18:0], 1'b0}};\n",
+            next = i + 1,
+        ));
+    }
+    s.push_str(
+        "  assign hundreds = s8[19:16];\n  assign tens = s8[15:12];\n  assign ones = s8[11:8];\nendmodule\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_dfg::graph_from_verilog;
+    use gnn4ip_hdl::{elaborate, Evaluator};
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_control_designs_extract() {
+        for (top, src) in [
+            ("fifo_ctrl", fifo_ctrl()),
+            ("lfsr", lfsr()),
+            ("priority_encoder", priority_encoder()),
+            ("interrupt_ctrl", interrupt_ctrl()),
+            ("pwm", pwm()),
+            ("rr_arbiter", rr_arbiter()),
+            ("gray_counter", gray_counter()),
+            ("seven_seg", seven_seg()),
+            ("watchdog", watchdog()),
+            ("debounce", debounce()),
+            ("bcd_convert", bcd_convert()),
+        ] {
+            let g = graph_from_verilog(&src, Some(top)).expect(top);
+            assert!(g.node_count() > 8, "{top}: {}", g.node_count());
+            assert!(!g.roots().is_empty(), "{top} rootless");
+        }
+    }
+
+    #[test]
+    fn priority_encoder_is_correct() {
+        let e = Evaluator::new(
+            &elaborate(&priority_encoder(), Some("priority_encoder")).expect("flat"),
+        )
+        .expect("eval");
+        for (req, want) in [(0b1000_0000u64, 7u64), (0b0001_0010, 4), (0b1, 0)] {
+            let out = e
+                .eval_outputs(&HashMap::from([("req".to_string(), req)]))
+                .expect("runs");
+            assert_eq!(out["grant"], want, "req {req:b}");
+            assert_eq!(out["valid"], 1);
+        }
+        let out = e
+            .eval_outputs(&HashMap::from([("req".to_string(), 0u64)]))
+            .expect("runs");
+        assert_eq!(out["valid"], 0);
+    }
+
+    #[test]
+    fn bcd_convert_is_correct() {
+        let e = Evaluator::new(&elaborate(&bcd_convert(), Some("bcd_convert")).expect("flat"))
+            .expect("eval");
+        for v in [0u64, 9, 10, 99, 100, 163, 255] {
+            let out = e
+                .eval_outputs(&HashMap::from([("bin".to_string(), v)]))
+                .expect("runs");
+            assert_eq!(
+                out["hundreds"] * 100 + out["tens"] * 10 + out["ones"],
+                v,
+                "bcd({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupt_ctrl_masks_and_prioritizes() {
+        let e = Evaluator::new(
+            &elaborate(&interrupt_ctrl(), Some("interrupt_ctrl")).expect("flat"),
+        )
+        .expect("eval");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("irq_a".to_string(), 0b1_0000_0001u64),
+                ("mask_a".to_string(), 0b1_0000_0000u64),
+                ("irq_b".to_string(), 0),
+                ("mask_b".to_string(), 0),
+                ("irq_c".to_string(), 0b100),
+                ("mask_c".to_string(), 0),
+                ("ack".to_string(), 0),
+            ]))
+            .expect("runs");
+        assert_eq!(out["vec_a"], 0, "bit 8 masked, bit 0 wins");
+        assert_eq!(out["vec_c"], 2);
+        assert_eq!(out["irq_out"], 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Cryptographic design family: AES-style round, XTEA-style mixer, SHA-style
+//! compressor, and a stream-cipher keystream stage.
+//!
+//! `aes` is one of the named designs of Table II. These are reduced-state
+//! versions of the real cores (the substitution table is 4-bit, the words are
+//! 32-bit) so DFG extraction and semantic verification stay fast, while the
+//! *structure* — substitution, permutation, key mixing, add-rotate-xor — is
+//! the real thing.
+
+/// 4-bit S-box used by the AES-style round (a real bijective S-box).
+fn sbox_module() -> String {
+    let table = [
+        0x6u64, 0xB, 0x5, 0x4, 0x2, 0xE, 0x7, 0xA, 0x9, 0xD, 0xF, 0xC, 0x3, 0x1, 0x0, 0x8,
+    ];
+    let mut arms = String::new();
+    for (i, v) in table.iter().enumerate() {
+        arms.push_str(&format!("      4'd{i}: sout = 4'd{v};\n"));
+    }
+    format!(
+        r#"
+module sbox(input [3:0] sin, output reg [3:0] sout);
+  always @(*) begin
+    case (sin)
+{arms}      default: sout = 4'd0;
+    endcase
+  end
+endmodule
+"#
+    )
+}
+
+/// AES-style round over a 32-bit state: SubBytes (8 x 4-bit S-boxes),
+/// ShiftRows-style byte rotation, MixColumns-style XOR spread, AddRoundKey.
+pub fn aes() -> String {
+    let mut src = sbox_module();
+    src.push_str(
+        r#"
+module aes(input [31:0] state, input [31:0] round_key, output [31:0] next_state);
+  wire [31:0] subbed;
+  wire [31:0] shifted;
+  wire [31:0] mixed;
+  sbox s0(.sin(state[3:0]), .sout(subbed[3:0]));
+  sbox s1(.sin(state[7:4]), .sout(subbed[7:4]));
+  sbox s2(.sin(state[11:8]), .sout(subbed[11:8]));
+  sbox s3(.sin(state[15:12]), .sout(subbed[15:12]));
+  sbox s4(.sin(state[19:16]), .sout(subbed[19:16]));
+  sbox s5(.sin(state[23:20]), .sout(subbed[23:20]));
+  sbox s6(.sin(state[27:24]), .sout(subbed[27:24]));
+  sbox s7(.sin(state[31:28]), .sout(subbed[31:28]));
+  assign shifted = {subbed[7:0], subbed[31:8]};
+  assign mixed = shifted ^ {shifted[15:0], shifted[31:16]} ^ {shifted[23:0], shifted[31:24]};
+  assign next_state = mixed ^ round_key;
+endmodule
+"#,
+    );
+    src
+}
+
+/// XTEA-style add-rotate-xor mixer (one Feistel half-round).
+pub fn xtea() -> String {
+    r#"
+module xtea(input [31:0] v0, input [31:0] v1, input [31:0] key,
+            input [31:0] sum, output [31:0] out0, output [31:0] out1);
+  wire [31:0] shifted_mix;
+  wire [31:0] keyed;
+  assign shifted_mix = ((v1 << 4) ^ (v1 >> 5)) + v1;
+  assign keyed = sum + key;
+  assign out0 = v0 + (shifted_mix ^ keyed);
+  assign out1 = v1 + (((out0 << 4) ^ (out0 >> 5)) + out0 ^ (sum + key));
+endmodule
+"#
+    .to_string()
+}
+
+/// SHA-256-style compression step: Ch, Maj, Σ0, Σ1 over 32-bit words.
+pub fn sha_round() -> String {
+    r#"
+module sha_round(input [31:0] a, input [31:0] b, input [31:0] c,
+                 input [31:0] e, input [31:0] f, input [31:0] g,
+                 input [31:0] h, input [31:0] k, input [31:0] w,
+                 output [31:0] new_a, output [31:0] new_e);
+  wire [31:0] ch;
+  wire [31:0] maj;
+  wire [31:0] sig0;
+  wire [31:0] sig1;
+  wire [31:0] t1;
+  wire [31:0] t2;
+  assign ch = (e & f) ^ (~e & g);
+  assign maj = (a & b) ^ (a & c) ^ (b & c);
+  assign sig0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^ {a[21:0], a[31:22]};
+  assign sig1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^ {e[24:0], e[31:25]};
+  assign t1 = h + sig1 + ch + k + w;
+  assign t2 = sig0 + maj;
+  assign new_e = e + t1;
+  assign new_a = t1 + t2;
+endmodule
+"#
+    .to_string()
+}
+
+/// Trivium-style keystream stage: three shift-register taps combined into a
+/// keystream bit plus feedback bits.
+pub fn stream_cipher() -> String {
+    r#"
+module stream_cipher(input [30:0] sa, input [27:0] sb, input [36:0] sc,
+                     output ks, output fa, output fb, output fc);
+  wire ta;
+  wire tb;
+  wire tc;
+  assign ta = sa[27] ^ sa[30];
+  assign tb = sb[24] ^ sb[27];
+  assign tc = sc[33] ^ sc[36];
+  assign ks = ta ^ tb ^ tc;
+  assign fa = ta ^ (sa[29] & sa[28]) ^ sb[5];
+  assign fb = tb ^ (sb[26] & sb[25]) ^ sc[8];
+  assign fc = tc ^ (sc[35] & sc[34]) ^ sa[3];
+endmodule
+"#
+    .to_string()
+}
+
+/// GHASH-style carry-less multiply-accumulate slice (GF(2) dot products).
+pub fn gf_mult() -> String {
+    r#"
+module gf_mult(input [7:0] x, input [7:0] y, output [7:0] z);
+  wire [7:0] p0;
+  wire [7:0] p1;
+  wire [7:0] p2;
+  wire [7:0] p3;
+  assign p0 = y[0] ? x : 8'd0;
+  assign p1 = y[1] ? {x[6:0], 1'b0} ^ (x[7] ? 8'h1B : 8'd0) : 8'd0;
+  assign p2 = y[2] ? {x[5:0], 2'b00} ^ (x[7] ? 8'h36 : 8'd0) ^ (x[6] ? 8'h1B : 8'd0) : 8'd0;
+  assign p3 = y[3] ? {x[4:0], 3'b000} ^ (x[7] ? 8'h6C : 8'd0) ^ (x[6] ? 8'h36 : 8'd0) : 8'd0;
+  assign z = p0 ^ p1 ^ p2 ^ p3;
+endmodule
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_dfg::graph_from_verilog;
+    use gnn4ip_hdl::{elaborate, Evaluator};
+    use std::collections::HashMap;
+
+    #[test]
+    fn aes_round_is_bijective_on_samples() {
+        let e = Evaluator::new(&elaborate(&aes(), Some("aes")).expect("flat")).expect("eval");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let state = i.wrapping_mul(0x9E3779B9) & 0xFFFF_FFFF;
+            let out = e
+                .eval_outputs(&HashMap::from([
+                    ("state".to_string(), state),
+                    ("round_key".to_string(), 0xA5A5_5A5A),
+                ]))
+                .expect("runs")["next_state"];
+            assert!(seen.insert(out), "collision at input {state:#x}");
+        }
+    }
+
+    #[test]
+    fn sbox_substitution_changes_state() {
+        let e = Evaluator::new(&elaborate(&aes(), Some("aes")).expect("flat")).expect("eval");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("state".to_string(), 0u64),
+                ("round_key".to_string(), 0u64),
+            ]))
+            .expect("runs")["next_state"];
+        // S(0)=6 in every nibble, then rotated/mixed — never zero
+        assert_ne!(out, 0);
+    }
+
+    #[test]
+    fn all_crypto_designs_extract() {
+        for (top, src) in [
+            ("aes", aes()),
+            ("xtea", xtea()),
+            ("sha_round", sha_round()),
+            ("stream_cipher", stream_cipher()),
+            ("gf_mult", gf_mult()),
+        ] {
+            let g = graph_from_verilog(&src, Some(top)).expect(top);
+            assert!(g.node_count() > 10, "{top}: {}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn sha_round_mixes_all_inputs() {
+        let e = Evaluator::new(&elaborate(&sha_round(), Some("sha_round")).expect("flat"))
+            .expect("eval");
+        let base: HashMap<String, u64> = ["a", "b", "c", "e", "f", "g", "h", "k", "w"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), (i as u64 + 1) * 0x1111))
+            .collect();
+        let out0 = e.eval_outputs(&base).expect("runs");
+        for key in ["a", "b", "c", "e", "f", "g", "h", "k", "w"] {
+            // some single-bit flip must propagate (masked positions exist,
+            // e.g. `maj` only passes `b` where a and c disagree)
+            let affected = (0..16u64).any(|bit| {
+                let mut flipped = base.clone();
+                *flipped.get_mut(key).expect("key") ^= 1 << bit;
+                let out1 = e.eval_outputs(&flipped).expect("runs");
+                out0["new_a"] != out1["new_a"] || out0["new_e"] != out1["new_e"]
+            });
+            assert!(affected, "input {key} does not affect the round");
+        }
+    }
+}

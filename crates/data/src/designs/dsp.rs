@@ -1,0 +1,260 @@
+//! DSP design family: FIR filter, IIR biquad section, moving average,
+//! population count, absolute difference, saturating clamp, fixed-point
+//! multiply, and a cordic-style rotation stage.
+//!
+//! All combinational (oracle-verifiable); widths kept small enough that the
+//! evaluation oracle's 64-bit arithmetic is exact.
+
+/// 4-tap FIR filter, fully unrolled: y = Σ c_i * x_i with 8-bit samples and
+/// fixed coefficients (3, 5, 5, 3 — a crude low-pass).
+pub fn fir4() -> String {
+    r#"
+module fir4(input [7:0] x0, input [7:0] x1, input [7:0] x2, input [7:0] x3,
+            output [15:0] y);
+  wire [15:0] t0;
+  wire [15:0] t1;
+  wire [15:0] t2;
+  wire [15:0] t3;
+  assign t0 = {8'd0, x0} * 16'd3;
+  assign t1 = {8'd0, x1} * 16'd5;
+  assign t2 = {8'd0, x2} * 16'd5;
+  assign t3 = {8'd0, x3} * 16'd3;
+  assign y = (t0 + t1) + (t2 + t3);
+endmodule
+"#
+    .to_string()
+}
+
+/// Direct-form-I IIR biquad combinational core: one output sample from
+/// current/past inputs and past outputs (states supplied as ports).
+pub fn biquad() -> String {
+    r#"
+module biquad(input [7:0] x0, input [7:0] x1, input [7:0] x2,
+              input [15:0] y1, input [15:0] y2, output [15:0] y0);
+  wire [15:0] ff;
+  wire [15:0] fb;
+  assign ff = ({8'd0, x0} * 16'd4) + ({8'd0, x1} * 16'd8) + ({8'd0, x2} * 16'd4);
+  assign fb = (y1 >> 1) + (y2 >> 2);
+  assign y0 = ff - fb;
+endmodule
+"#
+    .to_string()
+}
+
+/// 4-sample moving average with truncating divide by shift.
+pub fn moving_average() -> String {
+    r#"
+module moving_average(input [7:0] s0, input [7:0] s1, input [7:0] s2,
+                      input [7:0] s3, output [7:0] avg);
+  wire [9:0] sum;
+  assign sum = {2'd0, s0} + {2'd0, s1} + {2'd0, s2} + {2'd0, s3};
+  assign avg = sum[9:2];
+endmodule
+"#
+    .to_string()
+}
+
+/// Population count of a 16-bit word (tree of adders).
+pub fn popcount() -> String {
+    r#"
+module popcount(input [15:0] x, output [4:0] ones);
+  wire [1:0] p0;
+  wire [1:0] p1;
+  wire [1:0] p2;
+  wire [1:0] p3;
+  wire [1:0] p4;
+  wire [1:0] p5;
+  wire [1:0] p6;
+  wire [1:0] p7;
+  assign p0 = {1'd0, x[0]} + {1'd0, x[1]};
+  assign p1 = {1'd0, x[2]} + {1'd0, x[3]};
+  assign p2 = {1'd0, x[4]} + {1'd0, x[5]};
+  assign p3 = {1'd0, x[6]} + {1'd0, x[7]};
+  assign p4 = {1'd0, x[8]} + {1'd0, x[9]};
+  assign p5 = {1'd0, x[10]} + {1'd0, x[11]};
+  assign p6 = {1'd0, x[12]} + {1'd0, x[13]};
+  assign p7 = {1'd0, x[14]} + {1'd0, x[15]};
+  wire [2:0] q0;
+  wire [2:0] q1;
+  wire [2:0] q2;
+  wire [2:0] q3;
+  assign q0 = {1'd0, p0} + {1'd0, p1};
+  assign q1 = {1'd0, p2} + {1'd0, p3};
+  assign q2 = {1'd0, p4} + {1'd0, p5};
+  assign q3 = {1'd0, p6} + {1'd0, p7};
+  wire [3:0] r0;
+  wire [3:0] r1;
+  assign r0 = {1'd0, q0} + {1'd0, q1};
+  assign r1 = {1'd0, q2} + {1'd0, q3};
+  assign ones = {1'd0, r0} + {1'd0, r1};
+endmodule
+"#
+    .to_string()
+}
+
+/// Absolute difference |a - b| of two 8-bit values.
+pub fn absdiff() -> String {
+    r#"
+module absdiff(input [7:0] a, input [7:0] b, output [7:0] d);
+  assign d = (a >= b) ? (a - b) : (b - a);
+endmodule
+"#
+    .to_string()
+}
+
+/// Saturating clamp of a 10-bit signed-magnitude-ish value into 8 bits.
+pub fn clamp() -> String {
+    r#"
+module clamp(input [9:0] x, input [7:0] lo, input [7:0] hi, output [7:0] y);
+  wire over;
+  wire under;
+  assign over = x > {2'd0, hi};
+  assign under = x < {2'd0, lo};
+  assign y = over ? hi : (under ? lo : x[7:0]);
+endmodule
+"#
+    .to_string()
+}
+
+/// Q4.4 fixed-point multiply with rounding.
+pub fn fixmul() -> String {
+    r#"
+module fixmul(input [7:0] a, input [7:0] b, output [7:0] p, output ovf);
+  wire [15:0] full;
+  wire [15:0] rounded;
+  assign full = {8'd0, a} * {8'd0, b};
+  assign rounded = full + 16'd8;
+  assign p = rounded[11:4];
+  assign ovf = rounded[15:12] != 4'd0;
+endmodule
+"#
+    .to_string()
+}
+
+/// One CORDIC-style rotation stage (shift-add update of an (x, y) pair).
+pub fn cordic_stage() -> String {
+    r#"
+module cordic_stage(input [11:0] xin, input [11:0] yin, input dir,
+                    output [11:0] xout, output [11:0] yout);
+  wire [11:0] xs;
+  wire [11:0] ys;
+  assign xs = xin >> 2;
+  assign ys = yin >> 2;
+  assign xout = dir ? (xin - ys) : (xin + ys);
+  assign yout = dir ? (yin + xs) : (yin - xs);
+endmodule
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_dfg::graph_from_verilog;
+    use gnn4ip_hdl::{elaborate, Evaluator};
+    use std::collections::HashMap;
+
+    fn eval_of(src: &str, top: &str) -> Evaluator {
+        Evaluator::new(&elaborate(src, Some(top)).expect("flat")).expect("eval")
+    }
+
+    #[test]
+    fn all_dsp_designs_extract() {
+        for (top, src) in [
+            ("fir4", fir4()),
+            ("biquad", biquad()),
+            ("moving_average", moving_average()),
+            ("popcount", popcount()),
+            ("absdiff", absdiff()),
+            ("clamp", clamp()),
+            ("fixmul", fixmul()),
+            ("cordic_stage", cordic_stage()),
+        ] {
+            let g = graph_from_verilog(&src, Some(top)).expect(top);
+            assert!(g.node_count() > 6, "{top}: {}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn fir4_computes_weighted_sum() {
+        let e = eval_of(&fir4(), "fir4");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("x0".to_string(), 10u64),
+                ("x1".to_string(), 20),
+                ("x2".to_string(), 30),
+                ("x3".to_string(), 40),
+            ]))
+            .expect("runs")["y"];
+        assert_eq!(out, 10 * 3 + 20 * 5 + 30 * 5 + 40 * 3);
+    }
+
+    #[test]
+    fn popcount_matches_native() {
+        let e = eval_of(&popcount(), "popcount");
+        for x in [0u64, 1, 0xFFFF, 0xAAAA, 0x8001, 0x1234] {
+            let out = e
+                .eval_outputs(&HashMap::from([("x".to_string(), x)]))
+                .expect("runs")["ones"];
+            assert_eq!(out, x.count_ones() as u64, "popcount({x:#x})");
+        }
+    }
+
+    #[test]
+    fn absdiff_is_symmetric_metric() {
+        let e = eval_of(&absdiff(), "absdiff");
+        for (a, b) in [(5u64, 3u64), (3, 5), (200, 200), (0, 255)] {
+            let out = e
+                .eval_outputs(&HashMap::from([
+                    ("a".to_string(), a),
+                    ("b".to_string(), b),
+                ]))
+                .expect("runs")["d"];
+            assert_eq!(out, a.abs_diff(b));
+        }
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let e = eval_of(&clamp(), "clamp");
+        let run = |x: u64| {
+            e.eval_outputs(&HashMap::from([
+                ("x".to_string(), x),
+                ("lo".to_string(), 10u64),
+                ("hi".to_string(), 200u64),
+            ]))
+            .expect("runs")["y"]
+        };
+        assert_eq!(run(5), 10);
+        assert_eq!(run(150), 150);
+        assert_eq!(run(900), 200);
+    }
+
+    #[test]
+    fn moving_average_truncates() {
+        let e = eval_of(&moving_average(), "moving_average");
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("s0".to_string(), 10u64),
+                ("s1".to_string(), 20),
+                ("s2".to_string(), 30),
+                ("s3".to_string(), 43),
+            ]))
+            .expect("runs")["avg"];
+        assert_eq!(out, (10 + 20 + 30 + 43) / 4);
+    }
+
+    #[test]
+    fn fixmul_q44() {
+        let e = eval_of(&fixmul(), "fixmul");
+        // 1.0 * 1.0 in Q4.4 is 16 * 16 = 256 -> (256+8)>>4 = 16 = 1.0
+        let out = e
+            .eval_outputs(&HashMap::from([
+                ("a".to_string(), 16u64),
+                ("b".to_string(), 16u64),
+            ]))
+            .expect("runs");
+        assert_eq!(out["p"], 16);
+        assert_eq!(out["ovf"], 0);
+    }
+}

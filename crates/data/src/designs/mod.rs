@@ -1,0 +1,198 @@
+//! The design catalog: every distinct circuit design the corpus can draw
+//! from.
+//!
+//! 41 named designs (processors, crypto, comm, arithmetic, control) plus a
+//! seeded synthetic tail reproduce the paper's "50 distinct circuit
+//! designs"; gate-level netlists come from [`crate::iscas`].
+
+pub mod arith;
+pub mod comm;
+pub mod control;
+pub mod crypto;
+pub mod dsp;
+pub mod processors;
+pub mod synth;
+
+pub use synth::{synth_design, SynthSize};
+
+/// Abstraction level of a design (the paper's two dataset columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Register-transfer-level Verilog.
+    Rtl,
+    /// Gate-level structural netlist.
+    Netlist,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Rtl => "RTL",
+            Level::Netlist => "netlist",
+        })
+    }
+}
+
+/// One distinct circuit design (a *family*; instances are derived from it).
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Human name (e.g. `aes`, `mips_pipeline`, `synth_17`).
+    pub name: String,
+    /// Canonical Verilog source.
+    pub source: String,
+    /// Top module name.
+    pub top: String,
+    /// Abstraction level.
+    pub level: Level,
+    /// Whether the design is combinational and therefore checkable against
+    /// the evaluation oracle when instances are generated.
+    pub verifiable: bool,
+}
+
+impl Design {
+    fn rtl(name: &str, source: String, verifiable: bool) -> Self {
+        Self {
+            name: name.to_string(),
+            top: name.to_string(),
+            source,
+            level: Level::Rtl,
+            verifiable,
+        }
+    }
+
+    fn netlist(name: &str, source: String) -> Self {
+        Self {
+            name: name.to_string(),
+            top: name.to_string(),
+            source,
+            level: Level::Netlist,
+            verifiable: true,
+        }
+    }
+}
+
+/// The named RTL designs, in a stable order.
+pub fn named_rtl_designs() -> Vec<Design> {
+    vec![
+        Design::rtl("alu", processors::alu(), true),
+        Design::rtl("mips_single", processors::mips_single(), false),
+        Design::rtl("mips_pipeline", processors::mips_pipeline(), false),
+        Design::rtl("mips_multi", processors::mips_multi(), false),
+        Design::rtl("aes", crypto::aes(), true),
+        Design::rtl("xtea", crypto::xtea(), true),
+        Design::rtl("sha_round", crypto::sha_round(), true),
+        Design::rtl("stream_cipher", crypto::stream_cipher(), true),
+        Design::rtl("gf_mult", crypto::gf_mult(), true),
+        Design::rtl("rs232", comm::rs232(), false),
+        Design::rtl("spi_master", comm::spi_master(), false),
+        Design::rtl("i2c_engine", comm::i2c_engine(), false),
+        Design::rtl("enc_8b10b", comm::enc_8b10b(), true),
+        Design::rtl("manchester", comm::manchester(), true),
+        Design::rtl("fpa", arith::fpa(), true),
+        Design::rtl("array_mult", arith::array_mult(), true),
+        Design::rtl("divider", arith::divider(), true),
+        Design::rtl("mac", arith::mac(), true),
+        Design::rtl("barrel", arith::barrel(), true),
+        Design::rtl("crc8", arith::crc8(), true),
+        Design::rtl("hamming", arith::hamming(), true),
+        Design::rtl("isqrt", arith::isqrt(), true),
+        Design::rtl("fifo_ctrl", control::fifo_ctrl(), false),
+        Design::rtl("lfsr", control::lfsr(), false),
+        Design::rtl("priority_encoder", control::priority_encoder(), true),
+        Design::rtl("interrupt_ctrl", control::interrupt_ctrl(), false),
+        Design::rtl("pwm", control::pwm(), false),
+        Design::rtl("rr_arbiter", control::rr_arbiter(), false),
+        Design::rtl("gray_counter", control::gray_counter(), false),
+        Design::rtl("seven_seg", control::seven_seg(), true),
+        Design::rtl("watchdog", control::watchdog(), false),
+        Design::rtl("debounce", control::debounce(), false),
+        Design::rtl("bcd_convert", control::bcd_convert(), true),
+        Design::rtl("fir4", dsp::fir4(), true),
+        Design::rtl("biquad", dsp::biquad(), true),
+        Design::rtl("moving_average", dsp::moving_average(), true),
+        Design::rtl("popcount", dsp::popcount(), true),
+        Design::rtl("absdiff", dsp::absdiff(), true),
+        Design::rtl("clamp", dsp::clamp(), true),
+        Design::rtl("fixmul", dsp::fixmul(), true),
+        Design::rtl("cordic_stage", dsp::cordic_stage(), true),
+    ]
+}
+
+/// A catalog of `n` distinct RTL designs: the named designs followed by
+/// synthetic families sized by `size`.
+pub fn rtl_designs(n: usize, size: SynthSize) -> Vec<Design> {
+    let mut designs = named_rtl_designs();
+    designs.truncate(n);
+    let mut seed = 0u64;
+    while designs.len() < n {
+        let name = format!("synth_{seed}");
+        designs.push(Design::rtl(&name, synth_design(seed, size), true));
+        seed += 1;
+    }
+    designs
+}
+
+/// A catalog of `n` distinct netlist designs: the six ISCAS'85-class
+/// benchmarks followed by synthetic gate DAGs of roughly `gates` gates.
+pub fn netlist_designs(n: usize, gates: usize) -> Vec<Design> {
+    let mut designs = vec![
+        Design::netlist("c432", crate::iscas::c432()),
+        Design::netlist("c499", crate::iscas::c499()),
+        Design::netlist("c880", crate::iscas::c880()),
+        Design::netlist("c1355", crate::iscas::c1355()),
+        Design::netlist("c1908", crate::iscas::c1908()),
+        Design::netlist("c6288", crate::iscas::c6288()),
+    ];
+    designs.truncate(n);
+    let mut seed = 0u64;
+    while designs.len() < n {
+        let name = format!("synthnet_{seed}");
+        designs.push(Design::netlist(&name, crate::iscas::synth_netlist(seed, gates)));
+        seed += 1;
+    }
+    designs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_dfg::graph_from_verilog;
+
+    #[test]
+    fn named_designs_have_unique_names() {
+        let names: std::collections::HashSet<String> = named_rtl_designs()
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(names.len(), named_rtl_designs().len());
+    }
+
+    #[test]
+    fn every_named_design_extracts_a_dfg() {
+        for d in named_rtl_designs() {
+            let g = graph_from_verilog(&d.source, Some(&d.top))
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            assert!(g.node_count() > 5, "{} too small", d.name);
+            assert!(!g.roots().is_empty(), "{} rootless", d.name);
+        }
+    }
+
+    #[test]
+    fn catalog_reaches_fifty_designs() {
+        let designs = rtl_designs(50, SynthSize::Small);
+        assert_eq!(designs.len(), 50);
+        let names: std::collections::HashSet<&str> =
+            designs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn netlist_catalog_includes_iscas() {
+        let designs = netlist_designs(10, 150);
+        assert_eq!(designs.len(), 10);
+        assert_eq!(designs[0].name, "c432");
+        assert_eq!(designs[5].name, "c6288");
+        assert!(designs[9].name.starts_with("synthnet_"));
+        assert!(designs.iter().all(|d| d.level == Level::Netlist));
+    }
+}

@@ -1,0 +1,726 @@
+//! Semantics-preserving RTL variation transforms.
+//!
+//! The paper's dataset has "several hardware instances for each circuit
+//! design" — different Verilog codes for the same design (390 RTL codes over
+//! 50 designs). We derive instances from a base design with seeded,
+//! behaviour-preserving source transforms, the moves a plagiarist actually
+//! makes (§III-A: "the attack scenario may involve modification of IP design
+//! to tamper piracy detection"):
+//!
+//! - signal renaming (non-ports)
+//! - double-negation insertion `e → ~~e`
+//! - De Morgan rewrites `a & b → ~(~a | ~b)`
+//! - XOR expansion `a ^ b → (a & ~b) | (~a & b)`
+//! - commutative operand swaps
+//! - subexpression extraction into fresh wires
+//! - dead-code insertion (wires never reaching an output)
+//! - item reordering (declarations stay ahead of first use textually, which
+//!   Verilog does not even require)
+//!
+//! Each transform is checked against the combinational evaluation oracle in
+//! this module's tests, and the corpus builder re-verifies on sampled
+//! stimuli for every generated instance of a verifiable design.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use gnn4ip_hdl::{parse, preprocess, BinaryOp, Expr, Item, Module, NetKind, SourceUnit, Stmt, UnaryOp};
+
+use crate::emit::emit_module;
+
+/// Which transforms to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationConfig {
+    /// Probability of rewriting an eligible binary op (De Morgan / XOR
+    /// expansion / double negation).
+    pub rewrite_prob: f64,
+    /// Probability of swapping commutative operands.
+    pub swap_prob: f64,
+    /// Number of dead wires to insert.
+    pub dead_wires: usize,
+    /// Rename non-port signals.
+    pub rename: bool,
+    /// Shuffle item order (keeping declarations first).
+    pub reorder: bool,
+    /// Probability of extracting a subexpression of a continuous assign
+    /// into a fresh intermediate wire.
+    pub extract_prob: f64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        Self {
+            rewrite_prob: 0.35,
+            swap_prob: 0.5,
+            dead_wires: 3,
+            rename: true,
+            reorder: true,
+            extract_prob: 0.4,
+        }
+    }
+}
+
+/// Derives a syntactically distinct, behaviourally identical instance of a
+/// multi-module design.
+///
+/// The `variant` seed selects the transform stream; variant 0 applies no
+/// transforms (the canonical instance).
+///
+/// # Errors
+///
+/// Returns the underlying parse error if `source` is not valid Verilog.
+pub fn vary_design(
+    source: &str,
+    variant: u64,
+    config: &VariationConfig,
+) -> Result<String, gnn4ip_hdl::ParseVerilogError> {
+    let unit = parse(&preprocess(source, &Default::default())?)?;
+    if variant == 0 {
+        return Ok(source.to_string());
+    }
+    let mut rng = StdRng::seed_from_u64(variant.wrapping_mul(0xA24BAED4963EE407));
+    let mut out = String::new();
+    for module in &unit.modules {
+        let varied = vary_module(module, &unit, &mut rng, config);
+        out.push_str(&emit_module(&varied));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn vary_module(
+    module: &Module,
+    unit: &SourceUnit,
+    rng: &mut StdRng,
+    config: &VariationConfig,
+) -> Module {
+    let mut m = module.clone();
+
+    // 1. expression rewrites inside assigns/statements
+    for item in &mut m.items {
+        match item {
+            Item::Assign { rhs, .. } => *rhs = rewrite_expr(rhs, rng, config),
+            Item::Always { body, .. } => rewrite_stmt(body, rng, config),
+            Item::Decl { init: Some(e), .. } => *e = rewrite_expr(e, rng, config),
+            _ => {}
+        }
+    }
+
+    // 1b. subexpression extraction: assign y = f(g(..)) becomes
+    //     wire t; assign t = g(..); assign y = f(t) — a recoding move that
+    //     changes DFG topology more than identity rewrites do
+    if config.extract_prob > 0.0 {
+        let widths = declared_widths(&m);
+        let mut fresh = 0usize;
+        let mut new_items: Vec<Item> = Vec::new();
+        for item in std::mem::take(&mut m.items) {
+            match item {
+                Item::Assign { lhs, rhs } if rng.gen_bool(config.extract_prob) => {
+                    let tag = rng.gen_range(0..100_000u32);
+                    match extract_subexpr(&rhs, &widths, &mut fresh, tag) {
+                        Some((sub, replaced, wire, width)) => {
+                            new_items.push(Item::Decl {
+                                kind: NetKind::Wire,
+                                name: wire.clone(),
+                                // same width as the extracted expression so
+                                // width-sensitive operators (~, comparisons)
+                                // behave identically at the use site
+                                range: Some(gnn4ip_hdl::Range {
+                                    msb: Expr::number(width as u64 - 1),
+                                    lsb: Expr::number(0),
+                                }),
+                                init: None,
+                            });
+                            new_items.push(Item::Assign {
+                                lhs: Expr::ident(wire),
+                                rhs: sub,
+                            });
+                            new_items.push(Item::Assign { lhs, rhs: replaced });
+                        }
+                        None => new_items.push(Item::Assign { lhs, rhs }),
+                    }
+                }
+                other => new_items.push(other),
+            }
+        }
+        m.items = new_items;
+    }
+
+    // 2. dead-code insertion (combinational junk off the inputs)
+    let input_names: Vec<String> = m.inputs().iter().map(|s| s.to_string()).collect();
+    if !input_names.is_empty() {
+        for d in 0..config.dead_wires {
+            let a = input_names[rng.gen_range(0..input_names.len())].clone();
+            let b = input_names[rng.gen_range(0..input_names.len())].clone();
+            let name = format!("unused_{d}_{}", rng.gen_range(0..10_000u32));
+            let op = *[BinaryOp::And, BinaryOp::Or, BinaryOp::Xor]
+                .get(rng.gen_range(0..3))
+                .expect("op");
+            m.items.push(Item::Decl {
+                kind: NetKind::Wire,
+                name: name.clone(),
+                range: None,
+                init: None,
+            });
+            m.items.push(Item::Assign {
+                lhs: Expr::ident(name),
+                rhs: Expr::Binary {
+                    op,
+                    lhs: Box::new(Expr::Unary {
+                        op: UnaryOp::ReduceXor,
+                        arg: Box::new(Expr::ident(a)),
+                    }),
+                    rhs: Box::new(Expr::Unary {
+                        op: UnaryOp::ReduceOr,
+                        arg: Box::new(Expr::ident(b)),
+                    }),
+                },
+            });
+        }
+    }
+
+    // 3. rename non-port, non-instance signals
+    if config.rename {
+        let ports: std::collections::HashSet<&str> =
+            m.ports.iter().map(|p| p.name.as_str()).collect();
+        let decl_names: Vec<String> = m
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Decl { name, .. } if !ports.contains(name.as_str()) => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut mapping = std::collections::HashMap::new();
+        for (i, n) in decl_names.iter().enumerate() {
+            mapping.insert(
+                n.clone(),
+                format!("sig_{}_{i}", rng.gen_range(0..100_000u32)),
+            );
+        }
+        // protect submodule names from accidental capture
+        for sub in &unit.modules {
+            mapping.remove(&sub.name);
+        }
+        m = rename_module_signals(&m, &mapping);
+    }
+
+    // 4. item reordering: declarations first (stable), then a shuffle of the
+    //    behavioral items
+    if config.reorder {
+        let (mut decls, mut rest): (Vec<Item>, Vec<Item>) = m
+            .items
+            .into_iter()
+            .partition(|i| matches!(i, Item::Decl { .. } | Item::Param { .. }));
+        rest.shuffle(rng);
+        decls.extend(rest);
+        m.items = decls;
+    }
+    m
+}
+
+fn rename_module_signals(
+    m: &Module,
+    mapping: &std::collections::HashMap<String, String>,
+) -> Module {
+    let rename = |n: &str| -> String {
+        mapping.get(n).cloned().unwrap_or_else(|| n.to_string())
+    };
+    let mut out = m.clone();
+    for item in &mut out.items {
+        match item {
+            Item::Decl { name, init, .. } => {
+                *name = rename(name);
+                if let Some(e) = init {
+                    *e = rename_expr(e, &rename);
+                }
+            }
+            Item::Assign { lhs, rhs } => {
+                *lhs = rename_expr(lhs, &rename);
+                *rhs = rename_expr(rhs, &rename);
+            }
+            Item::Always { sensitivity, body } => {
+                for s in sensitivity.iter_mut() {
+                    use gnn4ip_hdl::SensItem;
+                    match s {
+                        SensItem::Posedge(n) | SensItem::Negedge(n) | SensItem::Level(n) => {
+                            *n = rename(n);
+                        }
+                        SensItem::Star => {}
+                    }
+                }
+                rename_stmt_signals(body, &rename);
+            }
+            Item::Gate(g) => {
+                for c in &mut g.conns {
+                    *c = rename_expr(c, &rename);
+                }
+            }
+            Item::Instance(mi) => {
+                for (_, e) in &mut mi.conns {
+                    if let Some(e) = e {
+                        *e = rename_expr(e, &rename);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn rename_expr(e: &Expr, rename: &impl Fn(&str) -> String) -> Expr {
+    match e {
+        Expr::Ident(n) => Expr::Ident(rename(n)),
+        Expr::Number { .. } | Expr::Str(_) => e.clone(),
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, rename)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, rename)),
+            rhs: Box::new(rename_expr(rhs, rename)),
+        },
+        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, rename)),
+            then_e: Box::new(rename_expr(then_e, rename)),
+            else_e: Box::new(rename_expr(else_e, rename)),
+        },
+        Expr::Concat(parts) => {
+            Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect())
+        }
+        Expr::Repeat { count, body } => Expr::Repeat {
+            count: Box::new(rename_expr(count, rename)),
+            body: Box::new(rename_expr(body, rename)),
+        },
+        Expr::BitSelect { base, index } => Expr::BitSelect {
+            base: Box::new(rename_expr(base, rename)),
+            index: Box::new(rename_expr(index, rename)),
+        },
+        Expr::PartSelect { base, msb, lsb } => Expr::PartSelect {
+            base: Box::new(rename_expr(base, rename)),
+            msb: Box::new(rename_expr(msb, rename)),
+            lsb: Box::new(rename_expr(lsb, rename)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_expr(a, rename)).collect(),
+        },
+    }
+}
+
+fn rename_stmt_signals(s: &mut Stmt, rename: &impl Fn(&str) -> String) {
+    match s {
+        Stmt::Block(ss) => ss.iter_mut().for_each(|s| rename_stmt_signals(s, rename)),
+        Stmt::Blocking { lhs, rhs } | Stmt::NonBlocking { lhs, rhs } => {
+            *lhs = rename_expr(lhs, rename);
+            *rhs = rename_expr(rhs, rename);
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            *cond = rename_expr(cond, rename);
+            rename_stmt_signals(then_s, rename);
+            if let Some(e) = else_s {
+                rename_stmt_signals(e, rename);
+            }
+        }
+        Stmt::Case { subject, arms } => {
+            *subject = rename_expr(subject, rename);
+            for (labels, body) in arms {
+                for l in labels.iter_mut() {
+                    *l = rename_expr(l, rename);
+                }
+                rename_stmt_signals(body, rename);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            *init = rename_expr(init, rename);
+            *cond = rename_expr(cond, rename);
+            *step = rename_expr(step, rename);
+            rename_stmt_signals(body, rename);
+        }
+        Stmt::Null => {}
+    }
+}
+
+/// Declared bit widths of every port and net in a module (constant ranges
+/// only; parameterized ranges are absent and block extraction).
+fn declared_widths(m: &Module) -> std::collections::HashMap<String, u32> {
+    let mut widths = std::collections::HashMap::new();
+    let env = std::collections::HashMap::new();
+    let range_width = |range: &Option<gnn4ip_hdl::Range>| -> Option<u32> {
+        match range {
+            None => Some(1),
+            Some(r) => {
+                let msb = gnn4ip_hdl::eval_const(&r.msb, &env).ok()?;
+                let lsb = gnn4ip_hdl::eval_const(&r.lsb, &env).ok()?;
+                Some((msb - lsb).unsigned_abs() as u32 + 1)
+            }
+        }
+    };
+    for p in &m.ports {
+        if let Some(w) = range_width(&p.range) {
+            widths.insert(p.name.clone(), w);
+        }
+    }
+    for item in &m.items {
+        if let Item::Decl { name, range, .. } = item {
+            if let Some(w) = range_width(range) {
+                widths.insert(name.clone(), w);
+            }
+        }
+    }
+    widths
+}
+
+/// Finds the first extractable subexpression (a bitwise binary op whose
+/// operands are plain identifiers with known, equal-or-compatible widths)
+/// and returns `(subexpr, rhs-with-placeholder, wire_name, width)`.
+fn extract_subexpr(
+    rhs: &Expr,
+    widths: &std::collections::HashMap<String, u32>,
+    fresh: &mut usize,
+    tag: u32,
+) -> Option<(Expr, Expr, String, u32)> {
+    fn find(e: &Expr, widths: &std::collections::HashMap<String, u32>) -> Option<(Expr, u32)> {
+        match e {
+            Expr::Binary { op, lhs, rhs }
+                if matches!(op, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor) =>
+            {
+                if let (Expr::Ident(a), Expr::Ident(b)) = (&**lhs, &**rhs) {
+                    if let (Some(&wa), Some(&wb)) = (widths.get(a), widths.get(b)) {
+                        return Some((e.clone(), wa.max(wb)));
+                    }
+                }
+                find(lhs, widths).or_else(|| find(rhs, widths))
+            }
+            Expr::Unary { arg, .. } => find(arg, widths),
+            Expr::Binary { lhs, rhs, .. } => {
+                find(lhs, widths).or_else(|| find(rhs, widths))
+            }
+            Expr::Ternary { cond, then_e, else_e } => find(cond, widths)
+                .or_else(|| find(then_e, widths))
+                .or_else(|| find(else_e, widths)),
+            Expr::Concat(parts) => parts.iter().find_map(|p| find(p, widths)),
+            _ => None,
+        }
+    }
+    fn replace(e: &Expr, target: &Expr, wire: &str) -> Expr {
+        if e == target {
+            return Expr::ident(wire);
+        }
+        match e {
+            Expr::Unary { op, arg } => Expr::Unary {
+                op: *op,
+                arg: Box::new(replace(arg, target, wire)),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(replace(lhs, target, wire)),
+                rhs: Box::new(replace(rhs, target, wire)),
+            },
+            Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+                cond: Box::new(replace(cond, target, wire)),
+                then_e: Box::new(replace(then_e, target, wire)),
+                else_e: Box::new(replace(else_e, target, wire)),
+            },
+            Expr::Concat(parts) => {
+                Expr::Concat(parts.iter().map(|p| replace(p, target, wire)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+    let (sub, width) = find(rhs, widths)?;
+    *fresh += 1;
+    let wire = format!("ext_{tag}_{fresh}");
+    let replaced = replace(rhs, &sub, &wire);
+    Some((sub, replaced, wire, width))
+}
+
+fn rewrite_stmt(s: &mut Stmt, rng: &mut StdRng, config: &VariationConfig) {
+    match s {
+        Stmt::Block(ss) => ss.iter_mut().for_each(|s| rewrite_stmt(s, rng, config)),
+        Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
+            *rhs = rewrite_expr(rhs, rng, config);
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            *cond = rewrite_expr(cond, rng, config);
+            rewrite_stmt(then_s, rng, config);
+            if let Some(e) = else_s {
+                rewrite_stmt(e, rng, config);
+            }
+        }
+        Stmt::Case { arms, .. } => {
+            for (_, body) in arms {
+                rewrite_stmt(body, rng, config);
+            }
+        }
+        Stmt::For { body, .. } => rewrite_stmt(body, rng, config),
+        Stmt::Null => {}
+    }
+}
+
+/// Recursively rewrites an expression with semantics-preserving identities.
+fn rewrite_expr(e: &Expr, rng: &mut StdRng, config: &VariationConfig) -> Expr {
+    let e = match e {
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rewrite_expr(arg, rng, config)),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            let mut l = rewrite_expr(lhs, rng, config);
+            let mut r = rewrite_expr(rhs, rng, config);
+            let commutative = matches!(
+                op,
+                BinaryOp::Add
+                    | BinaryOp::Mul
+                    | BinaryOp::And
+                    | BinaryOp::Or
+                    | BinaryOp::Xor
+                    | BinaryOp::Xnor
+                    | BinaryOp::LogicalAnd
+                    | BinaryOp::LogicalOr
+                    | BinaryOp::Eq
+                    | BinaryOp::Neq
+            );
+            if commutative && rng.gen_bool(config.swap_prob) {
+                std::mem::swap(&mut l, &mut r);
+            }
+            Expr::Binary {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
+        }
+        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+            cond: Box::new(rewrite_expr(cond, rng, config)),
+            then_e: Box::new(rewrite_expr(then_e, rng, config)),
+            else_e: Box::new(rewrite_expr(else_e, rng, config)),
+        },
+        Expr::Concat(parts) => Expr::Concat(
+            parts
+                .iter()
+                .map(|p| rewrite_expr(p, rng, config))
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    if !rng.gen_bool(config.rewrite_prob) {
+        return e;
+    }
+    // identity rewrites on bitwise ops (width-safe)
+    match &e {
+        Expr::Binary { op: BinaryOp::And, lhs, rhs } => {
+            // De Morgan: a & b = ~(~a | ~b)
+            Expr::Unary {
+                op: UnaryOp::BitNot,
+                arg: Box::new(Expr::Binary {
+                    op: BinaryOp::Or,
+                    lhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: lhs.clone(),
+                    }),
+                    rhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: rhs.clone(),
+                    }),
+                }),
+            }
+        }
+        Expr::Binary { op: BinaryOp::Or, lhs, rhs } => {
+            // De Morgan: a | b = ~(~a & ~b)
+            Expr::Unary {
+                op: UnaryOp::BitNot,
+                arg: Box::new(Expr::Binary {
+                    op: BinaryOp::And,
+                    lhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: lhs.clone(),
+                    }),
+                    rhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: rhs.clone(),
+                    }),
+                }),
+            }
+        }
+        Expr::Binary { op: BinaryOp::Xor, lhs, rhs } => {
+            // a ^ b = (a & ~b) | (~a & b)
+            Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(Expr::Binary {
+                    op: BinaryOp::And,
+                    lhs: lhs.clone(),
+                    rhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: rhs.clone(),
+                    }),
+                }),
+                rhs: Box::new(Expr::Binary {
+                    op: BinaryOp::And,
+                    lhs: Box::new(Expr::Unary {
+                        op: UnaryOp::BitNot,
+                        arg: lhs.clone(),
+                    }),
+                    rhs: rhs.clone(),
+                }),
+            }
+        }
+        Expr::Ident(_) if rng.gen_bool(0.5) => {
+            // double negation on a plain signal
+            Expr::Unary {
+                op: UnaryOp::BitNot,
+                arg: Box::new(Expr::Unary {
+                    op: UnaryOp::BitNot,
+                    arg: Box::new(e.clone()),
+                }),
+            }
+        }
+        _ => e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_hdl::{elaborate, Evaluator};
+    use std::collections::HashMap;
+
+    /// Oracle check: every variant computes the same outputs as the base on
+    /// sampled stimuli.
+    fn assert_variants_equivalent(src: &str, top: &str, n_variants: u64) {
+        let base_flat = elaborate(src, Some(top)).expect("base flat");
+        let base = Evaluator::new(&base_flat).expect("base eval");
+        let input_names: Vec<String> =
+            base_flat.inputs().iter().map(|s| s.to_string()).collect();
+        let stimuli: Vec<HashMap<String, u64>> = (0..16u64)
+            .map(|k| {
+                input_names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        (n.clone(), k.wrapping_mul(0x9E37).wrapping_add(i as u64 * 77))
+                    })
+                    .collect()
+            })
+            .collect();
+        for v in 1..=n_variants {
+            let varied = vary_design(src, v, &VariationConfig::default()).expect("varies");
+            assert_ne!(varied, src, "variant {v} did not change the source");
+            let ev = Evaluator::new(&elaborate(&varied, Some(top)).expect("variant flat"))
+                .expect("variant eval");
+            for stim in &stimuli {
+                assert_eq!(
+                    base.eval_outputs(stim).expect("base run"),
+                    ev.eval_outputs(stim).expect("variant run"),
+                    "variant {v} diverges on {stim:?}\n{varied}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variants_of_full_adder_are_equivalent() {
+        assert_variants_equivalent(
+            "module fa(input a, input b, input cin, output sum, output cout);
+               wire t1;
+               wire t2;
+               wire t3;
+               assign t1 = a ^ b;
+               assign t2 = a & b;
+               assign t3 = t1 & cin;
+               assign sum = t1 ^ cin;
+               assign cout = t3 | t2;
+             endmodule",
+            "fa",
+            8,
+        );
+    }
+
+    #[test]
+    fn variants_of_vector_datapath_are_equivalent() {
+        assert_variants_equivalent(
+            "module dp(input [7:0] a, input [7:0] b, output [7:0] y, output [7:0] z);
+               wire [7:0] m;
+               assign m = (a & b) | (a ^ 8'd85);
+               assign y = m + b;
+               assign z = (a < b) ? m : (m ^ b);
+             endmodule",
+            "dp",
+            6,
+        );
+    }
+
+    #[test]
+    fn variants_of_always_blocks_are_equivalent() {
+        assert_variants_equivalent(
+            "module m(input [3:0] s, input [7:0] a, input [7:0] b, output reg [7:0] y);
+               always @* begin
+                 if (s[0]) y = a & b;
+                 else if (s[1]) y = a | b;
+                 else y = a ^ b;
+               end
+             endmodule",
+            "m",
+            6,
+        );
+    }
+
+    #[test]
+    fn variant_zero_is_identity() {
+        let src = "module m(input a, output y); assign y = ~a; endmodule";
+        assert_eq!(
+            vary_design(src, 0, &VariationConfig::default()).expect("ok"),
+            src
+        );
+    }
+
+    #[test]
+    fn variants_differ_from_each_other() {
+        let src = "module m(input [7:0] a, input [7:0] b, output [7:0] y);
+                     wire [7:0] t;
+                     assign t = a & b;
+                     assign y = t ^ (a | b);
+                   endmodule";
+        let v1 = vary_design(src, 1, &VariationConfig::default()).expect("v1");
+        let v2 = vary_design(src, 2, &VariationConfig::default()).expect("v2");
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn dead_code_is_trimmed_from_dfg() {
+        let src = "module m(input a, input b, output y); assign y = a & b; endmodule";
+        let varied = vary_design(
+            src,
+            3,
+            &VariationConfig {
+                dead_wires: 5,
+                rewrite_prob: 0.0,
+                swap_prob: 0.0,
+                rename: false,
+                reorder: false,
+                extract_prob: 0.0,
+            },
+        )
+        .expect("varies");
+        let g_base = gnn4ip_dfg::graph_from_verilog(src, None).expect("base");
+        let g_var = gnn4ip_dfg::graph_from_verilog(&varied, None).expect("varied");
+        // trim removes the disconnected junk, graphs end up the same size
+        assert_eq!(g_base.node_count(), g_var.node_count());
+    }
+
+    #[test]
+    fn variation_survives_hierarchy() {
+        assert_variants_equivalent(
+            "module inv(input a, output y); assign y = ~a; endmodule
+             module top(input x, input w, output z);
+               wire m;
+               inv u1(.a(x), .y(m));
+               assign z = m & w;
+             endmodule",
+            "top",
+            4,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # gnn4ip-dfg
+//!
+//! Hardware data-flow-graph (DFG) extraction for the GNN4IP reproduction —
+//! phases 3-5 of the paper's Fig. 2 pipeline (data-flow analysis, merge,
+//! trim) on top of the `gnn4ip-hdl` front end.
+//!
+//! A [`Dfg`] is the rooted directed graph of §III-B: vertices are signals,
+//! constants, and operations; a directed edge `(i, j)` exists when node `i`'s
+//! value depends on node `j`. Roots are the design's output signals; leaves
+//! are its inputs and constants.
+//!
+//! # Examples
+//!
+//! Extract the DFG of the paper's Fig. 1 full adder:
+//!
+//! ```
+//! use gnn4ip_dfg::graph_from_verilog;
+//!
+//! let src = "
+//!     module ADDER(input Num1, input Num2, input Cin,
+//!                  output reg Sum, output reg Cout);
+//!       always @(Num1, Num2, Cin) begin
+//!         Sum <= ((Num1 ^ Num2) ^ Cin);
+//!         Cout <= (((Num1 ^ Num2) && Cin) || (Num1 && Num2));
+//!       end
+//!     endmodule";
+//! let g = graph_from_verilog(src, None)?;
+//! assert_eq!(g.roots().len(), 2); // Sum, Cout
+//! # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod extract;
+mod graph;
+mod nodekind;
+mod pipeline;
+mod trim;
+
+pub use extract::extract;
+pub use graph::{Dfg, Node, NodeId};
+pub use nodekind::{NodeKind, ALL_KINDS, VOCAB_SIZE};
+pub use pipeline::{graph_from_verilog, graph_with_report, PipelineReport};
+pub use trim::{trim, TrimStats};

@@ -1,0 +1,231 @@
+//! The node-kind vocabulary of hardware data-flow graphs.
+//!
+//! The paper initializes node embeddings by "directly converting the node's
+//! name to its corresponding one-hot vector". Signals are anonymized into
+//! role classes (input/output/wire/reg/constant) and operations map to a
+//! fixed operator vocabulary, so the one-hot dimension is stable across
+//! designs — a requirement for a single shared GCN weight matrix.
+
+use std::fmt;
+
+/// Kind of a DFG node. The `index` of each kind is its one-hot feature
+/// position; the ordering is stable and serialized with trained models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum NodeKind {
+    // signal roles
+    Input = 0,
+    Output,
+    Wire,
+    Reg,
+    Constant,
+    // gate / bitwise operations
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Nand,
+    Nor,
+    Not,
+    Buf,
+    // logical operations
+    LogicalAnd,
+    LogicalOr,
+    LogicalNot,
+    // unary arithmetic / reductions
+    BitNot,
+    Neg,
+    RedAnd,
+    RedOr,
+    RedXor,
+    RedNand,
+    RedNor,
+    RedXnor,
+    // binary arithmetic
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Pow,
+    Shl,
+    Shr,
+    // comparisons
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Neq,
+    // structure
+    Concat,
+    Repeat,
+    BitSelect,
+    PartSelect,
+    // control flow
+    Branch,
+    CaseItem,
+    // opaque
+    Call,
+}
+
+/// Number of node kinds — the one-hot feature dimension of hw2vec.
+pub const VOCAB_SIZE: usize = 45;
+
+/// All kinds in index order.
+pub const ALL_KINDS: [NodeKind; VOCAB_SIZE] = [
+    NodeKind::Input,
+    NodeKind::Output,
+    NodeKind::Wire,
+    NodeKind::Reg,
+    NodeKind::Constant,
+    NodeKind::And,
+    NodeKind::Or,
+    NodeKind::Xor,
+    NodeKind::Xnor,
+    NodeKind::Nand,
+    NodeKind::Nor,
+    NodeKind::Not,
+    NodeKind::Buf,
+    NodeKind::LogicalAnd,
+    NodeKind::LogicalOr,
+    NodeKind::LogicalNot,
+    NodeKind::BitNot,
+    NodeKind::Neg,
+    NodeKind::RedAnd,
+    NodeKind::RedOr,
+    NodeKind::RedXor,
+    NodeKind::RedNand,
+    NodeKind::RedNor,
+    NodeKind::RedXnor,
+    NodeKind::Add,
+    NodeKind::Sub,
+    NodeKind::Mul,
+    NodeKind::Div,
+    NodeKind::Mod,
+    NodeKind::Pow,
+    NodeKind::Shl,
+    NodeKind::Shr,
+    NodeKind::Lt,
+    NodeKind::Gt,
+    NodeKind::Le,
+    NodeKind::Ge,
+    NodeKind::Eq,
+    NodeKind::Neq,
+    NodeKind::Concat,
+    NodeKind::Repeat,
+    NodeKind::BitSelect,
+    NodeKind::PartSelect,
+    NodeKind::Branch,
+    NodeKind::CaseItem,
+    NodeKind::Call,
+];
+
+impl NodeKind {
+    /// One-hot feature index of this kind.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The kind at a given one-hot index.
+    pub fn from_index(i: usize) -> Option<NodeKind> {
+        ALL_KINDS.get(i).copied()
+    }
+
+    /// Whether this kind represents a named signal (vs an operation).
+    pub fn is_signal(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Input | NodeKind::Output | NodeKind::Wire | NodeKind::Reg
+        )
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Input => "input",
+            NodeKind::Output => "output",
+            NodeKind::Wire => "wire",
+            NodeKind::Reg => "reg",
+            NodeKind::Constant => "const",
+            NodeKind::And => "and",
+            NodeKind::Or => "or",
+            NodeKind::Xor => "xor",
+            NodeKind::Xnor => "xnor",
+            NodeKind::Nand => "nand",
+            NodeKind::Nor => "nor",
+            NodeKind::Not => "not",
+            NodeKind::Buf => "buf",
+            NodeKind::LogicalAnd => "land",
+            NodeKind::LogicalOr => "lor",
+            NodeKind::LogicalNot => "lnot",
+            NodeKind::BitNot => "bitnot",
+            NodeKind::Neg => "neg",
+            NodeKind::RedAnd => "redand",
+            NodeKind::RedOr => "redor",
+            NodeKind::RedXor => "redxor",
+            NodeKind::RedNand => "rednand",
+            NodeKind::RedNor => "rednor",
+            NodeKind::RedXnor => "redxnor",
+            NodeKind::Add => "add",
+            NodeKind::Sub => "sub",
+            NodeKind::Mul => "mul",
+            NodeKind::Div => "div",
+            NodeKind::Mod => "mod",
+            NodeKind::Pow => "pow",
+            NodeKind::Shl => "shl",
+            NodeKind::Shr => "shr",
+            NodeKind::Lt => "lt",
+            NodeKind::Gt => "gt",
+            NodeKind::Le => "le",
+            NodeKind::Ge => "ge",
+            NodeKind::Eq => "eq",
+            NodeKind::Neq => "neq",
+            NodeKind::Concat => "concat",
+            NodeKind::Repeat => "repeat",
+            NodeKind::BitSelect => "bitsel",
+            NodeKind::PartSelect => "partsel",
+            NodeKind::Branch => "branch",
+            NodeKind::CaseItem => "caseitem",
+            NodeKind::Call => "call",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, k) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(k.index(), i, "kind {k} has wrong index");
+            assert_eq!(NodeKind::from_index(i), Some(*k));
+        }
+        assert_eq!(ALL_KINDS.len(), VOCAB_SIZE);
+        assert_eq!(NodeKind::from_index(VOCAB_SIZE), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = ALL_KINDS.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), VOCAB_SIZE);
+    }
+
+    #[test]
+    fn signal_classification() {
+        assert!(NodeKind::Input.is_signal());
+        assert!(NodeKind::Reg.is_signal());
+        assert!(!NodeKind::Constant.is_signal());
+        assert!(!NodeKind::Add.is_signal());
+    }
+}

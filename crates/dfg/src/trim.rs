@@ -1,0 +1,209 @@
+//! Graph trimming — phase 5 of the paper's Fig. 2 pipeline.
+//!
+//! "Eventually, the redundant nodes and disconnected subgraphs are trimmed,
+//! and the final DFG is generated." Trimming (a) drops every node not
+//! reachable from an output root and (b) collapses redundant pass-through
+//! nodes (`buf` gates and single-operand concats), which carry no behavioral
+//! information.
+
+use crate::graph::Dfg;
+use crate::nodekind::NodeKind;
+
+/// Statistics reported by [`trim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrimStats {
+    /// Nodes removed because they were unreachable from any root.
+    pub unreachable_removed: usize,
+    /// Pass-through nodes (buffers, trivial concats) collapsed.
+    pub passthrough_collapsed: usize,
+}
+
+/// Trims a DFG in place and reports what was removed.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_dfg::{Dfg, NodeKind, trim};
+///
+/// let mut g = Dfg::new("t");
+/// let y = g.add_node(NodeKind::Output, "y");
+/// let a = g.add_node(NodeKind::Input, "a");
+/// let orphan = g.add_node(NodeKind::Wire, "dead");
+/// let _ = orphan;
+/// g.add_edge(y, a);
+/// g.add_root(y);
+/// let stats = trim(&mut g);
+/// assert_eq!(stats.unreachable_removed, 1);
+/// assert_eq!(g.node_count(), 2);
+/// ```
+pub fn trim(g: &mut Dfg) -> TrimStats {
+    let mut stats = TrimStats::default();
+    // Remove unreachable nodes first; retain_nodes also canonicalizes the
+    // edge list (sort + dedup), which the pass-through collapse relies on —
+    // a node with two parallel edges to one dependency has one dependency.
+    let mask = g.reachable_from_roots();
+    stats.unreachable_removed = mask.iter().filter(|&&k| !k).count();
+    g.retain_nodes(&mask);
+    stats.passthrough_collapsed = collapse_passthrough(g);
+    if stats.passthrough_collapsed > 0 {
+        // canonicalize edge order again (collapse rebuilds in redirect order)
+        let keep = vec![true; g.node_count()];
+        g.retain_nodes(&keep);
+    }
+    stats
+}
+
+/// Collapses nodes that merely forward one dependency (buf gates and
+/// single-child concat/repeat marks): incoming edges are redirected to the
+/// single dependency and the node is removed.
+fn collapse_passthrough(g: &mut Dfg) -> usize {
+    let mut collapsed = 0usize;
+    loop {
+        let n = g.node_count();
+        let mut victim: Option<(usize, usize)> = None;
+        for id in 0..n {
+            let kind = g.node(id).kind;
+            let is_passthrough_kind =
+                matches!(kind, NodeKind::Buf | NodeKind::Concat | NodeKind::Repeat);
+            if !is_passthrough_kind || g.roots().contains(&id) {
+                continue;
+            }
+            let deps: Vec<usize> = g.deps(id).collect();
+            if deps.len() == 1 {
+                victim = Some((id, deps[0]));
+                break;
+            }
+        }
+        let Some((id, dep)) = victim else { break };
+        // redirect every edge *into* id to point at dep, then drop id
+        let mut rebuilt = Dfg::new(g.name());
+        let mut remap = vec![0usize; n];
+        let mut next = 0usize;
+        for i in 0..n {
+            if i != id {
+                remap[i] = next;
+                let node = g.node(i).clone();
+                rebuilt.add_node(node.kind, node.label);
+                next += 1;
+            }
+        }
+        let redirect = |x: usize| if x == id { dep } else { x };
+        let mut seen = std::collections::HashSet::new();
+        for &(f, t) in g.edges() {
+            let (f, t) = (redirect(f), redirect(t));
+            if f == id || t == id || f == t {
+                continue;
+            }
+            let e = (remap[f], remap[t]);
+            if seen.insert(e) {
+                rebuilt.add_edge(e.0, e.1);
+            }
+        }
+        for &r in g.roots() {
+            rebuilt.add_root(remap[redirect(r)]);
+        }
+        *g = rebuilt;
+        collapsed += 1;
+    }
+    collapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_disconnected_subgraph() {
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Output, "y");
+        let a = g.add_node(NodeKind::Input, "a");
+        let d1 = g.add_node(NodeKind::Wire, "dead1");
+        let d2 = g.add_node(NodeKind::Wire, "dead2");
+        g.add_edge(y, a);
+        g.add_edge(d1, d2);
+        g.add_root(y);
+        let stats = trim(&mut g);
+        assert_eq!(stats.unreachable_removed, 2);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn collapses_buffer_chain() {
+        // y -> buf -> buf -> a
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Output, "y");
+        let b1 = g.add_node(NodeKind::Buf, "buf");
+        let b2 = g.add_node(NodeKind::Buf, "buf");
+        let a = g.add_node(NodeKind::Input, "a");
+        g.add_edge(y, b1);
+        g.add_edge(b1, b2);
+        g.add_edge(b2, a);
+        g.add_root(y);
+        let stats = trim(&mut g);
+        assert_eq!(stats.passthrough_collapsed, 2);
+        assert_eq!(g.node_count(), 2);
+        // y now depends directly on a
+        let deps: Vec<_> = g.deps(g.roots()[0]).collect();
+        assert_eq!(g.node(deps[0]).kind, NodeKind::Input);
+    }
+
+    #[test]
+    fn keeps_multi_child_concat() {
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Output, "y");
+        let c = g.add_node(NodeKind::Concat, "concat");
+        let a = g.add_node(NodeKind::Input, "a");
+        let b = g.add_node(NodeKind::Input, "b");
+        g.add_edge(y, c);
+        g.add_edge(c, a);
+        g.add_edge(c, b);
+        g.add_root(y);
+        let stats = trim(&mut g);
+        assert_eq!(stats.passthrough_collapsed, 0);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn collapses_single_child_concat() {
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Output, "y");
+        let c = g.add_node(NodeKind::Concat, "concat");
+        let a = g.add_node(NodeKind::Input, "a");
+        g.add_edge(y, c);
+        g.add_edge(c, a);
+        g.add_root(y);
+        trim(&mut g);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn trim_is_idempotent() {
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Output, "y");
+        let op = g.add_node(NodeKind::Xor, "xor");
+        let a = g.add_node(NodeKind::Input, "a");
+        let b = g.add_node(NodeKind::Input, "b");
+        g.add_edge(y, op);
+        g.add_edge(op, a);
+        g.add_edge(op, b);
+        g.add_root(y);
+        let first = trim(&mut g);
+        assert_eq!(first, TrimStats::default());
+        let snapshot = g.clone();
+        let second = trim(&mut g);
+        assert_eq!(second, TrimStats::default());
+        assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn root_buffer_is_preserved() {
+        let mut g = Dfg::new("t");
+        let y = g.add_node(NodeKind::Buf, "odd-root");
+        let a = g.add_node(NodeKind::Input, "a");
+        g.add_edge(y, a);
+        g.add_root(y);
+        trim(&mut g);
+        assert_eq!(g.node_count(), 2);
+    }
+}

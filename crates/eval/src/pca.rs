@@ -1,0 +1,265 @@
+//! Principal component analysis (Fig. 4b).
+//!
+//! Projects hw2vec's 16-dimensional embeddings onto their top principal
+//! components via power iteration with deflation — the embedding dimension
+//! is tiny, so nothing heavier is warranted.
+
+/// Result of a PCA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcaProjection {
+    /// Projected points, `n x k` row-major.
+    pub points: Vec<Vec<f64>>,
+    /// Fraction of total variance explained per kept component.
+    pub explained_variance: Vec<f64>,
+}
+
+/// Projects `data` (n rows of equal dimension) onto its top `k` principal
+/// components.
+///
+/// # Panics
+///
+/// Panics if rows are ragged, `data` is empty, or `k` exceeds the dimension.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_eval::pca;
+///
+/// // points on a line: first component captures ~all variance
+/// let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 2.0 * i as f32]).collect();
+/// let proj = pca(&data, 1);
+/// assert!(proj.explained_variance[0] > 0.99);
+/// ```
+pub fn pca(data: &[Vec<f32>], k: usize) -> PcaProjection {
+    assert!(!data.is_empty(), "pca on empty data");
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "ragged pca input");
+    assert!(k <= d, "cannot keep {k} components of dimension {d}");
+    let n = data.len();
+
+    // center
+    let mut mean = vec![0.0f64; d];
+    for row in data {
+        for (m, &v) in mean.iter_mut().zip(row) {
+            *m += v as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| row.iter().zip(&mean).map(|(&v, m)| v as f64 - m).collect())
+        .collect();
+
+    // covariance (d x d)
+    let mut cov = vec![vec![0.0f64; d]; d];
+    for row in &centered {
+        for i in 0..d {
+            for j in 0..d {
+                cov[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f64;
+    for r in &mut cov {
+        for v in r.iter_mut() {
+            *v /= denom;
+        }
+    }
+    let total_var: f64 = (0..d).map(|i| cov[i][i]).sum();
+
+    // power iteration with deflation
+    let mut components: Vec<Vec<f64>> = Vec::new();
+    let mut eigenvalues: Vec<f64> = Vec::new();
+    let mut work = cov.clone();
+    for c in 0..k {
+        // Deterministic but incommensurate init so it is never orthogonal to
+        // the dominant eigenvector of typical data.
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| (0.37 + 0.61 * (i + c) as f64).sin() + 0.05)
+            .collect();
+        normalize(&mut v);
+        let mut lambda = 0.0f64;
+        for _ in 0..500 {
+            let mut next = matvec(&work, &v);
+            let norm = normalize(&mut next);
+            let delta: f64 = next
+                .iter()
+                .zip(&v)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            v = next;
+            lambda = norm;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        // deflate: work -= lambda v v^T
+        for i in 0..d {
+            for j in 0..d {
+                work[i][j] -= lambda * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        eigenvalues.push(lambda.max(0.0));
+    }
+
+    let points: Vec<Vec<f64>> = centered
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum())
+                .collect()
+        })
+        .collect();
+    let explained_variance = eigenvalues
+        .iter()
+        .map(|&l| if total_var > 0.0 { l / total_var } else { 0.0 })
+        .collect();
+    PcaProjection {
+        points,
+        explained_variance,
+    }
+}
+
+fn matvec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    m.iter()
+        .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-300 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Mean silhouette-style separation of a labeled 2-D/3-D projection:
+/// `(mean inter-cluster distance - mean intra-cluster distance) / max` —
+/// positive values mean the clusters separate, approaching 1 for clean
+/// separation (the qualitative claim of Fig. 4b/4c).
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn cluster_separation(points: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len(), "points/labels mismatch");
+    assert!(points.len() >= 2, "need at least two points");
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mut intra = (0.0f64, 0usize);
+    let mut inter = (0.0f64, 0usize);
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = dist(&points[i], &points[j]);
+            if labels[i] == labels[j] {
+                intra.0 += d;
+                intra.1 += 1;
+            } else {
+                inter.0 += d;
+                inter.1 += 1;
+            }
+        }
+    }
+    let mean_intra = if intra.1 == 0 { 0.0 } else { intra.0 / intra.1 as f64 };
+    let mean_inter = if inter.1 == 0 { 0.0 } else { inter.0 / inter.1 as f64 };
+    let denom = mean_intra.max(mean_inter);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mean_inter - mean_intra) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projects_onto_dominant_direction() {
+        // data spread along (1, 1), tiny noise along (1, -1)
+        let data: Vec<Vec<f32>> = (0..50)
+            .map(|i| {
+                let t = i as f32 / 5.0;
+                let noise = if i % 2 == 0 { 0.01 } else { -0.01 };
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let proj = pca(&data, 2);
+        assert!(proj.explained_variance[0] > 0.999);
+        assert!(proj.explained_variance[1] < 0.001);
+    }
+
+    #[test]
+    fn projection_count_matches_input() {
+        let data: Vec<Vec<f32>> = (0..7).map(|i| vec![i as f32, 1.0, -1.0]).collect();
+        let proj = pca(&data, 2);
+        assert_eq!(proj.points.len(), 7);
+        assert_eq!(proj.points[0].len(), 2);
+    }
+
+    #[test]
+    fn components_are_orthogonal_projections() {
+        let data: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let x = (i % 8) as f32;
+                let y = (i / 8) as f32 * 3.0;
+                vec![x, y, x + y]
+            })
+            .collect();
+        let proj = pca(&data, 2);
+        // correlation of the two projected coordinates should be ~0
+        let n = proj.points.len() as f64;
+        let mx: f64 = proj.points.iter().map(|p| p[0]).sum::<f64>() / n;
+        let my: f64 = proj.points.iter().map(|p| p[1]).sum::<f64>() / n;
+        let cov: f64 = proj
+            .points
+            .iter()
+            .map(|p| (p[0] - mx) * (p[1] - my))
+            .sum::<f64>()
+            / n;
+        let sx: f64 =
+            (proj.points.iter().map(|p| (p[0] - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy: f64 =
+            (proj.points.iter().map(|p| (p[1] - my).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sx * sy).max(1e-12);
+        assert!(corr.abs() < 0.05, "components correlate: {corr}");
+    }
+
+    #[test]
+    fn cluster_separation_detects_separated_clusters() {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            labels.push(0);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+            labels.push(1);
+        }
+        assert!(cluster_separation(&pts, &labels) > 0.9);
+    }
+
+    #[test]
+    fn cluster_separation_near_zero_for_mixed() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 5) as f64, 0.0]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        assert!(cluster_separation(&pts, &labels).abs() < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = pca(&[], 1);
+    }
+}

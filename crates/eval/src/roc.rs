@@ -1,0 +1,138 @@
+//! ROC analysis for the decision boundary δ.
+//!
+//! The paper tunes δ "to achieve maximum accuracy" and notes "the user can
+//! adjust it to decide how much similarity is considered piracy" (§IV-D).
+//! The ROC curve is the full picture of that trade-off; AUC summarizes the
+//! detector's ranking quality independent of any particular δ.
+
+/// One operating point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision boundary producing this point.
+    pub threshold: f32,
+    /// True-positive rate (recall) at this threshold.
+    pub tpr: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+}
+
+/// Computes the ROC curve of similarity scores against ground-truth labels
+/// (`true` = piracy). Points are ordered from the strictest threshold
+/// (+1, bottom-left) to the loosest (−1, top-right).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain only one
+/// class.
+pub fn roc_curve(scores: &[f32], similar: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), similar.len(), "scores/labels mismatch");
+    assert!(!scores.is_empty(), "empty ROC input");
+    let pos = similar.iter().filter(|&&l| l).count();
+    let neg = similar.len() - pos;
+    assert!(pos > 0 && neg > 0, "ROC needs both classes");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut points = vec![RocPoint {
+        threshold: 1.0,
+        tpr: 0.0,
+        fpr: 0.0,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        // advance through ties together so the curve is threshold-consistent
+        let t = scores[order[i]];
+        while i < order.len() && scores[order[i]] == t {
+            if similar[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: t,
+            tpr: tp as f64 / pos as f64,
+            fpr: fp as f64 / neg as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule over [`roc_curve`]).
+///
+/// 1.0 = perfect ranking, 0.5 = chance.
+///
+/// # Panics
+///
+/// Same conditions as [`roc_curve`].
+pub fn auc(scores: &[f32], similar: &[bool]) -> f64 {
+    let curve = roc_curve(scores, similar);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.9f32, 0.8, 0.7, -0.1, -0.2];
+        let labels = [true, true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = [-0.9f32, -0.8, 0.7, 0.8];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels) < 1e-9);
+    }
+
+    #[test]
+    fn interleaved_scores_auc_matches_pair_counting() {
+        // AUC equals the fraction of (pos, neg) pairs ranked correctly:
+        // positives {0.8, 0.6} vs negatives {0.7, 0.5} -> 3 of 4 pairs.
+        let scores = [0.8f32, 0.7, 0.6, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.9f32, 0.1, 0.5, -0.5, 0.3, 0.2];
+        let labels = [true, false, true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].fpr >= w[0].fpr);
+        }
+        let last = curve.last().expect("nonempty");
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        let scores = [0.5f32, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        // start point + one grouped step
+        assert_eq!(curve.len(), 2);
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let _ = roc_curve(&[0.1, 0.2], &[true, true]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Exact t-SNE (Fig. 4c).
+//!
+//! The paper visualizes 250 embeddings in 3-D with t-SNE; at that scale the
+//! exact O(n²) algorithm (van der Maaten & Hinton 2008) is the right tool —
+//! no Barnes-Hut tree needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Output dimensionality (the paper's Fig. 4c uses 3).
+    pub dims: usize,
+    /// Perplexity of the conditional Gaussians.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            dims: 3,
+            perplexity: 30.0,
+            iterations: 500,
+            learning_rate: 100.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Embeds `data` (n rows, equal dimension) into `config.dims` dimensions.
+///
+/// # Panics
+///
+/// Panics if `data` has fewer than 3 rows or ragged rows.
+pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
+    let n = data.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let d = data[0].len();
+    assert!(data.iter().all(|r| r.len() == d), "ragged t-SNE input");
+
+    // pairwise squared distances in input space
+    let mut d2 = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = data[i]
+                .iter()
+                .zip(&data[j])
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i][j] = dist;
+            d2[j][i] = dist;
+        }
+    }
+
+    // per-point precision via binary search on perplexity
+    let target_entropy = config.perplexity.max(2.0).ln();
+    let mut p = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        let mut beta_lo = 1e-20f64;
+        let mut beta_hi = 1e20f64;
+        let mut beta = 1.0f64;
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if j != i {
+                    p[i][j] = (-beta * d2[i][j]).exp();
+                    sum += p[i][j];
+                }
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let mut entropy = 0.0;
+            for j in 0..n {
+                if j != i && p[i][j] > 0.0 {
+                    let pj = p[i][j] / sum;
+                    entropy -= pj * pj.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_lo = beta;
+                beta = if beta_hi >= 1e20 { beta * 2.0 } else { (beta + beta_hi) / 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+            for j in 0..n {
+                if j != i {
+                    p[i][j] = (-beta * d2[i][j]).exp();
+                }
+            }
+        }
+        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i][j]).sum();
+        if sum > 0.0 {
+            for j in 0..n {
+                if j != i {
+                    p[i][j] /= sum;
+                }
+            }
+        }
+    }
+    // symmetrize with early exaggeration
+    let mut pij = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i][j] = ((p[i][j] + p[j][i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // init layout
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut y: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..config.dims).map(|_| rng.gen_range(-1e-2..1e-2)).collect())
+        .collect();
+    let mut velocity = vec![vec![0.0f64; config.dims]; n];
+
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        // low-dim affinities (student-t)
+        let mut qnum = vec![vec![0.0f64; n]; n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist: f64 = y[i]
+                    .iter()
+                    .zip(&y[j])
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
+                let q = 1.0 / (1.0 + dist);
+                qnum[i][j] = q;
+                qnum[j][i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+        // gradient + momentum update
+        let momentum = if iter < 100 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = vec![0.0f64; config.dims];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qij = (qnum[i][j] / qsum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * pij[i][j] - qij) * qnum[i][j];
+                for k in 0..config.dims {
+                    grad[k] += coeff * (y[i][k] - y[j][k]);
+                }
+            }
+            for k in 0..config.dims {
+                velocity[i][k] =
+                    momentum * velocity[i][k] - config.learning_rate * grad[k];
+            }
+        }
+        for i in 0..n {
+            for k in 0..config.dims {
+                y[i][k] += velocity[i][k];
+            }
+        }
+        // recentre
+        for k in 0..config.dims {
+            let mean: f64 = y.iter().map(|p| p[k]).sum::<f64>() / n as f64;
+            for p in &mut y {
+                p[k] -= mean;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::cluster_separation;
+
+    fn two_blobs(n_per: usize) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per * 2 {
+            let center = if i < n_per { 0.0f32 } else { 10.0 };
+            let row: Vec<f32> = (0..8)
+                .map(|_| center + rng.gen_range(-0.5..0.5))
+                .collect();
+            data.push(row);
+            labels.push(usize::from(i >= n_per));
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, labels) = two_blobs(20);
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 300,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&data, &cfg);
+        assert_eq!(y.len(), 40);
+        assert_eq!(y[0].len(), 3);
+        let sep = cluster_separation(&y, &labels);
+        assert!(sep > 0.5, "t-SNE failed to separate blobs: {sep}");
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let (data, _) = two_blobs(10);
+        let y = tsne(
+            &data,
+            &TsneConfig {
+                iterations: 100,
+                ..TsneConfig::default()
+            },
+        );
+        for p in &y {
+            assert!(p.iter().all(|v| v.is_finite()));
+        }
+        for k in 0..3 {
+            let mean: f64 = y.iter().map(|p| p[k]).sum::<f64>() / y.len() as f64;
+            assert!(mean.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, _) = two_blobs(6);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        let _ = tsne(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types for the Verilog front end.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// An error produced while lexing, parsing, or elaborating Verilog source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseVerilogError {
+    message: String,
+    span: Option<Span>,
+}
+
+impl ParseVerilogError {
+    /// Creates an error with a source location.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates an error without a source location (e.g. elaboration errors).
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// The source location, if known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{} at {}", self.message, s),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}

@@ -1,0 +1,696 @@
+//! Combinational evaluation of flattened modules.
+//!
+//! The dataset generators in `gnn4ip-data` must *prove* that their variation
+//! and obfuscation transforms preserve circuit behaviour (a DESIGN.md
+//! invariant). This module provides the oracle: it evaluates a flattened,
+//! combinational module — RTL assigns, `always @*` blocks, and gate
+//! primitives — on concrete input vectors.
+//!
+//! Sequential constructs (`posedge`/`negedge` blocks) are skipped; callers
+//! verify the combinational cone only, which is exactly what structural
+//! obfuscation touches.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::ParseVerilogError;
+
+/// An evaluator for one flattened combinational module.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_hdl::{parse, flatten, Evaluator};
+/// use std::collections::HashMap;
+///
+/// let unit = parse("module m(input a, input b, output y); assign y = a ^ b; endmodule")?;
+/// let eval = Evaluator::new(&flatten(&unit, "m")?)?;
+/// let out = eval.eval(&HashMap::from([("a".to_string(), 1), ("b".to_string(), 0)]))?;
+/// assert_eq!(out["y"], 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    module: Module,
+    widths: HashMap<String, u32>,
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn range_width(range: &Option<Range>) -> Result<u32, ParseVerilogError> {
+    match range {
+        None => Ok(1),
+        Some(r) => {
+            let env = HashMap::new();
+            let msb = crate::flatten::eval_const(&r.msb, &env)?;
+            let lsb = crate::flatten::eval_const(&r.lsb, &env)?;
+            Ok((msb - lsb).unsigned_abs() as u32 + 1)
+        }
+    }
+}
+
+impl Evaluator {
+    /// Builds an evaluator over a flattened module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any declaration range is non-constant.
+    pub fn new(flat: &Module) -> Result<Self, ParseVerilogError> {
+        let mut widths = HashMap::new();
+        for p in &flat.ports {
+            widths.insert(p.name.clone(), range_width(&p.range)?);
+        }
+        for item in &flat.items {
+            if let Item::Decl { name, range, .. } = item {
+                widths.insert(name.clone(), range_width(range)?);
+            }
+        }
+        Ok(Self {
+            module: flat.clone(),
+            widths,
+        })
+    }
+
+    /// The module under evaluation.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Declared width of a signal (1 if unknown).
+    pub fn width(&self, name: &str) -> u32 {
+        self.widths.get(name).copied().unwrap_or(1)
+    }
+
+    /// Evaluates the module for one input assignment, returning the settled
+    /// value of every signal (outputs included).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the design does not settle (combinational loop) or
+    /// uses unsupported constructs in the combinational cone.
+    pub fn eval(
+        &self,
+        inputs: &HashMap<String, u64>,
+    ) -> Result<HashMap<String, u64>, ParseVerilogError> {
+        let mut state: HashMap<String, u64> = HashMap::new();
+        for p in &self.module.ports {
+            let w = self.width(&p.name);
+            let v = inputs.get(&p.name).copied().unwrap_or(0);
+            state.insert(p.name.clone(), v & mask(w));
+        }
+        for item in &self.module.items {
+            if let Item::Decl { name, init, .. } = item {
+                state.entry(name.clone()).or_insert(0);
+                let _ = init; // handled as an item pass below
+            }
+        }
+        // Relaxation: combinational designs settle in <= |items| passes.
+        let max_passes = self.module.items.len() + 4;
+        for _ in 0..max_passes {
+            let before = state.clone();
+            self.pass(&mut state)?;
+            // re-pin inputs
+            for p in &self.module.ports {
+                if p.dir == PortDir::Input {
+                    let w = self.width(&p.name);
+                    let v = inputs.get(&p.name).copied().unwrap_or(0);
+                    state.insert(p.name.clone(), v & mask(w));
+                }
+            }
+            if state == before {
+                return Ok(state);
+            }
+        }
+        Err(ParseVerilogError::msg(
+            "design did not settle (combinational loop?)",
+        ))
+    }
+
+    /// Evaluates just the output ports for one input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::eval`].
+    pub fn eval_outputs(
+        &self,
+        inputs: &HashMap<String, u64>,
+    ) -> Result<HashMap<String, u64>, ParseVerilogError> {
+        let all = self.eval(inputs)?;
+        Ok(self
+            .module
+            .ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| (p.name.clone(), all.get(&p.name).copied().unwrap_or(0)))
+            .collect())
+    }
+
+    fn pass(&self, state: &mut HashMap<String, u64>) -> Result<(), ParseVerilogError> {
+        for item in &self.module.items {
+            match item {
+                Item::Decl { name, init: Some(e), .. } => {
+                    let v = self.eval_expr(e, state)?;
+                    self.assign_to(&Expr::ident(name.clone()), v, state)?;
+                }
+                Item::Assign { lhs, rhs } => {
+                    let v = self.eval_expr(rhs, state)?;
+                    self.assign_to(lhs, v, state)?;
+                }
+                Item::Gate(g) => self.eval_gate(g, state)?,
+                Item::Always { sensitivity, body } => {
+                    let is_comb = sensitivity.iter().all(|s| {
+                        matches!(s, SensItem::Star | SensItem::Level(_))
+                    });
+                    if is_comb {
+                        self.exec_stmt(body, state)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_gate(
+        &self,
+        g: &GateInstance,
+        state: &mut HashMap<String, u64>,
+    ) -> Result<(), ParseVerilogError> {
+        let (outs, ins) = g.split_ports();
+        let in_vals: Vec<u64> = ins
+            .iter()
+            .map(|e| self.eval_expr(e, state).map(|v| v & 1))
+            .collect::<Result<_, _>>()?;
+        let value = match g.kind {
+            GateKind::And => in_vals.iter().fold(1, |a, &b| a & b),
+            GateKind::Or => in_vals.iter().fold(0, |a, &b| a | b),
+            GateKind::Nand => 1 ^ in_vals.iter().fold(1, |a, &b| a & b),
+            GateKind::Nor => 1 ^ in_vals.iter().fold(0, |a, &b| a | b),
+            GateKind::Xor => in_vals.iter().fold(0, |a, &b| a ^ b),
+            GateKind::Xnor => 1 ^ in_vals.iter().fold(0, |a, &b| a ^ b),
+            GateKind::Not => 1 ^ in_vals.first().copied().unwrap_or(0),
+            GateKind::Buf => in_vals.first().copied().unwrap_or(0),
+        };
+        for out in outs {
+            self.assign_to(out, value, state)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        state: &mut HashMap<String, u64>,
+    ) -> Result<(), ParseVerilogError> {
+        match stmt {
+            Stmt::Block(ss) => {
+                for s in ss {
+                    self.exec_stmt(s, state)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking { lhs, rhs } | Stmt::NonBlocking { lhs, rhs } => {
+                let v = self.eval_expr(rhs, state)?;
+                self.assign_to(lhs, v, state)
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                if self.eval_expr(cond, state)? != 0 {
+                    self.exec_stmt(then_s, state)
+                } else if let Some(e) = else_s {
+                    self.exec_stmt(e, state)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case { subject, arms } => {
+                let v = self.eval_expr(subject, state)?;
+                let mut default: Option<&Stmt> = None;
+                for (labels, body) in arms {
+                    if labels.is_empty() {
+                        default = Some(body);
+                        continue;
+                    }
+                    for l in labels {
+                        if self.eval_expr(l, state)? == v {
+                            return self.exec_stmt(body, state);
+                        }
+                    }
+                }
+                match default {
+                    Some(body) => self.exec_stmt(body, state),
+                    None => Ok(()),
+                }
+            }
+            Stmt::For { .. } => Err(ParseVerilogError::msg(
+                "for-loop must be unrolled before evaluation (run flatten)",
+            )),
+            Stmt::Null => Ok(()),
+        }
+    }
+
+    /// Width of an expression under Verilog-ish rules.
+    pub fn width_of(&self, e: &Expr) -> u32 {
+        match e {
+            Expr::Ident(n) => self.width(n),
+            Expr::Number { width, .. } => width.unwrap_or(32),
+            Expr::Str(s) => (s.len() as u32) * 8,
+            Expr::Unary { op, arg } => match op {
+                UnaryOp::Not
+                | UnaryOp::ReduceAnd
+                | UnaryOp::ReduceOr
+                | UnaryOp::ReduceXor
+                | UnaryOp::ReduceNand
+                | UnaryOp::ReduceNor
+                | UnaryOp::ReduceXnor => 1,
+                _ => self.width_of(arg),
+            },
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinaryOp::Lt
+                | BinaryOp::Gt
+                | BinaryOp::Le
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNeq
+                | BinaryOp::LogicalAnd
+                | BinaryOp::LogicalOr => 1,
+                BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr | BinaryOp::Pow => {
+                    self.width_of(lhs)
+                }
+                _ => self.width_of(lhs).max(self.width_of(rhs)),
+            },
+            Expr::Ternary { then_e, else_e, .. } => {
+                self.width_of(then_e).max(self.width_of(else_e))
+            }
+            Expr::Concat(parts) => parts.iter().map(|p| self.width_of(p)).sum(),
+            Expr::Repeat { count, body } => {
+                let c = match **count {
+                    Expr::Number { value, .. } => value as u32,
+                    _ => 1,
+                };
+                c * self.width_of(body)
+            }
+            Expr::BitSelect { .. } => 1,
+            Expr::PartSelect { msb, lsb, .. } => {
+                let env = HashMap::new();
+                match (
+                    crate::flatten::eval_const(msb, &env),
+                    crate::flatten::eval_const(lsb, &env),
+                ) {
+                    (Ok(m), Ok(l)) => (m - l).unsigned_abs() as u32 + 1,
+                    _ => 1,
+                }
+            }
+            Expr::Call { .. } => 32,
+        }
+    }
+
+    fn eval_expr(
+        &self,
+        e: &Expr,
+        state: &HashMap<String, u64>,
+    ) -> Result<u64, ParseVerilogError> {
+        Ok(match e {
+            Expr::Ident(n) => state.get(n).copied().unwrap_or(0),
+            Expr::Number { width, value } => value & mask(width.unwrap_or(64)),
+            Expr::Str(_) => 0,
+            Expr::Unary { op, arg } => {
+                let w = self.width_of(arg);
+                let v = self.eval_expr(arg, state)? & mask(w);
+                match op {
+                    UnaryOp::Not => u64::from(v == 0),
+                    UnaryOp::BitNot => !v & mask(w),
+                    UnaryOp::Plus => v,
+                    UnaryOp::Minus => v.wrapping_neg() & mask(w),
+                    UnaryOp::ReduceAnd => u64::from(v == mask(w)),
+                    UnaryOp::ReduceOr => u64::from(v != 0),
+                    UnaryOp::ReduceXor => u64::from(v.count_ones() % 2 == 1),
+                    UnaryOp::ReduceNand => u64::from(v != mask(w)),
+                    UnaryOp::ReduceNor => u64::from(v == 0),
+                    UnaryOp::ReduceXnor => u64::from(v.count_ones() % 2 == 0),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs, state)?;
+                let b = self.eval_expr(rhs, state)?;
+                let w = self.width_of(lhs).max(self.width_of(rhs));
+                match op {
+                    BinaryOp::Add => a.wrapping_add(b) & mask(w),
+                    BinaryOp::Sub => a.wrapping_sub(b) & mask(w),
+                    BinaryOp::Mul => a.wrapping_mul(b) & mask(w),
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a / b
+                        }
+                    }
+                    BinaryOp::Mod => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a % b
+                        }
+                    }
+                    BinaryOp::Pow => a.wrapping_pow(b.min(63) as u32) & mask(w),
+                    BinaryOp::Shl => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            (a << b) & mask(self.width_of(lhs))
+                        }
+                    }
+                    BinaryOp::Shr | BinaryOp::AShr => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            a >> b
+                        }
+                    }
+                    BinaryOp::Lt => u64::from(a < b),
+                    BinaryOp::Gt => u64::from(a > b),
+                    BinaryOp::Le => u64::from(a <= b),
+                    BinaryOp::Ge => u64::from(a >= b),
+                    BinaryOp::Eq | BinaryOp::CaseEq => u64::from(a == b),
+                    BinaryOp::Neq | BinaryOp::CaseNeq => u64::from(a != b),
+                    BinaryOp::And => a & b,
+                    BinaryOp::Or => a | b,
+                    BinaryOp::Xor => a ^ b,
+                    BinaryOp::Xnor => !(a ^ b) & mask(w),
+                    BinaryOp::LogicalAnd => u64::from(a != 0 && b != 0),
+                    BinaryOp::LogicalOr => u64::from(a != 0 || b != 0),
+                }
+            }
+            Expr::Ternary { cond, then_e, else_e } => {
+                if self.eval_expr(cond, state)? != 0 {
+                    self.eval_expr(then_e, state)?
+                } else {
+                    self.eval_expr(else_e, state)?
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut acc = 0u64;
+                for p in parts {
+                    let w = self.width_of(p);
+                    let v = self.eval_expr(p, state)? & mask(w);
+                    acc = (acc << w.min(63)) | v;
+                }
+                acc
+            }
+            Expr::Repeat { count, body } => {
+                let c = self.eval_expr(count, state)?;
+                let w = self.width_of(body);
+                let v = self.eval_expr(body, state)? & mask(w);
+                let mut acc = 0u64;
+                for _ in 0..c.min(64) {
+                    acc = (acc << w.min(63)) | v;
+                }
+                acc
+            }
+            Expr::BitSelect { base, index } => {
+                let v = self.eval_expr(base, state)?;
+                let i = self.eval_expr(index, state)?;
+                if i >= 64 {
+                    0
+                } else {
+                    (v >> i) & 1
+                }
+            }
+            Expr::PartSelect { base, msb, lsb } => {
+                let v = self.eval_expr(base, state)?;
+                let m = self.eval_expr(msb, state)?;
+                let l = self.eval_expr(lsb, state)?;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                let w = (hi - lo + 1).min(64) as u32;
+                (v >> lo.min(63)) & mask(w)
+            }
+            Expr::Call { name, .. } => {
+                return Err(ParseVerilogError::msg(format!(
+                    "function call '{name}' unsupported in evaluation"
+                )))
+            }
+        })
+    }
+
+    fn assign_to(
+        &self,
+        lhs: &Expr,
+        value: u64,
+        state: &mut HashMap<String, u64>,
+    ) -> Result<(), ParseVerilogError> {
+        match lhs {
+            Expr::Ident(n) => {
+                let w = self.width(n);
+                state.insert(n.clone(), value & mask(w));
+                Ok(())
+            }
+            Expr::BitSelect { base, index } => {
+                let name = match &**base {
+                    Expr::Ident(n) => n.clone(),
+                    _ => return Err(ParseVerilogError::msg("unsupported lvalue base")),
+                };
+                let i = self.eval_expr(index, state)?;
+                if i < 64 {
+                    let cur = state.get(&name).copied().unwrap_or(0);
+                    let bit = value & 1;
+                    state.insert(name, (cur & !(1 << i)) | (bit << i));
+                }
+                Ok(())
+            }
+            Expr::PartSelect { base, msb, lsb } => {
+                let name = match &**base {
+                    Expr::Ident(n) => n.clone(),
+                    _ => return Err(ParseVerilogError::msg("unsupported lvalue base")),
+                };
+                let m = self.eval_expr(msb, state)?;
+                let l = self.eval_expr(lsb, state)?;
+                let (hi, lo) = if m >= l { (m, l) } else { (l, m) };
+                let w = (hi - lo + 1).min(64) as u32;
+                let cur = state.get(&name).copied().unwrap_or(0);
+                let field = (value & mask(w)) << lo.min(63);
+                let hole = !(mask(w) << lo.min(63));
+                state.insert(name, (cur & hole) | field);
+                Ok(())
+            }
+            Expr::Concat(parts) => {
+                // MSB-first: the first part takes the high bits.
+                let total: u32 = parts.iter().map(|p| self.width_of(p)).sum();
+                let mut consumed = 0u32;
+                for p in parts {
+                    let w = self.width_of(p);
+                    let shift = total - consumed - w;
+                    let field = (value >> shift.min(63)) & mask(w);
+                    self.assign_to(p, field, state)?;
+                    consumed += w;
+                }
+                Ok(())
+            }
+            _ => Err(ParseVerilogError::msg("unsupported lvalue form")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flatten, parse};
+
+    fn build(src: &str, top: &str) -> Evaluator {
+        let unit = parse(src).expect("parses");
+        Evaluator::new(&flatten(&unit, top).expect("flattens")).expect("builds")
+    }
+
+    fn run(e: &Evaluator, ins: &[(&str, u64)]) -> HashMap<String, u64> {
+        let map = ins.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        e.eval_outputs(&map).expect("evaluates")
+    }
+
+    #[test]
+    fn full_adder_rtl_truth_table() {
+        let e = build(
+            "module fa(input a, input b, input cin, output reg sum, output reg cout);
+               always @(a, b, cin) begin
+                 sum <= (a ^ b) ^ cin;
+                 cout <= ((a ^ b) && cin) || (a && b);
+               end
+             endmodule",
+            "fa",
+        );
+        for bits in 0..8u64 {
+            let (a, b, c) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+            let out = run(&e, &[("a", a), ("b", b), ("cin", c)]);
+            assert_eq!(out["sum"], (a ^ b) ^ c, "sum at {bits}");
+            assert_eq!(out["cout"], (a & b) | (c & (a ^ b)), "cout at {bits}");
+        }
+    }
+
+    #[test]
+    fn full_adder_gates_match_rtl() {
+        let e = build(
+            "module fa(input a, input b, input cin, output sum, output cout);
+               wire t1, t2, t3;
+               xor (t1, a, b);
+               and (t2, a, b);
+               and (t3, t1, cin);
+               xor (sum, t1, cin);
+               or (cout, t3, t2);
+             endmodule",
+            "fa",
+        );
+        for bits in 0..8u64 {
+            let (a, b, c) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+            let out = run(&e, &[("a", a), ("b", b), ("cin", c)]);
+            assert_eq!(out["sum"], (a ^ b) ^ c);
+            assert_eq!(out["cout"], (a & b) | (c & (a ^ b)));
+        }
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let e = build(
+            "module add8(input [7:0] a, input [7:0] b, output [7:0] s);
+               assign s = a + b;
+             endmodule",
+            "add8",
+        );
+        let out = run(&e, &[("a", 200), ("b", 100)]);
+        assert_eq!(out["s"], 44); // mod 256
+    }
+
+    #[test]
+    fn mux_with_case() {
+        let e = build(
+            "module mux4(input [1:0] s, input [3:0] d, output reg y);
+               always @* case (s)
+                 2'd0: y = d[0];
+                 2'd1: y = d[1];
+                 2'd2: y = d[2];
+                 default: y = d[3];
+               endcase
+             endmodule",
+            "mux4",
+        );
+        let out = run(&e, &[("s", 2), ("d", 0b0100)]);
+        assert_eq!(out["y"], 1);
+        let out = run(&e, &[("s", 3), ("d", 0b0111)]);
+        assert_eq!(out["y"], 0);
+    }
+
+    #[test]
+    fn concat_and_selects() {
+        let e = build(
+            "module m(input [3:0] a, output [7:0] y);
+               assign y = {a, a[3:2], 2'b01};
+             endmodule",
+            "m",
+        );
+        let out = run(&e, &[("a", 0b1010)]);
+        assert_eq!(out["y"], 0b1010_10_01);
+    }
+
+    #[test]
+    fn concat_lvalue_split() {
+        let e = build(
+            "module m(input [1:0] a, output x, output y);
+               assign {x, y} = a;
+             endmodule",
+            "m",
+        );
+        let out = run(&e, &[("a", 0b10)]);
+        assert_eq!(out["x"], 1);
+        assert_eq!(out["y"], 0);
+    }
+
+    #[test]
+    fn hierarchical_design_evaluates() {
+        let e = build(
+            "module inv(input a, output y); assign y = ~a; endmodule
+             module top(input x, output z);
+               wire m;
+               inv u1(.a(x), .y(m));
+               inv u2(.a(m), .y(z));
+             endmodule",
+            "top",
+        );
+        assert_eq!(run(&e, &[("x", 1)])["z"], 1);
+        assert_eq!(run(&e, &[("x", 0)])["z"], 0);
+    }
+
+    #[test]
+    fn reduction_operators() {
+        let e = build(
+            "module m(input [3:0] a, output x, output y, output z);
+               assign x = &a;
+               assign y = |a;
+               assign z = ^a;
+             endmodule",
+            "m",
+        );
+        let out = run(&e, &[("a", 0b1111)]);
+        assert_eq!((out["x"], out["y"], out["z"]), (1, 1, 0));
+        let out = run(&e, &[("a", 0b0100)]);
+        assert_eq!((out["x"], out["y"], out["z"]), (0, 1, 1));
+    }
+
+    #[test]
+    fn unrolled_for_loop_reverses_bits() {
+        let e = build(
+            "module rev(input [3:0] a, output reg [3:0] y);
+               integer i;
+               always @* for (i = 0; i < 4; i = i + 1) y[i] = a[3 - i];
+             endmodule",
+            "rev",
+        );
+        assert_eq!(run(&e, &[("a", 0b0001)])["y"], 0b1000);
+        assert_eq!(run(&e, &[("a", 0b0110)])["y"], 0b0110);
+    }
+
+    #[test]
+    fn ternary_priority_logic() {
+        let e = build(
+            "module pri(input [2:0] r, output [1:0] g);
+               assign g = r[0] ? 2'd0 : r[1] ? 2'd1 : r[2] ? 2'd2 : 2'd3;
+             endmodule",
+            "pri",
+        );
+        assert_eq!(run(&e, &[("r", 0b100)])["g"], 2);
+        assert_eq!(run(&e, &[("r", 0b000)])["g"], 3);
+        assert_eq!(run(&e, &[("r", 0b111)])["g"], 0);
+    }
+
+    #[test]
+    fn sequential_blocks_are_skipped() {
+        let e = build(
+            "module dff(input clk, input d, output reg q, output y);
+               always @(posedge clk) q <= d;
+               assign y = d;
+             endmodule",
+            "dff",
+        );
+        let out = run(&e, &[("clk", 1), ("d", 1)]);
+        assert_eq!(out["y"], 1);
+        assert_eq!(out["q"], 0); // never clocked
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let e = build(
+            "module bad(input a, output x);
+               wire y;
+               assign x = y ^ a;
+               assign y = ~x;
+             endmodule",
+            "bad",
+        );
+        // For a = 0: x = y, y = ~x — oscillates.
+        let r = e.eval(&HashMap::from([("a".to_string(), 0u64)]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! Design elaboration: hierarchy flattening, parameter resolution, and
+//! for-loop unrolling.
+//!
+//! The paper's preprocess phase "flattens the modular codes"; this module is
+//! that step. [`flatten`] inlines every module instance into a single flat
+//! [`Module`] whose only remaining items are declarations, assigns, always
+//! blocks, and gate primitives.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::ParseVerilogError;
+
+/// Evaluates a constant expression over an integer environment.
+///
+/// Used for parameter values, ranges, and for-loop bounds.
+///
+/// # Errors
+///
+/// Returns an error on unresolvable identifiers, division by zero, or
+/// non-constant constructs.
+pub fn eval_const(expr: &Expr, env: &HashMap<String, i64>) -> Result<i64, ParseVerilogError> {
+    match expr {
+        Expr::Number { value, .. } => Ok(*value as i64),
+        Expr::Ident(name) => env.get(name).copied().ok_or_else(|| {
+            ParseVerilogError::msg(format!("'{name}' is not a constant in this context"))
+        }),
+        Expr::Unary { op, arg } => {
+            let v = eval_const(arg, env)?;
+            Ok(match op {
+                UnaryOp::Minus => -v,
+                UnaryOp::Plus => v,
+                UnaryOp::Not => i64::from(v == 0),
+                UnaryOp::BitNot => !v,
+                _ => {
+                    return Err(ParseVerilogError::msg(
+                        "reduction operator in constant expression",
+                    ))
+                }
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_const(lhs, env)?;
+            let b = eval_const(rhs, env)?;
+            Ok(match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return Err(ParseVerilogError::msg("division by zero in constant"));
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return Err(ParseVerilogError::msg("modulo by zero in constant"));
+                    }
+                    a % b
+                }
+                BinaryOp::Pow => (a as f64).powi(b as i32) as i64,
+                BinaryOp::Shl => a.wrapping_shl(b as u32),
+                BinaryOp::Shr | BinaryOp::AShr => a.wrapping_shr(b as u32),
+                BinaryOp::Lt => i64::from(a < b),
+                BinaryOp::Gt => i64::from(a > b),
+                BinaryOp::Le => i64::from(a <= b),
+                BinaryOp::Ge => i64::from(a >= b),
+                BinaryOp::Eq | BinaryOp::CaseEq => i64::from(a == b),
+                BinaryOp::Neq | BinaryOp::CaseNeq => i64::from(a != b),
+                BinaryOp::And => a & b,
+                BinaryOp::Or => a | b,
+                BinaryOp::Xor => a ^ b,
+                BinaryOp::Xnor => !(a ^ b),
+                BinaryOp::LogicalAnd => i64::from(a != 0 && b != 0),
+                BinaryOp::LogicalOr => i64::from(a != 0 || b != 0),
+            })
+        }
+        Expr::Ternary { cond, then_e, else_e } => {
+            if eval_const(cond, env)? != 0 {
+                eval_const(then_e, env)
+            } else {
+                eval_const(else_e, env)
+            }
+        }
+        _ => Err(ParseVerilogError::msg("non-constant expression")),
+    }
+}
+
+/// Substitutes parameter identifiers with their constant values throughout an
+/// expression.
+fn subst_expr(expr: &Expr, env: &HashMap<String, i64>) -> Expr {
+    match expr {
+        Expr::Ident(name) => match env.get(name) {
+            Some(&v) => Expr::Number {
+                width: None,
+                value: v as u64,
+            },
+            None => expr.clone(),
+        },
+        Expr::Number { .. } | Expr::Str(_) => expr.clone(),
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(subst_expr(arg, env)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(subst_expr(lhs, env)),
+            rhs: Box::new(subst_expr(rhs, env)),
+        },
+        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+            cond: Box::new(subst_expr(cond, env)),
+            then_e: Box::new(subst_expr(then_e, env)),
+            else_e: Box::new(subst_expr(else_e, env)),
+        },
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| subst_expr(p, env)).collect()),
+        Expr::Repeat { count, body } => Expr::Repeat {
+            count: Box::new(subst_expr(count, env)),
+            body: Box::new(subst_expr(body, env)),
+        },
+        Expr::BitSelect { base, index } => Expr::BitSelect {
+            base: Box::new(subst_expr(base, env)),
+            index: Box::new(subst_expr(index, env)),
+        },
+        Expr::PartSelect { base, msb, lsb } => Expr::PartSelect {
+            base: Box::new(subst_expr(base, env)),
+            msb: Box::new(subst_expr(msb, env)),
+            lsb: Box::new(subst_expr(lsb, env)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_expr(a, env)).collect(),
+        },
+    }
+}
+
+fn subst_stmt(stmt: &Stmt, env: &HashMap<String, i64>) -> Stmt {
+    match stmt {
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| subst_stmt(s, env)).collect()),
+        Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
+            lhs: subst_expr(lhs, env),
+            rhs: subst_expr(rhs, env),
+        },
+        Stmt::NonBlocking { lhs, rhs } => Stmt::NonBlocking {
+            lhs: subst_expr(lhs, env),
+            rhs: subst_expr(rhs, env),
+        },
+        Stmt::If { cond, then_s, else_s } => Stmt::If {
+            cond: subst_expr(cond, env),
+            then_s: Box::new(subst_stmt(then_s, env)),
+            else_s: else_s.as_ref().map(|s| Box::new(subst_stmt(s, env))),
+        },
+        Stmt::Case { subject, arms } => Stmt::Case {
+            subject: subst_expr(subject, env),
+            arms: arms
+                .iter()
+                .map(|(labels, body)| {
+                    (
+                        labels.iter().map(|l| subst_expr(l, env)).collect(),
+                        subst_stmt(body, env),
+                    )
+                })
+                .collect(),
+        },
+        Stmt::For { var, init, cond, step, body } => {
+            // Shadow the loop variable: it is not a parameter inside the loop.
+            let mut inner = env.clone();
+            inner.remove(var);
+            Stmt::For {
+                var: var.clone(),
+                init: subst_expr(init, env),
+                cond: subst_expr(cond, &inner),
+                step: subst_expr(step, &inner),
+                body: Box::new(subst_stmt(body, &inner)),
+            }
+        }
+        Stmt::Null => Stmt::Null,
+    }
+}
+
+/// Renames every identifier in an expression via `f`.
+fn rename_expr(expr: &Expr, f: &impl Fn(&str) -> String) -> Expr {
+    match expr {
+        Expr::Ident(name) => Expr::Ident(f(name)),
+        Expr::Number { .. } | Expr::Str(_) => expr.clone(),
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, f)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, f)),
+            rhs: Box::new(rename_expr(rhs, f)),
+        },
+        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, f)),
+            then_e: Box::new(rename_expr(then_e, f)),
+            else_e: Box::new(rename_expr(else_e, f)),
+        },
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| rename_expr(p, f)).collect()),
+        Expr::Repeat { count, body } => Expr::Repeat {
+            count: Box::new(rename_expr(count, f)),
+            body: Box::new(rename_expr(body, f)),
+        },
+        Expr::BitSelect { base, index } => Expr::BitSelect {
+            base: Box::new(rename_expr(base, f)),
+            index: Box::new(rename_expr(index, f)),
+        },
+        Expr::PartSelect { base, msb, lsb } => Expr::PartSelect {
+            base: Box::new(rename_expr(base, f)),
+            msb: Box::new(rename_expr(msb, f)),
+            lsb: Box::new(rename_expr(lsb, f)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_expr(a, f)).collect(),
+        },
+    }
+}
+
+fn rename_stmt(stmt: &Stmt, f: &impl Fn(&str) -> String) -> Stmt {
+    match stmt {
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| rename_stmt(s, f)).collect()),
+        Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
+            lhs: rename_expr(lhs, f),
+            rhs: rename_expr(rhs, f),
+        },
+        Stmt::NonBlocking { lhs, rhs } => Stmt::NonBlocking {
+            lhs: rename_expr(lhs, f),
+            rhs: rename_expr(rhs, f),
+        },
+        Stmt::If { cond, then_s, else_s } => Stmt::If {
+            cond: rename_expr(cond, f),
+            then_s: Box::new(rename_stmt(then_s, f)),
+            else_s: else_s.as_ref().map(|s| Box::new(rename_stmt(s, f))),
+        },
+        Stmt::Case { subject, arms } => Stmt::Case {
+            subject: rename_expr(subject, f),
+            arms: arms
+                .iter()
+                .map(|(labels, body)| {
+                    (
+                        labels.iter().map(|l| rename_expr(l, f)).collect(),
+                        rename_stmt(body, f),
+                    )
+                })
+                .collect(),
+        },
+        Stmt::For { var, init, cond, step, body } => Stmt::For {
+            var: f(var),
+            init: rename_expr(init, f),
+            cond: rename_expr(cond, f),
+            step: rename_expr(step, f),
+            body: Box::new(rename_stmt(body, f)),
+        },
+        Stmt::Null => Stmt::Null,
+    }
+}
+
+/// Flattens a design hierarchy into a single module.
+///
+/// Parameters are resolved to constants (defaults overridden per instance),
+/// every submodule instance is inlined with `inst__signal` renaming, and port
+/// connections become continuous assigns. For-loops with constant bounds are
+/// unrolled.
+///
+/// # Errors
+///
+/// Returns an error on unknown modules, unresolvable parameters, cyclic
+/// hierarchies (depth > 64), or non-constant loop bounds.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_hdl::{flatten, parse};
+///
+/// let unit = parse(
+///     "module inv(input a, output y); assign y = ~a; endmodule
+///      module top(input x, output z); inv u(.a(x), .y(z)); endmodule",
+/// )?;
+/// let flat = flatten(&unit, "top")?;
+/// assert!(flat.items.iter().all(|i| !matches!(i, gnn4ip_hdl::Item::Instance(_))));
+/// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+/// ```
+pub fn flatten(unit: &SourceUnit, top: &str) -> Result<Module, ParseVerilogError> {
+    let top_mod = unit
+        .module(top)
+        .ok_or_else(|| ParseVerilogError::msg(format!("module '{top}' not found")))?;
+    let mut env = HashMap::new();
+    for (name, value) in &top_mod.params {
+        let v = eval_const(value, &env)?;
+        env.insert(name.clone(), v);
+    }
+    flatten_with_params(unit, top_mod, &env, 0)
+}
+
+fn flatten_with_params(
+    unit: &SourceUnit,
+    module: &Module,
+    params: &HashMap<String, i64>,
+    depth: usize,
+) -> Result<Module, ParseVerilogError> {
+    if depth > 64 {
+        return Err(ParseVerilogError::msg(
+            "module hierarchy too deep (cyclic instantiation?)",
+        ));
+    }
+    let mut env = params.clone();
+    let mut out = Module {
+        name: module.name.clone(),
+        port_order: module.port_order.clone(),
+        ports: Vec::new(),
+        params: Vec::new(),
+        items: Vec::new(),
+    };
+    // resolve port ranges
+    for p in &module.ports {
+        let range = match &p.range {
+            Some(r) => Some(Range {
+                msb: Expr::number(eval_const(&r.msb, &env)?.max(0) as u64),
+                lsb: Expr::number(eval_const(&r.lsb, &env)?.max(0) as u64),
+            }),
+            None => None,
+        };
+        out.ports.push(Port {
+            name: p.name.clone(),
+            dir: p.dir,
+            is_reg: p.is_reg,
+            range,
+        });
+    }
+    for item in &module.items {
+        match item {
+            Item::Param { name, value } => {
+                let v = eval_const(&subst_expr(value, &env), &env)?;
+                env.insert(name.clone(), v);
+            }
+            Item::Decl { kind, name, range, init } => {
+                let range = match range {
+                    Some(r) => Some(Range {
+                        msb: Expr::number(eval_const(&subst_expr(&r.msb, &env), &env)?.max(0) as u64),
+                        lsb: Expr::number(eval_const(&subst_expr(&r.lsb, &env), &env)?.max(0) as u64),
+                    }),
+                    None => None,
+                };
+                out.items.push(Item::Decl {
+                    kind: *kind,
+                    name: name.clone(),
+                    range,
+                    init: init.as_ref().map(|e| subst_expr(e, &env)),
+                });
+            }
+            Item::Assign { lhs, rhs } => out.items.push(Item::Assign {
+                lhs: subst_expr(lhs, &env),
+                rhs: subst_expr(rhs, &env),
+            }),
+            Item::Always { sensitivity, body } => {
+                let body = unroll_fors(&subst_stmt(body, &env), &env)?;
+                out.items.push(Item::Always {
+                    sensitivity: sensitivity.clone(),
+                    body,
+                });
+            }
+            Item::Initial(body) => out.items.push(Item::Initial(subst_stmt(body, &env))),
+            Item::Gate(g) => out.items.push(Item::Gate(GateInstance {
+                kind: g.kind,
+                name: g.name.clone(),
+                conns: g.conns.iter().map(|c| subst_expr(c, &env)).collect(),
+            })),
+            Item::Instance(inst) => {
+                inline_instance(unit, inst, &env, &mut out, depth)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn inline_instance(
+    unit: &SourceUnit,
+    inst: &ModuleInstance,
+    env: &HashMap<String, i64>,
+    out: &mut Module,
+    depth: usize,
+) -> Result<(), ParseVerilogError> {
+    let child = unit.module(&inst.module).ok_or_else(|| {
+        ParseVerilogError::msg(format!(
+            "module '{}' (instance '{}') not found",
+            inst.module, inst.name
+        ))
+    })?;
+    // Bind child parameters: defaults, then overrides.
+    let mut child_params = HashMap::new();
+    for (i, (pname, pdefault)) in child.params.iter().enumerate() {
+        let mut value = None;
+        for (j, (oname, oexpr)) in inst.param_overrides.iter().enumerate() {
+            let matches = match oname {
+                Some(n) => n == pname,
+                None => j == i,
+            };
+            if matches {
+                value = Some(eval_const(&subst_expr(oexpr, env), env)?);
+            }
+        }
+        let v = match value {
+            Some(v) => v,
+            None => eval_const(&subst_expr(pdefault, env), &child_params)?,
+        };
+        child_params.insert(pname.clone(), v);
+    }
+    let flat_child = flatten_with_params(unit, child, &child_params, depth + 1)?;
+    let prefix = format!("{}__", inst.name);
+    let rename = |n: &str| format!("{prefix}{n}");
+
+    // Declare a net per child port and bridge to the parent expression.
+    for (i, port) in flat_child.ports.iter().enumerate() {
+        out.items.push(Item::Decl {
+            kind: NetKind::Wire,
+            name: rename(&port.name),
+            range: port.range.clone(),
+            init: None,
+        });
+        // find the parent connection
+        let conn: Option<&Expr> = {
+            let mut found = None;
+            for (j, (cname, cexpr)) in inst.conns.iter().enumerate() {
+                let matches = match cname {
+                    Some(n) => n == &port.name,
+                    None => {
+                        // positional: index in the child's header order
+                        flat_child.port_order.get(j).map(String::as_str)
+                            == Some(port.name.as_str())
+                            || (flat_child.port_order.is_empty() && j == i)
+                    }
+                };
+                if matches {
+                    found = cexpr.as_ref();
+                    break;
+                }
+            }
+            found
+        };
+        if let Some(parent_expr) = conn {
+            match port.dir {
+                PortDir::Input => out.items.push(Item::Assign {
+                    lhs: Expr::ident(rename(&port.name)),
+                    rhs: parent_expr.clone(),
+                }),
+                PortDir::Output | PortDir::Inout => out.items.push(Item::Assign {
+                    lhs: parent_expr.clone(),
+                    rhs: Expr::ident(rename(&port.name)),
+                }),
+            }
+        }
+    }
+    // Splice renamed child items.
+    for item in &flat_child.items {
+        let renamed = match item {
+            Item::Decl { kind, name, range, init } => Item::Decl {
+                kind: *kind,
+                name: rename(name),
+                range: range.clone(),
+                init: init.as_ref().map(|e| rename_expr(e, &rename)),
+            },
+            Item::Assign { lhs, rhs } => Item::Assign {
+                lhs: rename_expr(lhs, &rename),
+                rhs: rename_expr(rhs, &rename),
+            },
+            Item::Always { sensitivity, body } => Item::Always {
+                sensitivity: sensitivity
+                    .iter()
+                    .map(|s| match s {
+                        SensItem::Posedge(n) => SensItem::Posedge(rename(n)),
+                        SensItem::Negedge(n) => SensItem::Negedge(rename(n)),
+                        SensItem::Level(n) => SensItem::Level(rename(n)),
+                        SensItem::Star => SensItem::Star,
+                    })
+                    .collect(),
+                body: rename_stmt(body, &rename),
+            },
+            Item::Initial(body) => Item::Initial(rename_stmt(body, &rename)),
+            Item::Gate(g) => Item::Gate(GateInstance {
+                kind: g.kind,
+                name: g.name.as_ref().map(|n| rename(n)),
+                conns: g.conns.iter().map(|c| rename_expr(c, &rename)).collect(),
+            }),
+            Item::Param { .. } | Item::Instance(_) => continue,
+        };
+        out.items.push(renamed);
+    }
+    Ok(())
+}
+
+/// Unrolls `for` statements with constant bounds into flat blocks, with the
+/// loop variable substituted into the body on each iteration.
+fn unroll_fors(stmt: &Stmt, env: &HashMap<String, i64>) -> Result<Stmt, ParseVerilogError> {
+    const MAX_ITERS: usize = 4096;
+    Ok(match stmt {
+        Stmt::For { var, init, cond, step, body } => {
+            let mut iter_env = env.clone();
+            let mut v = eval_const(init, env)?;
+            let mut unrolled = Vec::new();
+            let mut count = 0usize;
+            loop {
+                iter_env.insert(var.clone(), v);
+                if eval_const(cond, &iter_env)? == 0 {
+                    break;
+                }
+                let body_i = subst_stmt(body, &iter_env);
+                unrolled.push(unroll_fors(&body_i, &iter_env)?);
+                v = eval_const(step, &iter_env)?;
+                count += 1;
+                if count > MAX_ITERS {
+                    return Err(ParseVerilogError::msg(format!(
+                        "for-loop over '{var}' exceeds {MAX_ITERS} iterations"
+                    )));
+                }
+            }
+            Stmt::Block(unrolled)
+        }
+        Stmt::Block(ss) => Stmt::Block(
+            ss.iter()
+                .map(|s| unroll_fors(s, env))
+                .collect::<Result<_, _>>()?,
+        ),
+        Stmt::If { cond, then_s, else_s } => Stmt::If {
+            cond: cond.clone(),
+            then_s: Box::new(unroll_fors(then_s, env)?),
+            else_s: match else_s {
+                Some(s) => Some(Box::new(unroll_fors(s, env)?)),
+                None => None,
+            },
+        },
+        Stmt::Case { subject, arms } => Stmt::Case {
+            subject: subject.clone(),
+            arms: arms
+                .iter()
+                .map(|(l, b)| Ok((l.clone(), unroll_fors(b, env)?)))
+                .collect::<Result<_, ParseVerilogError>>()?,
+        },
+        s => s.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn const_eval_arithmetic() {
+        let env = HashMap::from([("N".to_string(), 8i64)]);
+        let e = parse_expr("N*2-1");
+        assert_eq!(eval_const(&e, &env).expect("const"), 15);
+    }
+
+    fn parse_expr(s: &str) -> Expr {
+        let src = format!("module t(output [{s}:0] y); endmodule");
+        let unit = parse(&src).expect("parses");
+        match &unit.modules[0].ports[0].range {
+            Some(r) => r.msb.clone(),
+            None => panic!("no range"),
+        }
+    }
+
+    #[test]
+    fn flatten_single_level() {
+        let unit = parse(
+            "module inv(input a, output y); assign y = ~a; endmodule
+             module top(input x, output z); inv u0(.a(x), .y(z)); endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "top").expect("flattens");
+        assert!(flat.items.iter().all(|i| !matches!(i, Item::Instance(_))));
+        // child signals are prefixed
+        let has_prefixed = flat.items.iter().any(|i| {
+            matches!(i, Item::Decl { name, .. } if name.starts_with("u0__"))
+        });
+        assert!(has_prefixed, "{:#?}", flat.items);
+    }
+
+    #[test]
+    fn flatten_two_levels() {
+        let unit = parse(
+            "module inv(input a, output y); assign y = ~a; endmodule
+             module pair(input a, output y);
+               wire m;
+               inv i1(.a(a), .y(m));
+               inv i2(.a(m), .y(y));
+             endmodule
+             module top(input x, output z); pair p(.a(x), .y(z)); endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "top").expect("flattens");
+        let decl_names: Vec<&str> = flat
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Decl { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(decl_names.contains(&"p__m"), "{decl_names:?}");
+        assert!(decl_names.contains(&"p__i1__a"), "{decl_names:?}");
+    }
+
+    #[test]
+    fn flatten_resolves_parameters() {
+        let unit = parse(
+            "module w #(parameter N = 4)(input [N-1:0] a, output [N-1:0] y);
+               assign y = a;
+             endmodule
+             module top(input [7:0] i, output [7:0] o);
+               w #(.N(8)) u(.a(i), .y(o));
+             endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "top").expect("flattens");
+        let port_range = flat
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Decl { name, range, .. } if name == "u__a" => range.clone(),
+                _ => None,
+            })
+            .expect("u__a decl");
+        assert_eq!(port_range.msb, Expr::number(7));
+    }
+
+    #[test]
+    fn flatten_positional_connections() {
+        let unit = parse(
+            "module inv(input a, output y); assign y = ~a; endmodule
+             module top(input x, output z); inv u0(x, z); endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "top").expect("flattens");
+        let bridges = flat
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Assign { .. }))
+            .count();
+        // input bridge + output bridge + internal assign
+        assert_eq!(bridges, 3);
+    }
+
+    #[test]
+    fn flatten_unknown_module_errors() {
+        let unit = parse("module top(input x); ghost g(.a(x)); endmodule").expect("parses");
+        assert!(flatten(&unit, "top").is_err());
+    }
+
+    #[test]
+    fn unroll_for_loop() {
+        let unit = parse(
+            "module m(input [3:0] a, output reg [3:0] y);
+               integer i;
+               always @* begin
+                 for (i = 0; i < 4; i = i + 1)
+                   y[i] = a[3 - i];
+               end
+             endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "m").expect("flattens");
+        match &flat.items[1] {
+            Item::Always { body: Stmt::Block(outer), .. } => match &outer[0] {
+                Stmt::Block(iters) => {
+                    assert_eq!(iters.len(), 4);
+                    match &iters[2] {
+                        Stmt::Blocking { lhs, .. } => match lhs {
+                            Expr::BitSelect { index, .. } => {
+                                assert_eq!(**index, Expr::number(2));
+                            }
+                            e => panic!("{e:?}"),
+                        },
+                        s => panic!("{s:?}"),
+                    }
+                }
+                s => panic!("{s:?}"),
+            },
+            i => panic!("{i:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_level_module_flattens_verbatim() {
+        let unit = parse(
+            "module fa(input a, input b, output s);
+               xor (s, a, b);
+             endmodule",
+        )
+        .expect("parses");
+        let flat = flatten(&unit, "fa").expect("flattens");
+        assert!(matches!(flat.items[0], Item::Gate(_)));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_errors() {
+        let unit = parse(
+            "module a(input x, output y); b u(.x(x), .y(y)); endmodule
+             module b(input x, output y); a u(.x(x), .y(y)); endmodule",
+        )
+        .expect("parses");
+        assert!(flatten(&unit, "a").is_err());
+    }
+}

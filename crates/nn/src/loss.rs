@@ -1,0 +1,92 @@
+//! The cosine-embedding loss of Eq. 7.
+//!
+//! ```text
+//! H(Ŷ, Y) = 1 - Ŷ                    if Y = +1   (similar pair)
+//!           max(0, Ŷ - margin)       if Y = -1   (different pair)
+//! ```
+//!
+//! The margin is 0.5 throughout the paper.
+
+use gnn4ip_tensor::Var;
+
+/// The paper's fixed margin.
+pub const DEFAULT_MARGIN: f32 = 0.5;
+
+/// Pair label: similar (piracy) or different (no piracy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairLabel {
+    /// `Y = +1`: the two designs are the same IP.
+    Similar,
+    /// `Y = -1`: unrelated designs.
+    Different,
+}
+
+impl PairLabel {
+    /// The target value `Y ∈ {+1, -1}`.
+    pub fn target(self) -> f32 {
+        match self {
+            PairLabel::Similar => 1.0,
+            PairLabel::Different => -1.0,
+        }
+    }
+}
+
+/// Records the cosine-embedding loss of a predicted similarity `yhat`
+/// (a `1 x 1` variable from [`Var::cosine`]) against a pair label.
+///
+/// Returns a `1 x 1` loss variable on the same tape.
+pub fn cosine_embedding_loss<'t>(yhat: Var<'t>, label: PairLabel, margin: f32) -> Var<'t> {
+    match label {
+        PairLabel::Similar => yhat.rsub_scalar(1.0),
+        PairLabel::Different => yhat.add_scalar(-margin).relu(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_tensor::{Matrix, Tape};
+
+    fn loss_of(yhat: f32, label: PairLabel) -> f32 {
+        let tape = Tape::new();
+        let v = tape.input(Matrix::scalar(yhat));
+        cosine_embedding_loss(v, label, DEFAULT_MARGIN).item()
+    }
+
+    #[test]
+    fn similar_pair_loss_is_one_minus_yhat() {
+        assert!((loss_of(0.8, PairLabel::Similar) - 0.2).abs() < 1e-6);
+        assert!((loss_of(1.0, PairLabel::Similar)).abs() < 1e-6);
+        assert!((loss_of(-1.0, PairLabel::Similar) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn different_pair_loss_is_hinged_at_margin() {
+        assert_eq!(loss_of(0.3, PairLabel::Different), 0.0);
+        assert_eq!(loss_of(0.5, PairLabel::Different), 0.0);
+        assert!((loss_of(0.9, PairLabel::Different) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_push_in_the_right_direction() {
+        // For a similar pair, d loss / d yhat = -1 (increase similarity).
+        let tape = Tape::new();
+        let v = tape.input(Matrix::scalar(0.2));
+        let l = cosine_embedding_loss(v, PairLabel::Similar, DEFAULT_MARGIN);
+        let g = tape.backward(l);
+        assert_eq!(g.wrt(v).expect("grad").item(), -1.0);
+
+        // For a violating different pair, d loss / d yhat = +1 (decrease it).
+        let tape = Tape::new();
+        let v = tape.input(Matrix::scalar(0.9));
+        let l = cosine_embedding_loss(v, PairLabel::Different, DEFAULT_MARGIN);
+        let g = tape.backward(l);
+        assert_eq!(g.wrt(v).expect("grad").item(), 1.0);
+    }
+
+    #[test]
+    fn labels_map_to_targets() {
+        assert_eq!(PairLabel::Similar.target(), 1.0);
+        assert_eq!(PairLabel::Different.target(), -1.0);
+    }
+}

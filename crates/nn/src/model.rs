@@ -1,0 +1,604 @@
+//! The hw2vec graph-embedding model: stacked GCN layers, self-attention
+//! graph pooling, and a graph readout (Fig. 3 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gnn4ip_tensor::{Matrix, ParamId, ParamStore, Tape, Var};
+
+use crate::graph_input::GraphInput;
+
+/// Graph-readout operation (paper §III-C: sum-, mean-, or max-pooling; the
+/// evaluation uses max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Readout {
+    /// Column-wise maximum of node embeddings (the paper's choice).
+    #[default]
+    Max,
+    /// Column-wise mean.
+    Mean,
+    /// Column-wise sum.
+    Sum,
+}
+
+impl Readout {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Readout::Max => "max",
+            Readout::Mean => "mean",
+            Readout::Sum => "sum",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        Some(match s {
+            "max" => Readout::Max,
+            "mean" => Readout::Mean,
+            "sum" => Readout::Sum,
+            _ => return None,
+        })
+    }
+}
+
+/// Graph-convolution operator. The paper's background (Eqs. 1-2) frames
+/// message propagation as AGGREGATE + COMBINE; its evaluation instantiates
+/// that with GCN (Eq. 5). The SAGE variant (mean-aggregate, separate
+/// self/neighbor weights) is provided as the natural ablation of that
+/// choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvKind {
+    /// Kipf & Welling GCN: `relu(Â X W)` (the paper's choice).
+    #[default]
+    Gcn,
+    /// GraphSAGE-mean: `relu(X W_self + mean_N(X) W_neigh)`.
+    Sage,
+}
+
+impl ConvKind {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ConvKind::Gcn => "gcn",
+            ConvKind::Sage => "sage",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        Some(match s {
+            "gcn" => ConvKind::Gcn,
+            "sage" => ConvKind::Sage,
+            _ => return None,
+        })
+    }
+}
+
+/// Hyper-parameters of hw2vec. Defaults are the paper's evaluation settings
+/// (§IV): 2 GCN layers, 16 hidden units, pool ratio 0.5, max readout,
+/// dropout 0.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hw2VecConfig {
+    /// One-hot input dimension (node-kind vocabulary size).
+    pub input_dim: usize,
+    /// Hidden units per GCN layer.
+    pub hidden: usize,
+    /// Number of GCN layers.
+    pub layers: usize,
+    /// Top-k pooling keep ratio.
+    pub pool_ratio: f32,
+    /// Dropout probability after each GCN layer (training only).
+    pub dropout: f32,
+    /// Readout operation.
+    pub readout: Readout,
+    /// Graph-convolution operator.
+    pub conv: ConvKind,
+}
+
+impl Default for Hw2VecConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: gnn4ip_dfg::VOCAB_SIZE,
+            hidden: 16,
+            layers: 2,
+            pool_ratio: 0.5,
+            dropout: 0.1,
+            readout: Readout::Max,
+            conv: ConvKind::Gcn,
+        }
+    }
+}
+
+/// Forward-pass mode.
+#[derive(Debug)]
+pub enum Mode<'r> {
+    /// Inference: dropout disabled.
+    Eval,
+    /// Training: dropout masks drawn from the given RNG.
+    Train(&'r mut StdRng),
+}
+
+/// The hw2vec model: parameters plus architecture.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_nn::{Hw2Vec, Hw2VecConfig, GraphInput};
+/// use gnn4ip_dfg::graph_from_verilog;
+///
+/// let model = Hw2Vec::new(Hw2VecConfig::default(), 7);
+/// let g = graph_from_verilog(
+///     "module inv(input a, output y); assign y = ~a; endmodule", None)?;
+/// let h = model.embed(&GraphInput::from_dfg(&g));
+/// assert_eq!(h.len(), 16);
+/// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hw2Vec {
+    config: Hw2VecConfig,
+    params: ParamStore,
+    layer_w: Vec<ParamId>,
+    /// SAGE neighbor weights (empty for GCN).
+    layer_w2: Vec<ParamId>,
+    layer_b: Vec<ParamId>,
+    score_w: ParamId,
+    score_b: ParamId,
+}
+
+impl Hw2Vec {
+    /// Creates a model with Glorot-initialized weights from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero layers or zero hidden units.
+    pub fn new(config: Hw2VecConfig, seed: u64) -> Self {
+        assert!(config.layers >= 1, "at least one GCN layer required");
+        assert!(config.hidden >= 1, "hidden width must be positive");
+        assert!(
+            config.pool_ratio > 0.0 && config.pool_ratio <= 1.0,
+            "pool ratio must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamStore::new();
+        let mut layer_w = Vec::new();
+        let mut layer_w2 = Vec::new();
+        let mut layer_b = Vec::new();
+        for l in 0..config.layers {
+            let fan_in = if l == 0 { config.input_dim } else { config.hidden };
+            layer_w.push(params.add_glorot(format!("conv{l}.w"), fan_in, config.hidden, &mut rng));
+            if config.conv == ConvKind::Sage {
+                layer_w2.push(params.add_glorot(
+                    format!("conv{l}.w_neigh"),
+                    fan_in,
+                    config.hidden,
+                    &mut rng,
+                ));
+            }
+            layer_b.push(params.add(format!("conv{l}.b"), Matrix::zeros(1, config.hidden)));
+        }
+        let score_w = params.add_glorot("pool.score.w", config.hidden, 1, &mut rng);
+        let score_b = params.add("pool.score.b", Matrix::zeros(1, 1));
+        Self {
+            config,
+            params,
+            layer_w,
+            layer_w2,
+            layer_b,
+            score_w,
+            score_b,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &Hw2VecConfig {
+        &self.config
+    }
+
+    /// The parameter store (for optimizers).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Mutable parameter store (for optimizers).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
+    /// Records the hw2vec forward pass on `tape`, returning the `1 x hidden`
+    /// graph embedding variable.
+    ///
+    /// `param_vars` must come from `self.params().inject(tape)`.
+    pub fn forward<'t>(
+        &self,
+        _tape: &'t Tape,
+        param_vars: &[Var<'t>],
+        graph: &GraphInput,
+        mode: &mut Mode<'_>,
+    ) -> Var<'t> {
+        // --- message propagation: L conv layers (Eq. 5 for GCN; Eqs. 1-2
+        // mean-AGGREGATE/COMBINE for SAGE) ---
+        // ReLU + dropout between layers; the final layer stays linear so
+        // embeddings keep signed components (an all-ReLU stack collapses the
+        // cosine objective toward the zero vector — see DESIGN.md).
+        // First layer exploits one-hot features: X W = W[kinds].
+        let last = self.config.layers - 1;
+        let w0 = param_vars[self.layer_w[0].index()];
+        let mut h = match self.config.conv {
+            ConvKind::Gcn => w0.select_rows(&graph.kinds).spmm(&graph.adj),
+            ConvKind::Sage => {
+                let wn = param_vars[self.layer_w2[0].index()];
+                w0.select_rows(&graph.kinds)
+                    .add(wn.select_rows(&graph.kinds).spmm(&graph.mean_adj))
+            }
+        };
+        h = h.add_bias(param_vars[self.layer_b[0].index()]);
+        if last > 0 {
+            h = self.maybe_dropout(h.relu(), mode);
+        }
+        for l in 1..self.config.layers {
+            let w = param_vars[self.layer_w[l].index()];
+            let b = param_vars[self.layer_b[l].index()];
+            h = match self.config.conv {
+                ConvKind::Gcn => h.matmul(w).spmm(&graph.adj),
+                ConvKind::Sage => {
+                    let wn = param_vars[self.layer_w2[l].index()];
+                    h.matmul(w).add(h.spmm(&graph.mean_adj).matmul(wn))
+                }
+            };
+            h = h.add_bias(b);
+            if l < last {
+                h = self.maybe_dropout(h.relu(), mode);
+            }
+        }
+
+        // --- self-attention graph pooling (top-k, GCN scorer) ---
+        let sw = param_vars[self.score_w.index()];
+        let sb = param_vars[self.score_b.index()];
+        let score = h.matmul(sw).spmm(&graph.adj).add_bias(sb);
+        let alpha = score.tanh();
+        let idx = top_k_indices(&alpha.value(), self.config.pool_ratio);
+        let h_pool = h.select_rows(&idx).mul_col(alpha.select_rows(&idx));
+
+        // --- graph readout ---
+        match self.config.readout {
+            Readout::Max => h_pool.readout_max(),
+            Readout::Mean => h_pool.readout_mean(),
+            Readout::Sum => h_pool.readout_sum(),
+        }
+    }
+
+    fn maybe_dropout<'t>(&self, h: Var<'t>, mode: &mut Mode<'_>) -> Var<'t> {
+        match mode {
+            Mode::Eval => h,
+            Mode::Train(rng) => {
+                if self.config.dropout <= 0.0 {
+                    return h;
+                }
+                let (r, c) = h.shape();
+                let p = self.config.dropout;
+                let mask: Vec<bool> = (0..r * c).map(|_| rng.gen::<f32>() >= p).collect();
+                h.dropout(&mask, p)
+            }
+        }
+    }
+
+    /// Computes the graph embedding in inference mode.
+    pub fn embed(&self, graph: &GraphInput) -> Vec<f32> {
+        let tape = Tape::new();
+        let vars = self.params.inject(&tape);
+        let h = self.forward(&tape, &vars, graph, &mut Mode::Eval);
+        h.value().into_vec()
+    }
+
+    /// Cosine similarity of two graphs' embeddings (Eq. 6), in `[-1, 1]`.
+    pub fn similarity(&self, a: &GraphInput, b: &GraphInput) -> f32 {
+        let tape = Tape::new();
+        let vars = self.params.inject(&tape);
+        let ha = self.forward(&tape, &vars, a, &mut Mode::Eval);
+        let hb = self.forward(&tape, &vars, b, &mut Mode::Eval);
+        ha.cosine(hb).item()
+    }
+
+    /// Serializes config + weights to a self-describing text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("hw2vec-model v1\n");
+        s.push_str(&format!(
+            "config {} {} {} {} {} {} {}\n",
+            self.config.input_dim,
+            self.config.hidden,
+            self.config.layers,
+            self.config.pool_ratio,
+            self.config.dropout,
+            self.config.readout.tag(),
+            self.config.conv.tag()
+        ));
+        for (name, m) in self.params.iter() {
+            s.push_str(&format!("param {name} {} {}\n", m.rows(), m.cols()));
+            for r in 0..m.rows() {
+                let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:e}")).collect();
+                s.push_str(&row.join(" "));
+                s.push('\n');
+            }
+        }
+        s
+    }
+
+    /// Deserializes a model written by [`Hw2Vec::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty model text")?;
+        if header != "hw2vec-model v1" {
+            return Err(format!("unsupported model header '{header}'"));
+        }
+        let cfg_line = lines.next().ok_or("missing config line")?;
+        let parts: Vec<&str> = cfg_line.split_whitespace().collect();
+        if !(parts.len() == 7 || parts.len() == 8) || parts[0] != "config" {
+            return Err(format!("bad config line '{cfg_line}'"));
+        }
+        let parse_usize =
+            |s: &str| s.parse::<usize>().map_err(|e| format!("bad integer '{s}': {e}"));
+        let parse_f32 = |s: &str| s.parse::<f32>().map_err(|e| format!("bad float '{s}': {e}"));
+        let config = Hw2VecConfig {
+            input_dim: parse_usize(parts[1])?,
+            hidden: parse_usize(parts[2])?,
+            layers: parse_usize(parts[3])?,
+            pool_ratio: parse_f32(parts[4])?,
+            dropout: parse_f32(parts[5])?,
+            readout: Readout::from_tag(parts[6]).ok_or("bad readout tag")?,
+            conv: match parts.get(7) {
+                Some(tag) => ConvKind::from_tag(tag).ok_or("bad conv tag")?,
+                None => ConvKind::Gcn, // legacy 7-field config
+            },
+        };
+        let mut model = Hw2Vec::new(config, 0);
+        // overwrite parameters in order
+        let mut param_idx = 0usize;
+        let mut lines = lines.peekable();
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[0] != "param" {
+                return Err(format!("bad param header '{line}'"));
+            }
+            let rows = parse_usize(parts[2])?;
+            let cols = parse_usize(parts[3])?;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows {
+                let row = lines.next().ok_or("truncated param matrix")?;
+                for tok in row.split_whitespace() {
+                    data.push(parse_f32(tok)?);
+                }
+            }
+            if data.len() != rows * cols {
+                return Err(format!("param '{}' has wrong element count", parts[1]));
+            }
+            let mut ordered_ids: Vec<ParamId> = Vec::new();
+            for l in 0..model.config.layers {
+                ordered_ids.push(model.layer_w[l]);
+                if model.config.conv == ConvKind::Sage {
+                    ordered_ids.push(model.layer_w2[l]);
+                }
+                ordered_ids.push(model.layer_b[l]);
+            }
+            ordered_ids.extend([model.score_w, model.score_b]);
+            let id = *ordered_ids
+                .get(param_idx)
+                .ok_or("more params in file than in architecture")?;
+            *model.params.get_mut(id) = Matrix::from_vec(rows, cols, data);
+            param_idx += 1;
+        }
+        Ok(model)
+    }
+}
+
+/// Indices of the top `ceil(ratio * n)` rows of an `n x 1` score column,
+/// by descending score (ties broken by node id for determinism).
+pub fn top_k_indices(alpha: &Matrix, ratio: f32) -> Vec<usize> {
+    let n = alpha.rows();
+    let k = ((ratio * n as f32).ceil() as usize).clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        alpha
+            .get(b, 0)
+            .partial_cmp(&alpha.get(a, 0))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut idx = order[..k].to_vec();
+    // preserve original node order inside the pool (stability for spmm reuse)
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn4ip_dfg::{Dfg, NodeKind};
+
+    fn graph(n_extra: usize) -> GraphInput {
+        let mut g = Dfg::new("g");
+        let y = g.add_node(NodeKind::Output, "y");
+        let op = g.add_node(NodeKind::Xor, "xor");
+        let a = g.add_node(NodeKind::Input, "a");
+        g.add_edge(y, op);
+        g.add_edge(op, a);
+        let mut prev = a;
+        for i in 0..n_extra {
+            let w = g.add_node(NodeKind::And, format!("n{i}"));
+            g.add_edge(prev, w);
+            prev = w;
+        }
+        g.add_root(y);
+        GraphInput::from_dfg(&g)
+    }
+
+    #[test]
+    fn embedding_has_hidden_width() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 1);
+        let e = m.embed(&graph(5));
+        assert_eq!(e.len(), 16);
+        assert!(e.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identical_graphs_have_similarity_one() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 2);
+        let g = graph(4);
+        let s = m.similarity(&g, &g);
+        assert!((s - 1.0).abs() < 1e-5, "self-similarity {s}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 3);
+        let (a, b) = (graph(2), graph(9));
+        assert!((m.similarity(&a, &b) - m.similarity(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn embedding_is_permutation_invariant() {
+        // Build the same graph with nodes declared in a different order: the
+        // readout over GCN features must not change.
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 4);
+        let mut g1 = Dfg::new("p1");
+        let y1 = g1.add_node(NodeKind::Output, "y");
+        let op1 = g1.add_node(NodeKind::Xor, "x");
+        let a1 = g1.add_node(NodeKind::Input, "a");
+        g1.add_edge(y1, op1);
+        g1.add_edge(op1, a1);
+        g1.add_root(y1);
+
+        let mut g2 = Dfg::new("p2");
+        let a2 = g2.add_node(NodeKind::Input, "a");
+        let op2 = g2.add_node(NodeKind::Xor, "x");
+        let y2 = g2.add_node(NodeKind::Output, "y");
+        g2.add_edge(y2, op2);
+        g2.add_edge(op2, a2);
+        g2.add_root(y2);
+
+        let e1 = m.embed(&GraphInput::from_dfg(&g1));
+        let e2 = m.embed(&GraphInput::from_dfg(&g2));
+        for (x, y) in e1.iter().zip(&e2) {
+            assert!((x - y).abs() < 1e-5, "{e1:?} vs {e2:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_best_scores() {
+        let alpha = Matrix::from_vec(4, 1, vec![0.1, 0.9, -0.5, 0.4]);
+        let idx = top_k_indices(&alpha, 0.5);
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_keeps_at_least_one() {
+        let alpha = Matrix::from_vec(1, 1, vec![0.0]);
+        assert_eq!(top_k_indices(&alpha, 0.01), vec![0]);
+    }
+
+    #[test]
+    fn readout_variants_differ() {
+        let g = graph(6);
+        let mk = |ro| {
+            let cfg = Hw2VecConfig {
+                readout: ro,
+                ..Hw2VecConfig::default()
+            };
+            Hw2Vec::new(cfg, 5).embed(&g)
+        };
+        let (mx, mean, sum) = (mk(Readout::Max), mk(Readout::Mean), mk(Readout::Sum));
+        assert_ne!(mx, mean);
+        assert_ne!(mean, sum);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_embeddings() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 6);
+        let g = graph(3);
+        let text = m.to_text();
+        let m2 = Hw2Vec::from_text(&text).expect("loads");
+        assert_eq!(m.embed(&g), m2.embed(&g));
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Hw2Vec::from_text("not a model").is_err());
+        assert!(Hw2Vec::from_text("hw2vec-model v1\nconfig oops").is_err());
+    }
+
+    #[test]
+    fn train_mode_dropout_changes_activations() {
+        let cfg = Hw2VecConfig {
+            dropout: 0.5,
+            ..Hw2VecConfig::default()
+        };
+        let m = Hw2Vec::new(cfg, 7);
+        let g = graph(10);
+        let tape = Tape::new();
+        let vars = m.params().inject(&tape);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h_train = m
+            .forward(&tape, &vars, &g, &mut Mode::Train(&mut rng))
+            .value();
+        let h_eval = m.forward(&tape, &vars, &g, &mut Mode::Eval).value();
+        assert_ne!(h_train, h_eval);
+    }
+
+    #[test]
+    fn sage_conv_embeds_and_roundtrips() {
+        let cfg = Hw2VecConfig {
+            conv: ConvKind::Sage,
+            ..Hw2VecConfig::default()
+        };
+        let m = Hw2Vec::new(cfg, 21);
+        let g = graph(5);
+        let e = m.embed(&g);
+        assert_eq!(e.len(), 16);
+        assert!(e.iter().all(|v| v.is_finite()));
+        let m2 = Hw2Vec::from_text(&m.to_text()).expect("loads");
+        assert_eq!(m2.config().conv, ConvKind::Sage);
+        assert_eq!(m.embed(&g), m2.embed(&g));
+    }
+
+    #[test]
+    fn sage_and_gcn_differ() {
+        let g = graph(6);
+        let gcn = Hw2Vec::new(Hw2VecConfig::default(), 22).embed(&g);
+        let sage = Hw2Vec::new(
+            Hw2VecConfig {
+                conv: ConvKind::Sage,
+                ..Hw2VecConfig::default()
+            },
+            22,
+        )
+        .embed(&g);
+        assert_ne!(gcn, sage);
+    }
+
+    #[test]
+    fn legacy_config_line_defaults_to_gcn() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 23);
+        // strip the conv tag to emulate a v-early model file
+        let text = m.to_text().replacen(" gcn\n", "\n", 1);
+        let m2 = Hw2Vec::from_text(&text).expect("loads legacy");
+        assert_eq!(m2.config().conv, ConvKind::Gcn);
+    }
+
+    #[test]
+    fn single_layer_config_works() {
+        let cfg = Hw2VecConfig {
+            layers: 1,
+            ..Hw2VecConfig::default()
+        };
+        let m = Hw2Vec::new(cfg, 8);
+        assert_eq!(m.embed(&graph(2)).len(), 16);
+    }
+}

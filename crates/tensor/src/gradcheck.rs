@@ -1,0 +1,184 @@
+//! Finite-difference gradient checking.
+//!
+//! The autograd engine is hand-written, so every op's backward rule is
+//! validated against central differences. Exposed as a library function so
+//! downstream crates (e.g. the GNN layers) can grad-check whole models.
+
+use crate::{Matrix, Tape, Var};
+
+/// Result of a gradient check for one input.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric gradient.
+    pub max_abs_diff: f32,
+    /// Maximum relative difference (normalized by magnitude, floored at 1).
+    pub max_rel_diff: f32,
+}
+
+impl GradCheckReport {
+    /// Whether the gradients agree within `tol` (relative).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_diff <= tol
+    }
+}
+
+/// Compares the analytic gradient of `f` at `x0` with central finite
+/// differences.
+///
+/// `f` must build a scalar (`1 x 1`) loss on the provided tape from the given
+/// input variable. The same closure is re-run for each perturbed entry, so it
+/// must be deterministic (fix dropout masks etc. outside).
+///
+/// # Panics
+///
+/// Panics if `f` does not return a `1 x 1` variable.
+pub fn check_gradient(
+    x0: &Matrix,
+    eps: f32,
+    f: impl for<'t> Fn(&'t Tape, Var<'t>) -> Var<'t>,
+) -> GradCheckReport {
+    // Analytic gradient.
+    let tape = Tape::new();
+    let x = tape.input(x0.clone());
+    let loss = f(&tape, x);
+    assert_eq!(loss.shape(), (1, 1), "gradient check requires scalar loss");
+    let grads = tape.backward(loss);
+    let analytic = grads.wrt_or_zero(x);
+
+    // Numeric gradient by central differences.
+    let eval = |m: &Matrix| -> f32 {
+        let t = Tape::new();
+        let v = t.input(m.clone());
+        f(&t, v).item()
+    };
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x0.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / numeric.abs().max(a.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{normalized_adjacency, CsrMatrix};
+
+    const EPS: f32 = 1e-2;
+    const TOL: f32 = 2e-2;
+
+    fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic pseudo-random values away from ReLU kinks.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+            if v.abs() < 0.05 {
+                v + 0.2
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let x0 = sample(3, 4, 1);
+        let w = sample(4, 2, 2);
+        let rep = check_gradient(&x0, EPS, |t, x| {
+            let wv = t.input(w.clone());
+            x.matmul(wv).sum_all()
+        });
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn grad_relu_tanh_sigmoid() {
+        for (i, op) in ["relu", "tanh", "sigmoid"].iter().enumerate() {
+            let x0 = sample(2, 3, 10 + i as u64);
+            let op = *op;
+            let rep = check_gradient(&x0, EPS, move |_t, x| {
+                let y = match op {
+                    "relu" => x.relu(),
+                    "tanh" => x.tanh(),
+                    _ => x.sigmoid(),
+                };
+                y.sum_all()
+            });
+            assert!(rep.passes(TOL), "{op}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let x0 = sample(4, 3, 20);
+        let adj: CsrMatrix = normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)]);
+        let rep = check_gradient(&x0, EPS, move |_t, x| x.spmm(&adj).sum_all());
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn grad_cosine() {
+        let x0 = sample(1, 6, 30);
+        let other = sample(1, 6, 31);
+        let rep = check_gradient(&x0, 1e-3, move |t, x| {
+            let b = t.input(other.clone());
+            x.cosine(b)
+        });
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn grad_mul_col_and_select() {
+        let x0 = sample(4, 3, 40);
+        let col = sample(2, 1, 41);
+        let rep = check_gradient(&x0, EPS, move |t, x| {
+            let c = t.input(col.clone());
+            x.select_rows(&[1, 3]).mul_col(c).sum_all()
+        });
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+
+    #[test]
+    fn grad_readouts() {
+        let x0 = sample(5, 4, 50);
+        for (i, ro) in ["max", "mean", "sum"].iter().enumerate() {
+            let ro = *ro;
+            let x0 = x0.clone();
+            let _ = i;
+            let rep = check_gradient(&x0, 1e-3, move |_t, x| match ro {
+                "max" => x.readout_max().sum_all(),
+                "mean" => x.readout_mean().sum_all(),
+                _ => x.readout_sum().sum_all(),
+            });
+            assert!(rep.passes(TOL), "{ro}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn grad_composite_gcn_like_layer() {
+        // relu(Â x W + b) summed — a full GCN layer.
+        let x0 = sample(4, 3, 60);
+        let w = sample(3, 5, 61);
+        let b = sample(1, 5, 62);
+        let adj = normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let rep = check_gradient(&x0, EPS, move |t, x| {
+            let wv = t.input(w.clone());
+            let bv = t.input(b.clone());
+            x.spmm(&adj).matmul(wv).add_bias(bv).relu().sum_all()
+        });
+        assert!(rep.passes(TOL), "{rep:?}");
+    }
+}

@@ -1,0 +1,606 @@
+//! Dense row-major `f32` matrix used throughout the GNN stack.
+//!
+//! The paper's model is tiny (two GCN layers with 16 hidden units), so a
+//! straightforward dense matrix with cache-friendly row-major storage is the
+//! right substrate: no BLAS, no unsafe, and every op is easy to verify.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.matmul(&Matrix::eye(2)), m);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4}", self.get(r, c))?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix whose entries are produced by `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a `1 x 1` matrix holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1 x 1` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the inner loop walks both `rhs` and `out` rows
+        // contiguously, which matters for the ~3500-node netlist graphs.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise combination of two same-shaped matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "elementwise op on mismatched shapes {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every row `r` by the scalar `col[r]` (an `n x 1` column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not `self.rows() x 1`.
+    pub fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        assert_eq!(col.cols, 1, "col must be a column vector");
+        assert_eq!(col.rows, self.rows, "col height mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = col.data[r];
+            for v in out.row_mut(r) {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new matrix (in `idx` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (to, &from) in idx.iter().enumerate() {
+            out.row_mut(to).copy_from_slice(self.row(from));
+        }
+        out
+    }
+
+    /// Column-wise maximum over all rows, with the argmax row per column.
+    ///
+    /// Returns `(1 x cols max, argmax-row-per-column)`. Used by the
+    /// max-pooling graph readout, whose backward routes gradient only to the
+    /// argmax rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no rows.
+    pub fn col_max(&self) -> (Matrix, Vec<usize>) {
+        assert!(self.rows > 0, "col_max on empty matrix");
+        let mut max = self.row(0).to_vec();
+        let mut arg = vec![0usize; self.cols];
+        for r in 1..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v > max[c] {
+                    max[c] = v;
+                    arg[c] = r;
+                }
+            }
+        }
+        (Matrix::from_vec(1, self.cols, max), arg)
+    }
+
+    /// Column-wise mean over all rows (`1 x cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has no rows.
+    pub fn col_mean(&self) -> Matrix {
+        assert!(self.rows > 0, "col_mean on empty matrix");
+        self.col_sum().scale(1.0 / self.rows as f32)
+    }
+
+    /// Column-wise sum over all rows (`1 x cols`).
+    pub fn col_sum(&self) -> Matrix {
+        let mut sum = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                sum[c] += v;
+            }
+        }
+        Matrix::from_vec(1, self.cols, sum)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Dot product of two matrices viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn dot(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape(), "dot on mismatched shapes");
+        self.data.iter().zip(&rhs.data).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Maximum absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// True when `self` and `rhs` differ by at most `tol` in every entry.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f32) -> bool {
+        self.shape() == rhs.shape()
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Accumulates `rhs` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Accumulates `scale * rhs` into `self` in place (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_assign(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_eye() {
+        assert_eq!(Matrix::zeros(2, 3).sum(), 0.0);
+        assert_eq!(Matrix::ones(2, 3).sum(), 6.0);
+        let i = Matrix::eye(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matmul(&Matrix::eye(3)), m);
+        assert_eq!(Matrix::eye(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 2.0]]));
+        assert_eq!(a.sub(&b), Matrix::from_rows(&[&[-2.0, -6.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, -4.0]]));
+    }
+
+    #[test]
+    fn broadcast_ops() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::from_rows(&[&[10.0, 20.0]]);
+        assert_eq!(
+            x.add_row_broadcast(&bias),
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
+        let col = Matrix::from_vec(2, 1, vec![2.0, -1.0]);
+        assert_eq!(
+            x.mul_col_broadcast(&col),
+            Matrix::from_rows(&[&[2.0, 4.0], &[-3.0, -4.0]])
+        );
+    }
+
+    #[test]
+    fn select_rows_gathers_in_order() {
+        let x = Matrix::from_fn(4, 2, |r, c| (r * 10 + c) as f32);
+        let g = x.select_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[20.0, 21.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[20.0, 21.0]);
+    }
+
+    #[test]
+    fn col_reductions() {
+        let x = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 2.0], &[2.0, 2.0]]);
+        let (mx, arg) = x.col_max();
+        assert_eq!(mx, Matrix::from_rows(&[&[3.0, 5.0]]));
+        assert_eq!(arg, vec![1, 0]);
+        assert_eq!(x.col_sum(), Matrix::from_rows(&[&[6.0, 9.0]]));
+        assert!(x.col_mean().approx_eq(&Matrix::from_rows(&[&[2.0, 3.0]]), 1e-6));
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(a.dot(&b), 11.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Matrix::zeros(1, 2);
+        a.add_assign(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        a.add_scaled_assign(&Matrix::from_rows(&[&[1.0, 1.0]]), 0.5);
+        assert_eq!(a, Matrix::from_rows(&[&[1.5, 2.5]]));
+    }
+
+    #[test]
+    fn item_and_scalar() {
+        assert_eq!(Matrix::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "item() requires")]
+    fn item_requires_1x1() {
+        let _ = Matrix::zeros(2, 1).item();
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::ones(1, 2);
+        assert!(m.is_finite());
+        m.set(0, 1, f32::NAN);
+        assert!(!m.is_finite());
+    }
+}

@@ -1,0 +1,663 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation of a forward pass; [`Tape::backward`]
+//! replays the tape in reverse, producing gradients with respect to every
+//! recorded variable. Each operation captures (clones of) the values it needs
+//! for its backward rule at construction time, so the backward pass never
+//! re-borrows the tape — a deliberately simple design that the paper's small
+//! model (2 GCN layers x 16 units) makes affordable.
+//!
+//! # Examples
+//!
+//! ```
+//! use gnn4ip_tensor::{Matrix, Tape};
+//!
+//! let tape = Tape::new();
+//! let x = tape.input(Matrix::scalar(3.0));
+//! let y = x.hadamard(x); // y = x^2
+//! let grads = tape.backward(y);
+//! assert_eq!(grads.wrt(x).expect("x participates").item(), 6.0); // dy/dx = 2x
+//! ```
+
+use std::cell::RefCell;
+
+use crate::{CsrMatrix, Matrix};
+
+type BackwardFn = Box<dyn Fn(&Matrix) -> Vec<(usize, Matrix)>>;
+
+struct TapeNode {
+    value: Matrix,
+    backward: Option<BackwardFn>,
+}
+
+/// A recording of a differentiable computation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<TapeNode>>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.borrow().len())
+    }
+}
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; it is just an index plus a tape reference. All arithmetic
+/// methods record a new node and return its handle.
+#[derive(Copy, Clone)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    idx: usize,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(#{}, {:?})", self.idx, self.shape())
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// The gradient with respect to `v`, or `None` if `v` did not participate
+    /// in the differentiated value.
+    pub fn wrt(&self, v: Var<'_>) -> Option<&Matrix> {
+        self.grads.get(v.idx).and_then(|g| g.as_ref())
+    }
+
+    /// The gradient with respect to `v`, or an all-zero matrix of `v`'s shape.
+    pub fn wrt_or_zero(&self, v: Var<'_>) -> Matrix {
+        match self.wrt(v) {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = v.shape();
+                Matrix::zeros(r, c)
+            }
+        }
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Matrix, backward: Option<BackwardFn>) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(TapeNode { value, backward });
+        Var {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
+    }
+
+    /// Records a leaf (input or parameter) value.
+    pub fn input(&self, value: Matrix) -> Var<'_> {
+        self.push(value, None)
+    }
+
+    /// Runs reverse-mode differentiation from `root`.
+    ///
+    /// The seed gradient is all-ones of `root`'s shape, so for a `1 x 1` loss
+    /// this computes ordinary gradients.
+    pub fn backward(&self, root: Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Matrix>> = Vec::with_capacity(nodes.len());
+        grads.resize_with(nodes.len(), || None);
+        let (r, c) = nodes[root.idx].value.shape();
+        grads[root.idx] = Some(Matrix::ones(r, c));
+        for i in (0..=root.idx).rev() {
+            let Some(g) = grads[i].clone() else { continue };
+            if let Some(bw) = &nodes[i].backward {
+                for (pidx, pg) in bw(&g) {
+                    debug_assert!(pidx < i, "backward edge must point to an earlier node");
+                    match &mut grads[pidx] {
+                        Some(acc) => acc.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// A clone of the recorded value.
+    pub fn value(&self) -> Matrix {
+        self.tape.nodes.borrow()[self.idx].value.clone()
+    }
+
+    /// `(rows, cols)` of the recorded value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.nodes.borrow()[self.idx].value.shape()
+    }
+
+    /// The scalar of a `1 x 1` variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        self.tape.nodes.borrow()[self.idx].value.item()
+    }
+
+    fn unary(self, value: Matrix, bw: impl Fn(&Matrix) -> Matrix + 'static) -> Var<'t> {
+        let src = self.idx;
+        self.tape
+            .push(value, Some(Box::new(move |g| vec![(src, bw(g))])))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.matmul(&b);
+        let (ai, bi) = (self.idx, rhs.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![
+                    (ai, g.matmul(&b.transpose())),
+                    (bi, a.transpose().matmul(g)),
+                ]
+            })),
+        )
+    }
+
+    /// Sparse-dense product `adj * self` (message propagation of Eq. 5).
+    ///
+    /// The adjacency is a constant (no gradient flows into it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(self, adj: &CsrMatrix) -> Var<'t> {
+        let out = adj.spmm(&self.value());
+        let adj_t = adj.transpose();
+        self.unary(out, move |g| adj_t.spmm(g))
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let out = self.value().add(&rhs.value());
+        let (ai, bi) = (self.idx, rhs.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| vec![(ai, g.clone()), (bi, g.clone())])),
+        )
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let out = self.value().sub(&rhs.value());
+        let (ai, bi) = (self.idx, rhs.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(ai, g.clone()), (bi, g.scale(-1.0))]
+            })),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(self, rhs: Var<'t>) -> Var<'t> {
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.hadamard(&b);
+        let (ai, bi) = (self.idx, rhs.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(ai, g.hadamard(&b)), (bi, g.hadamard(&a))]
+            })),
+        )
+    }
+
+    /// Scales every entry by the constant `s`.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let out = self.value().scale(s);
+        self.unary(out, move |g| g.scale(s))
+    }
+
+    /// Adds the constant `c` to every entry.
+    pub fn add_scalar(self, c: f32) -> Var<'t> {
+        let out = self.value().map(|v| v + c);
+        self.unary(out, |g| g.clone())
+    }
+
+    /// Computes `c - self` for a constant `c`.
+    pub fn rsub_scalar(self, c: f32) -> Var<'t> {
+        let out = self.value().map(|v| c - v);
+        self.unary(out, |g| g.scale(-1.0))
+    }
+
+    /// Adds a `1 x cols` bias row to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_bias(self, bias: Var<'t>) -> Var<'t> {
+        let out = self.value().add_row_broadcast(&bias.value());
+        let (xi, bi) = (self.idx, bias.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(xi, g.clone()), (bi, g.col_sum())]
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(0.0));
+        self.unary(out, move |g| {
+            g.zip_with(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 })
+        })
+    }
+
+    /// Hyperbolic tangent (used as the attention activation in SAGPool).
+    pub fn tanh(self) -> Var<'t> {
+        let out = self.value().map(f32::tanh);
+        let y = out.clone();
+        self.unary(out, move |g| g.zip_with(&y, |gv, yv| gv * (1.0 - yv * yv)))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = out.clone();
+        self.unary(out, move |g| g.zip_with(&y, |gv, yv| gv * yv * (1.0 - yv)))
+    }
+
+    /// Inverted-dropout with keep-probability `1 - p`, using the caller's
+    /// mask. Entries where `mask` is `false` are zeroed; survivors are scaled
+    /// by `1 / (1 - p)` so the expectation is unchanged.
+    ///
+    /// The mask is supplied (rather than drawn here) so training code owns
+    /// the RNG; see `dropout_mask` for the standard way to draw one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len()` differs from the number of entries or if
+    /// `p >= 1.0`.
+    pub fn dropout(self, mask: &[bool], p: f32) -> Var<'t> {
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let x = self.value();
+        assert_eq!(mask.len(), x.len(), "dropout mask length mismatch");
+        let scale = 1.0 / (1.0 - p);
+        let keep: Vec<f32> = mask.iter().map(|&k| if k { scale } else { 0.0 }).collect();
+        let (r, c) = x.shape();
+        let keep = Matrix::from_vec(r, c, keep);
+        let out = x.hadamard(&keep);
+        self.unary(out, move |g| g.hadamard(&keep))
+    }
+
+    /// Gathers rows `idx` into a new matrix (differentiable gather).
+    ///
+    /// The backward pass scatter-adds gradients into the source rows. With a
+    /// one-hot feature matrix, `W.select_rows(kinds)` *is* `X · W`, which is
+    /// how the GCN input layer avoids materializing `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn select_rows(self, idx: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let out = x.select_rows(idx);
+        let idx = idx.to_vec();
+        let (rows, cols) = x.shape();
+        self.unary(out, move |g| {
+            let mut gx = Matrix::zeros(rows, cols);
+            for (from, &to) in idx.iter().enumerate() {
+                let src = g.row(from).to_vec();
+                let dst = gx.row_mut(to);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            gx
+        })
+    }
+
+    /// Multiplies every row `r` by the scalar `col[r]` (an `n x 1` column
+    /// variable) — the `X_pool = X[idx] ⊙ α[idx]` step of SAGPool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul_col(self, col: Var<'t>) -> Var<'t> {
+        let x = self.value();
+        let a = col.value();
+        let out = x.mul_col_broadcast(&a);
+        let (xi, ci) = (self.idx, col.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g| {
+                let gx = g.mul_col_broadcast(&a);
+                let mut gc = Matrix::zeros(a.rows(), 1);
+                for r in 0..a.rows() {
+                    let s: f32 = g
+                        .row(r)
+                        .iter()
+                        .zip(x.row(r))
+                        .map(|(&gv, &xv)| gv * xv)
+                        .sum();
+                    gc.set(r, 0, s);
+                }
+                vec![(xi, gx), (ci, gc)]
+            })),
+        )
+    }
+
+    /// Column-wise max readout (`n x c` → `1 x c`).
+    ///
+    /// Gradient is routed only to the argmax row of each column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable has no rows.
+    pub fn readout_max(self) -> Var<'t> {
+        let x = self.value();
+        let (out, arg) = x.col_max();
+        let (rows, cols) = x.shape();
+        self.unary(out, move |g| {
+            let mut gx = Matrix::zeros(rows, cols);
+            for c in 0..cols {
+                gx.set(arg[c], c, g.get(0, c));
+            }
+            gx
+        })
+    }
+
+    /// Column-wise mean readout (`n x c` → `1 x c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable has no rows.
+    pub fn readout_mean(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.col_mean();
+        let (rows, cols) = x.shape();
+        let inv = 1.0 / rows as f32;
+        self.unary(out, move |g| {
+            let mut gx = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    gx.set(r, c, g.get(0, c) * inv);
+                }
+            }
+            gx
+        })
+    }
+
+    /// Column-wise sum readout (`n x c` → `1 x c`).
+    pub fn readout_sum(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.col_sum();
+        let (rows, cols) = x.shape();
+        self.unary(out, move |g| {
+            let mut gx = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    gx.set(r, c, g.get(0, c));
+                }
+            }
+            gx
+        })
+    }
+
+    /// Cosine similarity of two row vectors (`1 x c` each) → `1 x 1`.
+    ///
+    /// This is Eq. 6 of the paper: `Ŷ = h_a · h_b / (|h_a| |h_b|)`. A small
+    /// epsilon guards against zero-norm embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not equally-shaped row vectors.
+    pub fn cosine(self, rhs: Var<'t>) -> Var<'t> {
+        let a = self.value();
+        let b = rhs.value();
+        assert_eq!(a.rows(), 1, "cosine expects row vectors");
+        assert_eq!(a.shape(), b.shape(), "cosine operands must match");
+        const EPS: f32 = 1e-8;
+        let na = a.norm().max(EPS);
+        let nb = b.norm().max(EPS);
+        let dot = a.dot(&b);
+        let y = dot / (na * nb);
+        let (ai, bi) = (self.idx, rhs.idx);
+        self.tape.push(
+            Matrix::scalar(y),
+            Some(Box::new(move |g| {
+                let gs = g.item();
+                // d y / d a = b/(na*nb) - y * a / na^2
+                let ga = b.scale(1.0 / (na * nb)).sub(&a.scale(y / (na * na)));
+                let gb = a.scale(1.0 / (na * nb)).sub(&b.scale(y / (nb * nb)));
+                vec![(ai, ga.scale(gs)), (bi, gb.scale(gs))]
+            })),
+        )
+    }
+
+    /// Sums all entries into a `1 x 1` scalar.
+    pub fn sum_all(self) -> Var<'t> {
+        let x = self.value();
+        let (rows, cols) = x.shape();
+        let out = Matrix::scalar(x.sum());
+        self.unary(out, move |g| Matrix::filled(rows, cols, g.item()))
+    }
+}
+
+/// Draws an inverted-dropout keep mask of length `len` with drop
+/// probability `p` from `rng`.
+pub fn dropout_mask(len: usize, p: f32, rng: &mut impl FnMut() -> f32) -> Vec<bool> {
+    (0..len).map(|_| rng() >= p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_var(tape: &Tape, v: f32) -> Var<'_> {
+        tape.input(Matrix::scalar(v))
+    }
+
+    #[test]
+    fn backward_through_chain() {
+        let tape = Tape::new();
+        let x = scalar_var(&tape, 2.0);
+        // y = (3x)^2 = 9 x^2; dy/dx = 18x = 36
+        let y = x.scale(3.0);
+        let z = y.hadamard(y);
+        let grads = tape.backward(z);
+        assert_eq!(grads.wrt(x).expect("grad x").item(), 36.0);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = tape.input(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let y = a.matmul(b); // 1x1 = 11
+        assert_eq!(y.item(), 11.0);
+        let grads = tape.backward(y);
+        assert_eq!(
+            grads.wrt(a).expect("grad a"),
+            &Matrix::from_rows(&[&[3.0, 4.0]])
+        );
+        assert_eq!(
+            grads.wrt(b).expect("grad b"),
+            &Matrix::from_rows(&[&[1.0], &[2.0]])
+        );
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let y = x.relu().sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(
+            grads.wrt(x).expect("grad"),
+            &Matrix::from_rows(&[&[0.0, 1.0]])
+        );
+    }
+
+    #[test]
+    fn add_bias_reduces_over_rows() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::zeros(3, 2));
+        let b = tape.input(Matrix::zeros(1, 2));
+        let y = x.add_bias(b).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(grads.wrt(b).expect("grad b"), &Matrix::from_rows(&[&[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn select_rows_scatters_gradient() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_fn(3, 2, |r, c| (r + c) as f32));
+        let y = x.select_rows(&[2, 2]).sum_all();
+        let grads = tape.backward(y);
+        let g = grads.wrt(x).expect("grad");
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn readout_max_routes_to_argmax() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0]]));
+        let y = x.readout_max().sum_all();
+        let grads = tape.backward(y);
+        let g = grads.wrt(x).expect("grad");
+        assert_eq!(g, &Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]));
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let b = tape.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = a.cosine(b);
+        assert!((y.item() - 1.0).abs() < 1e-6);
+        // gradient of cosine at parallel vectors w.r.t. either side is ~0
+        let grads = tape.backward(y);
+        assert!(grads.wrt(a).expect("grad").max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let b = tape.input(Matrix::from_rows(&[&[-2.0, 0.0]]));
+        assert!((a.cosine(b).item() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_backward_uses_transpose() {
+        let tape = Tape::new();
+        let adj = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]);
+        let x = tape.input(Matrix::from_rows(&[&[1.0], &[5.0]]));
+        let y = x.spmm(&adj).sum_all();
+        assert_eq!(y.item(), 10.0);
+        let grads = tape.backward(x.spmm(&adj).sum_all());
+        let g = grads.wrt(x).expect("grad");
+        // d/dx1 of 2*x1 = 2 lands on row 1
+        assert_eq!(g, &Matrix::from_rows(&[&[0.0], &[2.0]]));
+    }
+
+    #[test]
+    fn dropout_zeroes_and_rescales() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]));
+        let mask = vec![true, false, true, false];
+        let y = x.dropout(&mask, 0.5);
+        assert_eq!(y.value(), Matrix::from_rows(&[&[2.0, 0.0, 2.0, 0.0]]));
+        let grads = tape.backward(y.sum_all());
+        assert_eq!(
+            grads.wrt(x).expect("grad"),
+            &Matrix::from_rows(&[&[2.0, 0.0, 2.0, 0.0]])
+        );
+    }
+
+    #[test]
+    fn gradients_accumulate_across_uses() {
+        let tape = Tape::new();
+        let x = scalar_var(&tape, 3.0);
+        let y = x.add(x); // y = 2x
+        let grads = tape.backward(y);
+        assert_eq!(grads.wrt(x).expect("grad").item(), 2.0);
+    }
+
+    #[test]
+    fn unused_variable_has_no_gradient() {
+        let tape = Tape::new();
+        let x = scalar_var(&tape, 1.0);
+        let unused = scalar_var(&tape, 5.0);
+        let grads = tape.backward(x.scale(2.0));
+        assert!(grads.wrt(unused).is_none());
+        assert_eq!(grads.wrt_or_zero(unused).item(), 0.0);
+    }
+
+    #[test]
+    fn mul_col_gradients() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let c = tape.input(Matrix::from_vec(2, 1, vec![2.0, -1.0]));
+        let y = x.mul_col(c).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(
+            grads.wrt(x).expect("gx"),
+            &Matrix::from_rows(&[&[2.0, 2.0], &[-1.0, -1.0]])
+        );
+        assert_eq!(
+            grads.wrt(c).expect("gc"),
+            &Matrix::from_vec(2, 1, vec![3.0, 7.0])
+        );
+    }
+
+    #[test]
+    fn readout_mean_distributes_gradient() {
+        let tape = Tape::new();
+        let x = tape.input(Matrix::ones(4, 2));
+        let grads = tape.backward(x.readout_mean().sum_all());
+        assert!(grads
+            .wrt(x)
+            .expect("grad")
+            .approx_eq(&Matrix::filled(4, 2, 0.25), 1e-6));
+    }
+}

@@ -1,0 +1,95 @@
+//! IP-audit scenario: screen a portfolio of incoming designs against a
+//! library of owned IP (the deployment the paper's introduction motivates —
+//! "the manual review of hardware design is not feasible in practice").
+//!
+//! Trains a detector, registers a library of owned IP cores, then audits a
+//! mixed batch of incoming designs: some are disguised copies (variation
+//! transforms applied), some are genuinely new. Prints an audit report.
+//!
+//! Run with: `cargo run --release --example ip_audit`
+
+use gnn4ip::data::{named_rtl_designs, vary_design, Corpus, CorpusSpec, VariationConfig};
+use gnn4ip::nn::{Hw2VecConfig, TrainConfig};
+use gnn4ip::{run_experiment, IpLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Training the audit detector ...");
+    // a broader corpus than the quickstart's: 16 designs, medium size, so
+    // the embedding space discriminates out-of-distribution cores too
+    let spec = CorpusSpec {
+        n_designs: 16,
+        instances_per_design: 4,
+        size: gnn4ip::data::SynthSize::Medium,
+        ..CorpusSpec::rtl_small()
+    };
+    let corpus = Corpus::build(&spec)?;
+    let outcome = run_experiment(
+        &corpus,
+        Hw2VecConfig::default(),
+        &TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            lr: 0.005,
+            ..TrainConfig::default()
+        },
+        400,
+        99,
+    );
+    let detector = outcome.detector;
+    println!(
+        "  detector ready: accuracy {:.1}%, delta {:+.3}\n",
+        100.0 * outcome.test_accuracy,
+        outcome.delta
+    );
+
+    // The IP library we own: named cores embedded once up front.
+    let library: Vec<_> = named_rtl_designs()
+        .into_iter()
+        .filter(|d| ["fpa", "aes", "crc8", "hamming", "barrel"].contains(&d.name.as_str()))
+        .collect();
+    let mut lib = IpLibrary::new();
+    for d in &library {
+        lib.register_source(&detector, &d.name, &d.source, Some(&d.top))?;
+    }
+    println!("IP library registered: {:?}\n", lib.names());
+
+    // Incoming portfolio: two disguised copies + two clean designs.
+    let fpa = library.iter().find(|d| d.name == "fpa").expect("fpa");
+    let crc = library.iter().find(|d| d.name == "crc8").expect("crc8");
+    let disguised_fpa = vary_design(&fpa.source, 1234, &VariationConfig::default())?;
+    let disguised_crc = vary_design(&crc.source, 4321, &VariationConfig::default())?;
+    // clean designs: real cores we do NOT own (never registered)
+    let seven_seg = named_rtl_designs()
+        .into_iter()
+        .find(|d| d.name == "seven_seg")
+        .expect("seven_seg");
+    let uart = named_rtl_designs()
+        .into_iter()
+        .find(|d| d.name == "rs232")
+        .expect("rs232");
+    let incoming = [
+        ("vendor_fp_unit.v", disguised_fpa.as_str(), Some("fpa")),
+        ("vendor_checksum.v", disguised_crc.as_str(), Some("crc8")),
+        ("display_decoder.v", seven_seg.source.as_str(), Some("seven_seg")),
+        ("uart_core.v", uart.source.as_str(), Some("rs232")),
+    ];
+
+    println!("{:<22} {:<12} {:>8}   verdict", "incoming file", "best match", "score");
+    println!("{}", "-".repeat(58));
+    for (fname, src, top) in incoming {
+        let hits = lib.scan(&detector, src, top)?;
+        let best = hits.first().expect("library nonempty");
+        println!(
+            "{fname:<22} {:<12} {:>+8.4}   {}",
+            best.name,
+            best.score,
+            if best.piracy { "FLAG: possible piracy" } else { "clear" }
+        );
+    }
+    println!(
+        "\nDisguised copies surface their originals as best match with \
+         near-1 scores; unowned designs score visibly lower (delta = {:+.3}).",
+        detector.delta()
+    );
+    Ok(())
+}

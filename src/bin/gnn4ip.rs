@@ -1,0 +1,233 @@
+//! `gnn4ip` — command-line IP-piracy detector.
+//!
+//! ```text
+//! gnn4ip train --out detector.txt [--netlist] [--designs N] [--instances K] [--epochs E]
+//! gnn4ip check A.v B.v [--model detector.txt] [--top1 NAME] [--top2 NAME]
+//! gnn4ip embed A.v [--model detector.txt] [--top NAME]
+//! gnn4ip dfg A.v [--top NAME] [--dot OUT.dot]
+//! ```
+//!
+//! `train` builds a synthetic corpus (see `gnn4ip-data`), trains hw2vec,
+//! tunes δ, and writes the detector to a file. `check` runs Algorithm 1 on
+//! two Verilog files. Without `--model`, an untrained (structure-only)
+//! detector is used — fine for demos, not for real screening.
+
+use std::process::ExitCode;
+
+use gnn4ip::data::{Corpus, CorpusSpec, Level, SynthSize};
+use gnn4ip::dfg::graph_with_report;
+use gnn4ip::nn::{Hw2VecConfig, TrainConfig};
+use gnn4ip::{run_experiment, Gnn4Ip, IpLibrary};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // flags with values; bare switches listed here
+            skip = !matches!(a.as_str(), "--netlist");
+            let _ = i;
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn load_detector(args: &[String]) -> Result<Gnn4Ip, String> {
+    match flag_value(args, "--model") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model '{path}': {e}"))?;
+            Gnn4Ip::from_text(&text)
+        }
+        None => {
+            eprintln!("note: no --model given; using an untrained detector");
+            Ok(Gnn4Ip::with_seed(42))
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "train" => train(rest),
+        "check" => check(rest),
+        "scan" => scan(rest),
+        "embed" => embed(rest),
+        "dfg" => dfg(rest),
+        _ => {
+            println!(
+                "gnn4ip — hardware IP piracy detection (GNN4IP, DAC 2021 reproduction)\n\n\
+                 usage:\n  \
+                 gnn4ip train --out detector.txt [--netlist] [--designs N] [--instances K] [--epochs E]\n  \
+                 gnn4ip check A.v B.v [--model detector.txt] [--top1 NAME] [--top2 NAME]\n  \
+                 gnn4ip scan SUSPECT.v LIB1.v [LIB2.v ...] [--model detector.txt]\n  \
+                 gnn4ip embed A.v [--model detector.txt] [--top NAME]\n  \
+                 gnn4ip dfg A.v [--top NAME] [--dot OUT.dot]"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn train(args: &[String]) -> Result<(), String> {
+    let out_path = flag_value(args, "--out").unwrap_or("detector.txt");
+    let netlist = args.iter().any(|a| a == "--netlist");
+    let parse_n = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|e| format!("bad {name}: {e}")),
+            None => Ok(default),
+        }
+    };
+    let spec = CorpusSpec {
+        level: if netlist { Level::Netlist } else { Level::Rtl },
+        n_designs: parse_n("--designs", if netlist { 8 } else { 20 })?,
+        instances_per_design: parse_n("--instances", 5)?,
+        size: SynthSize::Medium,
+        netlist_gates: 250,
+        seed: 7,
+        verify: false,
+    };
+    eprintln!(
+        "building {} corpus: {} designs x {} instances ...",
+        spec.level, spec.n_designs, spec.instances_per_design
+    );
+    let corpus = Corpus::build(&spec).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} graphs (mean {:.0} nodes); training ...",
+        corpus.graphs.len(),
+        corpus.mean_nodes()
+    );
+    let train_cfg = TrainConfig {
+        epochs: parse_n("--epochs", 15)?,
+        lr: 0.005,
+        ..TrainConfig::default()
+    };
+    let outcome = run_experiment(&corpus, Hw2VecConfig::default(), &train_cfg, 1000, 42);
+    eprintln!(
+        "held-out accuracy {:.1}% at delta {:+.3}",
+        100.0 * outcome.test_accuracy,
+        outcome.delta
+    );
+    std::fs::write(out_path, outcome.detector.to_text())
+        .map_err(|e| format!("cannot write '{out_path}': {e}"))?;
+    println!("detector written to {out_path}");
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    let [a, b] = files.as_slice() else {
+        return Err("check needs exactly two Verilog files".to_string());
+    };
+    let src_a = std::fs::read_to_string(a).map_err(|e| format!("{a}: {e}"))?;
+    let src_b = std::fs::read_to_string(b).map_err(|e| format!("{b}: {e}"))?;
+    let detector = load_detector(args)?;
+    let verdict = detector
+        .check_with_tops(
+            &src_a,
+            flag_value(args, "--top1"),
+            &src_b,
+            flag_value(args, "--top2"),
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "similarity {:+.4} (delta {:+.3}) -> {}",
+        verdict.score,
+        verdict.delta,
+        if verdict.piracy { "PIRACY" } else { "no piracy" }
+    );
+    Ok(())
+}
+
+fn scan(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    if files.len() < 2 {
+        return Err("scan needs a suspect file plus at least one library file".to_string());
+    }
+    let detector = load_detector(args)?;
+    let mut lib = IpLibrary::new();
+    for path in &files[1..] {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        lib.register_source(&detector, *path, &src, None)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let suspect =
+        std::fs::read_to_string(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
+    let hits = lib
+        .scan(&detector, &suspect, None)
+        .map_err(|e| e.to_string())?;
+    for hit in hits {
+        println!(
+            "{:+.4}  {}  {}",
+            hit.score,
+            if hit.piracy { "PIRACY" } else { "ok    " },
+            hit.name
+        );
+    }
+    Ok(())
+}
+
+fn embed(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    let [path] = files.as_slice() else {
+        return Err("embed needs exactly one Verilog file".to_string());
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let detector = load_detector(args)?;
+    let emb = detector
+        .hw2vec(&src, flag_value(args, "--top"))
+        .map_err(|e| e.to_string())?;
+    let cells: Vec<String> = emb.iter().map(|v| format!("{v:.6}")).collect();
+    println!("{}", cells.join(","));
+    Ok(())
+}
+
+fn dfg(args: &[String]) -> Result<(), String> {
+    let files = positional(args);
+    let [path] = files.as_slice() else {
+        return Err("dfg needs exactly one Verilog file".to_string());
+    };
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let (g, report) =
+        graph_with_report(&src, flag_value(args, "--top")).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} nodes, {} edges, {} roots (trim removed {} unreachable, collapsed {})",
+        g.name(),
+        report.nodes,
+        report.edges,
+        report.roots,
+        report.trim.unreachable_removed,
+        report.trim.passthrough_collapsed
+    );
+    if let Some(dot_path) = flag_value(args, "--dot") {
+        std::fs::write(dot_path, g.to_dot())
+            .map_err(|e| format!("cannot write '{dot_path}': {e}"))?;
+        println!("DOT written to {dot_path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! Property-based tests over the core data structures and invariants
+//! declared in DESIGN.md §5.
+
+use proptest::prelude::*;
+
+use gnn4ip::data::{synth_design, vary_design, SynthSize, VariationConfig};
+use gnn4ip::dfg::{graph_from_verilog, trim, Dfg, NodeKind, VOCAB_SIZE};
+use gnn4ip::hdl::{elaborate, Evaluator};
+use gnn4ip::nn::{cosine_of, GraphInput, Hw2Vec, Hw2VecConfig};
+use gnn4ip::tensor::{normalized_adjacency, CsrMatrix, Matrix};
+
+// ----------------------------------------------------------------- tensor
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B)^T == B^T A^T for random matrices.
+    #[test]
+    fn matmul_transpose_identity(
+        rows in 1usize..6, inner in 1usize..6, cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let gen = |r: usize, c: usize, s: u64| {
+            Matrix::from_fn(r, c, |i, j| {
+                (((i * 31 + j * 17) as u64 ^ s).wrapping_mul(2654435761) % 97) as f32 / 97.0 - 0.5
+            })
+        };
+        let a = gen(rows, inner, seed);
+        let b = gen(inner, cols, seed ^ 0xABCD);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    /// spmm against a dense matrix equals densified matmul.
+    #[test]
+    fn spmm_matches_dense(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, -2.0f32..2.0), 0..20),
+        seed in 0u64..1000,
+    ) {
+        let triples: Vec<(usize, usize, f32)> = edges
+            .into_iter()
+            .filter(|&(r, c, _)| r < n && c < n)
+            .collect();
+        let s = CsrMatrix::from_triplets(n, n, &triples);
+        let x = Matrix::from_fn(n, 3, |i, j| ((i * 7 + j) as u64 ^ seed) as f32 % 5.0 - 2.0);
+        prop_assert!(s.spmm(&x).approx_eq(&s.to_dense().matmul(&x), 1e-3));
+    }
+
+    /// Normalized adjacency rows are finite, symmetric, with self-loops.
+    #[test]
+    fn normalized_adjacency_invariants(
+        n in 1usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..30),
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n)
+            .collect();
+        let a = normalized_adjacency(n, &edges).to_dense();
+        prop_assert!(a.is_finite());
+        prop_assert!(a.approx_eq(&a.transpose(), 1e-5));
+        for i in 0..n {
+            prop_assert!(a.get(i, i) > 0.0, "missing self loop at {i}");
+        }
+    }
+}
+
+// -------------------------------------------------------------------- dfg
+
+/// Random rooted DAG for graph-invariant tests.
+fn arb_dfg() -> impl Strategy<Value = Dfg> {
+    (2usize..30, prop::collection::vec((0usize..30, 0usize..30), 0..60), 0usize..45).prop_map(
+        |(n, raw_edges, root_kind)| {
+            let mut g = Dfg::new("prop");
+            for i in 0..n {
+                let kind = NodeKind::from_index((i + root_kind) % VOCAB_SIZE).expect("kind");
+                g.add_node(kind, format!("n{i}"));
+            }
+            // edges always point to lower ids → acyclic
+            for (a, b) in raw_edges {
+                let (a, b) = (a % n, b % n);
+                if a > b {
+                    g.add_edge(a, b);
+                }
+            }
+            g.add_root(n - 1);
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After trim, every node is reachable from a root, and trim is
+    /// idempotent.
+    #[test]
+    fn trim_leaves_only_reachable_nodes(mut g in arb_dfg()) {
+        trim(&mut g);
+        let mask = g.reachable_from_roots();
+        prop_assert!(mask.iter().all(|&m| m), "unreachable nodes survive trim");
+        let snapshot = g.clone();
+        let second = trim(&mut g);
+        prop_assert_eq!(second.unreachable_removed, 0);
+        prop_assert_eq!(second.passthrough_collapsed, 0);
+        prop_assert_eq!(g, snapshot);
+    }
+
+    /// Kind histogram always sums to the node count.
+    #[test]
+    fn kind_histogram_sums_to_node_count(g in arb_dfg()) {
+        prop_assert_eq!(g.kind_histogram().iter().sum::<usize>(), g.node_count());
+    }
+}
+
+// ------------------------------------------------------------------ model
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Embeddings are permutation-invariant: relabeling node ids (keeping
+    /// structure) does not change the graph embedding.
+    #[test]
+    fn embedding_is_permutation_invariant(g in arb_dfg(), seed in 0u64..50) {
+        let model = Hw2Vec::new(Hw2VecConfig::default(), seed);
+        // permuted copy: reverse node order
+        let n = g.node_count();
+        let mut p = Dfg::new("perm");
+        for i in (0..n).rev() {
+            let node = g.node(i);
+            p.add_node(node.kind, node.label.clone());
+        }
+        let remap = |i: usize| n - 1 - i;
+        for &(a, b) in g.edges() {
+            p.add_edge(remap(a), remap(b));
+        }
+        for &r in g.roots() {
+            p.add_root(remap(r));
+        }
+        let e1 = model.embed(&GraphInput::from_dfg(&g));
+        let e2 = model.embed(&GraphInput::from_dfg(&p));
+        let sim = cosine_of(&e1, &e2);
+        prop_assert!(
+            sim > 0.9999 || (e1.iter().all(|v| v.abs() < 1e-6)),
+            "permutation changed embedding: cos {sim}"
+        );
+    }
+
+    /// Similarity is symmetric and bounded for random graph pairs.
+    #[test]
+    fn similarity_is_symmetric_and_bounded(a in arb_dfg(), b in arb_dfg()) {
+        let model = Hw2Vec::new(Hw2VecConfig::default(), 9);
+        let (ga, gb) = (GraphInput::from_dfg(&a), GraphInput::from_dfg(&b));
+        let s1 = model.similarity(&ga, &gb);
+        let s2 = model.similarity(&gb, &ga);
+        prop_assert!((-1.001..=1.001).contains(&s1), "out of range: {s1}");
+        prop_assert!((s1 - s2).abs() < 1e-5, "asymmetric: {s1} vs {s2}");
+    }
+}
+
+// -------------------------------------------------------------------- hdl
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The front end never panics: arbitrary byte soup either parses or
+    /// returns a ParseVerilogError.
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ -~\\n]{0,200}") {
+        let _ = gnn4ip::hdl::parse(&src);
+        let _ = gnn4ip::hdl::preprocess(&src, &Default::default());
+    }
+
+    /// Mutations of a valid module (random truncation + splice) never panic
+    /// and never mis-parse into an empty success.
+    #[test]
+    fn parser_never_panics_on_mutated_verilog(
+        cut in 0usize..200,
+        splice in "[ -~]{0,16}",
+        pos in 0usize..200,
+    ) {
+        let base = "module m(input [3:0] a, input b, output reg [3:0] y);\n  always @* begin\n    if (b) y = a + 4'd1; else y = {a[1:0], 2'b01};\n  end\nendmodule\n";
+        let mut s: String = base.chars().take(cut.min(base.len())).collect();
+        let at = pos.min(s.len());
+        s.insert_str(at, &splice);
+        let _ = gnn4ip::hdl::parse(&s);
+    }
+
+    /// Constant expressions evaluate without panicking for any operator mix
+    /// the parser accepts.
+    #[test]
+    fn const_eval_never_panics(a in 0u64..1000, b in 0u64..1000, op in 0usize..8) {
+        let ops = ["+", "-", "*", "/", "%", "<<", ">>", "&"];
+        let src = format!(
+            "module m(output [({a} {op} {b}) % 16 + 1:0] y);\n  assign y = 0;\nendmodule",
+            op = ops[op]
+        );
+        let _ = gnn4ip::hdl::elaborate(&src, None);
+    }
+}
+
+// ------------------------------------------------------------------- data
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every variation of every synthetic design is behaviour-preserving
+    /// (checked against the combinational evaluation oracle on 4 stimuli).
+    #[test]
+    fn variation_preserves_semantics(family in 0u64..40, variant in 1u64..500) {
+        let src = synth_design(family, SynthSize::Small);
+        let varied = vary_design(&src, variant, &VariationConfig::default())
+            .expect("variation");
+        let base = Evaluator::new(&elaborate(&src, None).expect("flat base"))
+            .expect("eval base");
+        let var = Evaluator::new(&elaborate(&varied, None).expect("flat var"))
+            .expect("eval var");
+        let inputs: Vec<String> = base.module().inputs().iter().map(|s| s.to_string()).collect();
+        for k in 0..4u64 {
+            let stim: std::collections::HashMap<String, u64> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), k.wrapping_mul(0x9E3779B9).rotate_left(i as u32 * 5)))
+                .collect();
+            prop_assert_eq!(
+                base.eval_outputs(&stim).expect("base run"),
+                var.eval_outputs(&stim).expect("var run"),
+                "family {} variant {} diverges", family, variant
+            );
+        }
+    }
+
+    /// Varied sources still extract DFGs whose roots match the base design.
+    #[test]
+    fn variation_preserves_interface(family in 0u64..40, variant in 1u64..500) {
+        let src = synth_design(family, SynthSize::Small);
+        let varied = vary_design(&src, variant, &VariationConfig::default())
+            .expect("variation");
+        let g0 = graph_from_verilog(&src, None).expect("base graph");
+        let g1 = graph_from_verilog(&varied, None).expect("varied graph");
+        prop_assert_eq!(g0.roots().len(), g1.roots().len());
+    }
+}
