@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate for the gnn4ip workspace. Everything resolves
+# from in-repo path crates; no network access is required or attempted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> workspace tests (every crate, incl. vendor shims)"
+cargo test -q --offline --workspace
+
+echo "==> rustfmt"
+cargo fmt --check
+
+echo "==> clippy (-D warnings, all targets)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> examples build + quickstart smoke run"
+cargo build --offline --examples
+cargo run --release --offline --example quickstart
+
+echo "==> benches + repro binary compile"
+cargo bench --no-run --offline -p gnn4ip-bench
+cargo build --release --offline -p gnn4ip-bench --bin repro
+
+echo "==> ci.sh: all green"

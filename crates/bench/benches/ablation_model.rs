@@ -90,5 +90,11 @@ fn bench_conv_kind(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_readout, bench_pool_ratio, bench_layers, bench_conv_kind);
+criterion_group!(
+    benches,
+    bench_readout,
+    bench_pool_ratio,
+    bench_layers,
+    bench_conv_kind
+);
 criterion_main!(benches);

@@ -24,9 +24,7 @@ fn bench_extraction_scaling(c: &mut Criterion) {
             &src,
             |b, src| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        graph_from_verilog(src, Some("c6288")).expect("extracts"),
-                    )
+                    std::hint::black_box(graph_from_verilog(src, Some("c6288")).expect("extracts"))
                 })
             },
         );

@@ -11,9 +11,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use gnn4ip_data::{designs::synth_design, iscas, SynthSize};
 use gnn4ip_dfg::graph_from_verilog;
-use gnn4ip_nn::{
-    cosine_embedding_loss, GraphInput, Hw2Vec, Hw2VecConfig, Mode, PairLabel,
-};
+use gnn4ip_nn::{cosine_embedding_loss, GraphInput, Hw2Vec, Hw2VecConfig, Mode, PairLabel};
 use gnn4ip_tensor::Tape;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,8 +59,7 @@ fn bench_train_step(c: &mut Criterion) {
                     let vars = model.params().inject(&tape);
                     let ha = model.forward(&tape, &vars, g, &mut Mode::Train(&mut rng));
                     let hb = model.forward(&tape, &vars, g, &mut Mode::Train(&mut rng));
-                    let loss =
-                        cosine_embedding_loss(ha.cosine(hb), PairLabel::Similar, 0.5);
+                    let loss = cosine_embedding_loss(ha.cosine(hb), PairLabel::Similar, 0.5);
                     std::hint::black_box(tape.backward(loss));
                 },
                 BatchSize::SmallInput,

@@ -28,7 +28,9 @@ use gnn4ip_data::{
     ObfuscationConfig, SynthSize, VariationConfig,
 };
 use gnn4ip_dfg::graph_from_verilog;
-use gnn4ip_eval::{auc, cluster_separation, pca, retrieval_precision_at_k, tsne, ScoreTable, TsneConfig};
+use gnn4ip_eval::{
+    auc, cluster_separation, pca, retrieval_precision_at_k, tsne, ScoreTable, TsneConfig,
+};
 use gnn4ip_nn::{
     cosine_of, embed_all, train, GraphInput, Hw2Vec, Hw2VecConfig, PairLabel, PairSample,
     TrainConfig,
@@ -212,13 +214,20 @@ fn print_table1(rtl: &ExperimentOutcome, net: &ExperimentOutcome) {
     println!("                 netlist 9870 pairs / 143 graphs / 94.61% / 5.999 ms / 5.918 ms");
     println!(
         "shape checks:    accuracy high on both; netlist slower per sample than RTL: {}",
-        if net.test_ms_per_sample > rtl.test_ms_per_sample { "yes" } else { "NO" }
+        if net.test_ms_per_sample > rtl.test_ms_per_sample {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 }
 
 fn print_fig4a(rtl: &ExperimentOutcome, net: &ExperimentOutcome) {
     println!("\n=== Fig. 4a: confusion matrices ===");
-    println!("RTL dataset (delta {:+.3}):\n{}", rtl.delta, rtl.test_confusion);
+    println!(
+        "RTL dataset (delta {:+.3}):\n{}",
+        rtl.delta, rtl.test_confusion
+    );
     println!(
         "\nNetlist dataset (delta {:+.3}):\n{}",
         net.delta, net.test_confusion
@@ -259,8 +268,7 @@ fn fig4_embeddings(scale: Scale) -> (Vec<Vec<f32>>, Vec<usize>) {
         (1usize, processors::mips_single(), "mips_single"),
     ] {
         for variant in 0..per as u64 {
-            let inst =
-                vary_design(&src, variant, &VariationConfig::default()).expect("variation");
+            let inst = vary_design(&src, variant, &VariationConfig::default()).expect("variation");
             let g = graph_from_verilog(&inst, Some(top)).expect("DFG");
             graphs.push(GraphInput::from_dfg(&g));
             labels.push(label);
@@ -307,7 +315,12 @@ fn print_fig4b(embeddings: &[Vec<f32>], labels: &[usize]) {
     let mut t = TextTable::new(&["design", "pc1", "pc2"]);
     for (i, p) in proj.points.iter().enumerate() {
         t.row(&[
-            if labels[i] == 0 { "pipeline-MIPS" } else { "single-MIPS" }.to_string(),
+            if labels[i] == 0 {
+                "pipeline-MIPS"
+            } else {
+                "single-MIPS"
+            }
+            .to_string(),
             format!("{:+.4}", p[0]),
             format!("{:+.4}", p[1]),
         ]);
@@ -333,7 +346,12 @@ fn print_fig4c(embeddings: &[Vec<f32>], labels: &[usize]) {
     let mut t = TextTable::new(&["design", "x", "y", "z"]);
     for (i, p) in y.iter().enumerate() {
         t.row(&[
-            if labels[i] == 0 { "pipeline-MIPS" } else { "single-MIPS" }.to_string(),
+            if labels[i] == 0 {
+                "pipeline-MIPS"
+            } else {
+                "single-MIPS"
+            }
+            .to_string(),
             format!("{:+.3}", p[0]),
             format!("{:+.3}", p[1]),
             format!("{:+.3}", p[2]),
@@ -494,8 +512,8 @@ fn table3(scale: Scale) {
     for (bi, (name, src, function)) in benchmarks.iter().enumerate() {
         let mut scores = Vec::new();
         for v in 1..=n_obf as u64 {
-            let obf = obfuscate_netlist(src, v, &ObfuscationConfig::default())
-                .expect("obfuscation");
+            let obf =
+                obfuscate_netlist(src, v, &ObfuscationConfig::default()).expect("obfuscation");
             let g = graph_from_verilog(&obf, Some(name)).expect("DFG");
             let emb = detector.embed(&GraphInput::from_dfg(&g));
             scores.push(cosine_of(&base_embeddings[bi], &emb));
@@ -519,8 +537,13 @@ fn table3(scale: Scale) {
     }
     let between_mean: f32 = between.iter().sum::<f32>() / between.len() as f32;
     println!("Between benchmarks and their obfuscated instances: {overall:+.4} (paper: +0.9976)");
-    println!("Between different benchmarks:                      {between_mean:+.4} (paper: -0.1606)");
-    let hits = all_obf_scores.iter().filter(|&&s| s > detector.delta()).count();
+    println!(
+        "Between different benchmarks:                      {between_mean:+.4} (paper: -0.1606)"
+    );
+    let hits = all_obf_scores
+        .iter()
+        .filter(|&&s| s > detector.delta())
+        .count();
     println!(
         "original IP identified in obfuscated design: {}/{} ({:.0}%; paper: 100%)",
         hits,

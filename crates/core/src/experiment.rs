@@ -6,8 +6,8 @@ use std::time::Instant;
 use gnn4ip_data::{split_pairs, Corpus, LabeledPair};
 use gnn4ip_eval::ConfusionMatrix;
 use gnn4ip_nn::{
-    score_pairs, train, tune_delta, GraphInput, Hw2VecConfig, PairLabel, PairSample,
-    TrainConfig, TrainReport,
+    score_pairs, train, tune_delta, GraphInput, Hw2VecConfig, PairLabel, PairSample, TrainConfig,
+    TrainReport,
 };
 
 use crate::api::Gnn4Ip;
@@ -90,8 +90,7 @@ pub fn run_experiment(
     let report = train(detector.model_mut(), &graphs, &train_samples, train_config);
     let train_elapsed = t0.elapsed();
     let train_samples_seen = train_samples.len() * train_config.epochs;
-    let train_ms_per_sample =
-        train_elapsed.as_secs_f64() * 1e3 / train_samples_seen.max(1) as f64;
+    let train_ms_per_sample = train_elapsed.as_secs_f64() * 1e3 / train_samples_seen.max(1) as f64;
 
     // tune δ on the training split
     let train_scores = score_pairs(detector.model(), &graphs, &train_samples);
@@ -103,8 +102,7 @@ pub fn run_experiment(
     let t1 = Instant::now();
     let test_scores = score_pairs(detector.model(), &graphs, &test_samples);
     let test_elapsed = t1.elapsed();
-    let test_ms_per_sample =
-        test_elapsed.as_secs_f64() * 1e3 / test_samples.len().max(1) as f64;
+    let test_ms_per_sample = test_elapsed.as_secs_f64() * 1e3 / test_samples.len().max(1) as f64;
 
     let labels: Vec<bool> = test_samples
         .iter()
@@ -176,8 +174,16 @@ mod tests {
     #[test]
     fn pair_sample_conversion_preserves_labels() {
         let pairs = [
-            LabeledPair { a: 0, b: 1, similar: true },
-            LabeledPair { a: 0, b: 2, similar: false },
+            LabeledPair {
+                a: 0,
+                b: 1,
+                similar: true,
+            },
+            LabeledPair {
+                a: 0,
+                b: 2,
+                similar: false,
+            },
         ];
         let samples = to_pair_samples(&pairs);
         assert_eq!(samples[0].label, PairLabel::Similar);

@@ -46,5 +46,5 @@ mod experiment;
 mod library;
 
 pub use api::{Gnn4Ip, Verdict};
-pub use library::{IpLibrary, LibraryMatch};
 pub use experiment::{corpus_inputs, run_experiment, to_pair_samples, ExperimentOutcome};
+pub use library::{IpLibrary, LibraryMatch};

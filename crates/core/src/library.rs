@@ -127,7 +127,11 @@ impl IpLibrary {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         out
     }
 
@@ -162,7 +166,10 @@ impl IpLibrary {
                 .ok_or_else(|| format!("line {}: missing tab", no + 2))?;
             let embedding: Vec<f32> = rest
                 .split_whitespace()
-                .map(|t| t.parse::<f32>().map_err(|e| format!("line {}: {e}", no + 2)))
+                .map(|t| {
+                    t.parse::<f32>()
+                        .map_err(|e| format!("line {}: {e}", no + 2))
+                })
                 .collect::<Result<_, _>>()?;
             lib.register(name, embedding);
         }
@@ -183,9 +190,12 @@ mod tests {
     fn library() -> (Gnn4Ip, IpLibrary) {
         let detector = Gnn4Ip::with_seed(6);
         let mut lib = IpLibrary::new();
-        lib.register_source(&detector, "inv", INV, None).expect("inv");
-        lib.register_source(&detector, "xor2", XOR2, None).expect("xor2");
-        lib.register_source(&detector, "add", ADD, None).expect("add");
+        lib.register_source(&detector, "inv", INV, None)
+            .expect("inv");
+        lib.register_source(&detector, "xor2", XOR2, None)
+            .expect("xor2");
+        lib.register_source(&detector, "add", ADD, None)
+            .expect("add");
         (detector, lib)
     }
 

@@ -190,7 +190,11 @@ impl Corpus {
         for a in 0..n {
             for b in (a + 1)..n {
                 if self.instances[a].design == self.instances[b].design {
-                    pairs.push(LabeledPair { a, b, similar: true });
+                    pairs.push(LabeledPair {
+                        a,
+                        b,
+                        similar: true,
+                    });
                 }
             }
         }
@@ -198,7 +202,11 @@ impl Corpus {
         for a in 0..n {
             for b in (a + 1)..n {
                 if self.instances[a].design != self.instances[b].design {
-                    diff.push(LabeledPair { a, b, similar: false });
+                    diff.push(LabeledPair {
+                        a,
+                        b,
+                        similar: false,
+                    });
                 }
             }
         }
@@ -214,16 +222,16 @@ impl Corpus {
         if self.graphs.is_empty() {
             return 0.0;
         }
-        self.graphs.iter().map(|g| g.node_count() as f64).sum::<f64>()
+        self.graphs
+            .iter()
+            .map(|g| g.node_count() as f64)
+            .sum::<f64>()
             / self.graphs.len() as f64
     }
 }
 
 /// Extracts all DFGs in parallel worker threads.
-fn extract_all(
-    designs: &[Design],
-    instances: &[Instance],
-) -> Result<Vec<Dfg>, ParseVerilogError> {
+fn extract_all(designs: &[Design], instances: &[Instance]) -> Result<Vec<Dfg>, ParseVerilogError> {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let chunk = instances.len().div_ceil(threads).max(1);
     let results: Vec<Result<Vec<Dfg>, ParseVerilogError>> = std::thread::scope(|scope| {

@@ -83,8 +83,7 @@ pub fn load_corpus(dir: &Path) -> io::Result<Corpus> {
         if variant == 0 {
             designs[design_idx].source = source.clone();
         }
-        let g = graph_from_verilog(&source, Some(top))
-            .map_err(|e| bad(format!("{file}: {e}")))?;
+        let g = graph_from_verilog(&source, Some(top)).map_err(|e| bad(format!("{file}: {e}")))?;
         graphs.push(g);
         instances.push(Instance {
             design: design_idx,
@@ -108,10 +107,7 @@ mod tests {
     use crate::corpus::CorpusSpec;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "gnn4ip_corpus_io_{tag}_{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("gnn4ip_corpus_io_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -350,10 +350,9 @@ mod tests {
 
     #[test]
     fn interrupt_ctrl_masks_and_prioritizes() {
-        let e = Evaluator::new(
-            &elaborate(&interrupt_ctrl(), Some("interrupt_ctrl")).expect("flat"),
-        )
-        .expect("eval");
+        let e =
+            Evaluator::new(&elaborate(&interrupt_ctrl(), Some("interrupt_ctrl")).expect("flat"))
+                .expect("eval");
         let out = e
             .eval_outputs(&HashMap::from([
                 ("irq_a".to_string(), 0b1_0000_0001u64),

@@ -205,10 +205,7 @@ mod tests {
         let e = eval_of(&absdiff(), "absdiff");
         for (a, b) in [(5u64, 3u64), (3, 5), (200, 200), (0, 255)] {
             let out = e
-                .eval_outputs(&HashMap::from([
-                    ("a".to_string(), a),
-                    ("b".to_string(), b),
-                ]))
+                .eval_outputs(&HashMap::from([("a".to_string(), a), ("b".to_string(), b)]))
                 .expect("runs")["d"];
             assert_eq!(out, a.abs_diff(b));
         }

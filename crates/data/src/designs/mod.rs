@@ -147,7 +147,10 @@ pub fn netlist_designs(n: usize, gates: usize) -> Vec<Design> {
     let mut seed = 0u64;
     while designs.len() < n {
         let name = format!("synthnet_{seed}");
-        designs.push(Design::netlist(&name, crate::iscas::synth_netlist(seed, gates)));
+        designs.push(Design::netlist(
+            &name,
+            crate::iscas::synth_netlist(seed, gates),
+        ));
         seed += 1;
     }
     designs
@@ -160,10 +163,8 @@ mod tests {
 
     #[test]
     fn named_designs_have_unique_names() {
-        let names: std::collections::HashSet<String> = named_rtl_designs()
-            .into_iter()
-            .map(|d| d.name)
-            .collect();
+        let names: std::collections::HashSet<String> =
+            named_rtl_designs().into_iter().map(|d| d.name).collect();
         assert_eq!(names.len(), named_rtl_designs().len());
     }
 

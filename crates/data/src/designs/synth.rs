@@ -51,7 +51,9 @@ impl SynthSize {
 /// purely combinational.
 pub fn synth_design(family_seed: u64, size: SynthSize) -> String {
     let mut rng = StdRng::seed_from_u64(family_seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let width = *[8usize, 12, 16].get(rng.gen_range(0..3)).expect("width") ;
+    let width = *[8usize, 12, 16]
+        .get(rng.gen_range(0..3usize))
+        .expect("width");
     let n_inputs = rng.gen_range(3..6);
     let n_outputs = rng.gen_range(2..4);
     let layers = size.layers(&mut rng);
@@ -98,7 +100,7 @@ pub fn synth_design(family_seed: u64, size: SynthSize) -> String {
         let mut expr = random_expr(&mut rng, &avail, width, 1);
         for (k, w) in tail.iter().enumerate() {
             if (k + oi) % n_outputs == 0 {
-                let op = ["^", "&", "|", "+"][rng.gen_range(0..4)];
+                let op = ["^", "&", "|", "+"][rng.gen_range(0..4usize)];
                 expr = format!("({expr} {op} {w})");
             }
         }
@@ -148,7 +150,10 @@ fn random_expr(rng: &mut StdRng, pool: &[String], width: usize, depth: usize) ->
         }
         8 => {
             let c = random_expr(rng, pool, width, depth + 1);
-            format!("(({a} < {b}) ? {c} : ({a} ^ {width}'d{}))", rng.gen_range(1..255))
+            format!(
+                "(({a} < {b}) ? {c} : ({a} ^ {width}'d{}))",
+                rng.gen_range(1..255)
+            )
         }
         _ => {
             // part-select concat: bases must be plain identifiers
@@ -229,7 +234,11 @@ mod tests {
             sig.sort();
             behaviors.insert(format!("{sig:?}"));
         }
-        assert!(behaviors.len() >= 7, "families collide: {}", behaviors.len());
+        assert!(
+            behaviors.len() >= 7,
+            "families collide: {}",
+            behaviors.len()
+        );
     }
 
     #[test]

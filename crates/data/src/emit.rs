@@ -49,7 +49,12 @@ fn emit_range(r: &Range) -> String {
 
 fn emit_item(s: &mut String, item: &Item) {
     match item {
-        Item::Decl { kind, name, range, init } => {
+        Item::Decl {
+            kind,
+            name,
+            range,
+            init,
+        } => {
             let kw = match kind {
                 NetKind::Wire => "wire",
                 NetKind::Reg => "reg",
@@ -154,7 +159,11 @@ fn emit_stmt(s: &mut String, stmt: &Stmt, level: usize) {
             indent(s, level);
             let _ = writeln!(s, "{} <= {};", emit_expr(lhs), emit_expr(rhs));
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             indent(s, level);
             let _ = writeln!(s, "if ({})", emit_expr(cond));
             emit_stmt(s, then_s, level + 1);
@@ -180,7 +189,13 @@ fn emit_stmt(s: &mut String, stmt: &Stmt, level: usize) {
             indent(s, level);
             s.push_str("endcase\n");
         }
-        Stmt::For { var, init, cond, step, body } => {
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(s, level);
             let _ = writeln!(
                 s,
@@ -251,7 +266,11 @@ pub fn emit_expr(e: &Expr) -> String {
             };
             format!("({} {o} {})", emit_expr(lhs), emit_expr(rhs))
         }
-        Expr::Ternary { cond, then_e, else_e } => format!(
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
             "({} ? {} : {})",
             emit_expr(cond),
             emit_expr(then_e),
@@ -267,12 +286,9 @@ pub fn emit_expr(e: &Expr) -> String {
         Expr::BitSelect { base, index } => {
             format!("{}[{}]", emit_expr(base), emit_expr(index))
         }
-        Expr::PartSelect { base, msb, lsb } => format!(
-            "{}[{}:{}]",
-            emit_expr(base),
-            emit_expr(msb),
-            emit_expr(lsb)
-        ),
+        Expr::PartSelect { base, msb, lsb } => {
+            format!("{}[{}:{}]", emit_expr(base), emit_expr(msb), emit_expr(lsb))
+        }
         Expr::Call { name, args } => {
             let a: Vec<String> = args.iter().map(emit_expr).collect();
             format!("{name}({})", a.join(", "))
@@ -292,11 +308,9 @@ mod tests {
         let unit = parse(src).expect("parses original");
         let emitted: String = unit.modules.iter().map(emit_module).collect();
         let e1 = Evaluator::new(&elaborate(src, Some(top)).expect("flat1")).expect("eval1");
-        let e2 =
-            Evaluator::new(&elaborate(&emitted, Some(top)).expect("flat2")).expect("eval2");
+        let e2 = Evaluator::new(&elaborate(&emitted, Some(top)).expect("flat2")).expect("eval2");
         for stim in stimuli {
-            let m: HashMap<String, u64> =
-                stim.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+            let m: HashMap<String, u64> = stim.iter().map(|(k, v)| (k.to_string(), *v)).collect();
             assert_eq!(
                 e1.eval_outputs(&m).expect("run1"),
                 e2.eval_outputs(&m).expect("run2"),

@@ -308,7 +308,7 @@ pub fn c880() -> String {
     e.gate("not", &ns0, &["s0"]);
     e.gate("not", &ns1, &["s1"]);
     let mut fbits = Vec::new();
-    for i in 0..8 {
+    for (i, sum) in sums.iter().enumerate() {
         let (a, b) = (format!("a{i}"), format!("b{i}"));
         let andu = e.fresh();
         let oru = e.fresh();
@@ -320,7 +320,7 @@ pub fn c880() -> String {
         let t_and = e.fresh();
         let t_or = e.fresh();
         let t_xor = e.fresh();
-        e.gate("and", &t_add, &[&sums[i], &ns1, &ns0]);
+        e.gate("and", &t_add, &[sum, &ns1, &ns0]);
         e.gate("and", &t_and, &[&andu, &ns1, "s0"]);
         e.gate("and", &t_or, &[&oru, "s1", &ns0]);
         e.gate("and", &t_xor, &[&xoru, "s1", "s0"]);
@@ -377,12 +377,12 @@ pub fn c6288_sized(width: usize) -> String {
     e.gate("buf", "p0", &[&pp[0][0]]);
     let mut acc: Vec<String> = pp[0][1..].to_vec();
     acc.push(zero.clone());
-    for j in 1..width {
+    for (j, pp_j) in pp.iter().enumerate().skip(1) {
         let mut carry: Option<String> = None;
         let mut next: Vec<String> = Vec::new();
         for i in 0..width {
             let a = acc[i].clone();
-            let b = pp[j][i].clone();
+            let b = pp_j[i].clone();
             let s = e.fresh();
             match carry {
                 None => {
@@ -434,8 +434,7 @@ pub fn synth_netlist(seed: u64, gates: usize) -> String {
     let mut avail = inputs.clone();
     for _ in 0..gates {
         let t = e.fresh();
-        let kind = ["and", "or", "nand", "nor", "xor", "xnor", "not"]
-            [rng.gen_range(0..7)];
+        let kind = ["and", "or", "nand", "nor", "xor", "xnor", "not"][rng.gen_range(0..7usize)];
         // chain each gate off the most recent net so the whole DAG stays
         // reachable from the outputs (otherwise trim would discard most of it)
         let a = avail.last().expect("inputs nonempty").clone();
@@ -513,14 +512,14 @@ mod tests {
         let data = 0xDEADBEEFu64 & 0xFFFF_FFFF;
         // compute correct parities first (send with no error)
         let mut parities = vec![0u64; 6];
-        for j in 0..6 {
+        for (j, parity) in parities.iter_mut().enumerate() {
             let mut p = 0u64;
             for i in 0..32 {
                 if (i + 1) & (1usize << j) != 0 {
                     p ^= (data >> i) & 1;
                 }
             }
-            parities[j] = p;
+            *parity = p;
         }
         let run = |d: u64, ps: &[u64]| {
             let mut ins: HashMap<String, u64> = HashMap::new();

@@ -136,7 +136,9 @@ fn obfuscate_module(module: &Module, rng: &mut StdRng, config: &ObfuscationConfi
         .items
         .iter()
         .filter_map(|i| match i {
-            Item::Decl { name, range: None, .. } => Some(name.clone()),
+            Item::Decl {
+                name, range: None, ..
+            } => Some(name.clone()),
             _ => None,
         })
         .collect();
@@ -322,10 +324,7 @@ fn decompose_gate(
     }
 }
 
-fn rename_gate_module(
-    m: &Module,
-    mapping: &std::collections::HashMap<String, String>,
-) -> Module {
+fn rename_gate_module(m: &Module, mapping: &std::collections::HashMap<String, String>) -> Module {
     let rename = |n: &str| mapping.get(n).cloned().unwrap_or_else(|| n.to_string());
     let mut out = m.clone();
     for item in &mut out.items {
@@ -373,11 +372,10 @@ mod tests {
             })
             .collect();
         for v in 1..=variants {
-            let obf =
-                obfuscate_netlist(src, v, &ObfuscationConfig::default()).expect("obfuscates");
+            let obf = obfuscate_netlist(src, v, &ObfuscationConfig::default()).expect("obfuscates");
             assert_ne!(obf, src, "variant {v} unchanged");
-            let ev = Evaluator::new(&elaborate(&obf, Some(top)).expect("obf flat"))
-                .expect("obf eval");
+            let ev =
+                Evaluator::new(&elaborate(&obf, Some(top)).expect("obf flat")).expect("obf eval");
             for stim in &stimuli {
                 assert_eq!(
                     base.eval_outputs(stim).expect("base"),

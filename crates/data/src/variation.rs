@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use gnn4ip_hdl::{parse, preprocess, BinaryOp, Expr, Item, Module, NetKind, SourceUnit, Stmt, UnaryOp};
+use gnn4ip_hdl::{
+    parse, preprocess, BinaryOp, Expr, Item, Module, NetKind, SourceUnit, Stmt, UnaryOp,
+};
 
 use crate::emit::emit_module;
 
@@ -155,7 +157,7 @@ fn vary_module(
             let b = input_names[rng.gen_range(0..input_names.len())].clone();
             let name = format!("unused_{d}_{}", rng.gen_range(0..10_000u32));
             let op = *[BinaryOp::And, BinaryOp::Or, BinaryOp::Xor]
-                .get(rng.gen_range(0..3))
+                .get(rng.gen_range(0..3usize))
                 .expect("op");
             m.items.push(Item::Decl {
                 kind: NetKind::Wire,
@@ -224,9 +226,7 @@ fn rename_module_signals(
     m: &Module,
     mapping: &std::collections::HashMap<String, String>,
 ) -> Module {
-    let rename = |n: &str| -> String {
-        mapping.get(n).cloned().unwrap_or_else(|| n.to_string())
-    };
+    let rename = |n: &str| -> String { mapping.get(n).cloned().unwrap_or_else(|| n.to_string()) };
     let mut out = m.clone();
     for item in &mut out.items {
         match item {
@@ -283,14 +283,16 @@ fn rename_expr(e: &Expr, rename: &impl Fn(&str) -> String) -> Expr {
             lhs: Box::new(rename_expr(lhs, rename)),
             rhs: Box::new(rename_expr(rhs, rename)),
         },
-        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => Expr::Ternary {
             cond: Box::new(rename_expr(cond, rename)),
             then_e: Box::new(rename_expr(then_e, rename)),
             else_e: Box::new(rename_expr(else_e, rename)),
         },
-        Expr::Concat(parts) => {
-            Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect())
-        }
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect()),
         Expr::Repeat { count, body } => Expr::Repeat {
             count: Box::new(rename_expr(count, rename)),
             body: Box::new(rename_expr(body, rename)),
@@ -318,7 +320,11 @@ fn rename_stmt_signals(s: &mut Stmt, rename: &impl Fn(&str) -> String) {
             *lhs = rename_expr(lhs, rename);
             *rhs = rename_expr(rhs, rename);
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             *cond = rename_expr(cond, rename);
             rename_stmt_signals(then_s, rename);
             if let Some(e) = else_s {
@@ -334,7 +340,13 @@ fn rename_stmt_signals(s: &mut Stmt, rename: &impl Fn(&str) -> String) {
                 rename_stmt_signals(body, rename);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             *init = rename_expr(init, rename);
             *cond = rename_expr(cond, rename);
             *step = rename_expr(step, rename);
@@ -385,9 +397,11 @@ fn extract_subexpr(
 ) -> Option<(Expr, Expr, String, u32)> {
     fn find(e: &Expr, widths: &std::collections::HashMap<String, u32>) -> Option<(Expr, u32)> {
         match e {
-            Expr::Binary { op, lhs, rhs }
-                if matches!(op, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor) =>
-            {
+            Expr::Binary {
+                op: BinaryOp::And | BinaryOp::Or | BinaryOp::Xor,
+                lhs,
+                rhs,
+            } => {
                 if let (Expr::Ident(a), Expr::Ident(b)) = (&**lhs, &**rhs) {
                     if let (Some(&wa), Some(&wb)) = (widths.get(a), widths.get(b)) {
                         return Some((e.clone(), wa.max(wb)));
@@ -396,10 +410,12 @@ fn extract_subexpr(
                 find(lhs, widths).or_else(|| find(rhs, widths))
             }
             Expr::Unary { arg, .. } => find(arg, widths),
-            Expr::Binary { lhs, rhs, .. } => {
-                find(lhs, widths).or_else(|| find(rhs, widths))
-            }
-            Expr::Ternary { cond, then_e, else_e } => find(cond, widths)
+            Expr::Binary { lhs, rhs, .. } => find(lhs, widths).or_else(|| find(rhs, widths)),
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => find(cond, widths)
                 .or_else(|| find(then_e, widths))
                 .or_else(|| find(else_e, widths)),
             Expr::Concat(parts) => parts.iter().find_map(|p| find(p, widths)),
@@ -420,7 +436,11 @@ fn extract_subexpr(
                 lhs: Box::new(replace(lhs, target, wire)),
                 rhs: Box::new(replace(rhs, target, wire)),
             },
-            Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => Expr::Ternary {
                 cond: Box::new(replace(cond, target, wire)),
                 then_e: Box::new(replace(then_e, target, wire)),
                 else_e: Box::new(replace(else_e, target, wire)),
@@ -444,7 +464,11 @@ fn rewrite_stmt(s: &mut Stmt, rng: &mut StdRng, config: &VariationConfig) {
         Stmt::Blocking { rhs, .. } | Stmt::NonBlocking { rhs, .. } => {
             *rhs = rewrite_expr(rhs, rng, config);
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             *cond = rewrite_expr(cond, rng, config);
             rewrite_stmt(then_s, rng, config);
             if let Some(e) = else_s {
@@ -493,17 +517,18 @@ fn rewrite_expr(e: &Expr, rng: &mut StdRng, config: &VariationConfig) -> Expr {
                 rhs: Box::new(r),
             }
         }
-        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => Expr::Ternary {
             cond: Box::new(rewrite_expr(cond, rng, config)),
             then_e: Box::new(rewrite_expr(then_e, rng, config)),
             else_e: Box::new(rewrite_expr(else_e, rng, config)),
         },
-        Expr::Concat(parts) => Expr::Concat(
-            parts
-                .iter()
-                .map(|p| rewrite_expr(p, rng, config))
-                .collect(),
-        ),
+        Expr::Concat(parts) => {
+            Expr::Concat(parts.iter().map(|p| rewrite_expr(p, rng, config)).collect())
+        }
         other => other.clone(),
     };
     if !rng.gen_bool(config.rewrite_prob) {
@@ -511,7 +536,11 @@ fn rewrite_expr(e: &Expr, rng: &mut StdRng, config: &VariationConfig) -> Expr {
     }
     // identity rewrites on bitwise ops (width-safe)
     match &e {
-        Expr::Binary { op: BinaryOp::And, lhs, rhs } => {
+        Expr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            rhs,
+        } => {
             // De Morgan: a & b = ~(~a | ~b)
             Expr::Unary {
                 op: UnaryOp::BitNot,
@@ -528,7 +557,11 @@ fn rewrite_expr(e: &Expr, rng: &mut StdRng, config: &VariationConfig) -> Expr {
                 }),
             }
         }
-        Expr::Binary { op: BinaryOp::Or, lhs, rhs } => {
+        Expr::Binary {
+            op: BinaryOp::Or,
+            lhs,
+            rhs,
+        } => {
             // De Morgan: a | b = ~(~a & ~b)
             Expr::Unary {
                 op: UnaryOp::BitNot,
@@ -545,7 +578,11 @@ fn rewrite_expr(e: &Expr, rng: &mut StdRng, config: &VariationConfig) -> Expr {
                 }),
             }
         }
-        Expr::Binary { op: BinaryOp::Xor, lhs, rhs } => {
+        Expr::Binary {
+            op: BinaryOp::Xor,
+            lhs,
+            rhs,
+        } => {
             // a ^ b = (a & ~b) | (~a & b)
             Expr::Binary {
                 op: BinaryOp::Or,
@@ -592,15 +629,17 @@ mod tests {
     fn assert_variants_equivalent(src: &str, top: &str, n_variants: u64) {
         let base_flat = elaborate(src, Some(top)).expect("base flat");
         let base = Evaluator::new(&base_flat).expect("base eval");
-        let input_names: Vec<String> =
-            base_flat.inputs().iter().map(|s| s.to_string()).collect();
+        let input_names: Vec<String> = base_flat.inputs().iter().map(|s| s.to_string()).collect();
         let stimuli: Vec<HashMap<String, u64>> = (0..16u64)
             .map(|k| {
                 input_names
                     .iter()
                     .enumerate()
                     .map(|(i, n)| {
-                        (n.clone(), k.wrapping_mul(0x9E37).wrapping_add(i as u64 * 77))
+                        (
+                            n.clone(),
+                            k.wrapping_mul(0x9E37).wrapping_add(i as u64 * 77),
+                        )
                     })
                     .collect()
             })

@@ -84,7 +84,11 @@ impl<'m> Extractor<'m> {
         }
         for item in &self.module.items {
             match item {
-                Item::Decl { name, init: Some(e), .. } => {
+                Item::Decl {
+                    name,
+                    init: Some(e),
+                    ..
+                } => {
                     let target = self.signal(name);
                     let tree = self.expr_tree(e);
                     self.graph.add_edge(target, tree);
@@ -209,7 +213,11 @@ impl<'m> Extractor<'m> {
                 let ctx_now = ctx.clone();
                 self.drive(lhs, tree, &ctx_now);
             }
-            Stmt::If { cond, then_s, else_s } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let c = self.expr_tree(cond);
                 ctx.push(c);
                 self.stmt_tree(then_s, ctx);
@@ -304,7 +312,11 @@ impl<'m> Extractor<'m> {
                 self.graph.add_edge(id, r);
                 id
             }
-            Expr::Ternary { cond, then_e, else_e } => {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let id = self.graph.add_node(NodeKind::Branch, "?:");
                 let c = self.expr_tree(cond);
                 let t = self.expr_tree(then_e);

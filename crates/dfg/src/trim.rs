@@ -79,9 +79,9 @@ fn collapse_passthrough(g: &mut Dfg) -> usize {
         let mut rebuilt = Dfg::new(g.name());
         let mut remap = vec![0usize; n];
         let mut next = 0usize;
-        for i in 0..n {
+        for (i, slot) in remap.iter_mut().enumerate() {
             if i != id {
-                remap[i] = next;
+                *slot = next;
                 let node = g.node(i).clone();
                 rebuilt.add_node(node.kind, node.label);
                 next += 1;

@@ -126,8 +126,16 @@ impl ConfusionMatrix {
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "                Predicted+  Predicted-")?;
-        writeln!(f, "  Actual+ (piracy)   TP: {:<7} FN: {:<7}", self.tp, self.fn_)?;
-        write!(f, "  Actual- (clean)    FP: {:<7} TN: {:<7}", self.fp, self.tn)
+        writeln!(
+            f,
+            "  Actual+ (piracy)   TP: {:<7} FN: {:<7}",
+            self.tp, self.fn_
+        )?;
+        write!(
+            f,
+            "  Actual- (clean)    FP: {:<7} TN: {:<7}",
+            self.fp, self.tn
+        )
     }
 }
 

@@ -172,8 +172,16 @@ pub fn cluster_separation(points: &[Vec<f64>], labels: &[usize]) -> f64 {
             }
         }
     }
-    let mean_intra = if intra.1 == 0 { 0.0 } else { intra.0 / intra.1 as f64 };
-    let mean_inter = if inter.1 == 0 { 0.0 } else { inter.0 / inter.1 as f64 };
+    let mean_intra = if intra.1 == 0 {
+        0.0
+    } else {
+        intra.0 / intra.1 as f64
+    };
+    let mean_inter = if inter.1 == 0 {
+        0.0
+    } else {
+        inter.0 / inter.1 as f64
+    };
     let denom = mean_intra.max(mean_inter);
     if denom == 0.0 {
         0.0
@@ -229,10 +237,8 @@ mod tests {
             .map(|p| (p[0] - mx) * (p[1] - my))
             .sum::<f64>()
             / n;
-        let sx: f64 =
-            (proj.points.iter().map(|p| (p[0] - mx).powi(2)).sum::<f64>() / n).sqrt();
-        let sy: f64 =
-            (proj.points.iter().map(|p| (p[1] - my).powi(2)).sum::<f64>() / n).sqrt();
+        let sx: f64 = (proj.points.iter().map(|p| (p[0] - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy: f64 = (proj.points.iter().map(|p| (p[1] - my).powi(2)).sum::<f64>() / n).sqrt();
         let corr = cov / (sx * sy).max(1e-12);
         assert!(corr.abs() < 0.05, "components correlate: {corr}");
     }

@@ -8,9 +8,21 @@
 
 /// Cosine similarity of two equal-length vectors (0 for zero vectors).
 fn cosine(a: &[f32], b: &[f32]) -> f64 {
-    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum();
-    let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let dot: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum();
+    let na: f64 = a
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
     if na < 1e-12 || nb < 1e-12 {
         0.0
     } else {
@@ -29,11 +41,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Panics if lengths differ, fewer than `k + 1` points are given, or
 /// `k == 0`.
-pub fn retrieval_precision_at_k(
-    embeddings: &[Vec<f32>],
-    labels: &[usize],
-    k: usize,
-) -> f64 {
+pub fn retrieval_precision_at_k(embeddings: &[Vec<f32>], labels: &[usize], k: usize) -> f64 {
     assert_eq!(embeddings.len(), labels.len(), "embeddings/labels mismatch");
     assert!(k > 0, "k must be positive");
     assert!(

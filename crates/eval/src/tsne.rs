@@ -78,9 +78,9 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
                 break;
             }
             let mut entropy = 0.0;
-            for j in 0..n {
-                if j != i && p[i][j] > 0.0 {
-                    let pj = p[i][j] / sum;
+            for (j, &pv) in p[i].iter().enumerate() {
+                if j != i && pv > 0.0 {
+                    let pj = pv / sum;
                     entropy -= pj * pj.ln();
                 }
             }
@@ -89,7 +89,11 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
             }
             if entropy > target_entropy {
                 beta_lo = beta;
-                beta = if beta_hi >= 1e20 { beta * 2.0 } else { (beta + beta_hi) / 2.0 };
+                beta = if beta_hi >= 1e20 {
+                    beta * 2.0
+                } else {
+                    (beta + beta_hi) / 2.0
+                };
             } else {
                 beta_hi = beta;
                 beta = (beta + beta_lo) / 2.0;
@@ -102,9 +106,9 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
         }
         let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i][j]).sum();
         if sum > 0.0 {
-            for j in 0..n {
+            for (j, pv) in p[i].iter_mut().enumerate() {
                 if j != i {
-                    p[i][j] /= sum;
+                    *pv /= sum;
                 }
             }
         }
@@ -120,22 +124,26 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
     // init layout
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut y: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..config.dims).map(|_| rng.gen_range(-1e-2..1e-2)).collect())
+        .map(|_| {
+            (0..config.dims)
+                .map(|_| rng.gen_range(-1e-2..1e-2))
+                .collect()
+        })
         .collect();
     let mut velocity = vec![vec![0.0f64; config.dims]; n];
 
     for iter in 0..config.iterations {
-        let exaggeration = if iter < config.iterations / 4 { 4.0 } else { 1.0 };
+        let exaggeration = if iter < config.iterations / 4 {
+            4.0
+        } else {
+            1.0
+        };
         // low-dim affinities (student-t)
         let mut qnum = vec![vec![0.0f64; n]; n];
         let mut qsum = 0.0f64;
         for i in 0..n {
             for j in (i + 1)..n {
-                let dist: f64 = y[i]
-                    .iter()
-                    .zip(&y[j])
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum();
+                let dist: f64 = y[i].iter().zip(&y[j]).map(|(a, b)| (a - b).powi(2)).sum();
                 let q = 1.0 / (1.0 + dist);
                 qnum[i][j] = q;
                 qnum[j][i] = q;
@@ -158,8 +166,7 @@ pub fn tsne(data: &[Vec<f32>], config: &TsneConfig) -> Vec<Vec<f64>> {
                 }
             }
             for k in 0..config.dims {
-                velocity[i][k] =
-                    momentum * velocity[i][k] - config.learning_rate * grad[k];
+                velocity[i][k] = momentum * velocity[i][k] - config.learning_rate * grad[k];
             }
         }
         for i in 0..n {
@@ -190,7 +197,7 @@ mod tests {
         for i in 0..n_per * 2 {
             let center = if i < n_per { 0.0f32 } else { 10.0 };
             let row: Vec<f32> = (0..8)
-                .map(|_| center + rng.gen_range(-0.5..0.5))
+                .map(|_| center + rng.gen_range(-0.5f32..0.5))
                 .collect();
             data.push(row);
             labels.push(usize::from(i >= n_per));

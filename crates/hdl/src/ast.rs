@@ -478,7 +478,11 @@ impl Expr {
                 lhs.collect_idents(out);
                 rhs.collect_idents(out);
             }
-            Expr::Ternary { cond, then_e, else_e } => {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.collect_idents(out);
                 then_e.collect_idents(out);
                 else_e.collect_idents(out);

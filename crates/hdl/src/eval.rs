@@ -154,7 +154,11 @@ impl Evaluator {
     fn pass(&self, state: &mut HashMap<String, u64>) -> Result<(), ParseVerilogError> {
         for item in &self.module.items {
             match item {
-                Item::Decl { name, init: Some(e), .. } => {
+                Item::Decl {
+                    name,
+                    init: Some(e),
+                    ..
+                } => {
                     let v = self.eval_expr(e, state)?;
                     self.assign_to(&Expr::ident(name.clone()), v, state)?;
                 }
@@ -164,9 +168,9 @@ impl Evaluator {
                 }
                 Item::Gate(g) => self.eval_gate(g, state)?,
                 Item::Always { sensitivity, body } => {
-                    let is_comb = sensitivity.iter().all(|s| {
-                        matches!(s, SensItem::Star | SensItem::Level(_))
-                    });
+                    let is_comb = sensitivity
+                        .iter()
+                        .all(|s| matches!(s, SensItem::Star | SensItem::Level(_)));
                     if is_comb {
                         self.exec_stmt(body, state)?;
                     }
@@ -219,7 +223,11 @@ impl Evaluator {
                 let v = self.eval_expr(rhs, state)?;
                 self.assign_to(lhs, v, state)
             }
-            Stmt::If { cond, then_s, else_s } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 if self.eval_expr(cond, state)? != 0 {
                     self.exec_stmt(then_s, state)
                 } else if let Some(e) = else_s {
@@ -312,11 +320,7 @@ impl Evaluator {
         }
     }
 
-    fn eval_expr(
-        &self,
-        e: &Expr,
-        state: &HashMap<String, u64>,
-    ) -> Result<u64, ParseVerilogError> {
+    fn eval_expr(&self, e: &Expr, state: &HashMap<String, u64>) -> Result<u64, ParseVerilogError> {
         Ok(match e {
             Expr::Ident(n) => state.get(n).copied().unwrap_or(0),
             Expr::Number { width, value } => value & mask(width.unwrap_or(64)),
@@ -334,7 +338,7 @@ impl Evaluator {
                     UnaryOp::ReduceXor => u64::from(v.count_ones() % 2 == 1),
                     UnaryOp::ReduceNand => u64::from(v != mask(w)),
                     UnaryOp::ReduceNor => u64::from(v == 0),
-                    UnaryOp::ReduceXnor => u64::from(v.count_ones() % 2 == 0),
+                    UnaryOp::ReduceXnor => u64::from(v.count_ones().is_multiple_of(2)),
                 }
             }
             Expr::Binary { op, lhs, rhs } => {
@@ -345,20 +349,8 @@ impl Evaluator {
                     BinaryOp::Add => a.wrapping_add(b) & mask(w),
                     BinaryOp::Sub => a.wrapping_sub(b) & mask(w),
                     BinaryOp::Mul => a.wrapping_mul(b) & mask(w),
-                    BinaryOp::Div => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a / b
-                        }
-                    }
-                    BinaryOp::Mod => {
-                        if b == 0 {
-                            0
-                        } else {
-                            a % b
-                        }
-                    }
+                    BinaryOp::Div => a.checked_div(b).unwrap_or(0),
+                    BinaryOp::Mod => a.checked_rem(b).unwrap_or(0),
                     BinaryOp::Pow => a.wrapping_pow(b.min(63) as u32) & mask(w),
                     BinaryOp::Shl => {
                         if b >= 64 {
@@ -388,7 +380,11 @@ impl Evaluator {
                     BinaryOp::LogicalOr => u64::from(a != 0 || b != 0),
                 }
             }
-            Expr::Ternary { cond, then_e, else_e } => {
+            Expr::Ternary {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 if self.eval_expr(cond, state)? != 0 {
                     self.eval_expr(then_e, state)?
                 } else {
@@ -584,6 +580,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // literal mirrors the {a, a[3:2], 2'b01} concat
     fn concat_and_selects() {
         let e = build(
             "module m(input [3:0] a, output [7:0] y);

@@ -75,7 +75,11 @@ pub fn eval_const(expr: &Expr, env: &HashMap<String, i64>) -> Result<i64, ParseV
                 BinaryOp::LogicalOr => i64::from(a != 0 || b != 0),
             })
         }
-        Expr::Ternary { cond, then_e, else_e } => {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
             if eval_const(cond, env)? != 0 {
                 eval_const(then_e, env)
             } else {
@@ -107,7 +111,11 @@ fn subst_expr(expr: &Expr, env: &HashMap<String, i64>) -> Expr {
             lhs: Box::new(subst_expr(lhs, env)),
             rhs: Box::new(subst_expr(rhs, env)),
         },
-        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => Expr::Ternary {
             cond: Box::new(subst_expr(cond, env)),
             then_e: Box::new(subst_expr(then_e, env)),
             else_e: Box::new(subst_expr(else_e, env)),
@@ -144,7 +152,11 @@ fn subst_stmt(stmt: &Stmt, env: &HashMap<String, i64>) -> Stmt {
             lhs: subst_expr(lhs, env),
             rhs: subst_expr(rhs, env),
         },
-        Stmt::If { cond, then_s, else_s } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => Stmt::If {
             cond: subst_expr(cond, env),
             then_s: Box::new(subst_stmt(then_s, env)),
             else_s: else_s.as_ref().map(|s| Box::new(subst_stmt(s, env))),
@@ -161,7 +173,13 @@ fn subst_stmt(stmt: &Stmt, env: &HashMap<String, i64>) -> Stmt {
                 })
                 .collect(),
         },
-        Stmt::For { var, init, cond, step, body } => {
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
             // Shadow the loop variable: it is not a parameter inside the loop.
             let mut inner = env.clone();
             inner.remove(var);
@@ -191,7 +209,11 @@ fn rename_expr(expr: &Expr, f: &impl Fn(&str) -> String) -> Expr {
             lhs: Box::new(rename_expr(lhs, f)),
             rhs: Box::new(rename_expr(rhs, f)),
         },
-        Expr::Ternary { cond, then_e, else_e } => Expr::Ternary {
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => Expr::Ternary {
             cond: Box::new(rename_expr(cond, f)),
             then_e: Box::new(rename_expr(then_e, f)),
             else_e: Box::new(rename_expr(else_e, f)),
@@ -228,7 +250,11 @@ fn rename_stmt(stmt: &Stmt, f: &impl Fn(&str) -> String) -> Stmt {
             lhs: rename_expr(lhs, f),
             rhs: rename_expr(rhs, f),
         },
-        Stmt::If { cond, then_s, else_s } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => Stmt::If {
             cond: rename_expr(cond, f),
             then_s: Box::new(rename_stmt(then_s, f)),
             else_s: else_s.as_ref().map(|s| Box::new(rename_stmt(s, f))),
@@ -245,7 +271,13 @@ fn rename_stmt(stmt: &Stmt, f: &impl Fn(&str) -> String) -> Stmt {
                 })
                 .collect(),
         },
-        Stmt::For { var, init, cond, step, body } => Stmt::For {
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
             var: f(var),
             init: rename_expr(init, f),
             cond: rename_expr(cond, f),
@@ -334,11 +366,20 @@ fn flatten_with_params(
                 let v = eval_const(&subst_expr(value, &env), &env)?;
                 env.insert(name.clone(), v);
             }
-            Item::Decl { kind, name, range, init } => {
+            Item::Decl {
+                kind,
+                name,
+                range,
+                init,
+            } => {
                 let range = match range {
                     Some(r) => Some(Range {
-                        msb: Expr::number(eval_const(&subst_expr(&r.msb, &env), &env)?.max(0) as u64),
-                        lsb: Expr::number(eval_const(&subst_expr(&r.lsb, &env), &env)?.max(0) as u64),
+                        msb: Expr::number(
+                            eval_const(&subst_expr(&r.msb, &env), &env)?.max(0) as u64
+                        ),
+                        lsb: Expr::number(
+                            eval_const(&subst_expr(&r.lsb, &env), &env)?.max(0) as u64
+                        ),
                     }),
                     None => None,
                 };
@@ -426,8 +467,7 @@ fn inline_instance(
                     Some(n) => n == &port.name,
                     None => {
                         // positional: index in the child's header order
-                        flat_child.port_order.get(j).map(String::as_str)
-                            == Some(port.name.as_str())
+                        flat_child.port_order.get(j).map(String::as_str) == Some(port.name.as_str())
                             || (flat_child.port_order.is_empty() && j == i)
                     }
                 };
@@ -454,7 +494,12 @@ fn inline_instance(
     // Splice renamed child items.
     for item in &flat_child.items {
         let renamed = match item {
-            Item::Decl { kind, name, range, init } => Item::Decl {
+            Item::Decl {
+                kind,
+                name,
+                range,
+                init,
+            } => Item::Decl {
                 kind: *kind,
                 name: rename(name),
                 range: range.clone(),
@@ -494,7 +539,13 @@ fn inline_instance(
 fn unroll_fors(stmt: &Stmt, env: &HashMap<String, i64>) -> Result<Stmt, ParseVerilogError> {
     const MAX_ITERS: usize = 4096;
     Ok(match stmt {
-        Stmt::For { var, init, cond, step, body } => {
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let mut iter_env = env.clone();
             let mut v = eval_const(init, env)?;
             let mut unrolled = Vec::new();
@@ -521,7 +572,11 @@ fn unroll_fors(stmt: &Stmt, env: &HashMap<String, i64>) -> Result<Stmt, ParseVer
                 .map(|s| unroll_fors(s, env))
                 .collect::<Result<_, _>>()?,
         ),
-        Stmt::If { cond, then_s, else_s } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => Stmt::If {
             cond: cond.clone(),
             then_s: Box::new(unroll_fors(then_s, env)?),
             else_s: match else_s {
@@ -571,9 +626,10 @@ mod tests {
         let flat = flatten(&unit, "top").expect("flattens");
         assert!(flat.items.iter().all(|i| !matches!(i, Item::Instance(_))));
         // child signals are prefixed
-        let has_prefixed = flat.items.iter().any(|i| {
-            matches!(i, Item::Decl { name, .. } if name.starts_with("u0__"))
-        });
+        let has_prefixed = flat
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Decl { name, .. } if name.starts_with("u0__")));
         assert!(has_prefixed, "{:#?}", flat.items);
     }
 
@@ -662,7 +718,10 @@ mod tests {
         .expect("parses");
         let flat = flatten(&unit, "m").expect("flattens");
         match &flat.items[1] {
-            Item::Always { body: Stmt::Block(outer), .. } => match &outer[0] {
+            Item::Always {
+                body: Stmt::Block(outer),
+                ..
+            } => match &outer[0] {
                 Stmt::Block(iters) => {
                     assert_eq!(iters.len(), 4);
                     match &iters[2] {

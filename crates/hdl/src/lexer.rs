@@ -167,8 +167,7 @@ impl<'s> Lexer<'s> {
                     ))
                 }
             };
-            let digits =
-                self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'?');
+            let digits = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'?');
             if digits.is_empty() {
                 return Err(ParseVerilogError::at(span, "based literal with no digits"));
             }
@@ -346,7 +345,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        lex(src).expect("lexes").into_iter().map(|s| s.token).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

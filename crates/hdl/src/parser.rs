@@ -350,7 +350,7 @@ impl Parser {
                     range: range.clone(),
                 });
             }
-            if !module.port_order.iter().any(|n| *n == name) {
+            if !module.port_order.contains(&name) {
                 module.port_order.push(name);
             }
             if !self.eat_punct(Punct::Comma) {
@@ -429,7 +429,9 @@ impl Parser {
                 }
             }
             self.expect_punct(Punct::RParen)?;
-            module.items.push(Item::Gate(GateInstance { kind, name, conns }));
+            module
+                .items
+                .push(Item::Gate(GateInstance { kind, name, conns }));
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -560,7 +562,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_s, else_s })
+                Ok(Stmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                })
             }
             Some(Token::Kw(Keyword::Case))
             | Some(Token::Kw(Keyword::Casex))
@@ -611,7 +617,13 @@ impl Parser {
                 let step = self.expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::For { var, init, cond, step, body })
+                Ok(Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Some(Token::Punct(Punct::Semi)) => {
                 self.bump();
@@ -951,7 +963,13 @@ mod tests {
         assert_eq!(m.name, "adder");
         assert_eq!(m.inputs(), vec!["a", "b", "cin"]);
         assert_eq!(m.outputs(), vec!["sum", "cout"]);
-        assert!(m.ports.iter().find(|p| p.name == "sum").expect("sum").is_reg);
+        assert!(
+            m.ports
+                .iter()
+                .find(|p| p.name == "sum")
+                .expect("sum")
+                .is_reg
+        );
     }
 
     #[test]
@@ -964,7 +982,13 @@ mod tests {
         );
         assert_eq!(m.inputs(), vec!["a", "b"]);
         assert_eq!(m.outputs(), vec!["y"]);
-        assert!(m.ports.iter().find(|p| p.name == "y").expect("y").range.is_some());
+        assert!(m
+            .ports
+            .iter()
+            .find(|p| p.name == "y")
+            .expect("y")
+            .range
+            .is_some());
     }
 
     #[test]
@@ -978,7 +1002,9 @@ mod tests {
             Item::Assign { rhs, .. } => {
                 // precedence: | at top
                 match rhs {
-                    Expr::Binary { op: BinaryOp::Or, .. } => {}
+                    Expr::Binary {
+                        op: BinaryOp::Or, ..
+                    } => {}
                     e => panic!("wrong precedence: {e:?}"),
                 }
             }
@@ -1035,7 +1061,10 @@ mod tests {
              endmodule",
         );
         match &m.items[0] {
-            Item::Always { body: Stmt::Case { arms, .. }, .. } => {
+            Item::Always {
+                body: Stmt::Case { arms, .. },
+                ..
+            } => {
                 assert_eq!(arms.len(), 3);
                 assert_eq!(arms[1].0.len(), 2);
                 assert!(arms[2].0.is_empty());
@@ -1066,7 +1095,13 @@ mod tests {
             .collect();
         assert_eq!(
             gates,
-            vec![GateKind::Xor, GateKind::And, GateKind::And, GateKind::Xor, GateKind::Or]
+            vec![
+                GateKind::Xor,
+                GateKind::And,
+                GateKind::And,
+                GateKind::Xor,
+                GateKind::Or
+            ]
         );
     }
 
@@ -1077,7 +1112,11 @@ mod tests {
                and g1(x, a, b), g2(y, b, a);
              endmodule",
         );
-        let n = m.items.iter().filter(|i| matches!(i, Item::Gate(_))).count();
+        let n = m
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Gate(_)))
+            .count();
         assert_eq!(n, 2);
     }
 
@@ -1133,8 +1172,14 @@ mod tests {
              endmodule",
         );
         match &m.items[0] {
-            Item::Assign { rhs: Expr::Concat(_), .. } => {}
-            Item::Assign { rhs: Expr::Repeat { .. }, .. } => {}
+            Item::Assign {
+                rhs: Expr::Concat(_),
+                ..
+            } => {}
+            Item::Assign {
+                rhs: Expr::Repeat { .. },
+                ..
+            } => {}
             i => panic!("{i:?}"),
         }
     }
@@ -1147,7 +1192,10 @@ mod tests {
              endmodule",
         );
         match &m.items[0] {
-            Item::Assign { rhs: Expr::Ternary { .. }, .. } => {}
+            Item::Assign {
+                rhs: Expr::Ternary { .. },
+                ..
+            } => {}
             i => panic!("{i:?}"),
         }
     }
@@ -1164,7 +1212,10 @@ mod tests {
              endmodule",
         );
         match &m.items[1] {
-            Item::Always { body: Stmt::Block(stmts), .. } => {
+            Item::Always {
+                body: Stmt::Block(stmts),
+                ..
+            } => {
                 assert!(matches!(stmts[0], Stmt::For { .. }));
             }
             i => panic!("{i:?}"),
@@ -1208,7 +1259,10 @@ mod tests {
                assign y = t;
              endmodule",
         );
-        let has_decl = m.items.iter().any(|i| matches!(i, Item::Decl { name, .. } if name == "t"));
+        let has_decl = m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Decl { name, .. } if name == "t"));
         assert!(has_decl);
     }
 
@@ -1220,7 +1274,10 @@ mod tests {
              endmodule",
         );
         match &m.items[0] {
-            Item::Assign { lhs: Expr::Concat(parts), .. } => assert_eq!(parts.len(), 2),
+            Item::Assign {
+                lhs: Expr::Concat(parts),
+                ..
+            } => assert_eq!(parts.len(), 2),
             i => panic!("{i:?}"),
         }
     }

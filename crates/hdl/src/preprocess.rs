@@ -40,7 +40,14 @@ pub fn preprocess(source: &str, includes: &IncludeMap) -> Result<String, ParseVe
     let mut out = String::with_capacity(no_comments.len());
     // Stack of "currently emitting" flags for ifdef nesting.
     let mut emit_stack: Vec<bool> = Vec::new();
-    expand(&no_comments, includes, &mut macros, &mut emit_stack, &mut out, 0)?;
+    expand(
+        &no_comments,
+        includes,
+        &mut macros,
+        &mut emit_stack,
+        &mut out,
+        0,
+    )?;
     if !emit_stack.is_empty() {
         return Err(ParseVerilogError::msg("unterminated `ifdef"));
     }

@@ -160,35 +160,35 @@ pub enum Punct {
     Hash,
     At,
     Question,
-    Assign,      // =
-    LtEq,        // <=  (also relational; parser disambiguates)
-    GtEq,        // >=
-    Lt,          // <
-    Gt,          // >
-    EqEq,        // ==
-    NotEq,       // !=
-    CaseEq,      // ===
-    CaseNotEq,   // !==
-    AndAnd,      // &&
-    OrOr,        // ||
-    And,         // &
-    Or,          // |
-    Xor,         // ^
-    Xnor,        // ^~ or ~^
-    Not,         // !
-    Tilde,       // ~
-    Nand,        // ~&
-    Nor,         // ~|
+    Assign,    // =
+    LtEq,      // <=  (also relational; parser disambiguates)
+    GtEq,      // >=
+    Lt,        // <
+    Gt,        // >
+    EqEq,      // ==
+    NotEq,     // !=
+    CaseEq,    // ===
+    CaseNotEq, // !==
+    AndAnd,    // &&
+    OrOr,      // ||
+    And,       // &
+    Or,        // |
+    Xor,       // ^
+    Xnor,      // ^~ or ~^
+    Not,       // !
+    Tilde,     // ~
+    Nand,      // ~&
+    Nor,       // ~|
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Shl,         // <<
-    Shr,         // >>
-    AShr,        // >>>
-    PlusPlus,    // not verilog, tolerated never emitted
-    Star2,       // ** power
+    Shl,      // <<
+    Shr,      // >>
+    AShr,     // >>>
+    PlusPlus, // not verilog, tolerated never emitted
+    Star2,    // ** power
 }
 
 impl fmt::Display for Punct {

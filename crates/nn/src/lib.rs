@@ -35,6 +35,6 @@ pub use graph_input::GraphInput;
 pub use loss::{cosine_embedding_loss, PairLabel, DEFAULT_MARGIN};
 pub use model::{top_k_indices, ConvKind, Hw2Vec, Hw2VecConfig, Mode, Readout};
 pub use trainer::{
-    cosine_of, embed_all, score_pairs, train, train_with_validation, tune_delta,
-    validation_loss, EpochStats, OptimizerKind, PairSample, TrainConfig, TrainReport,
+    cosine_of, embed_all, score_pairs, train, train_with_validation, tune_delta, validation_loss,
+    EpochStats, OptimizerKind, PairSample, TrainConfig, TrainReport,
 };

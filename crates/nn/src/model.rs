@@ -165,7 +165,11 @@ impl Hw2Vec {
         let mut layer_w2 = Vec::new();
         let mut layer_b = Vec::new();
         for l in 0..config.layers {
-            let fan_in = if l == 0 { config.input_dim } else { config.hidden };
+            let fan_in = if l == 0 {
+                config.input_dim
+            } else {
+                config.hidden
+            };
             layer_w.push(params.add_glorot(format!("conv{l}.w"), fan_in, config.hidden, &mut rng));
             if config.conv == ConvKind::Sage {
                 layer_w2.push(params.add_glorot(
@@ -341,9 +345,14 @@ impl Hw2Vec {
         if !(parts.len() == 7 || parts.len() == 8) || parts[0] != "config" {
             return Err(format!("bad config line '{cfg_line}'"));
         }
-        let parse_usize =
-            |s: &str| s.parse::<usize>().map_err(|e| format!("bad integer '{s}': {e}"));
-        let parse_f32 = |s: &str| s.parse::<f32>().map_err(|e| format!("bad float '{s}': {e}"));
+        let parse_usize = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad integer '{s}': {e}"))
+        };
+        let parse_f32 = |s: &str| {
+            s.parse::<f32>()
+                .map_err(|e| format!("bad float '{s}': {e}"))
+        };
         let config = Hw2VecConfig {
             input_dim: parse_usize(parts[1])?,
             hidden: parse_usize(parts[2])?,

@@ -127,7 +127,10 @@ pub fn train(
 ) -> TrainReport {
     assert!(!pairs.is_empty(), "no training pairs");
     for p in pairs {
-        assert!(p.a < graphs.len() && p.b < graphs.len(), "pair out of range");
+        assert!(
+            p.a < graphs.len() && p.b < graphs.len(),
+            "pair out of range"
+        );
     }
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -239,7 +242,6 @@ pub fn validation_loss(
     total / pairs.len().max(1) as f32
 }
 
-
 /// Computes mean gradients and summed loss for one batch, fanning pairs out
 /// across worker threads.
 #[allow(clippy::too_many_arguments)]
@@ -253,9 +255,7 @@ fn batch_gradients(
     batch_no: usize,
     threads: usize,
 ) -> (Vec<Matrix>, f32) {
-    let chunks: Vec<&[usize]> = batch
-        .chunks(batch.len().div_ceil(threads).max(1))
-        .collect();
+    let chunks: Vec<&[usize]> = batch.chunks(batch.len().div_ceil(threads).max(1)).collect();
     let results: Vec<(GradAccum, f32)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -425,14 +425,15 @@ mod tests {
     }
 
     fn toy_dataset() -> (Vec<GraphInput>, Vec<PairSample>) {
-        let graphs: Vec<GraphInput> = (0..4)
-            .map(family_a)
-            .chain((0..4).map(family_b))
-            .collect();
+        let graphs: Vec<GraphInput> = (0..4).map(family_a).chain((0..4).map(family_b)).collect();
         let mut pairs = Vec::new();
         for i in 0..4 {
             for j in (i + 1)..4 {
-                pairs.push(PairSample { a: i, b: j, label: PairLabel::Similar });
+                pairs.push(PairSample {
+                    a: i,
+                    b: j,
+                    label: PairLabel::Similar,
+                });
                 pairs.push(PairSample {
                     a: 4 + i,
                     b: 4 + j,

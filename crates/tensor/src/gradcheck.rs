@@ -83,7 +83,9 @@ mod tests {
         // Small deterministic pseudo-random values away from ReLU kinks.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
             if v.abs() < 0.05 {
                 v + 0.2

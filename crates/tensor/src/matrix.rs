@@ -111,7 +111,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix whose entries are produced by `f(row, col)`.
@@ -177,7 +181,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -188,7 +195,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -475,7 +485,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, scale: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += scale * b;
         }
@@ -565,7 +579,9 @@ mod tests {
         assert_eq!(mx, Matrix::from_rows(&[&[3.0, 5.0]]));
         assert_eq!(arg, vec![1, 0]);
         assert_eq!(x.col_sum(), Matrix::from_rows(&[&[6.0, 9.0]]));
-        assert!(x.col_mean().approx_eq(&Matrix::from_rows(&[&[2.0, 3.0]]), 1e-6));
+        assert!(x
+            .col_mean()
+            .approx_eq(&Matrix::from_rows(&[&[2.0, 3.0]]), 1e-6));
     }
 
     #[test]

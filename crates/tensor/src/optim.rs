@@ -137,7 +137,11 @@ impl GradAccum {
     ///
     /// Panics if `param_vars` does not line up with the accumulator.
     pub fn absorb(&mut self, grads: &Gradients, param_vars: &[Var<'_>]) {
-        assert_eq!(param_vars.len(), self.sums.len(), "parameter count mismatch");
+        assert_eq!(
+            param_vars.len(),
+            self.sums.len(),
+            "parameter count mismatch"
+        );
         for (sum, var) in self.sums.iter_mut().zip(param_vars) {
             if let Some(g) = grads.wrt(*var) {
                 sum.add_assign(g);
@@ -153,7 +157,11 @@ impl GradAccum {
 
     /// Mean gradients over absorbed samples (zeros when nothing absorbed).
     pub fn means(&self) -> Vec<Matrix> {
-        let inv = if self.count == 0 { 0.0 } else { 1.0 / self.count as f32 };
+        let inv = if self.count == 0 {
+            0.0
+        } else {
+            1.0 / self.count as f32
+        };
         self.sums.iter().map(|s| s.scale(inv)).collect()
     }
 
@@ -244,14 +252,16 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamStore, grads: &[Matrix]) {
         assert_eq!(grads.len(), params.len(), "gradient count mismatch");
         if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+            self.m = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
             self.v = self.m.clone();
         }
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..grads.len() {
-            let g = &grads[i];
+        for (i, g) in grads.iter().enumerate() {
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));

@@ -39,7 +39,10 @@ impl CsrMatrix {
     /// Panics if any coordinate is out of bounds.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds for {rows}x{cols}"
+            );
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -62,7 +65,13 @@ impl CsrMatrix {
         for i in 0..rows {
             indptr[i + 1] += indptr[i];
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -83,8 +92,7 @@ impl CsrMatrix {
     /// Iterates over `(row, col, value)` of stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            (self.indptr[r]..self.indptr[r + 1])
-                .map(move |i| (r, self.indices[i], self.values[i]))
+            (self.indptr[r]..self.indptr[r + 1]).map(move |i| (r, self.indices[i], self.values[i]))
         })
     }
 
@@ -120,8 +128,7 @@ impl CsrMatrix {
 
     /// Transposed copy (CSR of the transpose).
     pub fn transpose(&self) -> CsrMatrix {
-        let triples: Vec<(usize, usize, f32)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triples: Vec<(usize, usize, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &triples)
     }
 
@@ -144,7 +151,10 @@ impl CsrMatrix {
     ///
     /// Panics if the matrix is not square or an index is out of bounds.
     pub fn select_square(&self, idx: &[usize]) -> CsrMatrix {
-        assert_eq!(self.rows, self.cols, "select_square requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "select_square requires a square matrix"
+        );
         let mut pos = vec![usize::MAX; self.rows];
         for (new, &old) in idx.iter().enumerate() {
             assert!(old < self.rows, "index {old} out of bounds");
@@ -296,7 +306,13 @@ mod tests {
         let s = CsrMatrix::from_triplets(
             4,
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0), (1, 1, 9.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 0, 4.0),
+                (1, 1, 9.0),
+            ],
         );
         let sub = s.select_square(&[1, 2]);
         let d = sub.to_dense();

@@ -204,6 +204,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[allow(clippy::should_implement_trait)] // tape ops consume `self` and return a new Var
     pub fn add(self, rhs: Var<'t>) -> Var<'t> {
         let out = self.value().add(&rhs.value());
         let (ai, bi) = (self.idx, rhs.idx);
@@ -218,6 +219,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics on shape mismatch.
+    #[allow(clippy::should_implement_trait)] // tape ops consume `self` and return a new Var
     pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
         let out = self.value().sub(&rhs.value());
         let (ai, bi) = (self.idx, rhs.idx);
@@ -275,9 +277,7 @@ impl<'t> Var<'t> {
         let (xi, bi) = (self.idx, bias.idx);
         self.tape.push(
             out,
-            Some(Box::new(move |g| {
-                vec![(xi, g.clone()), (bi, g.col_sum())]
-            })),
+            Some(Box::new(move |g| vec![(xi, g.clone()), (bi, g.col_sum())])),
         )
     }
 
@@ -397,8 +397,8 @@ impl<'t> Var<'t> {
         let (rows, cols) = x.shape();
         self.unary(out, move |g| {
             let mut gx = Matrix::zeros(rows, cols);
-            for c in 0..cols {
-                gx.set(arg[c], c, g.get(0, c));
+            for (c, &r) in arg.iter().enumerate() {
+                gx.set(r, c, g.get(0, c));
             }
             gx
         })
@@ -543,7 +543,10 @@ mod tests {
         let b = tape.input(Matrix::zeros(1, 2));
         let y = x.add_bias(b).sum_all();
         let grads = tape.backward(y);
-        assert_eq!(grads.wrt(b).expect("grad b"), &Matrix::from_rows(&[&[3.0, 3.0]]));
+        assert_eq!(
+            grads.wrt(b).expect("grad b"),
+            &Matrix::from_rows(&[&[3.0, 3.0]])
+        );
     }
 
     #[test]

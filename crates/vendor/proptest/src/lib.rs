@@ -1,0 +1,518 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so this in-repo shim
+//! implements the surface the workspace's property tests use: the
+//! [`proptest!`] macro, the [`Strategy`] trait with range / tuple /
+//! [`collection::vec`] / regex-literal strategies and
+//! [`Strategy::prop_map`], [`ProptestConfig::with_cases`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted for a shim:
+//! failing cases are **not shrunk** (the panic message carries the
+//! values via normal `assert!` formatting), and the per-test RNG is
+//! seeded deterministically from the test's name, so every run explores
+//! the same cases — reproducibility over novelty.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream: `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = self.end as u32 - self.start as u32;
+        let mut v = self.start as u32 + (rng.next_u64() % span as u64) as u32;
+        // skip the surrogate gap
+        if (0xD800..0xE000).contains(&v) {
+            v = 0xD7FF;
+        }
+        char::from_u32(v).unwrap_or(self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.sample(rng), )+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// String literals are regex-subset strategies, as in upstream proptest.
+///
+/// Supported syntax: literal characters, escapes (`\n`, `\t`, `\r`,
+/// `\\`, and escaped punctuation), character classes `[a-z...]`
+/// (ranges, escapes, leading `^` negation over printable ASCII), and
+/// the quantifiers `{m,n}` / `{m,}` / `{m}` / `*` / `+` / `?`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        regex_lite::sample(self, rng)
+    }
+}
+
+mod regex_lite {
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut negated = false;
+        if chars.peek() == Some(&'^') {
+            negated = true;
+            chars.next();
+        }
+        let mut members: Vec<char> = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = unescape(chars.next().expect("dangling escape in class"));
+                    members.push(e);
+                    prev = Some(e);
+                }
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let hi = match chars.next() {
+                        Some('\\') => unescape(chars.next().expect("dangling escape")),
+                        Some(h) => h,
+                        None => panic!("unterminated class range"),
+                    };
+                    let lo = prev.take().expect("range without start");
+                    for v in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            members.push(ch);
+                        }
+                    }
+                }
+                other => {
+                    members.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if negated {
+            let excluded: std::collections::HashSet<char> = members.into_iter().collect();
+            members = (0x20..0x7Fu32)
+                .filter_map(char::from_u32)
+                .filter(|c| !excluded.contains(c))
+                .collect();
+            assert!(
+                !members.is_empty(),
+                "negated class excludes all printable ASCII"
+            );
+        }
+        assert!(!members.is_empty(), "empty character class");
+        members
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    let min: usize = lo.trim().parse().expect("bad quantifier");
+                    let max = if hi.trim().is_empty() {
+                        min + 32
+                    } else {
+                        hi.trim().parse().expect("bad quantifier")
+                    };
+                    (min, max)
+                } else {
+                    let n: usize = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Lit(unescape(chars.next().expect("dangling escape"))),
+                '.' => Atom::Class((0x20..0x7Fu32).filter_map(char::from_u32).collect()),
+                other => Atom::Lit(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + (rng.next_u64() % span) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[(rng.next_u64() % set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive-exclusive count bound for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property test. The shim forwards to
+/// `assert!`; a failure panics with the interpolated values (no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test (forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test (forwards to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let ($($pat,)+) = $crate::Strategy::sample(&strategy, &mut rng);
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (no shrinking in shim)",
+                            stringify!($name), case + 1, config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_lite_class_and_quantifier() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~\\n]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let exact = Strategy::sample(&"ab{3}c", &mut rng);
+        assert_eq!(exact, "abbbc");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_test("vecs");
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0usize..5, 2..7), &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: tuple destructuring, map, and asserts.
+        #[test]
+        fn macro_end_to_end(
+            a in 1usize..10,
+            (x, y) in (0u64..100, 0u64..100),
+            v in prop::collection::vec(0i32..3, 0..5),
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(x < 100 && y < 100);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn prop_map_works(n in (0usize..10).prop_map(|n| n * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 21);
+        }
+    }
+}

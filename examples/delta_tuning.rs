@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // What different delta policies buy you
     println!("\ndelta policies:");
-    println!("  {:<28} {:>7} {:>10} {:>8}", "policy", "delta", "precision", "recall");
+    println!(
+        "  {:<28} {:>7} {:>10} {:>8}",
+        "policy", "delta", "precision", "recall"
+    );
     for (policy, delta) in [
         ("strict (few false alarms)", 0.95f32),
         ("accuracy-optimal (tuned)", outcome.delta),

@@ -27,8 +27,11 @@ endmodule";
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 1: preprocess
     let pre = preprocess(SRC, &IncludeMap::new())?;
-    println!("[1] preprocess: {} chars -> {} chars (comments/macros resolved)",
-        SRC.len(), pre.len());
+    println!(
+        "[1] preprocess: {} chars -> {} chars (comments/macros resolved)",
+        SRC.len(),
+        pre.len()
+    );
 
     // Phase 2: parse
     let tokens = lex(&pre)?;
@@ -37,12 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "[2] parse: {} tokens -> {} modules ({:?})",
         tokens.len(),
         unit.modules.len(),
-        unit.modules.iter().map(|m| m.name.as_str()).collect::<Vec<_>>()
+        unit.modules
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Phase 2b: flatten the hierarchy
     let flat = flatten(&unit, "top")?;
-    println!("[3] flatten: 'top' now has {} items, no instances", flat.items.len());
+    println!(
+        "[3] flatten: 'top' now has {} items, no instances",
+        flat.items.len()
+    );
 
     // Phase 3+4: data-flow analysis + merge
     let mut g = extract(&flat);
@@ -73,6 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dot = g.to_dot();
     let path = std::env::temp_dir().join("gnn4ip_top.dot");
     std::fs::write(&path, &dot)?;
-    println!("\nDOT written to {} ({} bytes) — render with `dot -Tsvg`.", path.display(), dot.len());
+    println!(
+        "\nDOT written to {} ({} bytes) — render with `dot -Tsvg`.",
+        path.display(),
+        dot.len()
+    );
     Ok(())
 }

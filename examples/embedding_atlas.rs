@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  design              pc1        pc2");
     for (i, p) in proj.points.iter().enumerate() {
-        let name = if labels[i] == 0 { "pipeline-MIPS" } else { "single-MIPS " };
+        let name = if labels[i] == 0 {
+            "pipeline-MIPS"
+        } else {
+            "single-MIPS "
+        };
         println!("  {name}  {:+10.4} {:+10.4}", p[0], p[1]);
     }
     let sep_pca = cluster_separation(&proj.points, &labels);

@@ -70,11 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let incoming = [
         ("vendor_fp_unit.v", disguised_fpa.as_str(), Some("fpa")),
         ("vendor_checksum.v", disguised_crc.as_str(), Some("crc8")),
-        ("display_decoder.v", seven_seg.source.as_str(), Some("seven_seg")),
+        (
+            "display_decoder.v",
+            seven_seg.source.as_str(),
+            Some("seven_seg"),
+        ),
         ("uart_core.v", uart.source.as_str(), Some("rs232")),
     ];
 
-    println!("{:<22} {:<12} {:>8}   verdict", "incoming file", "best match", "score");
+    println!(
+        "{:<22} {:<12} {:>8}   verdict",
+        "incoming file", "best match", "score"
+    );
     println!("{}", "-".repeat(58));
     for (fname, src, top) in incoming {
         let hits = lib.scan(&detector, src, top)?;
@@ -83,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{fname:<22} {:<12} {:>+8.4}   {}",
             best.name,
             best.score,
-            if best.piracy { "FLAG: possible piracy" } else { "clear" }
+            if best.piracy {
+                "FLAG: possible piracy"
+            } else {
+                "clear"
+            }
         );
     }
     println!(

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  obfuscated variant {variant}: score {:+.4} -> {}",
             v.score,
-            if v.piracy { "PIRACY detected" } else { "missed!" }
+            if v.piracy {
+                "PIRACY detected"
+            } else {
+                "missed!"
+            }
         );
         scores.push(v.score);
     }

@@ -84,9 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Ask Algorithm 1 about the adder pair and an unrelated pair.
     let same = detector.check(ADDER_RTL, ADDER_GATES)?;
     let diff = detector.check(ADDER_RTL, UNRELATED)?;
-    println!("\ngnn4ip(adder_rtl, adder_gates): score {:+.4} -> {}",
+    println!(
+        "\ngnn4ip(adder_rtl, adder_gates): score {:+.4} -> {}",
         same.score,
-        if same.piracy { "PIRACY" } else { "no piracy" });
+        if same.piracy { "PIRACY" } else { "no piracy" }
+    );
     println!(
         "gnn4ip(adder_rtl, counter):     score {:+.4} -> {}",
         diff.score,
@@ -95,7 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nThe two adder codings score {}, the unrelated pair scores lower — \
          similarity survives the coding change, as Fig. 1 argues.",
-        if same.score > diff.score { "higher" } else { "UNEXPECTEDLY lower" }
+        if same.score > diff.score {
+            "higher"
+        } else {
+            "UNEXPECTEDLY lower"
+        }
     );
     Ok(())
 }

@@ -159,7 +159,11 @@ fn check(args: &[String]) -> Result<(), String> {
         "similarity {:+.4} (delta {:+.3}) -> {}",
         verdict.score,
         verdict.delta,
-        if verdict.piracy { "PIRACY" } else { "no piracy" }
+        if verdict.piracy {
+            "PIRACY"
+        } else {
+            "no piracy"
+        }
     );
     Ok(())
 }
@@ -176,8 +180,7 @@ fn scan(args: &[String]) -> Result<(), String> {
         lib.register_source(&detector, *path, &src, None)
             .map_err(|e| format!("{path}: {e}"))?;
     }
-    let suspect =
-        std::fs::read_to_string(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
+    let suspect = std::fs::read_to_string(files[0]).map_err(|e| format!("{}: {e}", files[0]))?;
     let hits = lib
         .scan(&detector, &suspect, None)
         .map_err(|e| e.to_string())?;

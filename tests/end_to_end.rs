@@ -29,7 +29,12 @@ fn self_similarity_is_one_for_all_named_designs() {
     let detector = Gnn4Ip::with_seed(2);
     for design in named_rtl_designs().into_iter().take(8) {
         let v = detector
-            .check_with_tops(&design.source, Some(&design.top), &design.source, Some(&design.top))
+            .check_with_tops(
+                &design.source,
+                Some(&design.top),
+                &design.source,
+                Some(&design.top),
+            )
             .expect("check");
         assert!(
             v.score > 0.999,

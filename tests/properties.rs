@@ -71,8 +71,12 @@ proptest! {
 
 /// Random rooted DAG for graph-invariant tests.
 fn arb_dfg() -> impl Strategy<Value = Dfg> {
-    (2usize..30, prop::collection::vec((0usize..30, 0usize..30), 0..60), 0usize..45).prop_map(
-        |(n, raw_edges, root_kind)| {
+    (
+        2usize..30,
+        prop::collection::vec((0usize..30, 0usize..30), 0..60),
+        0usize..45,
+    )
+        .prop_map(|(n, raw_edges, root_kind)| {
             let mut g = Dfg::new("prop");
             for i in 0..n {
                 let kind = NodeKind::from_index((i + root_kind) % VOCAB_SIZE).expect("kind");
@@ -87,8 +91,7 @@ fn arb_dfg() -> impl Strategy<Value = Dfg> {
             }
             g.add_root(n - 1);
             g
-        },
-    )
+        })
 }
 
 proptest! {
