@@ -3,10 +3,20 @@
 //! `hw2vec(p)` turns a hardware design into a graph embedding;
 //! `gnn4ip(p1, p2)` compares two designs by cosine similarity and applies
 //! the decision boundary δ.
+//!
+//! Every source-level entry point is backed by a content-addressed
+//! [`EmbeddingCache`]: a design is parsed and embedded once per detector,
+//! then served by fingerprint lookup. [`Gnn4Ip::check_many`] and
+//! [`Gnn4Ip::embed_many`] are the batched forms — distinct designs in a
+//! batch are embedded in parallel via the tape-free inference path.
+
+use std::sync::Mutex;
 
 use gnn4ip_dfg::graph_from_verilog;
-use gnn4ip_hdl::ParseVerilogError;
-use gnn4ip_nn::{GraphInput, Hw2Vec, Hw2VecConfig};
+use gnn4ip_hdl::{design_fingerprint, Fingerprint, ParseVerilogError, StableHasher};
+use gnn4ip_nn::{cosine_of, GraphInput, Hw2Vec, Hw2VecConfig};
+
+use crate::cache::{CacheStats, EmbeddingCache};
 
 /// The verdict of a piracy check (Algorithm 1's output plus the evidence).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,20 +42,30 @@ pub struct Verdict {
 /// assert!(verdict.score > 0.99); // identical designs
 /// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Gnn4Ip {
     model: Hw2Vec,
     delta: f32,
+    /// Fingerprint → embedding. A `Mutex` (not `RefCell`) so a detector can
+    /// be shared across scan threads; it is never held across an embedding.
+    cache: Mutex<EmbeddingCache>,
+}
+
+impl Clone for Gnn4Ip {
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone(),
+            delta: self.delta,
+            cache: Mutex::new(self.cache.lock().expect("cache poisoned").clone()),
+        }
+    }
 }
 
 impl Gnn4Ip {
     /// Creates a detector with the paper's default architecture and an
     /// untuned decision boundary of 0.5.
     pub fn new(config: Hw2VecConfig, seed: u64) -> Self {
-        Self {
-            model: Hw2Vec::new(config, seed),
-            delta: 0.5,
-        }
+        Self::from_model(Hw2Vec::new(config, seed), 0.5)
     }
 
     /// Creates a detector with all defaults from a seed.
@@ -55,7 +75,11 @@ impl Gnn4Ip {
 
     /// Wraps an externally trained model.
     pub fn from_model(model: Hw2Vec, delta: f32) -> Self {
-        Self { model, delta }
+        Self {
+            model,
+            delta,
+            cache: Mutex::new(EmbeddingCache::new()),
+        }
     }
 
     /// The underlying hw2vec model.
@@ -64,7 +88,11 @@ impl Gnn4Ip {
     }
 
     /// Mutable access to the model (for training).
+    ///
+    /// Clears the embedding cache: cached embeddings are only valid for the
+    /// weights that produced them.
     pub fn model_mut(&mut self) -> &mut Hw2Vec {
+        self.cache.get_mut().expect("cache poisoned").clear();
         &mut self.model
     }
 
@@ -79,22 +107,92 @@ impl Gnn4Ip {
         self.delta = delta;
     }
 
-    /// `hw2vec(p)`: Verilog source → graph embedding.
+    /// `hw2vec(p)`: Verilog source → graph embedding, served from the
+    /// content-addressed cache when this detector has embedded an
+    /// equivalent design before.
     ///
     /// # Errors
     ///
     /// Propagates parse/elaboration failures from the DFG pipeline.
     pub fn hw2vec(&self, verilog: &str, top: Option<&str>) -> Result<Vec<f32>, ParseVerilogError> {
+        let fp = self.fingerprint(verilog, top)?;
+        if let Some(e) = self.cache.lock().expect("cache poisoned").get(fp) {
+            return Ok(e);
+        }
+        // Parse and embed outside the lock: misses are the slow path.
         let g = graph_from_verilog(verilog, top)?;
-        Ok(self.model.embed(&GraphInput::from_dfg(&g)))
+        let e = self.model.embed(&GraphInput::from_dfg(&g));
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(fp, e.clone());
+        Ok(e)
     }
 
-    /// Embeds an already-extracted graph.
+    /// Embeds a batch of `(source, top)` designs, in input order.
+    ///
+    /// Cached designs are served by fingerprint lookup; the distinct
+    /// uncached designs are parsed once each (duplicates inside the batch
+    /// collapse onto one embedding) and embedded in parallel through the
+    /// tape-free batched forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse/elaboration failure; no partial results.
+    pub fn embed_many(
+        &self,
+        sources: &[(&str, Option<&str>)],
+    ) -> Result<Vec<Vec<f32>>, ParseVerilogError> {
+        let mut fps = Vec::with_capacity(sources.len());
+        for &(src, top) in sources {
+            fps.push(self.fingerprint(src, top)?);
+        }
+        // resolve hits and collect the distinct misses
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; sources.len()];
+        let mut miss_fps = Vec::new();
+        let mut seen_misses = std::collections::HashSet::new();
+        let mut miss_graphs = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (i, &fp) in fps.iter().enumerate() {
+                if let Some(e) = cache.get(fp) {
+                    out[i] = Some(e);
+                }
+            }
+        }
+        for (i, &fp) in fps.iter().enumerate() {
+            if out[i].is_some() || !seen_misses.insert(fp) {
+                continue;
+            }
+            let (src, top) = sources[i];
+            miss_fps.push(fp);
+            miss_graphs.push(GraphInput::from_dfg(&graph_from_verilog(src, top)?));
+        }
+        if !miss_graphs.is_empty() {
+            let embedded = self.model.embed_batch(&miss_graphs);
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (fp, e) in miss_fps.iter().zip(embedded) {
+                cache.insert(*fp, e);
+            }
+            for (i, fp) in fps.iter().enumerate() {
+                if out[i].is_none() {
+                    out[i] = cache.peek(*fp).cloned();
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|e| e.expect("every fingerprint resolved"))
+            .collect())
+    }
+
+    /// Embeds an already-extracted graph (no parsing, no caching).
     pub fn embed(&self, graph: &GraphInput) -> Vec<f32> {
         self.model.embed(graph)
     }
 
-    /// `gnn4ip(p1, p2)`: full Algorithm 1 on two Verilog sources.
+    /// `gnn4ip(p1, p2)`: full Algorithm 1 on two Verilog sources — a thin
+    /// wrapper over the cached embedding path.
     ///
     /// # Errors
     ///
@@ -115,9 +213,30 @@ impl Gnn4Ip {
         p2: &str,
         top2: Option<&str>,
     ) -> Result<Verdict, ParseVerilogError> {
-        let g1 = GraphInput::from_dfg(&graph_from_verilog(p1, top1)?);
-        let g2 = GraphInput::from_dfg(&graph_from_verilog(p2, top2)?);
-        Ok(self.verdict_on_graphs(&g1, &g2))
+        let e1 = self.hw2vec(p1, top1)?;
+        let e2 = self.hw2vec(p2, top2)?;
+        Ok(self.verdict_on_embeddings(&e1, &e2))
+    }
+
+    /// Algorithm 1 over a batch of source pairs, in input order.
+    ///
+    /// All 2·n sides go through [`Gnn4Ip::embed_many`], so a design that
+    /// appears in many pairs — the library-screening deployment — is
+    /// embedded exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse/elaboration failure; no partial results.
+    pub fn check_many(&self, pairs: &[(&str, &str)]) -> Result<Vec<Verdict>, ParseVerilogError> {
+        let sources: Vec<(&str, Option<&str>)> = pairs
+            .iter()
+            .flat_map(|&(a, b)| [(a, None), (b, None)])
+            .collect();
+        let embeddings = self.embed_many(&sources)?;
+        Ok(embeddings
+            .chunks_exact(2)
+            .map(|pair| self.verdict_on_embeddings(&pair[0], &pair[1]))
+            .collect())
     }
 
     /// Algorithm 1 on prepared graphs (no parsing).
@@ -128,6 +247,59 @@ impl Gnn4Ip {
             delta: self.delta,
             piracy: score > self.delta,
         }
+    }
+
+    /// Algorithm 1 on precomputed embeddings (no parsing, no model pass).
+    pub fn verdict_on_embeddings(&self, e1: &[f32], e2: &[f32]) -> Verdict {
+        let score = cosine_of(e1, e2);
+        Verdict {
+            score,
+            delta: self.delta,
+            piracy: score > self.delta,
+        }
+    }
+
+    /// Content fingerprint of a design, memoized on the raw source text:
+    /// a byte-identical resubmission skips even preprocessing and lexing.
+    fn fingerprint(
+        &self,
+        verilog: &str,
+        top: Option<&str>,
+    ) -> Result<Fingerprint, ParseVerilogError> {
+        let mut h = StableHasher::new();
+        h.write_str(verilog);
+        match top {
+            Some(t) => {
+                h.write(&[1]);
+                h.write_str(t);
+            }
+            None => h.write(&[0]),
+        }
+        let raw_key = h.finish();
+        if let Some(fp) = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .fingerprint_for_raw(raw_key)
+        {
+            return Ok(fp);
+        }
+        let fp = design_fingerprint(verilog, top)?;
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .remember_raw(raw_key, fp);
+        Ok(fp)
+    }
+
+    /// Hit/miss/entry counters of the embedding cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Drops every cached embedding and resets the counters.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
     }
 
     /// Serializes model + δ to text.
@@ -149,10 +321,7 @@ impl Gnn4Ip {
             .ok_or_else(|| format!("bad delta line '{first}'"))?
             .parse::<f32>()
             .map_err(|e| format!("bad delta value: {e}"))?;
-        Ok(Self {
-            model: Hw2Vec::from_text(rest)?,
-            delta,
-        })
+        Ok(Self::from_model(Hw2Vec::from_text(rest)?, delta))
     }
 }
 
@@ -206,6 +375,67 @@ mod tests {
     fn parse_errors_propagate() {
         let d = Gnn4Ip::with_seed(5);
         assert!(d.check("module broken(", INV).is_err());
+        assert!(d.check_many(&[(INV, "module broken(")]).is_err());
+    }
+
+    #[test]
+    fn repeat_checks_hit_the_cache() {
+        let d = Gnn4Ip::with_seed(8);
+        let v1 = d.check(INV, ADDER).expect("cold");
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        let v2 = d.check(INV, ADDER).expect("warm");
+        assert_eq!(v1, v2);
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        d.clear_cache();
+        assert_eq!(d.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn comment_only_changes_share_a_cache_entry() {
+        let d = Gnn4Ip::with_seed(9);
+        let _ = d.hw2vec(INV, None).expect("embeds");
+        let commented = format!("// resubmitted\n{INV}");
+        let _ = d.hw2vec(&commented, None).expect("embeds");
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn check_many_matches_individual_checks() {
+        let d = Gnn4Ip::with_seed(10);
+        let pairs = [(INV, ADDER), (INV, INV), (ADDER, INV)];
+        let batch = d.check_many(&pairs).expect("batch");
+        let d2 = Gnn4Ip::with_seed(10);
+        for (v, &(a, b)) in batch.iter().zip(&pairs) {
+            assert_eq!(*v, d2.check(a, b).expect("single"));
+        }
+        // 3 pairs, 6 sides, but only 2 distinct designs were embedded
+        assert_eq!(d.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn embed_many_dedupes_within_a_batch() {
+        let d = Gnn4Ip::with_seed(11);
+        let out = d
+            .embed_many(&[(INV, None), (ADDER, None), (INV, None)])
+            .expect("batch");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2]);
+        let s = d.cache_stats();
+        assert_eq!(s.entries, 2);
+        // and they agree with the single-source path
+        assert_eq!(out[1], d.hw2vec(ADDER, None).expect("single"));
+    }
+
+    #[test]
+    fn model_mut_invalidates_the_cache() {
+        let mut d = Gnn4Ip::with_seed(12);
+        let _ = d.hw2vec(INV, None).expect("embeds");
+        assert_eq!(d.cache_stats().entries, 1);
+        let _ = d.model_mut();
+        assert_eq!(d.cache_stats().entries, 0);
     }
 
     #[test]

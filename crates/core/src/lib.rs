@@ -5,7 +5,9 @@
 //! with a graph neural network (hw2vec), and scores design pairs by cosine
 //! similarity against a decision boundary δ (Algorithm 1).
 //!
-//! - [`Gnn4Ip`] — the detector: `hw2vec(p)`, `check(p1, p2)` → [`Verdict`].
+//! - [`Gnn4Ip`] — the detector: `hw2vec(p)`, `check(p1, p2)` → [`Verdict`],
+//!   plus the batched/cached forms `check_many` and `embed_many` backed by a
+//!   content-addressed [`EmbeddingCache`].
 //! - [`run_experiment`] — the Table-I protocol: corpus → train → tune δ →
 //!   held-out confusion matrix + per-sample timing.
 //! - [`IpLibrary`] — portfolio screening: embed owned cores once, scan each
@@ -42,9 +44,11 @@
 #![warn(missing_docs)]
 
 mod api;
+mod cache;
 mod experiment;
 mod library;
 
 pub use api::{Gnn4Ip, Verdict};
+pub use cache::{CacheStats, EmbeddingCache};
 pub use experiment::{corpus_inputs, run_experiment, to_pair_samples, ExperimentOutcome};
 pub use library::{IpLibrary, LibraryMatch};

@@ -1,0 +1,304 @@
+//! A corpus-scale cosine-similarity index over hw2vec embeddings.
+//!
+//! §IV-C argues hw2vec embeddings separate designs in embedding space; the
+//! deployment consequence is a *library*: embed every owned IP once, then
+//! answer "what is this suspect closest to?" forever. [`EmbeddingIndex`]
+//! stores row-normalized embeddings in one contiguous matrix, so a query
+//! is a single matrix-vector product and the full pairwise similarity
+//! of `n` entries is one blocked `E · Eᵀ` gemm instead of `n²` scalar
+//! dot-product calls.
+
+use gnn4ip_tensor::Matrix;
+
+/// One query result: the neighbor's position, label, and cosine score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryHit {
+    /// Insertion index of the neighbor.
+    pub index: usize,
+    /// Label the neighbor was inserted with.
+    pub label: usize,
+    /// Cosine similarity to the query, in `[-1, 1]`.
+    pub score: f32,
+}
+
+/// An incrementally built index of row-normalized embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_eval::EmbeddingIndex;
+///
+/// let mut index = EmbeddingIndex::new(2);
+/// index.insert(&[1.0, 0.0], 0);
+/// index.insert(&[0.9, 0.1], 0);
+/// index.insert(&[0.0, 2.0], 1);
+/// let hits = index.query(&[1.0, 0.05], 2);
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[0].label, 0); // nearest neighbors are the x-axis cluster
+/// assert!(hits[0].score >= hits[1].score);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingIndex {
+    dim: usize,
+    /// Row-major `len x dim` normalized embeddings (zero rows for
+    /// zero-norm inputs, which score 0 against everything).
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl EmbeddingIndex {
+    /// Creates an empty index over `dim`-dimensional embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            dim,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Builds an index from parallel embedding/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, or hold ragged
+    /// embeddings.
+    pub fn from_embeddings(embeddings: &[Vec<f32>], labels: &[usize]) -> Self {
+        assert_eq!(embeddings.len(), labels.len(), "embeddings/labels mismatch");
+        let dim = embeddings
+            .first()
+            .expect("cannot infer dimension from an empty set")
+            .len();
+        let mut index = Self::new(dim);
+        for (e, &l) in embeddings.iter().zip(labels) {
+            index.insert(e, l);
+        }
+        index
+    }
+
+    /// Number of indexed embeddings.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Labels in insertion order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Appends one embedding (normalized on the way in).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn insert(&mut self, embedding: &[f32], label: usize) {
+        assert_eq!(
+            embedding.len(),
+            self.dim,
+            "embedding dimension {} != index dimension {}",
+            embedding.len(),
+            self.dim
+        );
+        let norm = embedding.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            self.data.extend(std::iter::repeat_n(0.0, self.dim));
+        } else {
+            self.data.extend(embedding.iter().map(|v| v / norm));
+        }
+        self.labels.push(label);
+    }
+
+    /// The `k` nearest neighbors of `query` by cosine similarity, highest
+    /// first (ties broken by insertion index). Returns fewer than `k` hits
+    /// only when the index holds fewer entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch or `k == 0`.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<QueryHit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let mut hits: Vec<QueryHit> = (0..self.len())
+            .map(|i| {
+                let row = &self.data[i * self.dim..(i + 1) * self.dim];
+                let dot: f32 = row.iter().zip(query).map(|(&r, &q)| r * q).sum();
+                let score = if qnorm < 1e-12 { 0.0 } else { dot / qnorm };
+                QueryHit {
+                    index: i,
+                    label: self.labels[i],
+                    score,
+                }
+            })
+            .collect();
+        let k = k.min(hits.len());
+        if k < hits.len() {
+            hits.select_nth_unstable_by(k, Self::rank);
+            hits.truncate(k);
+        }
+        hits.sort_unstable_by(Self::rank);
+        hits
+    }
+
+    fn rank(a: &QueryHit, b: &QueryHit) -> std::cmp::Ordering {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    }
+
+    /// The full `n x n` cosine-similarity Gram matrix, computed as one
+    /// blocked `E · Eᵀ` product over the normalized embedding matrix.
+    pub fn pairwise_similarity(&self) -> Matrix {
+        let e = Matrix::from_vec(self.len(), self.dim, self.data.clone());
+        e.matmul_nt(&e)
+    }
+
+    /// Mean precision@k of same-label retrieval over the indexed points:
+    /// for each entry, the fraction of its `k` nearest neighbors (excluding
+    /// itself) that share its label, averaged over all entries.
+    ///
+    /// Computed from one blocked Gram matrix rather than per-query scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the index holds fewer than `k + 1` entries.
+    pub fn precision_at_k(&self, k: usize) -> f64 {
+        assert!(k > 0, "k must be positive");
+        let n = self.len();
+        assert!(n > k, "need more than k points ({n} <= {k})");
+        let sims = self.pairwise_similarity();
+        let mut total = 0.0f64;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for q in 0..n {
+            let row = sims.row(q);
+            order.clear();
+            order.extend((0..n).filter(|&j| j != q));
+            order.select_nth_unstable_by(k - 1, |&a, &b| {
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let hits = order[..k]
+                .iter()
+                .filter(|&&j| self.labels[j] == self.labels[q])
+                .count();
+            total += hits as f64 / k as f64;
+        }
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered() -> EmbeddingIndex {
+        let mut idx = EmbeddingIndex::new(3);
+        for i in 0..5 {
+            idx.insert(&[1.0, 0.0, 0.001 * i as f32], 0);
+            idx.insert(&[0.0, 1.0, 0.001 * i as f32], 1);
+        }
+        idx
+    }
+
+    #[test]
+    fn query_returns_sorted_same_cluster_hits() {
+        let idx = clustered();
+        let hits = idx.query(&[2.0, 0.1, 0.0], 4);
+        assert_eq!(hits.len(), 4);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert!(hits.iter().all(|h| h.label == 0));
+    }
+
+    #[test]
+    fn query_scores_match_plain_cosine() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[3.0, 4.0], 7); // normalizes to [0.6, 0.8]
+        let hits = idx.query(&[1.0, 0.0], 1);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[0].label, 7);
+        assert!((hits[0].score - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_handles_small_index_and_zero_query() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[1.0, 0.0], 0);
+        assert_eq!(idx.query(&[1.0, 0.0], 5).len(), 1);
+        let zero_hits = idx.query(&[0.0, 0.0], 1);
+        assert_eq!(zero_hits[0].score, 0.0);
+    }
+
+    #[test]
+    fn zero_norm_entries_score_zero() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[0.0, 0.0], 0);
+        idx.insert(&[1.0, 0.0], 1);
+        let hits = idx.query(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].label, 1);
+        assert_eq!(hits[1].score, 0.0);
+    }
+
+    #[test]
+    fn pairwise_similarity_is_symmetric_with_unit_diagonal() {
+        let idx = clustered();
+        let s = idx.pairwise_similarity();
+        assert_eq!(s.shape(), (10, 10));
+        assert!(s.approx_eq(&s.transpose(), 1e-5));
+        for i in 0..10 {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-5, "diag {i}");
+        }
+    }
+
+    #[test]
+    fn precision_at_k_is_perfect_for_pure_clusters() {
+        let idx = clustered();
+        assert!(idx.precision_at_k(3) > 0.99);
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_build() {
+        let embeddings: Vec<Vec<f32>> = (0..6)
+            .map(|i| vec![(i % 3) as f32 + 1.0, (i % 2) as f32, 0.5])
+            .collect();
+        let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let bulk = EmbeddingIndex::from_embeddings(&embeddings, &labels);
+        let mut inc = EmbeddingIndex::new(3);
+        for (e, &l) in embeddings.iter().zip(&labels) {
+            inc.insert(e, l);
+        }
+        assert_eq!(bulk, inc);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn insert_rejects_wrong_dimension() {
+        EmbeddingIndex::new(3).insert(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn query_rejects_zero_k() {
+        let mut idx = EmbeddingIndex::new(1);
+        idx.insert(&[1.0], 0);
+        let _ = idx.query(&[1.0], 0);
+    }
+}

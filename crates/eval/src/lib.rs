@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod confusion;
+mod index;
 mod pca;
 mod retrieval;
 mod roc;
@@ -27,6 +28,7 @@ mod scores;
 mod tsne;
 
 pub use confusion::ConfusionMatrix;
+pub use index::{EmbeddingIndex, QueryHit};
 pub use pca::{cluster_separation, pca, PcaProjection};
 pub use retrieval::retrieval_precision_at_k;
 pub use roc::{auc, roc_curve, RocPoint};

@@ -6,29 +6,7 @@
 //! each instance, how many of its k nearest neighbors (by cosine) share its
 //! design label?
 
-/// Cosine similarity of two equal-length vectors (0 for zero vectors).
-fn cosine(a: &[f32], b: &[f32]) -> f64 {
-    let dot: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| (x as f64) * (y as f64))
-        .sum();
-    let na: f64 = a
-        .iter()
-        .map(|&x| (x as f64) * (x as f64))
-        .sum::<f64>()
-        .sqrt();
-    let nb: f64 = b
-        .iter()
-        .map(|&x| (x as f64) * (x as f64))
-        .sum::<f64>()
-        .sqrt();
-    if na < 1e-12 || nb < 1e-12 {
-        0.0
-    } else {
-        dot / (na * nb)
-    }
-}
+use crate::index::EmbeddingIndex;
 
 /// Mean precision@k of same-label retrieval: for each embedding, the
 /// fraction of its `k` nearest neighbors (cosine, excluding itself) that
@@ -36,6 +14,10 @@ fn cosine(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// 1.0 means every instance's neighborhood is pure; chance level is the
 /// label's prevalence.
+///
+/// This is [`EmbeddingIndex::precision_at_k`] over a throwaway index: one
+/// blocked Gram-matrix product instead of `n²` scalar cosine calls. Build
+/// the index yourself to amortize it across metrics and queries.
 ///
 /// # Panics
 ///
@@ -49,22 +31,7 @@ pub fn retrieval_precision_at_k(embeddings: &[Vec<f32>], labels: &[usize], k: us
         "need more than k points ({} <= {k})",
         embeddings.len()
     );
-    let n = embeddings.len();
-    let mut total = 0.0f64;
-    for q in 0..n {
-        let mut sims: Vec<(usize, f64)> = (0..n)
-            .filter(|&j| j != q)
-            .map(|j| (j, cosine(&embeddings[q], &embeddings[j])))
-            .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let hits = sims
-            .iter()
-            .take(k)
-            .filter(|(j, _)| labels[*j] == labels[q])
-            .count();
-        total += hits as f64 / k as f64;
-    }
-    total / n as f64
+    EmbeddingIndex::from_embeddings(embeddings, labels).precision_at_k(k)
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 pub mod ast;
 mod error;
 mod eval;
+mod fingerprint;
 mod flatten;
 mod lexer;
 mod parser;
@@ -58,6 +59,7 @@ pub use ast::{
 };
 pub use error::ParseVerilogError;
 pub use eval::Evaluator;
+pub use fingerprint::{design_fingerprint, Fingerprint, StableHasher};
 pub use flatten::{eval_const, flatten};
 pub use lexer::lex;
 pub use parser::parse;

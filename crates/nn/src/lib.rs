@@ -29,12 +29,17 @@
 mod graph_input;
 mod loss;
 mod model;
+mod parallel;
 mod trainer;
 
 pub use graph_input::GraphInput;
 pub use loss::{cosine_embedding_loss, PairLabel, DEFAULT_MARGIN};
 pub use model::{top_k_indices, ConvKind, Hw2Vec, Hw2VecConfig, Mode, Readout};
+pub use parallel::fan_out;
 pub use trainer::{
     cosine_of, embed_all, score_pairs, train, train_with_validation, tune_delta, validation_loss,
     EpochStats, OptimizerKind, PairSample, TrainConfig, TrainReport,
 };
+
+// Re-exported so batched-inference callers need only this crate.
+pub use gnn4ip_tensor::Workspace;

@@ -1,12 +1,21 @@
 //! The hw2vec graph-embedding model: stacked GCN layers, self-attention
 //! graph pooling, and a graph readout (Fig. 3 of the paper).
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use gnn4ip_tensor::{Matrix, ParamId, ParamStore, Tape, Var};
+use gnn4ip_tensor::{Matrix, ParamId, ParamStore, Tape, Var, Workspace};
 
 use crate::graph_input::GraphInput;
+use crate::parallel::fan_out;
+
+thread_local! {
+    /// Per-thread scratch for [`Hw2Vec::embed`], so repeated single-graph
+    /// embeddings reuse buffers instead of re-allocating each call.
+    static EMBED_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
 
 /// Graph-readout operation (paper §III-C: sum-, mean-, or max-pooling; the
 /// evaluation uses max).
@@ -287,21 +296,124 @@ impl Hw2Vec {
         }
     }
 
-    /// Computes the graph embedding in inference mode.
+    /// Tape-free forward pass for inference.
+    ///
+    /// Produces the same embedding as the tape-backed
+    /// [`forward`](Hw2Vec::forward) in [`Mode::Eval`] — bit for bit; the two
+    /// paths share every compute kernel — but records nothing, clones no
+    /// parameters, and draws all scratch from `ws`, so a warm workspace
+    /// serves the whole pass without allocating.
+    pub fn forward_infer(&self, graph: &GraphInput, ws: &mut Workspace) -> Vec<f32> {
+        let n = graph.node_count();
+        let hidden = self.config.hidden;
+        let last = self.config.layers - 1;
+
+        // --- message propagation (mirrors `forward`, eval mode) ---
+        // First layer exploits one-hot features: X W = W[kinds].
+        let mut gathered = ws.acquire(n, hidden);
+        self.params
+            .get(self.layer_w[0])
+            .select_rows_into(&graph.kinds, &mut gathered);
+        let mut h = ws.acquire(n, hidden);
+        match self.config.conv {
+            ConvKind::Gcn => graph.adj.spmm_into(&gathered, &mut h),
+            ConvKind::Sage => {
+                let mut gn = ws.acquire(n, hidden);
+                self.params
+                    .get(self.layer_w2[0])
+                    .select_rows_into(&graph.kinds, &mut gn);
+                graph.mean_adj.spmm_into(&gn, &mut h);
+                h.add_assign(&gathered);
+                ws.release(gn);
+            }
+        }
+        h.add_row_broadcast_assign(self.params.get(self.layer_b[0]));
+        if last > 0 {
+            h.map_assign(|v| v.max(0.0));
+        }
+        let mut tmp = gathered; // recycle: same n x hidden shape
+        for l in 1..self.config.layers {
+            let w = self.params.get(self.layer_w[l]);
+            match self.config.conv {
+                ConvKind::Gcn => {
+                    h.matmul_into(w, &mut tmp); // tmp = H W
+                    graph.adj.spmm_into(&tmp, &mut h); // h = Â (H W)
+                }
+                ConvKind::Sage => {
+                    h.matmul_into(w, &mut tmp); // tmp = H W_self
+                    let mut agg = ws.acquire(n, hidden);
+                    graph.mean_adj.spmm_into(&h, &mut agg); // agg = mean_N(H)
+                    agg.matmul_into(self.params.get(self.layer_w2[l]), &mut h);
+                    h.add_assign(&tmp); // h = H W_self + agg W_neigh
+                    ws.release(agg);
+                }
+            }
+            h.add_row_broadcast_assign(self.params.get(self.layer_b[l]));
+            if l < last {
+                h.map_assign(|v| v.max(0.0));
+            }
+        }
+
+        // --- self-attention graph pooling (top-k, GCN scorer) ---
+        let mut score = ws.acquire(n, 1);
+        h.matmul_into(self.params.get(self.score_w), &mut score);
+        let mut alpha = ws.acquire(n, 1);
+        graph.adj.spmm_into(&score, &mut alpha);
+        alpha.add_row_broadcast_assign(self.params.get(self.score_b));
+        alpha.map_assign(f32::tanh);
+        let mut order = ws.acquire_idx();
+        let mut idx = ws.acquire_idx();
+        top_k_into(&alpha, self.config.pool_ratio, &mut order, &mut idx);
+
+        // --- X_pool = H[idx] ⊙ α[idx], then graph readout ---
+        let mut pooled = ws.acquire(idx.len(), hidden);
+        for (to, &from) in idx.iter().enumerate() {
+            let a = alpha.get(from, 0);
+            for (d, &s) in pooled.row_mut(to).iter_mut().zip(h.row(from)) {
+                *d = s * a;
+            }
+        }
+        let mut out = ws.acquire(1, hidden);
+        readout_into(&pooled, self.config.readout, &mut out);
+        let embedding = out.row(0).to_vec();
+
+        ws.release(out);
+        ws.release(pooled);
+        ws.release(alpha);
+        ws.release(score);
+        ws.release(tmp);
+        ws.release(h);
+        ws.release_idx(idx);
+        ws.release_idx(order);
+        embedding
+    }
+
+    /// Computes the graph embedding in inference mode (tape-free, with
+    /// per-thread scratch reuse).
     pub fn embed(&self, graph: &GraphInput) -> Vec<f32> {
-        let tape = Tape::new();
-        let vars = self.params.inject(&tape);
-        let h = self.forward(&tape, &vars, graph, &mut Mode::Eval);
-        h.value().into_vec()
+        EMBED_WS.with(|ws| self.forward_infer(graph, &mut ws.borrow_mut()))
+    }
+
+    /// Embeds every graph, fanning chunks across scoped worker threads —
+    /// the batched inference entry point. Each worker owns one warm
+    /// [`Workspace`], so a batch of `m` graphs costs `m` tape-free forward
+    /// passes and at most one buffer warm-up per worker.
+    pub fn embed_batch(&self, graphs: &[GraphInput]) -> Vec<Vec<f32>> {
+        fan_out(graphs, 0, |_tid, chunk| {
+            let mut ws = Workspace::new();
+            chunk
+                .iter()
+                .map(|g| self.forward_infer(g, &mut ws))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Cosine similarity of two graphs' embeddings (Eq. 6), in `[-1, 1]`.
     pub fn similarity(&self, a: &GraphInput, b: &GraphInput) -> f32 {
-        let tape = Tape::new();
-        let vars = self.params.inject(&tape);
-        let ha = self.forward(&tape, &vars, a, &mut Mode::Eval);
-        let hb = self.forward(&tape, &vars, b, &mut Mode::Eval);
-        ha.cosine(hb).item()
+        crate::trainer::cosine_of(&self.embed(a), &self.embed(b))
     }
 
     /// Serializes config + weights to a self-describing text format.
@@ -411,9 +523,19 @@ impl Hw2Vec {
 /// Indices of the top `ceil(ratio * n)` rows of an `n x 1` score column,
 /// by descending score (ties broken by node id for determinism).
 pub fn top_k_indices(alpha: &Matrix, ratio: f32) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut idx = Vec::new();
+    top_k_into(alpha, ratio, &mut order, &mut idx);
+    idx
+}
+
+/// [`top_k_indices`] into caller-provided (cleared) scratch, so the
+/// inference path can reuse index buffers across passes.
+fn top_k_into(alpha: &Matrix, ratio: f32, order: &mut Vec<usize>, idx: &mut Vec<usize>) {
     let n = alpha.rows();
     let k = ((ratio * n as f32).ceil() as usize).clamp(1, n);
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| {
         alpha
             .get(b, 0)
@@ -421,10 +543,42 @@ pub fn top_k_indices(alpha: &Matrix, ratio: f32) -> Vec<usize> {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
-    let mut idx = order[..k].to_vec();
+    idx.clear();
+    idx.extend_from_slice(&order[..k]);
     // preserve original node order inside the pool (stability for spmm reuse)
     idx.sort_unstable();
-    idx
+}
+
+/// Writes the graph readout of `pooled` (`k x c`) into the `1 x c` buffer
+/// `out`, replicating the column reductions of the tape ops exactly.
+fn readout_into(pooled: &Matrix, readout: Readout, out: &mut Matrix) {
+    let (rows, cols) = pooled.shape();
+    debug_assert!(rows > 0, "readout on empty pool");
+    debug_assert_eq!(out.shape(), (1, cols));
+    match readout {
+        Readout::Max => {
+            out.row_mut(0).copy_from_slice(pooled.row(0));
+            for r in 1..rows {
+                for (m, &v) in out.row_mut(0).iter_mut().zip(pooled.row(r)) {
+                    if v > *m {
+                        *m = v;
+                    }
+                }
+            }
+        }
+        Readout::Mean | Readout::Sum => {
+            out.as_mut_slice().fill(0.0);
+            for r in 0..rows {
+                for (s, &v) in out.row_mut(0).iter_mut().zip(pooled.row(r)) {
+                    *s += v;
+                }
+            }
+            if readout == Readout::Mean {
+                let inv = 1.0 / rows as f32;
+                out.map_assign(|v| v * inv);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -599,6 +753,66 @@ mod tests {
         let text = m.to_text().replacen(" gcn\n", "\n", 1);
         let m2 = Hw2Vec::from_text(&text).expect("loads legacy");
         assert_eq!(m2.config().conv, ConvKind::Gcn);
+    }
+
+    /// Tape-backed eval-mode embedding, for equivalence tests.
+    fn embed_via_tape(m: &Hw2Vec, g: &GraphInput) -> Vec<f32> {
+        let tape = Tape::new();
+        let vars = m.params().inject(&tape);
+        m.forward(&tape, &vars, g, &mut Mode::Eval)
+            .value()
+            .into_vec()
+    }
+
+    #[test]
+    fn forward_infer_matches_tape_forward_bitwise() {
+        for conv in [ConvKind::Gcn, ConvKind::Sage] {
+            for readout in [Readout::Max, Readout::Mean, Readout::Sum] {
+                for layers in [1usize, 2, 3] {
+                    let cfg = Hw2VecConfig {
+                        conv,
+                        readout,
+                        layers,
+                        ..Hw2VecConfig::default()
+                    };
+                    let m = Hw2Vec::new(cfg, 41);
+                    let g = graph(7);
+                    let mut ws = Workspace::new();
+                    let fast = m.forward_infer(&g, &mut ws);
+                    let slow = embed_via_tape(&m, &g);
+                    assert_eq!(
+                        fast, slow,
+                        "mismatch for {conv:?}/{readout:?}/{layers} layers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_infer_reuses_workspace_without_allocating() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 42);
+        let g = graph(20);
+        let mut ws = Workspace::new();
+        let first = m.forward_infer(&g, &mut ws);
+        let warm = ws.allocations();
+        for _ in 0..5 {
+            assert_eq!(m.forward_infer(&g, &mut ws), first);
+        }
+        // smaller graph must also be served from the warm pool
+        let _ = m.forward_infer(&graph(3), &mut ws);
+        assert_eq!(ws.allocations(), warm, "warm workspace re-allocated");
+    }
+
+    #[test]
+    fn embed_batch_matches_sequential_embed() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 43);
+        let graphs: Vec<GraphInput> = (0..13).map(|i| graph(i % 5)).collect();
+        let batch = m.embed_batch(&graphs);
+        assert_eq!(batch.len(), graphs.len());
+        for (b, g) in batch.iter().zip(&graphs) {
+            assert_eq!(b, &m.embed(g));
+        }
     }
 
     #[test]

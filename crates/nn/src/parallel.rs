@@ -1,0 +1,113 @@
+//! Shared thread fan-out for the trainer and batched inference.
+//!
+//! Both the minibatch gradient loop and
+//! [`Hw2Vec::embed_batch`](crate::Hw2Vec::embed_batch) split a slice of
+//! independent work items across scoped worker threads. The chunking policy
+//! lives here, once, so the two paths cannot drift.
+
+/// Splits `items` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk from a scoped worker thread, returning per-chunk results in
+/// chunk order.
+///
+/// `f` receives `(chunk_index, chunk)`; the chunk index is stable and
+/// deterministic, so callers may fold it into per-worker RNG seeds.
+/// `threads == 0` means one chunk per available core. A single-chunk fan-out
+/// runs inline on the caller's thread — no spawn overhead for small inputs.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_nn::fan_out;
+///
+/// let squares: Vec<Vec<i32>> = fan_out(&[1, 2, 3, 4, 5], 2, |_tid, chunk| {
+///     chunk.iter().map(|x| x * x).collect()
+/// });
+/// let flat: Vec<i32> = squares.into_iter().flatten().collect();
+/// assert_eq!(flat, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let chunk = items.len().div_ceil(threads).max(1);
+    if chunk >= items.len() {
+        return vec![f(0, items)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(tid, c)| scope.spawn(move || f(tid, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_across_chunks() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 8, 0] {
+            let flat: Vec<usize> = fan_out(&items, threads, |_t, c| c.to_vec())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_never_exceeds_threads() {
+        let items: Vec<u8> = vec![0; 50];
+        for threads in 1..=8 {
+            let n_chunks = fan_out(&items, threads, |_t, _c| ()).len();
+            assert!(
+                n_chunks <= threads,
+                "{n_chunks} chunks for {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_sequential() {
+        let items: Vec<u8> = vec![0; 40];
+        let tids: Vec<usize> = fan_out(&items, 4, |tid, _c| tid);
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out: Vec<()> = fan_out::<u8, (), _>(&[], 4, |_t, _c| ());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let flat: Vec<i32> = fan_out(&[1, 2], 16, |_t, c| c.to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(flat, vec![1, 2]);
+    }
+}

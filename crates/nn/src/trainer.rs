@@ -15,6 +15,7 @@ use gnn4ip_tensor::{Adam, GradAccum, Matrix, Optimizer, Sgd, Tape};
 use crate::graph_input::GraphInput;
 use crate::loss::{cosine_embedding_loss, PairLabel, DEFAULT_MARGIN};
 use crate::model::{Hw2Vec, Mode};
+use crate::parallel::fan_out;
 
 /// One labeled training pair, indexing into a shared graph list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,52 +256,29 @@ fn batch_gradients(
     batch_no: usize,
     threads: usize,
 ) -> (Vec<Matrix>, f32) {
-    let chunks: Vec<&[usize]> = batch.chunks(batch.len().div_ceil(threads).max(1)).collect();
-    let results: Vec<(GradAccum, f32)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(tid, chunk)| {
-                scope.spawn(move || {
-                    let mut acc = GradAccum::zeros_like(model.params());
-                    let mut loss_sum = 0.0f32;
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed
-                            .wrapping_mul(0x9e3779b97f4a7c15)
-                            .wrapping_add((epoch as u64) << 32)
-                            .wrapping_add((batch_no as u64) << 16)
-                            .wrapping_add(tid as u64),
-                    );
-                    for &pi in chunk.iter() {
-                        let pair = pairs[pi];
-                        let tape = Tape::new();
-                        let vars = model.params().inject(&tape);
-                        let ha = model.forward(
-                            &tape,
-                            &vars,
-                            &graphs[pair.a],
-                            &mut Mode::Train(&mut rng),
-                        );
-                        let hb = model.forward(
-                            &tape,
-                            &vars,
-                            &graphs[pair.b],
-                            &mut Mode::Train(&mut rng),
-                        );
-                        let yhat = ha.cosine(hb);
-                        let loss = cosine_embedding_loss(yhat, pair.label, cfg.margin);
-                        loss_sum += loss.item();
-                        let grads = tape.backward(loss);
-                        acc.absorb(&grads, &vars);
-                    }
-                    (acc, loss_sum)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("training worker panicked"))
-            .collect()
+    let results: Vec<(GradAccum, f32)> = fan_out(batch, threads, |tid, chunk| {
+        let mut acc = GradAccum::zeros_like(model.params());
+        let mut loss_sum = 0.0f32;
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add((epoch as u64) << 32)
+                .wrapping_add((batch_no as u64) << 16)
+                .wrapping_add(tid as u64),
+        );
+        for &pi in chunk.iter() {
+            let pair = pairs[pi];
+            let tape = Tape::new();
+            let vars = model.params().inject(&tape);
+            let ha = model.forward(&tape, &vars, &graphs[pair.a], &mut Mode::Train(&mut rng));
+            let hb = model.forward(&tape, &vars, &graphs[pair.b], &mut Mode::Train(&mut rng));
+            let yhat = ha.cosine(hb);
+            let loss = cosine_embedding_loss(yhat, pair.label, cfg.margin);
+            loss_sum += loss.item();
+            let grads = tape.backward(loss);
+            acc.absorb(&grads, &vars);
+        }
+        (acc, loss_sum)
     });
     let mut sums: Vec<Matrix> = GradAccum::zeros_like(model.params()).means();
     let mut total = 0usize;
@@ -330,19 +308,10 @@ pub fn score_pairs(model: &Hw2Vec, graphs: &[GraphInput], pairs: &[PairSample]) 
 }
 
 /// Embeds every graph (parallel across available cores).
+///
+/// Alias for [`Hw2Vec::embed_batch`], kept for the evaluation-path callers.
 pub fn embed_all(model: &Hw2Vec, graphs: &[GraphInput]) -> Vec<Vec<f32>> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let chunk = graphs.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = graphs
-            .chunks(chunk)
-            .map(|gs| scope.spawn(move || gs.iter().map(|g| model.embed(g)).collect::<Vec<_>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("embedding worker panicked"))
-            .collect()
-    })
+    model.embed_batch(graphs)
 }
 
 /// Plain cosine similarity of two embedding vectors.

@@ -37,9 +37,11 @@ mod matrix;
 mod optim;
 mod sparse;
 mod tape;
+mod workspace;
 
 pub use gradcheck::{check_gradient, GradCheckReport};
 pub use matrix::Matrix;
 pub use optim::{Adam, GradAccum, Optimizer, ParamId, ParamStore, Sgd};
 pub use sparse::{mean_adjacency, normalized_adjacency, CsrMatrix};
 pub use tape::{dropout_mask, Gradients, Tape, Var};
+pub use workspace::Workspace;

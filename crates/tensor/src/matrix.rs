@@ -232,12 +232,36 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into a caller-provided buffer —
+    /// the allocation-free inference kernel behind [`Matrix::matmul`].
+    ///
+    /// `out` is overwritten (it need not be zeroed) and must already have
+    /// shape `self.rows() x rhs.cols()`; pair with
+    /// [`Workspace`](crate::Workspace) to reuse scratch across passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or a mis-shaped `out`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape {:?} != {}x{}",
+            out.shape(),
+            self.rows,
+            rhs.cols
+        );
+        out.data.fill(0.0);
         // i-k-j loop order: the inner loop walks both `rhs` and `out` rows
         // contiguously, which matters for the ~3500-node netlist graphs.
         for i in 0..self.rows {
@@ -253,7 +277,68 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// Product against a transposed right-hand side: `self * rhs^T`, without
+    /// materializing the transpose.
+    ///
+    /// `out[i][j] = dot(self.row(i), rhs.row(j))` — the similarity kernel:
+    /// for an `n x d` embedding matrix `E`, `E.matmul_nt(&E)` is the full
+    /// `n x n` cosine-similarity Gram matrix (after row normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows());
+        self.matmul_nt_into(rhs, &mut out);
         out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-provided buffer.
+    ///
+    /// Blocked over row tiles of both operands so corpus-scale Gram matrices
+    /// (`n` in the thousands) keep both tiles resident in cache; each inner
+    /// dot product runs over two contiguous rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == rhs.cols()` and `out` is
+    /// `self.rows() x rhs.rows()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.cols(),
+            "matmul_nt width mismatch: {}x{} * ({}x{})^T",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows()),
+            "matmul_nt_into output shape {:?} != {}x{}",
+            out.shape(),
+            self.rows,
+            rhs.rows()
+        );
+        const BLOCK: usize = 64;
+        let d = self.cols;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(self.rows);
+            for jb in (0..rhs.rows()).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(rhs.rows());
+                for i in ib..imax {
+                    let arow = &self.data[i * d..(i + 1) * d];
+                    let orow = &mut out.data[i * rhs.rows() + jb..i * rhs.rows() + jmax];
+                    for (o, j) in orow.iter_mut().zip(jb..jmax) {
+                        let brow = &rhs.data[j * d..(j + 1) * d];
+                        *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                    }
+                }
+            }
+        }
     }
 
     /// Transposed copy.
@@ -329,6 +414,14 @@ impl Matrix {
         }
     }
 
+    /// Elementwise map in place (the allocation-free sibling of
+    /// [`Matrix::map`]).
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
     /// Scales every entry by `s`.
     pub fn scale(&self, s: f32) -> Matrix {
         self.map(|v| v * s)
@@ -340,15 +433,24 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 x self.cols()`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// Adds a `1 x cols` row vector to every row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for c in 0..out.cols {
-                out.data[r * out.cols + c] += bias.data[c];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                self.data[r * self.cols + c] += bias.data[c];
             }
         }
-        out
     }
 
     /// Multiplies every row `r` by the scalar `col[r]` (an `n x 1` column).
@@ -376,10 +478,25 @@ impl Matrix {
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
+        self.select_rows_into(idx, &mut out);
+        out
+    }
+
+    /// Gathers the given rows into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `out` is not
+    /// `idx.len() x self.cols()`.
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (idx.len(), self.cols),
+            "select_rows_into output shape mismatch"
+        );
         for (to, &from) in idx.iter().enumerate() {
             out.row_mut(to).copy_from_slice(self.row(from));
         }
-        out
     }
 
     /// Column-wise maximum over all rows, with the argmax row per column.
@@ -610,6 +727,66 @@ mod tests {
     #[should_panic(expected = "item() requires")]
     fn item_requires_1x1() {
         let _ = Matrix::zeros(2, 1).item();
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 - 4.0);
+        let b = Matrix::from_fn(3, 7, |r, c| (r * 7 + c) as f32 * 0.25 - 2.0);
+        let mut out = Matrix::filled(5, 7, 99.0); // garbage must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_into output shape")]
+    fn matmul_into_rejects_wrong_shape() {
+        let a = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(3, 3);
+        a.matmul_into(&a.clone(), &mut out);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        // sizes straddling the 64-wide block boundary
+        for (m, n, d) in [(3, 5, 4), (70, 65, 16), (1, 130, 8)] {
+            let a = Matrix::from_fn(m, d, |r, c| ((r * 13 + c * 7) % 11) as f32 - 5.0);
+            let b = Matrix::from_fn(n, d, |r, c| ((r * 5 + c * 3) % 9) as f32 - 4.0);
+            let fast = a.matmul_nt(&b);
+            let slow = a.matmul(&b.transpose());
+            assert!(fast.approx_eq(&slow, 1e-4), "mismatch at {m}x{n}x{d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt width mismatch")]
+    fn matmul_nt_rejects_width_mismatch() {
+        let _ = Matrix::zeros(2, 3).matmul_nt(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn map_assign_matches_map() {
+        let m = Matrix::from_rows(&[&[-1.0, 2.0], &[3.0, -4.0]]);
+        let mut inplace = m.clone();
+        inplace.map_assign(|v| v.max(0.0));
+        assert_eq!(inplace, m.map(|v| v.max(0.0)));
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_copy() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bias = Matrix::from_rows(&[&[10.0, -1.0]]);
+        let mut inplace = m.clone();
+        inplace.add_row_broadcast_assign(&bias);
+        assert_eq!(inplace, m.add_row_broadcast(&bias));
+    }
+
+    #[test]
+    fn select_rows_into_matches_select_rows() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 10 + c) as f32);
+        let mut out = Matrix::ones(3, 3);
+        m.select_rows_into(&[3, 0, 3], &mut out);
+        assert_eq!(out, m.select_rows(&[3, 0, 3]));
     }
 
     #[test]

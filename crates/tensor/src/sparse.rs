@@ -102,6 +102,19 @@ impl CsrMatrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_into(dense, &mut out);
+        out
+    }
+
+    /// Sparse-dense product `self * dense` written into a caller-provided
+    /// buffer — the allocation-free inference kernel behind
+    /// [`CsrMatrix::spmm`]. `out` is overwritten (it need not be zeroed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or a mis-shaped `out`.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -111,7 +124,15 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
-        let mut out = Matrix::zeros(self.rows, dense.cols());
+        assert_eq!(
+            out.shape(),
+            (self.rows, dense.cols()),
+            "spmm_into output shape {:?} != {}x{}",
+            out.shape(),
+            self.rows,
+            dense.cols()
+        );
+        out.as_mut_slice().fill(0.0);
         for r in 0..self.rows {
             for i in self.indptr[r]..self.indptr[r + 1] {
                 let c = self.indices[i];
@@ -123,7 +144,6 @@ impl CsrMatrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed copy (CSR of the transpose).
@@ -289,6 +309,23 @@ mod tests {
         let via_sparse = s.spmm(&x);
         let via_dense = s.to_dense().matmul(&x);
         assert!(via_sparse.approx_eq(&via_dense, 1e-5));
+    }
+
+    #[test]
+    fn spmm_into_matches_spmm() {
+        let s = CsrMatrix::from_triplets(3, 4, &[(0, 3, 1.5), (2, 0, -2.0), (2, 3, 0.5)]);
+        let x = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 - 3.0);
+        let mut out = Matrix::filled(3, 2, 42.0); // garbage must be overwritten
+        s.spmm_into(&x, &mut out);
+        assert_eq!(out, s.spmm(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm_into output shape")]
+    fn spmm_into_rejects_wrong_shape() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let mut out = Matrix::zeros(3, 1);
+        s.spmm_into(&Matrix::zeros(2, 1), &mut out);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Reusable scratch buffers for allocation-free inference.
+//!
+//! The tape-backed forward pass clones every parameter onto the tape and
+//! allocates a fresh matrix per operation — the right trade for training,
+//! where the backward pass needs those values, but pure waste for inference.
+//! A [`Workspace`] is a small pool of float and index buffers that an
+//! inference pass borrows from and returns to; once the pool has seen the
+//! largest graph it will serve, subsequent passes allocate nothing.
+
+use crate::Matrix;
+
+/// A pool of reusable scratch buffers.
+///
+/// [`Workspace::acquire`] hands out a zeroed [`Matrix`] backed by a recycled
+/// buffer when one with enough capacity is available; [`Workspace::release`]
+/// returns a matrix's storage to the pool. The pool never shrinks, so a
+/// warm workspace serves steady-state traffic without touching the
+/// allocator.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_tensor::Workspace;
+///
+/// let mut ws = Workspace::new();
+/// let m = ws.acquire(4, 4);
+/// ws.release(m);
+/// let again = ws.acquire(2, 8); // same 16-slot buffer, no allocation
+/// assert_eq!(again.shape(), (2, 8));
+/// assert_eq!(ws.allocations(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    bufs: Vec<Vec<f32>>,
+    idxs: Vec<Vec<usize>>,
+    allocations: usize,
+    acquires: usize,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows a zero-filled `rows x cols` matrix from the pool.
+    ///
+    /// Reuses the smallest pooled buffer whose capacity suffices; falls back
+    /// to growing the largest one (counted by [`Workspace::allocations`])
+    /// only when none fits.
+    pub fn acquire(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.acquires += 1;
+        let need = rows * cols;
+        // Best fit: the smallest pooled buffer that suffices, else the
+        // largest one (it is the cheapest to grow).
+        let mut best: Option<usize> = None;
+        for (i, b) in self.bufs.iter().enumerate() {
+            let cap = b.capacity();
+            let beats = |other: usize| match (cap >= need, other >= need) {
+                (true, true) => cap < other,
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => cap > other,
+            };
+            if best.is_none_or(|j| beats(self.bufs[j].capacity())) {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.bufs.swap_remove(i),
+            None => Vec::new(),
+        };
+        if buf.capacity() < need {
+            self.allocations += 1;
+        }
+        buf.clear();
+        buf.resize(need, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Returns a matrix's storage to the pool for reuse.
+    pub fn release(&mut self, m: Matrix) {
+        self.bufs.push(m.into_vec());
+    }
+
+    /// Borrows an empty index buffer (capacity retained across uses).
+    pub fn acquire_idx(&mut self) -> Vec<usize> {
+        match self.idxs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => {
+                self.allocations += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns an index buffer to the pool.
+    pub fn release_idx(&mut self, v: Vec<usize>) {
+        self.idxs.push(v);
+    }
+
+    /// Number of buffer (re)allocations since creation — constant once warm.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Number of `acquire`/`acquire_idx` calls served.
+    pub fn acquires(&self) -> usize {
+        self.acquires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_zeroed_and_shaped() {
+        let mut ws = Workspace::new();
+        let mut m = ws.acquire(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.sum(), 0.0);
+        m.set(0, 0, 5.0);
+        ws.release(m);
+        // recycled buffer must come back zeroed
+        let m2 = ws.acquire(3, 2);
+        assert_eq!(m2.sum(), 0.0);
+    }
+
+    #[test]
+    fn warm_pool_stops_allocating() {
+        let mut ws = Workspace::new();
+        // warm-up pass: two live buffers at once
+        let a = ws.acquire(8, 8);
+        let b = ws.acquire(8, 8);
+        ws.release(a);
+        ws.release(b);
+        let after_warmup = ws.allocations();
+        for _ in 0..10 {
+            let a = ws.acquire(8, 8);
+            let b = ws.acquire(4, 4);
+            ws.release(a);
+            ws.release(b);
+        }
+        assert_eq!(ws.allocations(), after_warmup, "warm pool re-allocated");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let small = ws.acquire(2, 2);
+        let big = ws.acquire(10, 10);
+        ws.release(big);
+        ws.release(small);
+        // a 2x2 request must not consume the 100-slot buffer
+        let m = ws.acquire(2, 2);
+        assert!(m.len() == 4);
+        let still_big = ws.acquire(10, 10);
+        assert_eq!(still_big.shape(), (10, 10));
+        assert_eq!(ws.allocations(), 2);
+    }
+
+    #[test]
+    fn idx_buffers_recycle() {
+        let mut ws = Workspace::new();
+        let mut v = ws.acquire_idx();
+        v.extend(0..100);
+        ws.release_idx(v);
+        let v2 = ws.acquire_idx();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= 100);
+    }
+}

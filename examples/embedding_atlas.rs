@@ -1,17 +1,17 @@
 //! Embedding-space visualization (the Fig. 4b/4c experiment in miniature).
 //!
 //! Embeds many instances of two MIPS-style processors — deliberately similar
-//! in functionality, different only in design style — and projects the
+//! in functionality, different only in design style — with one batched
+//! tape-free pass, builds an [`EmbeddingIndex`] over them, and reports
+//! retrieval purity plus nearest neighbors before projecting the
 //! 16-dimensional hw2vec embeddings to 2-D with PCA and 3-D with t-SNE.
-//! Prints the projected series (ready to plot) and a cluster-separation
-//! statistic.
 //!
 //! Run with: `cargo run --release --example embedding_atlas`
 
 use gnn4ip::data::{designs::processors, vary_design, VariationConfig};
 use gnn4ip::dfg::graph_from_verilog;
-use gnn4ip::eval::{cluster_separation, pca, tsne, TsneConfig};
-use gnn4ip::nn::{embed_all, GraphInput, Hw2Vec, Hw2VecConfig, PairLabel, PairSample, TrainConfig};
+use gnn4ip::eval::{cluster_separation, pca, tsne, EmbeddingIndex, TsneConfig};
+use gnn4ip::nn::{GraphInput, Hw2Vec, Hw2VecConfig, PairLabel, PairSample, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let per_design = 12usize;
@@ -60,7 +60,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    let embeddings = embed_all(&model, &graphs);
+    // One batched, tape-free pass over all instances.
+    let embeddings = model.embed_batch(&graphs);
+
+    // Corpus-scale similarity index: retrieval purity + nearest neighbors.
+    let index = EmbeddingIndex::from_embeddings(&embeddings, &labels);
+    let p3 = index.precision_at_k(3);
+    println!("\nRetrieval precision@3 over the index: {p3:.3} (1.0 = pure neighborhoods)");
+    let probe = 0usize; // first pipeline-MIPS instance
+    let hits = index.query(&embeddings[probe], 4);
+    println!("  nearest neighbors of instance 0 (pipeline-MIPS):");
+    for h in hits.iter().filter(|h| h.index != probe).take(3) {
+        let name = if h.label == 0 {
+            "pipeline-MIPS"
+        } else {
+            "single-MIPS"
+        };
+        println!("    #{:<3} {name:<14} cos {:+.4}", h.index, h.score);
+    }
+    let gram = index.pairwise_similarity();
+    let (mut within, mut across, mut nw, mut na) = (0.0f64, 0.0f64, 0usize, 0usize);
+    for i in 0..index.len() {
+        for j in (i + 1)..index.len() {
+            if labels[i] == labels[j] {
+                within += gram.get(i, j) as f64;
+                nw += 1;
+            } else {
+                across += gram.get(i, j) as f64;
+                na += 1;
+            }
+        }
+    }
+    println!(
+        "  mean cosine within design {:+.4}, across designs {:+.4} (blocked Gram matrix)",
+        within / nw.max(1) as f64,
+        across / na.max(1) as f64
+    );
 
     // PCA to 2-D (Fig. 4b)
     let proj = pca(&embeddings, 2);

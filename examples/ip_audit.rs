@@ -2,15 +2,18 @@
 //! library of owned IP (the deployment the paper's introduction motivates —
 //! "the manual review of hardware design is not feasible in practice").
 //!
-//! Trains a detector, registers a library of owned IP cores, then audits a
-//! mixed batch of incoming designs: some are disguised copies (variation
-//! transforms applied), some are genuinely new. Prints an audit report.
+//! Trains a detector, embeds the owned cores **once** with the batched
+//! `embed_many` path, and builds an [`EmbeddingIndex`] over them. Each
+//! incoming design is then a single cached embedding plus one index query.
+//! A resubmitted file at the end shows the content-addressed cache at work:
+//! the second audit of identical content never re-parses or re-embeds.
 //!
 //! Run with: `cargo run --release --example ip_audit`
 
 use gnn4ip::data::{named_rtl_designs, vary_design, Corpus, CorpusSpec, VariationConfig};
+use gnn4ip::eval::EmbeddingIndex;
 use gnn4ip::nn::{Hw2VecConfig, TrainConfig};
-use gnn4ip::{run_experiment, IpLibrary};
+use gnn4ip::run_experiment;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Training the audit detector ...");
@@ -42,16 +45,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.delta
     );
 
-    // The IP library we own: named cores embedded once up front.
+    // The IP library we own: named cores embedded once, in one batch.
     let library: Vec<_> = named_rtl_designs()
         .into_iter()
         .filter(|d| ["fpa", "aes", "crc8", "hamming", "barrel"].contains(&d.name.as_str()))
         .collect();
-    let mut lib = IpLibrary::new();
-    for d in &library {
-        lib.register_source(&detector, &d.name, &d.source, Some(&d.top))?;
+    let owned: Vec<(&str, Option<&str>)> = library
+        .iter()
+        .map(|d| (d.source.as_str(), Some(d.top.as_str())))
+        .collect();
+    let embeddings = detector.embed_many(&owned)?;
+    let mut index = EmbeddingIndex::new(embeddings[0].len());
+    for (label, e) in embeddings.iter().enumerate() {
+        index.insert(e, label);
     }
-    println!("IP library registered: {:?}\n", lib.names());
+    println!(
+        "IP library indexed: {:?} ({} embeddings, one batched pass)\n",
+        library.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+        index.len()
+    );
 
     // Incoming portfolio: two disguised copies + two clean designs.
     let fpa = library.iter().find(|d| d.name == "fpa").expect("fpa");
@@ -84,22 +96,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(58));
     for (fname, src, top) in incoming {
-        let hits = lib.scan(&detector, src, top)?;
-        let best = hits.first().expect("library nonempty");
+        let suspect = detector.hw2vec(src, top)?;
+        let best = index.query(&suspect, 1)[0];
         println!(
             "{fname:<22} {:<12} {:>+8.4}   {}",
-            best.name,
+            library[best.label].name,
             best.score,
-            if best.piracy {
+            if best.score > detector.delta() {
                 "FLAG: possible piracy"
             } else {
                 "clear"
             }
         );
     }
+
+    // A vendor resubmits the same checksum file (new comments only): the
+    // content-addressed cache answers without re-parsing or re-embedding.
+    let before = detector.cache_stats();
+    let resubmitted = format!("// resubmission, rev B\n{disguised_crc}");
+    let again = detector.hw2vec(&resubmitted, Some("crc8"))?;
+    let best = index.query(&again, 1)[0];
+    let after = detector.cache_stats();
     println!(
-        "\nDisguised copies surface their originals as best match with \
-         near-1 scores; unowned designs score visibly lower (delta = {:+.3}).",
+        "\nResubmitted vendor_checksum.v: best match {} ({:+.4}), served from cache \
+         ({} -> {} hits, {} designs embedded total, hit rate {:.0}%).",
+        library[best.label].name,
+        best.score,
+        before.hits,
+        after.hits,
+        after.entries,
+        100.0 * after.hit_rate()
+    );
+    println!(
+        "Disguised copies surface their originals as best match with near-1 scores; \
+         unowned designs score visibly lower (delta = {:+.3}).",
         detector.delta()
     );
     Ok(())

@@ -3,8 +3,9 @@
 //! trains to useful accuracy under each alternative, so the defaults are a
 //! choice rather than a requirement.
 //!
-//! These train several models; run with `--release` for speed. They use a
-//! deliberately small corpus to stay tractable in debug CI runs.
+//! These train several models, so every test is `#[ignore]`d: the plain
+//! `cargo test -q` tier-1 gate stays fast, and `ci.sh` runs this suite in
+//! its own stage via `cargo test -q --release -- --ignored`.
 
 use gnn4ip::data::{Corpus, CorpusSpec};
 use gnn4ip::nn::{Hw2VecConfig, Readout, TrainConfig};
@@ -33,6 +34,7 @@ fn accuracy_with(config: Hw2VecConfig, corpus: &Corpus, seed: u64) -> f64 {
 }
 
 #[test]
+#[ignore = "heavy: trains several model variants; ci.sh runs these via cargo test --release -- --ignored"]
 fn readout_ablation_all_variants_learn() {
     let corpus = tiny_corpus();
     for readout in [Readout::Max, Readout::Mean, Readout::Sum] {
@@ -53,6 +55,7 @@ fn readout_ablation_all_variants_learn() {
 }
 
 #[test]
+#[ignore = "heavy: trains several model variants; ci.sh runs these via cargo test --release -- --ignored"]
 fn pool_ratio_ablation_all_ratios_learn() {
     let corpus = tiny_corpus();
     for ratio in [0.25f32, 0.5, 1.0] {
@@ -69,6 +72,7 @@ fn pool_ratio_ablation_all_ratios_learn() {
 }
 
 #[test]
+#[ignore = "heavy: trains several model variants; ci.sh runs these via cargo test --release -- --ignored"]
 fn layer_depth_ablation() {
     let corpus = tiny_corpus();
     for layers in [1usize, 2, 3] {
@@ -85,6 +89,7 @@ fn layer_depth_ablation() {
 }
 
 #[test]
+#[ignore = "heavy: trains several model variants; ci.sh runs these via cargo test --release -- --ignored"]
 fn conv_kind_ablation_sage_learns_too() {
     let corpus = tiny_corpus();
     for conv in [gnn4ip::nn::ConvKind::Gcn, gnn4ip::nn::ConvKind::Sage] {
@@ -101,6 +106,7 @@ fn conv_kind_ablation_sage_learns_too() {
 }
 
 #[test]
+#[ignore = "heavy: trains several model variants; ci.sh runs these via cargo test --release -- --ignored"]
 fn sgd_also_learns() {
     // the paper's literal "batch gradient descent"
     let corpus = tiny_corpus();

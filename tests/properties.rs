@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use gnn4ip::data::{synth_design, vary_design, SynthSize, VariationConfig};
 use gnn4ip::dfg::{graph_from_verilog, trim, Dfg, NodeKind, VOCAB_SIZE};
 use gnn4ip::hdl::{elaborate, Evaluator};
-use gnn4ip::nn::{cosine_of, GraphInput, Hw2Vec, Hw2VecConfig};
-use gnn4ip::tensor::{normalized_adjacency, CsrMatrix, Matrix};
+use gnn4ip::nn::{cosine_of, GraphInput, Hw2Vec, Hw2VecConfig, Mode};
+use gnn4ip::tensor::{normalized_adjacency, CsrMatrix, Matrix, Tape, Workspace};
 
 // ----------------------------------------------------------------- tensor
 
@@ -32,7 +32,8 @@ proptest! {
         prop_assert!(lhs.approx_eq(&rhs, 1e-4));
     }
 
-    /// spmm against a dense matrix equals densified matmul.
+    /// spmm (and its into-buffer form) against a dense matrix equals
+    /// densified matmul, and the two sparse forms agree bit for bit.
     #[test]
     fn spmm_matches_dense(
         n in 2usize..8,
@@ -45,7 +46,61 @@ proptest! {
             .collect();
         let s = CsrMatrix::from_triplets(n, n, &triples);
         let x = Matrix::from_fn(n, 3, |i, j| ((i * 7 + j) as u64 ^ seed) as f32 % 5.0 - 2.0);
-        prop_assert!(s.spmm(&x).approx_eq(&s.to_dense().matmul(&x), 1e-3));
+        let via_spmm = s.spmm(&x);
+        prop_assert!(via_spmm.approx_eq(&s.to_dense().matmul(&x), 1e-3));
+        let mut into = Matrix::filled(n, 3, f32::NAN); // must be fully overwritten
+        s.spmm_into(&x, &mut into);
+        prop_assert_eq!(into, via_spmm);
+    }
+
+    /// CSR transpose agrees with the dense transpose.
+    #[test]
+    fn csr_transpose_matches_dense(
+        rows in 1usize..8, cols in 1usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, -2.0f32..2.0), 0..24),
+    ) {
+        let triples: Vec<(usize, usize, f32)> = edges
+            .into_iter()
+            .filter(|&(r, c, _)| r < rows && c < cols)
+            .collect();
+        let s = CsrMatrix::from_triplets(rows, cols, &triples);
+        prop_assert!(s.transpose().to_dense().approx_eq(&s.to_dense().transpose(), 1e-5));
+    }
+
+    /// select_square agrees with gathering rows and columns of the dense
+    /// form.
+    #[test]
+    fn csr_select_square_matches_dense(
+        n in 1usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8, -2.0f32..2.0), 0..24),
+        keep_mask in 0usize..256,
+    ) {
+        let triples: Vec<(usize, usize, f32)> = edges
+            .into_iter()
+            .filter(|&(r, c, _)| r < n && c < n)
+            .collect();
+        let s = CsrMatrix::from_triplets(n, n, &triples);
+        let idx: Vec<usize> = (0..n).filter(|&i| keep_mask >> i & 1 == 1).collect();
+        let sub = s.select_square(&idx).to_dense();
+        let dense = s.to_dense();
+        let expect = Matrix::from_fn(idx.len(), idx.len(), |r, c| dense.get(idx[r], idx[c]));
+        prop_assert!(sub.approx_eq(&expect, 1e-5));
+    }
+
+    /// matmul_nt (the blocked similarity gemm) equals matmul against the
+    /// explicit transpose.
+    #[test]
+    fn matmul_nt_matches_transpose(
+        m in 1usize..70, n in 1usize..70, d in 1usize..20, seed in 0u64..1000,
+    ) {
+        let gen = |r: usize, c: usize, s: u64| {
+            Matrix::from_fn(r, c, |i, j| {
+                (((i * 31 + j * 17) as u64 ^ s).wrapping_mul(2654435761) % 97) as f32 / 97.0 - 0.5
+            })
+        };
+        let a = gen(m, d, seed);
+        let b = gen(n, d, seed ^ 0xBEEF);
+        prop_assert!(a.matmul_nt(&b).approx_eq(&a.matmul(&b.transpose()), 1e-4));
     }
 
     /// Normalized adjacency rows are finite, symmetric, with self-loops.
@@ -149,6 +204,29 @@ proptest! {
             sim > 0.9999 || (e1.iter().all(|v| v.abs() < 1e-6)),
             "permutation changed embedding: cos {sim}"
         );
+    }
+
+    /// The tape-free inference pass matches the tape-backed eval-mode
+    /// forward bit for bit on random graphs, for both conv kinds.
+    #[test]
+    fn forward_infer_matches_tape_forward(g in arb_dfg(), seed in 0u64..50, sage in 0usize..2) {
+        let cfg = Hw2VecConfig {
+            conv: if sage == 1 { gnn4ip::nn::ConvKind::Sage } else { gnn4ip::nn::ConvKind::Gcn },
+            ..Hw2VecConfig::default()
+        };
+        let model = Hw2Vec::new(cfg, seed);
+        let input = GraphInput::from_dfg(&g);
+        let mut ws = Workspace::new();
+        let fast = model.forward_infer(&input, &mut ws);
+        let fast_again = model.forward_infer(&input, &mut ws);
+        let tape = Tape::new();
+        let vars = model.params().inject(&tape);
+        let slow = model
+            .forward(&tape, &vars, &input, &mut Mode::Eval)
+            .value()
+            .into_vec();
+        prop_assert_eq!(&fast, &slow, "tape-free and tape forward diverge");
+        prop_assert_eq!(&fast, &fast_again, "warm workspace changed the result");
     }
 
     /// Similarity is symmetric and bounded for random graph pairs.
