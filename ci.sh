@@ -1,38 +1,121 @@
 #!/usr/bin/env bash
-# Full verification gate for the gnn4ip workspace. Everything resolves
-# from in-repo path crates; no network access is required or attempted.
+# Full verification gate for the gnn4ip workspace, split into named
+# stages. Everything resolves from in-repo path crates; no network access
+# is required or attempted.
+#
+# Usage:
+#   ./ci.sh                 run every stage, print a timing table at the end
+#   ./ci.sh --stage <name>  run exactly one stage (same table, one row)
+#   ./ci.sh --list          list stage names
+#
+# The per-stage wall-clock summary makes suite-runtime regressions
+# visible directly in CI output; .github/workflows/ci.yml fans the same
+# stages out as matrix jobs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 # Guard against test-suite bloat: the non-ignored debug suite must stay
 # fast (heavy model-training ablations live behind #[ignore] and run in
-# the release stage below).
+# the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-echo "==> tier-1: cargo build --release && cargo test -q (run under ${TIER1_TIMEOUT}s)"
-cargo build --release --offline
-cargo test -q --offline --no-run
-timeout "${TIER1_TIMEOUT}" cargo test -q --offline
+STAGES=(build tier1 workspace heavy fmt clippy doc examples benches)
 
-echo "==> workspace tests (every crate, incl. vendor shims)"
-cargo test -q --offline --workspace
+stage_build() {
+    cargo build --release --offline
+}
 
-echo "==> ignored heavy suites (ablations), release mode"
-cargo test -q --release --offline -- --ignored
+stage_tier1() {
+    cargo test -q --offline --no-run
+    timeout "${TIER1_TIMEOUT}" cargo test -q --offline
+}
 
-echo "==> rustfmt"
-cargo fmt --check
+stage_workspace() {
+    cargo test -q --offline --workspace
+}
 
-echo "==> clippy (-D warnings, all targets)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+stage_heavy() {
+    cargo test -q --release --offline -- --ignored
+}
 
-echo "==> examples build + quickstart smoke run"
-cargo build --offline --examples
-cargo run --release --offline --example quickstart
+stage_fmt() {
+    cargo fmt --check
+}
 
-echo "==> benches + repro binary compile"
-cargo bench --no-run --offline -p gnn4ip-bench
-cargo bench --no-run --offline -p gnn4ip-bench --bench inference_engine
-cargo build --release --offline -p gnn4ip-bench --bin repro
+stage_clippy() {
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+}
 
+stage_doc() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+}
+
+stage_examples() {
+    cargo build --offline --examples
+    cargo run --release --offline --example quickstart
+}
+
+stage_benches() {
+    cargo bench --no-run --offline -p gnn4ip-bench
+    cargo build --release --offline -p gnn4ip-bench --bin repro
+}
+
+TIMING_NAMES=()
+TIMING_SECS=()
+
+run_stage() {
+    local name="$1"
+    echo "==> stage: ${name}"
+    local start end
+    start=$(date +%s)
+    "stage_${name}"
+    end=$(date +%s)
+    TIMING_NAMES+=("${name}")
+    TIMING_SECS+=($((end - start)))
+}
+
+print_timing_table() {
+    local total=0
+    echo
+    echo "==> stage timing summary"
+    printf '%-12s %10s\n' "stage" "seconds"
+    printf '%-12s %10s\n' "-----" "-------"
+    for i in "${!TIMING_NAMES[@]}"; do
+        printf '%-12s %10d\n' "${TIMING_NAMES[$i]}" "${TIMING_SECS[$i]}"
+        total=$((total + TIMING_SECS[i]))
+    done
+    printf '%-12s %10d\n' "total" "${total}"
+}
+
+case "${1:-}" in
+--list)
+    printf '%s\n' "${STAGES[@]}"
+    exit 0
+    ;;
+--stage)
+    requested="${2:?usage: ci.sh --stage <name>}"
+    found=0
+    for s in "${STAGES[@]}"; do
+        [[ "$s" == "$requested" ]] && found=1
+    done
+    if [[ "$found" -ne 1 ]]; then
+        echo "unknown stage '${requested}'; stages: ${STAGES[*]}" >&2
+        exit 2
+    fi
+    run_stage "$requested"
+    print_timing_table
+    echo "==> ci.sh: stage ${requested} green"
+    exit 0
+    ;;
+"") ;;
+*)
+    echo "unknown argument '$1'; usage: ci.sh [--stage <name>|--list]" >&2
+    exit 2
+    ;;
+esac
+
+for s in "${STAGES[@]}"; do
+    run_stage "$s"
+done
+print_timing_table
 echo "==> ci.sh: all green"

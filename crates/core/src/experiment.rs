@@ -1,13 +1,24 @@
 //! Experiment-level training pipeline: corpus → trained detector →
 //! accuracy/timing numbers in the shape of Table I.
+//!
+//! Two entry points:
+//!
+//! - [`run_experiment`] — the v1 protocol, in-memory only.
+//! - [`run_training_pipeline`] — the v2 deployment lifecycle: train with
+//!   the checkpointing [`TrainEngine`] (resuming from an existing
+//!   checkpoint when one is present), tune δ, evaluate, then persist the
+//!   **final artifacts**: a binary detector (model + δ) and the
+//!   embedding library of every corpus design, so later processes serve
+//!   checks without retraining or re-embedding.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use gnn4ip_data::{split_pairs, Corpus, LabeledPair};
 use gnn4ip_eval::ConfusionMatrix;
 use gnn4ip_nn::{
-    score_pairs, train, tune_delta, GraphInput, Hw2VecConfig, PairLabel, PairSample, TrainConfig,
-    TrainReport,
+    score_pairs, train, tune_delta, EngineConfig, GraphInput, Hw2Vec, Hw2VecConfig, PairLabel,
+    PairSample, TrainConfig, TrainEngine, TrainReport,
 };
 
 use crate::api::Gnn4Ip;
@@ -123,6 +134,158 @@ pub fn run_experiment(
     }
 }
 
+/// Where [`run_training_pipeline`] left its artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineArtifacts {
+    /// Binary detector artifact (model + δ).
+    pub detector: PathBuf,
+    /// Binary embedding-library artifact (cached corpus embeddings).
+    pub library: PathBuf,
+    /// Training checkpoint, when periodic checkpointing was enabled.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// The v2 train/persist lifecycle over a corpus.
+///
+/// Forms pairs and an 80/20 split like [`run_experiment`], then:
+///
+/// 1. **train** with the mini-batch [`TrainEngine`] — when
+///    `engine.checkpoint_every > 0`, checkpoints land in
+///    `artifact_dir/checkpoint.bin`;
+/// 2. **resume** — if that checkpoint already exists (a prior run died or
+///    stopped mid-training), training continues from it instead of
+///    starting over;
+/// 3. tune δ on the training split and evaluate the held-out test split;
+/// 4. write the **final artifacts**: `artifact_dir/detector.bin` and
+///    `artifact_dir/library.bin` (embeddings of every corpus instance,
+///    pinned to the trained weights).
+///
+/// A detector later restored with [`Gnn4Ip::load`] +
+/// [`Gnn4Ip::load_library`] reproduces this run's scores bit-exactly.
+///
+/// When `engine.patience > 0`, a fifth of the training pairs is carved
+/// off as the validation split for early stopping.
+///
+/// # Errors
+///
+/// Returns I/O and serialization failures as text.
+///
+/// # Panics
+///
+/// Panics if the corpus yields no pairs.
+pub fn run_training_pipeline(
+    corpus: &Corpus,
+    model_config: Hw2VecConfig,
+    engine: EngineConfig,
+    max_different: usize,
+    seed: u64,
+    artifact_dir: &Path,
+) -> Result<(ExperimentOutcome, PipelineArtifacts), String> {
+    std::fs::create_dir_all(artifact_dir)
+        .map_err(|e| format!("creating {}: {e}", artifact_dir.display()))?;
+    let graphs = corpus_inputs(corpus);
+    let pairs = corpus.pairs(max_different, seed);
+    assert!(!pairs.is_empty(), "corpus produced no pairs");
+    let (train_pairs, test_pairs) = split_pairs(&pairs, 0.2, seed ^ 0xDEAD);
+    let all_train = to_pair_samples(&train_pairs);
+    let test_samples = to_pair_samples(&test_pairs);
+    let (train_samples, val_samples) = if engine.patience > 0 {
+        let (t, v) = split_pairs(&train_pairs, 0.2, seed ^ 0xBEEF);
+        (to_pair_samples(&t), Some(to_pair_samples(&v)))
+    } else {
+        (all_train, None)
+    };
+
+    let mut engine_cfg = engine;
+    let checkpoint = if engine_cfg.checkpoint_every > 0 {
+        let path = engine_cfg
+            .checkpoint_path
+            .get_or_insert_with(|| artifact_dir.join("checkpoint.bin"))
+            .clone();
+        Some(path)
+    } else {
+        None
+    };
+
+    // train → checkpoint → (resume) — pick up a prior interrupted run
+    // when its checkpoint is compatible with this config AND this model
+    // architecture (the engine fingerprint cannot see the architecture;
+    // a checkpoint from different model hyper-parameters must retrain,
+    // not silently continue the old model). Incompatible or corrupt
+    // leftovers mean retrain, not fail.
+    let t0 = Instant::now();
+    let resumed = match &checkpoint {
+        Some(path) if path.exists() => TrainEngine::resume(path, engine_cfg.clone())
+            .ok()
+            .filter(|t| t.model().config() == &model_config),
+        _ => None,
+    };
+    let mut trainer = resumed
+        .unwrap_or_else(|| TrainEngine::new(Hw2Vec::new(model_config, seed), engine_cfg.clone()));
+    let prior_epochs = trainer.next_epoch();
+    let report = trainer
+        .run(&graphs, &train_samples, val_samples.as_deref())?
+        .clone();
+    let train_elapsed = t0.elapsed();
+    // per-sample time covers only the epochs this process actually ran —
+    // a resumed run must not divide its elapsed time by pre-resume epochs
+    let train_samples_seen = train_samples.len() * (report.epochs.len() - prior_epochs);
+    let train_ms_per_sample = train_elapsed.as_secs_f64() * 1e3 / train_samples_seen.max(1) as f64;
+
+    let mut detector = Gnn4Ip::from_model(trainer.into_model(), 0.5);
+    let train_scores = score_pairs(detector.model(), &graphs, &train_samples);
+    let train_labels: Vec<PairLabel> = train_samples.iter().map(|p| p.label).collect();
+    let (delta, _) = tune_delta(&train_scores, &train_labels);
+    detector.set_delta(delta);
+
+    let t1 = Instant::now();
+    let test_scores = score_pairs(detector.model(), &graphs, &test_samples);
+    let test_elapsed = t1.elapsed();
+    let test_ms_per_sample = test_elapsed.as_secs_f64() * 1e3 / test_samples.len().max(1) as f64;
+
+    // final artifacts: detector, then the embedding library of every
+    // corpus instance (runs through the cached batch path, so the
+    // library holds exactly one embedding per distinct design).
+    let detector_path = artifact_dir.join("detector.bin");
+    detector.save(&detector_path)?;
+    let sources: Vec<(&str, Option<&str>)> = corpus
+        .instances
+        .iter()
+        .map(|i| (i.source.as_str(), None))
+        .collect();
+    detector
+        .embed_many(&sources)
+        .map_err(|e| format!("embedding corpus for the library artifact: {e}"))?;
+    let library_path = artifact_dir.join("library.bin");
+    detector.save_library(&library_path)?;
+
+    let labels: Vec<bool> = test_samples
+        .iter()
+        .map(|p| p.label == PairLabel::Similar)
+        .collect();
+    let cm = ConfusionMatrix::from_scores(&test_scores, &labels, delta);
+    let outcome = ExperimentOutcome {
+        detector,
+        train_report: report,
+        test_accuracy: cm.accuracy(),
+        test_confusion: cm,
+        delta,
+        train_ms_per_sample,
+        test_ms_per_sample,
+        n_pairs: pairs.len(),
+        n_graphs: graphs.len(),
+        test_scores: test_scores.into_iter().zip(labels).collect(),
+    };
+    Ok((
+        outcome,
+        PipelineArtifacts {
+            detector: detector_path,
+            library: library_path,
+            checkpoint,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +332,40 @@ mod tests {
             2,
         );
         assert!((-1.0..=1.0).contains(&out.delta), "delta {}", out.delta);
+    }
+
+    #[test]
+    fn pipeline_trains_saves_and_reloads_bit_exactly() {
+        let corpus = Corpus::build(&CorpusSpec::rtl_small()).expect("corpus");
+        let dir = std::env::temp_dir().join(format!("gnn4ip-pipeline-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let engine = EngineConfig {
+            train: quick_train_config(),
+            checkpoint_every: 4,
+            ..EngineConfig::default()
+        };
+        let (out, artifacts) =
+            run_training_pipeline(&corpus, Hw2VecConfig::default(), engine, 150, 3, &dir)
+                .expect("pipeline");
+        assert!(artifacts.detector.exists(), "detector artifact missing");
+        assert!(artifacts.library.exists(), "library artifact missing");
+        let ckpt = artifacts.checkpoint.as_ref().expect("checkpoint enabled");
+        assert!(ckpt.exists(), "checkpoint missing");
+        assert!(out.test_accuracy >= 0.7, "accuracy {}", out.test_accuracy);
+
+        // a freshly loaded detector + library reproduces scores bit-exactly
+        let mut loaded = Gnn4Ip::load(&artifacts.detector).expect("loads detector");
+        let n = loaded.load_library(&artifacts.library).expect("loads lib");
+        assert!(n > 0, "library is empty");
+        let (a, b) = (&corpus.instances[0].source, &corpus.instances[1].source);
+        let v_mem = out.detector.check(a, b).expect("in-memory check");
+        let v_loaded = loaded.check(a, b).expect("loaded check");
+        assert_eq!(v_mem.score.to_bits(), v_loaded.score.to_bits());
+        assert_eq!(v_mem.piracy, v_loaded.piracy);
+        // and the library served those checks from cache (no misses)
+        let stats = loaded.cache_stats();
+        assert_eq!(stats.misses, 0, "loaded library was not used: {stats:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod cache;
 mod experiment;
 mod library;
 
-pub use api::{Gnn4Ip, Verdict};
+pub use api::{Gnn4Ip, Verdict, DETECTOR_KIND, LIBRARY_KIND};
 pub use cache::{CacheStats, EmbeddingCache};
-pub use experiment::{corpus_inputs, run_experiment, to_pair_samples, ExperimentOutcome};
+pub use experiment::{
+    corpus_inputs, run_experiment, run_training_pipeline, to_pair_samples, ExperimentOutcome,
+    PipelineArtifacts,
+};
 pub use library::{IpLibrary, LibraryMatch};

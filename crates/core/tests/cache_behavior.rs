@@ -1,0 +1,127 @@
+//! Behavior contract of the content-addressed [`EmbeddingCache`] as seen
+//! through the detector API: hit/miss accounting, fingerprint stability
+//! under semantically-neutral edits, and cache interaction between the
+//! single (`check`) and batched (`check_many`) entry points.
+
+use gnn4ip_core::{EmbeddingCache, Gnn4Ip};
+use gnn4ip_hdl::design_fingerprint;
+
+const INV: &str = "module inv(input a, output y); assign y = ~a; endmodule";
+const XOR2: &str = "module x2(input a, input b, output y); assign y = a ^ b; endmodule";
+
+#[test]
+fn stats_account_every_lookup_exactly_once() {
+    let mut cache = EmbeddingCache::new();
+    let fp_a = design_fingerprint(INV, None).expect("fp");
+    let fp_b = design_fingerprint(XOR2, None).expect("fp");
+
+    // miss, insert, hit, hit: 2 lookups counted per key state
+    assert!(cache.get(fp_a).is_none());
+    cache.insert(fp_a, vec![1.0, 2.0]);
+    assert_eq!(cache.get(fp_a), Some(vec![1.0, 2.0]));
+    assert_eq!(cache.get(fp_a), Some(vec![1.0, 2.0]));
+    assert!(cache.get(fp_b).is_none());
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (2, 2, 1));
+    assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+
+    // peek must not move the counters
+    assert!(cache.peek(fp_a).is_some());
+    assert!(cache.peek(fp_b).is_none());
+    assert_eq!(cache.stats().hits, 2);
+    assert_eq!(cache.stats().misses, 2);
+
+    // overwriting an entry does not double-count it
+    cache.insert(fp_a, vec![3.0]);
+    assert_eq!(cache.stats().entries, 1);
+    assert_eq!(cache.get(fp_a), Some(vec![3.0]));
+
+    // clear resets counters and entries together
+    cache.clear();
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    assert_eq!(s.hit_rate(), 0.0);
+}
+
+#[test]
+fn fingerprint_is_stable_across_comment_and_whitespace_edits() {
+    let variants = [
+        format!("// vendor resubmission\n{INV}"),
+        format!("/* block\n   comment */\n{INV}"),
+        INV.replace(' ', "  "),
+        INV.replace("; ", ";\n\t"),
+        format!("{INV}\n\n\n"),
+    ];
+    let base = design_fingerprint(INV, None).expect("fp");
+    for v in &variants {
+        let fp = design_fingerprint(v, None).expect("fp");
+        assert_eq!(fp, base, "fingerprint drifted for variant: {v:?}");
+    }
+    // a real token change must move the fingerprint
+    let changed = INV.replace("~a", "a");
+    assert_ne!(design_fingerprint(&changed, None).expect("fp"), base);
+}
+
+#[test]
+fn neutral_edits_share_one_cache_entry_through_the_detector() {
+    let d = Gnn4Ip::with_seed(31);
+    let e0 = d.hw2vec(INV, None).expect("embeds");
+    let commented = format!("// rev B\n{INV}");
+    let respaced = INV.replace(' ', "   ");
+    let e1 = d.hw2vec(&commented, None).expect("embeds");
+    let e2 = d.hw2vec(&respaced, None).expect("embeds");
+    assert_eq!(e0, e1);
+    assert_eq!(e0, e2);
+    let s = d.cache_stats();
+    assert_eq!(
+        (s.hits, s.misses, s.entries),
+        (2, 1, 1),
+        "neutral edits must resolve to one cached embedding: {s:?}"
+    );
+}
+
+#[test]
+fn check_then_check_many_shares_the_same_entries() {
+    let d = Gnn4Ip::with_seed(32);
+    // single-pair path populates the cache ...
+    let v_single = d.check(INV, XOR2).expect("single");
+    let s = d.cache_stats();
+    assert_eq!((s.misses, s.entries), (2, 2));
+
+    // ... and the batched path is then all hits, with identical verdicts
+    let batch = d
+        .check_many(&[(INV, XOR2), (XOR2, INV), (INV, INV)])
+        .expect("batch");
+    let s = d.cache_stats();
+    assert_eq!(s.entries, 2, "batch must not duplicate cached designs");
+    assert_eq!(s.misses, 2, "batch re-embedded a cached design");
+    assert_eq!(batch[0], v_single);
+    assert_eq!(batch[0].score.to_bits(), batch[1].score.to_bits());
+    assert!(batch[2].score > 0.999);
+}
+
+#[test]
+fn check_many_then_check_is_served_from_cache() {
+    let d = Gnn4Ip::with_seed(33);
+    let batch = d.check_many(&[(INV, XOR2)]).expect("batch");
+    let before = d.cache_stats();
+    assert_eq!((before.misses, before.entries), (2, 2));
+    // the single path must hit both sides
+    let v = d.check(INV, XOR2).expect("single");
+    let after = d.cache_stats();
+    assert_eq!(after.misses, before.misses, "single path re-embedded");
+    assert_eq!(after.hits, before.hits + 2);
+    assert_eq!(v.score.to_bits(), batch[0].score.to_bits());
+}
+
+#[test]
+fn duplicate_designs_inside_one_batch_collapse() {
+    let d = Gnn4Ip::with_seed(34);
+    let out = d
+        .embed_many(&[(INV, None), (INV, None), (XOR2, None), (INV, None)])
+        .expect("batch");
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0], out[1]);
+    assert_eq!(out[0], out[3]);
+    assert_eq!(d.cache_stats().entries, 2);
+}

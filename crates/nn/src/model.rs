@@ -6,7 +6,10 @@ use std::cell::RefCell;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use gnn4ip_tensor::{Matrix, ParamId, ParamStore, Tape, Var, Workspace};
+use gnn4ip_tensor::{
+    fnv1a64, read_artifact, write_artifact, BinReader, BinWriter, Matrix, ParamId, ParamStore,
+    Tape, Var, Workspace,
+};
 
 use crate::graph_input::GraphInput;
 use crate::parallel::fan_out;
@@ -16,6 +19,9 @@ thread_local! {
     /// embeddings reuse buffers instead of re-allocating each call.
     static EMBED_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
 }
+
+/// Kind tag of the binary model artifact (see [`Hw2Vec::to_bytes`]).
+pub const MODEL_KIND: &str = "hw2vec-model";
 
 /// Graph-readout operation (paper §III-C: sum-, mean-, or max-pooling; the
 /// evaluation uses max).
@@ -416,6 +422,124 @@ impl Hw2Vec {
         crate::trainer::cosine_of(&self.embed(a), &self.embed(b))
     }
 
+    /// Serializes config + weights to the binary artifact format
+    /// (see `gnn4ip_tensor`'s serialization module: magic/version/kind
+    /// header, little-endian `f32` payload, FNV-1a content checksum).
+    ///
+    /// Weights round-trip **bit-exactly** through
+    /// [`from_bytes`](Hw2Vec::from_bytes): a loaded model produces
+    /// bit-identical embeddings.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(MODEL_KIND);
+        w.len_of(self.config.input_dim);
+        w.len_of(self.config.hidden);
+        w.len_of(self.config.layers);
+        w.f32(self.config.pool_ratio);
+        w.f32(self.config.dropout);
+        w.str(self.config.readout.tag());
+        w.str(self.config.conv.tag());
+        w.len_of(self.params.len());
+        for (name, m) in self.params.iter() {
+            w.str(name);
+            w.matrix(m);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a model written by [`Hw2Vec::to_bytes`], validating
+    /// the checksum, architecture, parameter names, and shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first corrupt or mismatched section.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = BinReader::open(bytes, MODEL_KIND)?;
+        let config = Hw2VecConfig {
+            input_dim: r.len_of()?,
+            hidden: r.len_of()?,
+            layers: r.len_of()?,
+            pool_ratio: r.f32()?,
+            dropout: r.f32()?,
+            readout: Readout::from_tag(&r.str()?).ok_or("bad readout tag")?,
+            conv: ConvKind::from_tag(&r.str()?).ok_or("bad conv tag")?,
+        };
+        if config.input_dim == 0 || config.hidden == 0 || config.layers == 0 {
+            return Err("model file declares a zero-sized architecture".to_string());
+        }
+        if !(config.pool_ratio > 0.0 && config.pool_ratio <= 1.0) {
+            return Err(format!("bad pool ratio {}", config.pool_ratio));
+        }
+        // The checksum is integrity, not authentication: bound the declared
+        // architecture against the payload that must carry its weights
+        // BEFORE allocating anything, so a forged dims field returns Err
+        // instead of a multi-exabyte allocation or a near-infinite loop.
+        let min_weights = weight_count(&config)
+            .ok_or_else(|| "model file declares an overflowing architecture".to_string())?;
+        if min_weights.checked_mul(4).is_none_or(|b| b > r.remaining()) {
+            return Err(format!(
+                "model file declares {min_weights} weights but carries only {} payload bytes",
+                r.remaining()
+            ));
+        }
+        let mut model = Hw2Vec::new(config, 0);
+        let n = r.len_of()?;
+        if n != model.params.len() {
+            return Err(format!(
+                "parameter count mismatch: file has {n}, architecture needs {}",
+                model.params.len()
+            ));
+        }
+        let expected: Vec<(String, (usize, usize))> = model
+            .params
+            .iter()
+            .map(|(name, m)| (name.to_string(), m.shape()))
+            .collect();
+        for ((name, shape), slot) in expected.iter().zip(model.params.values_mut()) {
+            let file_name = r.str()?;
+            if &file_name != name {
+                return Err(format!(
+                    "parameter order mismatch: expected '{name}', file has '{file_name}'"
+                ));
+            }
+            let m = r.matrix()?;
+            if m.shape() != *shape {
+                return Err(format!(
+                    "parameter '{name}' has shape {:?}, architecture needs {shape:?}",
+                    m.shape()
+                ));
+            }
+            *slot = m;
+        }
+        r.done()?;
+        Ok(model)
+    }
+
+    /// Writes the binary model artifact to `path` (atomic: temp file +
+    /// rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error as text.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
+        write_artifact(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Loads a binary model artifact written by [`Hw2Vec::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or format errors as text.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        Self::from_bytes(&read_artifact(path.as_ref())?)
+    }
+
+    /// FNV-1a checksum over the serialized config + weights — the
+    /// identity an embedding library is pinned to, so stale embeddings
+    /// are never served for different weights.
+    pub fn weights_checksum(&self) -> u64 {
+        fnv1a64(&self.to_bytes())
+    }
+
     /// Serializes config + weights to a self-describing text format.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
@@ -518,6 +642,25 @@ impl Hw2Vec {
         }
         Ok(model)
     }
+}
+
+/// Total scalar weight count of an architecture, without building it
+/// (checked: `None` on overflow). Mirrors the parameter registration in
+/// [`Hw2Vec::new`].
+fn weight_count(config: &Hw2VecConfig) -> Option<usize> {
+    let per_conv = if config.conv == ConvKind::Sage { 2 } else { 1 };
+    let mut total = 0usize;
+    for l in 0..config.layers {
+        let fan_in = if l == 0 {
+            config.input_dim
+        } else {
+            config.hidden
+        };
+        let w = fan_in.checked_mul(config.hidden)?.checked_mul(per_conv)?;
+        total = total.checked_add(w)?.checked_add(config.hidden)?;
+    }
+    // pool scorer: hidden x 1 weight + 1 x 1 bias
+    total.checked_add(config.hidden)?.checked_add(1)
 }
 
 /// Indices of the top `ceil(ratio * n)` rows of an `n x 1` score column,
@@ -680,6 +823,50 @@ mod tests {
         let (mx, mean, sum) = (mk(Readout::Max), mk(Readout::Mean), mk(Readout::Sum));
         assert_ne!(mx, mean);
         assert_ne!(mean, sum);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bit_exact() {
+        for conv in [ConvKind::Gcn, ConvKind::Sage] {
+            let cfg = Hw2VecConfig {
+                conv,
+                ..Hw2VecConfig::default()
+            };
+            let m = Hw2Vec::new(cfg, 51);
+            let bytes = m.to_bytes();
+            let m2 = Hw2Vec::from_bytes(&bytes).expect("loads");
+            assert_eq!(m2.to_bytes(), bytes, "save→load→save drifted");
+            let g = graph(6);
+            let (e1, e2) = (m.embed(&g), m2.embed(&g));
+            let b1: Vec<u32> = e1.iter().map(|v| v.to_bits()).collect();
+            let b2: Vec<u32> = e2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b1, b2, "loaded model embeds differently");
+            assert_eq!(m.weights_checksum(), m2.weights_checksum());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption_and_mismatch() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 52);
+        let bytes = m.to_bytes();
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 1;
+        assert!(Hw2Vec::from_bytes(&flipped).is_err(), "corruption accepted");
+        assert!(Hw2Vec::from_bytes(&[]).is_err());
+        assert!(Hw2Vec::from_bytes(b"not an artifact at all").is_err());
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let m = Hw2Vec::new(Hw2VecConfig::default(), 53);
+        let dir = std::env::temp_dir().join(format!("gnn4ip-model-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.bin");
+        m.save(&path).expect("saves");
+        let m2 = Hw2Vec::load(&path).expect("loads");
+        assert_eq!(m2.to_bytes(), m.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

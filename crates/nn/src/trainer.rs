@@ -77,7 +77,7 @@ impl Default for TrainConfig {
 }
 
 /// Scales gradients so their global L2 norm does not exceed `max_norm`.
-fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) {
+pub(crate) fn clip_global_norm(grads: &mut [Matrix], max_norm: f32) {
     if max_norm <= 0.0 {
         return;
     }

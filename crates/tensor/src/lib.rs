@@ -35,6 +35,7 @@
 mod gradcheck;
 mod matrix;
 mod optim;
+mod serialize;
 mod sparse;
 mod tape;
 mod workspace;
@@ -42,6 +43,10 @@ mod workspace;
 pub use gradcheck::{check_gradient, GradCheckReport};
 pub use matrix::Matrix;
 pub use optim::{Adam, GradAccum, Optimizer, ParamId, ParamStore, Sgd};
+pub use serialize::{
+    fnv1a64, read_adam, read_artifact, read_sgd, write_adam, write_artifact, write_sgd, BinReader,
+    BinWriter, FORMAT_VERSION, MAGIC, OPT_TAG_ADAM, OPT_TAG_SGD,
+};
 pub use sparse::{mean_adjacency, normalized_adjacency, CsrMatrix};
 pub use tape::{dropout_mask, Gradients, Tape, Var};
 pub use workspace::Workspace;

@@ -95,6 +95,13 @@ impl ParamStore {
         self.names.iter().map(String::as_str).zip(self.mats.iter())
     }
 
+    /// Iterates parameter values mutably, in registration order — the
+    /// deserialization path overwrites freshly initialized weights through
+    /// this without needing per-parameter ids.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Matrix> {
+        self.mats.iter_mut()
+    }
+
     /// Records every parameter as a leaf on `tape`; element `i` of the result
     /// corresponds to `ParamId` with `index() == i`.
     pub fn inject<'t>(&self, tape: &'t Tape) -> Vec<Var<'t>> {
@@ -183,6 +190,10 @@ pub trait Optimizer {
     ///
     /// Implementations may panic if `grads` does not line up with `params`.
     fn step(&mut self, params: &mut ParamStore, grads: &[Matrix]);
+
+    /// Replaces the learning rate — the hook LR schedules drive between
+    /// epochs. Momentum/moment state is untouched.
+    fn set_lr(&mut self, lr: f32);
 }
 
 /// Plain stochastic (batch) gradient descent — the paper's stated
@@ -190,7 +201,7 @@ pub trait Optimizer {
 /// 0.001".
 #[derive(Debug, Clone)]
 pub struct Sgd {
-    lr: f32,
+    pub(crate) lr: f32,
 }
 
 impl Sgd {
@@ -212,19 +223,23 @@ impl Optimizer for Sgd {
             p.add_scaled_assign(g, -self.lr);
         }
     }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
 }
 
 /// Adam (Kingma & Ba) — the practical default; converges in far fewer epochs
 /// than plain SGD on the cosine-embedding objective.
 #[derive(Debug, Clone)]
 pub struct Adam {
-    lr: f32,
-    beta1: f32,
-    beta2: f32,
-    eps: f32,
-    t: u64,
-    m: Vec<Matrix>,
-    v: Vec<Matrix>,
+    pub(crate) lr: f32,
+    pub(crate) beta1: f32,
+    pub(crate) beta2: f32,
+    pub(crate) eps: f32,
+    pub(crate) t: u64,
+    pub(crate) m: Vec<Matrix>,
+    pub(crate) v: Vec<Matrix>,
 }
 
 impl Adam {
@@ -273,6 +288,10 @@ impl Optimizer for Adam {
             let update = mhat.zip_with(&vhat, |mh, vh| mh / (vh.sqrt() + self.eps));
             params.mats[i].add_scaled_assign(&update, -self.lr);
         }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
     }
 }
 

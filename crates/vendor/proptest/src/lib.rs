@@ -323,7 +323,7 @@ mod regex_lite {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Inclusive-exclusive count bound for [`vec`].
+    /// Inclusive-exclusive count bound for [`vec()`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

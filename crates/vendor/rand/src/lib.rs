@@ -5,7 +5,10 @@
 //! (xoshiro256++ seeded via SplitMix64), [`rngs::mock::StepRng`], the
 //! [`Rng`] / [`RngCore`] / [`SeedableRng`] traits, and
 //! [`seq::SliceRandom`]. Everything is deterministic given a seed; there
-//! is no OS entropy source and no `thread_rng`.
+//! is no OS entropy source. `thread_rng` and `from_entropy` exist only
+//! as `#[deprecated]` tombstones so that any use of non-deterministic
+//! seeding fails the workspace's `clippy -D warnings` gate (the
+//! convention is documented in the README).
 //!
 //! The generators are NOT cryptographically secure — they exist to drive
 //! reproducible experiments, weight init, and shuffles.
@@ -163,6 +166,28 @@ pub trait SeedableRng: Sized {
         }
         Self::from_seed(seed)
     }
+
+    /// Upstream `rand` seeds from OS entropy here. This workspace bans
+    /// non-deterministic seeding — every experiment, test, and example
+    /// must be reproducible from fixed constants (see README, "Seeded
+    /// randomness") — so this shim only exists to make any use fail
+    /// `clippy -D warnings` via the deprecation lint. It seeds from a
+    /// fixed constant.
+    #[deprecated(note = "non-deterministic seeding is banned in this workspace; \
+                use seed_from_u64 with a fixed constant (see README)")]
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+/// Upstream `rand`'s thread-local OS-seeded generator. Banned here for
+/// the same reason as [`SeedableRng::from_entropy`]: any use fails
+/// `clippy -D warnings` through the deprecation lint. Returns a
+/// fixed-seed [`rngs::StdRng`].
+#[deprecated(note = "non-deterministic generators are banned in this workspace; \
+            construct StdRng::seed_from_u64 with a fixed constant (see README)")]
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::seed_from_u64(0x5EED_5EED_5EED_5EED)
 }
 
 struct SplitMix64 {

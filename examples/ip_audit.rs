@@ -2,50 +2,85 @@
 //! library of owned IP (the deployment the paper's introduction motivates —
 //! "the manual review of hardware design is not feasible in practice").
 //!
-//! Trains a detector, embeds the owned cores **once** with the batched
-//! `embed_many` path, and builds an [`EmbeddingIndex`] over them. Each
-//! incoming design is then a single cached embedding plus one index query.
-//! A resubmitted file at the end shows the content-addressed cache at work:
-//! the second audit of identical content never re-parses or re-embeds.
+//! **Train once, then load.** The first run trains a detector with the
+//! checkpointing v2 engine, embeds the owned IP cores, and persists the
+//! binary artifacts (detector + embedding library of the owned cores)
+//! under `target/artifacts/ip_audit/`; every later run loads them in
+//! milliseconds and reproduces the same scores bit for bit — no
+//! retraining, no re-embedding. Delete the directory to retrain.
 //!
 //! Run with: `cargo run --release --example ip_audit`
 
+use std::path::Path;
+
 use gnn4ip::data::{named_rtl_designs, vary_design, Corpus, CorpusSpec, VariationConfig};
 use gnn4ip::eval::EmbeddingIndex;
-use gnn4ip::nn::{Hw2VecConfig, TrainConfig};
-use gnn4ip::run_experiment;
+use gnn4ip::nn::{EngineConfig, Hw2VecConfig, TrainConfig};
+use gnn4ip::{run_training_pipeline, Gnn4Ip};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Training the audit detector ...");
-    // a broader corpus than the quickstart's: 16 designs, medium size, so
-    // the embedding space discriminates out-of-distribution cores too
-    let spec = CorpusSpec {
-        n_designs: 16,
-        instances_per_design: 4,
-        size: gnn4ip::data::SynthSize::Medium,
-        ..CorpusSpec::rtl_small()
-    };
-    let corpus = Corpus::build(&spec)?;
-    let outcome = run_experiment(
-        &corpus,
-        Hw2VecConfig::default(),
-        &TrainConfig {
-            epochs: 20,
-            batch_size: 32,
-            lr: 0.005,
-            ..TrainConfig::default()
-        },
-        400,
-        99,
-    );
-    let detector = outcome.detector;
-    println!(
-        "  detector ready: accuracy {:.1}%, delta {:+.3}\n",
-        100.0 * outcome.test_accuracy,
-        outcome.delta
-    );
+    let artifact_dir = Path::new("target/artifacts/ip_audit");
+    let detector_path = artifact_dir.join("detector.bin");
+    let library_path = artifact_dir.join("library.bin");
 
-    // The IP library we own: named cores embedded once, in one batch.
+    let detector = if detector_path.exists() {
+        let t0 = std::time::Instant::now();
+        let mut d = Gnn4Ip::load(&detector_path)?;
+        let n = d.load_library(&library_path)?;
+        println!(
+            "Loaded trained detector + {n}-entry embedding library from {} in {:.1} ms \
+             (delete the directory to retrain).\n",
+            artifact_dir.display(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        d
+    } else {
+        println!("No saved artifacts; training the audit detector once ...");
+        // a broader corpus than the quickstart's: 16 designs, medium size, so
+        // the embedding space discriminates out-of-distribution cores too
+        let spec = CorpusSpec {
+            n_designs: 16,
+            instances_per_design: 4,
+            size: gnn4ip::data::SynthSize::Medium,
+            ..CorpusSpec::rtl_small()
+        };
+        let corpus = Corpus::build(&spec)?;
+        let engine = EngineConfig {
+            train: TrainConfig {
+                epochs: 30,
+                batch_size: 32,
+                lr: 0.005,
+                ..TrainConfig::default()
+            },
+            schedule: gnn4ip::nn::LrSchedule::CosineAnneal { min_lr: 5e-4 },
+            // checkpoint mid-training: a killed run resumes instead of
+            // starting over
+            checkpoint_every: 5,
+            ..EngineConfig::default()
+        };
+        let (outcome, artifacts) = run_training_pipeline(
+            &corpus,
+            Hw2VecConfig::default(),
+            engine,
+            400,
+            7,
+            artifact_dir,
+        )?;
+        println!(
+            "  trained: accuracy {:.1}%, delta {:+.3}; artifacts saved to {}\n",
+            100.0 * outcome.test_accuracy,
+            outcome.delta,
+            artifacts.detector.parent().expect("dir").display()
+        );
+        // the pipeline cached the training corpus; this audit screens
+        // against the owned cores only, so persist a library of those
+        let d = outcome.detector;
+        d.clear_cache();
+        d
+    };
+
+    // The IP library we own: named cores embedded once, in one batch —
+    // a warm start serves all of them from the loaded library artifact.
     let library: Vec<_> = named_rtl_designs()
         .into_iter()
         .filter(|d| ["fpa", "aes", "crc8", "hamming", "barrel"].contains(&d.name.as_str()))
@@ -55,6 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|d| (d.source.as_str(), Some(d.top.as_str())))
         .collect();
     let embeddings = detector.embed_many(&owned)?;
+    let owned_stats = detector.cache_stats();
+    if owned_stats.misses > 0 {
+        // first run: the cache just embedded the owned cores — persist
+        // them so later runs never re-embed
+        detector.save_library(&library_path)?;
+    }
     let mut index = EmbeddingIndex::new(embeddings[0].len());
     for (label, e) in embeddings.iter().enumerate() {
         index.insert(e, label);

@@ -41,8 +41,8 @@
 #![warn(missing_docs)]
 
 pub use gnn4ip_core::{
-    corpus_inputs, run_experiment, to_pair_samples, ExperimentOutcome, Gnn4Ip, IpLibrary,
-    LibraryMatch, Verdict,
+    corpus_inputs, run_experiment, run_training_pipeline, to_pair_samples, ExperimentOutcome,
+    Gnn4Ip, IpLibrary, LibraryMatch, PipelineArtifacts, Verdict,
 };
 
 /// Verilog front end (re-export of `gnn4ip-hdl`).

@@ -1,0 +1,190 @@
+//! Persistence contract of the binary artifacts: save→load→save is
+//! byte-identical, loaded detectors reproduce in-memory scores bit for
+//! bit, and a training run resumed from a checkpoint matches the
+//! uninterrupted run's loss trajectory from the first post-checkpoint
+//! step onward.
+
+use proptest::prelude::*;
+
+use gnn4ip::dfg::graph_from_verilog;
+use gnn4ip::nn::{
+    ConvKind, EngineConfig, GraphInput, Hw2Vec, Hw2VecConfig, PairLabel, PairSample, Readout,
+    TrainConfig, TrainEngine,
+};
+use gnn4ip::Gnn4Ip;
+
+fn config_from(hidden: usize, layers: usize, conv: usize, readout: usize) -> Hw2VecConfig {
+    Hw2VecConfig {
+        hidden,
+        layers,
+        conv: if conv == 0 {
+            ConvKind::Gcn
+        } else {
+            ConvKind::Sage
+        },
+        readout: match readout {
+            0 => Readout::Max,
+            1 => Readout::Mean,
+            _ => Readout::Sum,
+        },
+        ..Hw2VecConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save→load→save produces byte-identical model artifacts for any
+    /// architecture in the supported space.
+    #[test]
+    fn model_save_load_save_is_byte_identical(
+        hidden in 2usize..24,
+        layers in 1usize..4,
+        conv in 0usize..2,
+        readout in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let model = Hw2Vec::new(config_from(hidden, layers, conv, readout), seed);
+        let bytes = model.to_bytes();
+        let reloaded = Hw2Vec::from_bytes(&bytes).expect("loads");
+        prop_assert_eq!(reloaded.to_bytes(), bytes, "second save drifted");
+        prop_assert_eq!(model.weights_checksum(), reloaded.weights_checksum());
+    }
+
+    /// Detector artifacts (model + δ) round-trip byte-identically too,
+    /// and the loaded detector scores sources bit-exactly like the
+    /// original.
+    #[test]
+    fn detector_roundtrip_reproduces_scores(seed in 0u64..200, delta in -0.5f32..0.9) {
+        let mut d = Gnn4Ip::with_seed(seed);
+        d.set_delta(delta);
+        let bytes = d.to_bytes();
+        let d2 = Gnn4Ip::from_bytes(&bytes).expect("loads");
+        prop_assert_eq!(d2.to_bytes(), bytes);
+        let a = "module inv(input a, output y); assign y = ~a; endmodule";
+        let b = "module x2(input a, input b, output y); assign y = a ^ b; endmodule";
+        let (v1, v2) = (d.check(a, b).expect("a"), d2.check(a, b).expect("b"));
+        prop_assert_eq!(v1.score.to_bits(), v2.score.to_bits());
+        prop_assert_eq!(v1.piracy, v2.piracy);
+    }
+
+    /// Library artifacts are deterministic bytes (independent of hash-map
+    /// iteration order) and restore the exact cached embeddings.
+    #[test]
+    fn library_roundtrip_is_deterministic(seed in 0u64..100) {
+        let d = Gnn4Ip::with_seed(seed);
+        let a = "module inv(input a, output y); assign y = ~a; endmodule";
+        let b = "module x2(input a, input b, output y); assign y = a ^ b; endmodule";
+        let c = "module pass(input a, output y); assign y = a; endmodule";
+        for src in [a, b, c] {
+            let _ = d.hw2vec(src, None).expect("embeds");
+        }
+        let bytes = d.library_bytes();
+        let mut d2 = Gnn4Ip::from_bytes(&d.to_bytes()).expect("loads");
+        prop_assert_eq!(d2.load_library_bytes(&bytes).expect("lib"), 3);
+        prop_assert_eq!(d2.library_bytes(), bytes, "library bytes drifted");
+        for src in [a, b, c] {
+            let (e1, e2) = (
+                d.hw2vec(src, None).expect("orig"),
+                d2.hw2vec(src, None).expect("loaded"),
+            );
+            prop_assert_eq!(e1, e2);
+        }
+        prop_assert_eq!(d2.cache_stats().misses, 0, "loaded library not used");
+    }
+}
+
+/// Small real-RTL training set for the resume tests.
+fn training_set() -> (Vec<GraphInput>, Vec<PairSample>) {
+    let sources = [
+        "module inv(input a, output y); assign y = ~a; endmodule",
+        "module buf2(input a, output y); assign y = a; endmodule",
+        "module x2(input a, input b, output y); assign y = a ^ b; endmodule",
+        "module a2(input a, input b, output y); assign y = a & b; endmodule",
+        "module o2(input a, input b, output y); assign y = a | b; endmodule",
+        "module add(input [3:0] a, input [3:0] b, output [3:0] s); assign s = a + b; endmodule",
+    ];
+    let graphs: Vec<GraphInput> = sources
+        .iter()
+        .map(|s| GraphInput::from_dfg(&graph_from_verilog(s, None).expect("graph")))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..graphs.len() {
+        for j in (i + 1)..graphs.len() {
+            pairs.push(PairSample {
+                a: i,
+                b: j,
+                label: if (i < 2) == (j < 2) {
+                    PairLabel::Similar
+                } else {
+                    PairLabel::Different
+                },
+            });
+        }
+    }
+    (graphs, pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A run resumed from a mid-training checkpoint recomputes the
+    /// post-checkpoint epochs bit-exactly — the first recomputed epoch is
+    /// the one that exercises the restored optimizer moments — and lands
+    /// on the same final weights as the uninterrupted run.
+    #[test]
+    fn resumed_run_matches_uninterrupted(seed in 0u64..50, ckpt_every in 2usize..4) {
+        let (graphs, pairs) = training_set();
+        let total_epochs = 5usize;
+        let dir = std::env::temp_dir().join(format!(
+            "gnn4ip-persist-{}-{}-{}",
+            std::process::id(),
+            seed,
+            ckpt_every
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ckpt.bin");
+        let cfg = EngineConfig {
+            train: TrainConfig {
+                epochs: total_epochs,
+                batch_size: 4,
+                lr: 0.02,
+                seed,
+                threads: 1,
+                ..TrainConfig::default()
+            },
+            checkpoint_every: ckpt_every,
+            checkpoint_path: Some(path.clone()),
+            ..EngineConfig::default()
+        };
+
+        // uninterrupted run; checkpoints land periodically along the way,
+        // the file ends up holding the last one (epoch 4 for every=2,
+        // epoch 3 for every=3) — a mid-training snapshot.
+        let mut full = TrainEngine::new(Hw2Vec::new(Hw2VecConfig::default(), seed), cfg.clone());
+        let full_report = full.run(&graphs, &pairs, None).expect("runs").clone();
+        let last_ckpt_epoch = (total_epochs / ckpt_every) * ckpt_every;
+        prop_assert!(last_ckpt_epoch < total_epochs, "checkpoint must be mid-training");
+
+        // "kill" the process here; a fresh engine resumes from the file
+        let mut resumed = TrainEngine::resume(&path, cfg).expect("resumes");
+        prop_assert_eq!(resumed.next_epoch(), last_ckpt_epoch);
+        let resumed_report = resumed.run(&graphs, &pairs, None).expect("runs").clone();
+
+        prop_assert_eq!(full_report.epochs.len(), resumed_report.epochs.len());
+        for (a, b) in full_report.epochs.iter().zip(&resumed_report.epochs) {
+            prop_assert_eq!(
+                a.mean_loss.to_bits(),
+                b.mean_loss.to_bits(),
+                "epoch {} diverged: {} vs {}",
+                a.epoch,
+                a.mean_loss,
+                b.mean_loss
+            );
+        }
+        let e_full = full.into_model().embed(&graphs[0]);
+        let e_res = resumed.into_model().embed(&graphs[0]);
+        prop_assert_eq!(e_full, e_res, "final weights diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
