@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 # the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-STAGES=(build tier1 workspace heavy fmt clippy doc examples benches)
+STAGES=(build tier1 workspace heavy fmt clippy doc examples audit benches)
 
 stage_build() {
     cargo build --release --offline
@@ -53,6 +53,12 @@ stage_doc() {
 stage_examples() {
     cargo build --offline --examples
     cargo run --release --offline --example quickstart
+}
+
+stage_audit() {
+    # corpus-scale audit pipeline on the synthetic corpus: streaming
+    # ingest, recall harness, and shard-index persistence round-trip
+    cargo run --release --offline --example audit_pipeline -- --designs 300 --variants 2
 }
 
 stage_benches() {

@@ -1,0 +1,138 @@
+//! Audit-pipeline benchmarks: the corpus-scale retrieval path.
+//!
+//! Claims to keep honest (BASELINE.md records the medians):
+//!
+//! 1. **sharded query ≈ flat query** — splitting a 1k-entry index into
+//!    fixed-capacity shards (per-shard top-k + heap merge) must stay
+//!    within ~10% of the monolithic scan it replaces.
+//! 2. **blocked precision@k** — the shard×shard blocked path must not
+//!    cost more than the materialized Gram it avoids.
+//! 3. **ingest scales linearly** — streaming N designs through
+//!    parse → DFG → embed_batch → shard-insert must cost ~constant time
+//!    per design as N grows (bounded batches, no quadratic rebuilds).
+//! 4. **artifact latency** — persisting and reloading a 1k-entry index
+//!    must stay in the low-millisecond range so warm starts are free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gnn4ip_core::{AuditConfig, AuditPipeline, AuditSource, Gnn4Ip};
+use gnn4ip_data::{designs::synth_design, SynthSize};
+use gnn4ip_eval::{EmbeddingIndex, ShardedEmbeddingIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16; // the detector's embedding width
+
+fn random_embeddings(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f32>() - 0.5).collect())
+        .collect()
+}
+
+fn bench_query_flat_vs_sharded(c: &mut Criterion) {
+    let entries = random_embeddings(1024, 11);
+    let mut flat = EmbeddingIndex::new(DIM);
+    let mut sharded = ShardedEmbeddingIndex::new(DIM, 256);
+    for (i, e) in entries.iter().enumerate() {
+        flat.insert(e, i % 50);
+        sharded.insert(e, i % 50);
+    }
+    let query: Vec<f32> = (0..DIM).map(|j| (j as f32 * 0.37).sin()).collect();
+    let mut group = c.benchmark_group("audit_pipeline/query_top10_of_1024");
+    group.bench_function("flat", |b| {
+        b.iter(|| std::hint::black_box(flat.query(&query, 10)))
+    });
+    group.bench_function("sharded_cap256", |b| {
+        b.iter(|| std::hint::black_box(sharded.query(&query, 10)))
+    });
+    group.finish();
+}
+
+fn bench_precision_blocked_vs_gram(c: &mut Criterion) {
+    let entries = random_embeddings(512, 13);
+    let mut flat = EmbeddingIndex::new(DIM);
+    let mut sharded = ShardedEmbeddingIndex::new(DIM, 128);
+    for (i, e) in entries.iter().enumerate() {
+        flat.insert(e, i % 20);
+        sharded.insert(e, i % 20);
+    }
+    let mut group = c.benchmark_group("audit_pipeline/precision_at_5_of_512");
+    group.sample_size(20);
+    group.bench_function("flat_materialized_gram", |b| {
+        b.iter(|| std::hint::black_box(flat.precision_at_k(5)))
+    });
+    let mut ws = gnn4ip_tensor::Workspace::new();
+    group.bench_function("sharded_blocked", |b| {
+        b.iter(|| std::hint::black_box(sharded.precision_at_k_ws(5, &mut ws)))
+    });
+    group.finish();
+}
+
+fn corpus(n: usize) -> Vec<AuditSource> {
+    (0..n)
+        .map(|i| {
+            AuditSource::new(
+                format!("synth_{i}"),
+                synth_design(i as u64, SynthSize::Small),
+                None,
+            )
+        })
+        .collect()
+}
+
+fn bench_ingest_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_pipeline/ingest");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let sources = corpus(n);
+        group.bench_function(format!("designs_{n}"), |b| {
+            b.iter(|| {
+                let mut p = AuditPipeline::new(Gnn4Ip::with_seed(7), AuditConfig::default());
+                let report = p.ingest(sources.iter().cloned());
+                assert_eq!(report.ingested, n);
+                std::hint::black_box(p.index().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_artifact_io(c: &mut Criterion) {
+    let mut p = AuditPipeline::new(Gnn4Ip::with_seed(7), AuditConfig::default());
+    let entries = random_embeddings(1024, 17);
+    // index synthetic embeddings directly at corpus scale: artifact cost
+    // is about serialization, not the model
+    let mut sharded = ShardedEmbeddingIndex::new(DIM, 256);
+    for (i, e) in entries.iter().enumerate() {
+        sharded.insert(e, i);
+    }
+    let report = p.ingest(corpus(8));
+    assert_eq!(report.ingested, 8);
+    let bytes = p.index_bytes();
+    let mut group = c.benchmark_group("audit_pipeline/artifact");
+    group.bench_function("shard_index_to_bytes_1024", |b| {
+        b.iter(|| std::hint::black_box(sharded.to_bytes(42)))
+    });
+    let shard_bytes = sharded.to_bytes(42);
+    group.bench_function("shard_index_from_bytes_1024", |b| {
+        b.iter(|| std::hint::black_box(ShardedEmbeddingIndex::from_bytes(&shard_bytes, 42)))
+    });
+    let mut fresh = AuditPipeline::new(
+        Gnn4Ip::from_bytes(&p.detector().to_bytes()).expect("loads"),
+        AuditConfig::default(),
+    );
+    group.bench_function("pipeline_load_index_bytes", |b| {
+        b.iter(|| std::hint::black_box(fresh.load_index_bytes(&bytes).expect("loads")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_flat_vs_sharded,
+    bench_precision_blocked_vs_gram,
+    bench_ingest_scaling,
+    bench_artifact_io
+);
+criterion_main!(benches);

@@ -44,11 +44,16 @@
 #![warn(missing_docs)]
 
 mod api;
+mod audit;
 mod cache;
 mod experiment;
 mod library;
 
 pub use api::{Gnn4Ip, Verdict, DETECTOR_KIND, LIBRARY_KIND};
+pub use audit::{
+    run_audit_scenarios, AuditConfig, AuditMatch, AuditPipeline, AuditSource, AuditVerdict,
+    IngestReport, ScenarioReport, ScenarioSpec, AUDIT_INDEX_KIND,
+};
 pub use cache::{CacheStats, EmbeddingCache};
 pub use experiment::{
     corpus_inputs, run_experiment, run_training_pipeline, to_pair_samples, ExperimentOutcome,

@@ -135,17 +135,23 @@ impl IpLibrary {
         out
     }
 
-    /// Serializes the library (names + embeddings) to text.
+    /// Serializes the library (names + embeddings) to text (format v2).
+    /// Names are escaped (`\\`, `\t`, `\n`, `\r`), so a registered name
+    /// containing the format's tab delimiter or a line break round-trips
+    /// instead of corrupting the parse on reload.
     pub fn to_text(&self) -> String {
-        let mut s = String::from("ip-library v1\n");
+        let mut s = String::from("ip-library v2\n");
         for e in &self.entries {
             let cells: Vec<String> = e.embedding.iter().map(|v| format!("{v:e}")).collect();
-            s.push_str(&format!("{}\t{}\n", e.name, cells.join(" ")));
+            s.push_str(&format!("{}\t{}\n", escape_name(&e.name), cells.join(" ")));
         }
         s
     }
 
-    /// Restores a library written by [`IpLibrary::to_text`].
+    /// Restores a library written by [`IpLibrary::to_text`]. Both format
+    /// versions load: v2 unescapes names; v1 (written before escaping
+    /// existed) reads names verbatim, so an old file with a literal
+    /// backslash in a name is neither mangled nor rejected.
     ///
     /// # Errors
     ///
@@ -153,17 +159,32 @@ impl IpLibrary {
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty library text")?;
-        if header != "ip-library v1" {
-            return Err(format!("unsupported library header '{header}'"));
-        }
+        let escaped_names = match header {
+            "ip-library v2" => true,
+            "ip-library v1" => false,
+            _ => return Err(format!("unsupported library header '{header}'")),
+        };
         let mut lib = Self::new();
         for (no, line) in lines.enumerate() {
-            if line.trim().is_empty() {
+            // v2 skips only truly empty lines — a whitespace "blank" line
+            // could be an entry whose name is empty/whitespace; v1 keeps
+            // its historical trim-based skip
+            let blank = if escaped_names {
+                line.is_empty()
+            } else {
+                line.trim().is_empty()
+            };
+            if blank {
                 continue;
             }
             let (name, rest) = line
                 .split_once('\t')
                 .ok_or_else(|| format!("line {}: missing tab", no + 2))?;
+            let name = if escaped_names {
+                unescape_name(name).map_err(|e| format!("line {}: {e}", no + 2))?
+            } else {
+                name.to_string()
+            };
             let embedding: Vec<f32> = rest
                 .split_whitespace()
                 .map(|t| {
@@ -175,6 +196,47 @@ impl IpLibrary {
         }
         Ok(lib)
     }
+}
+
+/// Escapes the text format's structural characters in a registered name:
+/// backslash, the tab field delimiter, and line breaks.
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_name`].
+///
+/// # Errors
+///
+/// Rejects dangling or unknown escape sequences.
+fn unescape_name(escaped: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("unknown name escape '\\{other}'")),
+            None => return Err("dangling escape at end of name".to_string()),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -231,6 +293,51 @@ mod tests {
         assert!(IpLibrary::from_text("").is_err());
         assert!(IpLibrary::from_text("ip-library v1\nno-tab-here").is_err());
         assert!(IpLibrary::from_text("ip-library v1\nx\tnot_a_number").is_err());
+        // malformed name escapes are diagnosed, not silently mangled
+        assert!(IpLibrary::from_text("ip-library v2\nbad\\x\t1.0").is_err());
+        assert!(IpLibrary::from_text("ip-library v2\ndangling\\\t1.0").is_err());
+    }
+
+    #[test]
+    fn legacy_v1_files_load_with_verbatim_names() {
+        // a v1 file written before name escaping existed: the literal
+        // backslash must survive, not error or turn into an escape
+        let legacy = "ip-library v1\nmy\\core\t1e0 0e0\n";
+        let lib = IpLibrary::from_text(legacy).expect("v1 loads");
+        assert_eq!(lib.names(), vec!["my\\core"]);
+        assert_eq!(
+            IpLibrary::from_text("ip-library v1\nx\\t\t5e-1")
+                .expect("v1")
+                .names(),
+            vec!["x\\t"]
+        );
+    }
+
+    #[test]
+    fn hostile_names_roundtrip_through_text() {
+        // regression: a tab inside a name used to shift the embedding
+        // column; a newline split one entry into two corrupt lines; a
+        // whitespace-only name used to be dropped as a blank line
+        let mut lib = IpLibrary::new();
+        lib.register("tab\tin\tname", vec![1.0, 2.0]);
+        lib.register("new\nline", vec![-0.5]);
+        lib.register("  padded  ", vec![0.25, 0.75]);
+        lib.register(" ", vec![0.125]);
+        lib.register("back\\slash\\t", vec![3.5]);
+        lib.register("", vec![0.0625]);
+        let restored = IpLibrary::from_text(&lib.to_text()).expect("loads");
+        assert_eq!(restored, lib);
+        assert_eq!(
+            restored.names(),
+            vec![
+                "tab\tin\tname",
+                "new\nline",
+                "  padded  ",
+                " ",
+                "back\\slash\\t",
+                ""
+            ]
+        );
     }
 
     #[test]

@@ -41,9 +41,46 @@ pub struct QueryHit {
 pub struct EmbeddingIndex {
     dim: usize,
     /// Row-major `len x dim` normalized embeddings (zero rows for
-    /// zero-norm inputs, which score 0 against everything).
+    /// zero-norm or non-finite inputs, which score 0 against everything).
     data: Vec<f32>,
     labels: Vec<usize>,
+}
+
+/// Appends the row-normalized form of `embedding` to `out`.
+///
+/// Rows containing a NaN/inf component — or whose norm is not a normal
+/// positive float — are stored as zero rows: they score 0 against every
+/// query instead of poisoning top-k order with NaN comparisons. The flat
+/// and sharded indexes share this one implementation so their stored rows
+/// are bit-identical for identical inputs.
+pub(crate) fn normalize_into(embedding: &[f32], out: &mut Vec<f32>) {
+    let norm = embedding.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if !norm.is_finite() || norm < 1e-12 || embedding.iter().any(|v| !v.is_finite()) {
+        out.extend(std::iter::repeat_n(0.0, embedding.len()));
+    } else {
+        out.extend(embedding.iter().map(|v| v / norm));
+    }
+}
+
+/// Cosine score of a *normalized* row against a raw query with
+/// precomputed norm `qnorm` (pass a non-finite or sub-`1e-12` `qnorm` to
+/// force the zero-query path). Shared by the flat and sharded indexes so
+/// per-row scores are bit-identical between them.
+pub(crate) fn score_row(row: &[f32], query: &[f32], qnorm: f32) -> f32 {
+    if !qnorm.is_finite() || qnorm < 1e-12 {
+        return 0.0;
+    }
+    let dot: f32 = row.iter().zip(query).map(|(&r, &q)| r * q).sum();
+    dot / qnorm
+}
+
+/// Norm of a query vector, collapsed to `0.0` when any component is
+/// non-finite so [`score_row`] takes the zero-query path.
+pub(crate) fn query_norm(query: &[f32]) -> f32 {
+    if query.iter().any(|v| !v.is_finite()) {
+        return 0.0;
+    }
+    query.iter().map(|v| v * v).sum::<f32>().sqrt()
 }
 
 impl EmbeddingIndex {
@@ -61,18 +98,33 @@ impl EmbeddingIndex {
         }
     }
 
-    /// Builds an index from parallel embedding/label slices.
+    /// Builds an index from parallel embedding/label slices, inferring the
+    /// dimension from the first embedding. For a possibly-empty corpus use
+    /// [`EmbeddingIndex::from_embeddings_dim`], which cannot panic on
+    /// emptiness.
     ///
     /// # Panics
     ///
     /// Panics if the slices differ in length, are empty, or hold ragged
     /// embeddings.
     pub fn from_embeddings(embeddings: &[Vec<f32>], labels: &[usize]) -> Self {
-        assert_eq!(embeddings.len(), labels.len(), "embeddings/labels mismatch");
         let dim = embeddings
             .first()
-            .expect("cannot infer dimension from an empty set")
+            .expect("cannot infer dimension from an empty set; use from_embeddings_dim")
             .len();
+        Self::from_embeddings_dim(dim, embeddings, labels)
+    }
+
+    /// Builds an index of explicit dimension `dim` from parallel
+    /// embedding/label slices — the empty-corpus-safe form of
+    /// [`EmbeddingIndex::from_embeddings`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, the slices differ in length, or any
+    /// embedding disagrees with `dim`.
+    pub fn from_embeddings_dim(dim: usize, embeddings: &[Vec<f32>], labels: &[usize]) -> Self {
+        assert_eq!(embeddings.len(), labels.len(), "embeddings/labels mismatch");
         let mut index = Self::new(dim);
         for (e, &l) in embeddings.iter().zip(labels) {
             index.insert(e, l);
@@ -100,7 +152,9 @@ impl EmbeddingIndex {
         &self.labels
     }
 
-    /// Appends one embedding (normalized on the way in).
+    /// Appends one embedding (normalized on the way in). Embeddings with a
+    /// NaN/inf component, like zero-norm ones, are stored as zero rows and
+    /// score 0 against every query — they can never corrupt top-k order.
     ///
     /// # Panics
     ///
@@ -113,18 +167,23 @@ impl EmbeddingIndex {
             embedding.len(),
             self.dim
         );
-        let norm = embedding.iter().map(|v| v * v).sum::<f32>().sqrt();
-        if norm < 1e-12 {
-            self.data.extend(std::iter::repeat_n(0.0, self.dim));
-        } else {
-            self.data.extend(embedding.iter().map(|v| v / norm));
-        }
+        normalize_into(embedding, &mut self.data);
         self.labels.push(label);
+    }
+
+    /// The stored (normalized) row at insertion index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn normalized_row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The `k` nearest neighbors of `query` by cosine similarity, highest
     /// first (ties broken by insertion index). Returns fewer than `k` hits
-    /// only when the index holds fewer entries.
+    /// only when the index holds fewer entries. A query with a NaN/inf
+    /// component is treated like a zero query: every score is 0.
     ///
     /// # Panics
     ///
@@ -132,17 +191,12 @@ impl EmbeddingIndex {
     pub fn query(&self, query: &[f32], k: usize) -> Vec<QueryHit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         assert!(k > 0, "k must be positive");
-        let qnorm = query.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let qnorm = query_norm(query);
         let mut hits: Vec<QueryHit> = (0..self.len())
-            .map(|i| {
-                let row = &self.data[i * self.dim..(i + 1) * self.dim];
-                let dot: f32 = row.iter().zip(query).map(|(&r, &q)| r * q).sum();
-                let score = if qnorm < 1e-12 { 0.0 } else { dot / qnorm };
-                QueryHit {
-                    index: i,
-                    label: self.labels[i],
-                    score,
-                }
+            .map(|i| QueryHit {
+                index: i,
+                label: self.labels[i],
+                score: score_row(self.normalized_row(i), query, qnorm),
             })
             .collect();
         let k = k.min(hits.len());
@@ -154,7 +208,11 @@ impl EmbeddingIndex {
         hits
     }
 
-    fn rank(a: &QueryHit, b: &QueryHit) -> std::cmp::Ordering {
+    /// Total order on hits: score descending, insertion index ascending.
+    /// Scores are always finite (non-finite inputs are zeroed on insert and
+    /// query), so the `partial_cmp` fallback is unreachable in practice —
+    /// it remains only as a belt against future score sources.
+    pub(crate) fn rank(a: &QueryHit, b: &QueryHit) -> std::cmp::Ordering {
         b.score
             .partial_cmp(&a.score)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -173,14 +231,20 @@ impl EmbeddingIndex {
     /// itself) that share its label, averaged over all entries.
     ///
     /// Computed from one blocked Gram matrix rather than per-query scans.
+    /// `k` is clamped to `len() - 1` (each point has only that many
+    /// neighbors); an index with fewer than two points has no neighborhoods
+    /// at all and reports 0.0 instead of aborting small-corpus callers.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0` or the index holds fewer than `k + 1` entries.
+    /// Panics if `k == 0`.
     pub fn precision_at_k(&self, k: usize) -> f64 {
         assert!(k > 0, "k must be positive");
         let n = self.len();
-        assert!(n > k, "need more than k points ({n} <= {k})");
+        if n < 2 {
+            return 0.0;
+        }
+        let k = k.min(n - 1);
         let sims = self.pairwise_similarity();
         let mut total = 0.0f64;
         let mut order: Vec<usize> = Vec::with_capacity(n);
@@ -286,6 +350,71 @@ mod tests {
             inc.insert(e, l);
         }
         assert_eq!(bulk, inc);
+    }
+
+    #[test]
+    fn non_finite_rows_are_zeroed_and_cannot_corrupt_topk() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[f32::NAN, 1.0], 0);
+        idx.insert(&[1.0, 0.0], 1);
+        idx.insert(&[f32::INFINITY, f32::NEG_INFINITY], 2);
+        idx.insert(&[0.8, 0.1], 3);
+        // the finite rows must rank first with finite scores; the poisoned
+        // rows sink to the bottom with exactly 0.0
+        let hits = idx.query(&[1.0, 0.0], 4);
+        assert_eq!(hits[0].label, 1);
+        assert_eq!(hits[1].label, 3);
+        assert!(hits.iter().all(|h| h.score.is_finite()));
+        assert_eq!(hits[2].score, 0.0);
+        assert_eq!(hits[3].score, 0.0);
+        // regression: rank() must see no NaN, so top-k of a truncated query
+        // is exactly the global best, not an arbitrary survivor
+        let top = idx.query(&[1.0, 0.0], 1);
+        assert_eq!(top[0].label, 1);
+    }
+
+    #[test]
+    fn non_finite_query_scores_zero_everywhere() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[1.0, 0.0], 0);
+        idx.insert(&[0.0, 1.0], 1);
+        for q in [[f32::NAN, 1.0], [f32::INFINITY, 0.0], [1.0, f32::NAN]] {
+            let hits = idx.query(&q, 2);
+            assert!(hits.iter().all(|h| h.score == 0.0), "query {q:?}");
+            // ties broken by insertion order, deterministically
+            assert_eq!(hits[0].index, 0);
+            assert_eq!(hits[1].index, 1);
+        }
+    }
+
+    #[test]
+    fn huge_query_norm_falls_back_to_zero_scores() {
+        let mut idx = EmbeddingIndex::new(2);
+        idx.insert(&[1.0, 0.0], 0);
+        // norm overflows f32 -> treated as a zero query, not NaN scores
+        let hits = idx.query(&[f32::MAX, f32::MAX], 1);
+        assert_eq!(hits[0].score, 0.0);
+    }
+
+    #[test]
+    fn from_embeddings_dim_accepts_an_empty_corpus() {
+        let idx = EmbeddingIndex::from_embeddings_dim(4, &[], &[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.dim(), 4);
+        assert!(idx.query(&[1.0, 0.0, 0.0, 0.0], 3).is_empty());
+        assert_eq!(idx.precision_at_k(5), 0.0);
+    }
+
+    #[test]
+    fn precision_at_k_clamps_k_to_available_neighbors() {
+        let idx = clustered(); // 10 points
+                               // k = 100 clamps to 9 neighbors per point instead of panicking
+        let clamped = idx.precision_at_k(100);
+        assert_eq!(clamped, idx.precision_at_k(9));
+        // a singleton index has no neighborhoods at all
+        let mut single = EmbeddingIndex::new(2);
+        single.insert(&[1.0, 0.0], 0);
+        assert_eq!(single.precision_at_k(3), 0.0);
     }
 
     #[test]

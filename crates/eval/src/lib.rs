@@ -25,6 +25,7 @@ mod pca;
 mod retrieval;
 mod roc;
 mod scores;
+mod sharded;
 mod tsne;
 
 pub use confusion::ConfusionMatrix;
@@ -33,4 +34,5 @@ pub use pca::{cluster_separation, pca, PcaProjection};
 pub use retrieval::retrieval_precision_at_k;
 pub use roc::{auc, roc_curve, RocPoint};
 pub use scores::{ScoreRow, ScoreTable};
+pub use sharded::{ShardedEmbeddingIndex, SHARD_INDEX_KIND};
 pub use tsne::{tsne, TsneConfig};

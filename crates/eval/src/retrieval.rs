@@ -17,21 +17,18 @@ use crate::index::EmbeddingIndex;
 ///
 /// This is [`EmbeddingIndex::precision_at_k`] over a throwaway index: one
 /// blocked Gram-matrix product instead of `n²` scalar cosine calls. Build
-/// the index yourself to amortize it across metrics and queries.
+/// the index yourself to amortize it across metrics and queries. Like the
+/// index method, `k` clamps to the available neighbor count and fewer than
+/// two points report 0.0 — a small corpus degrades instead of aborting.
 ///
 /// # Panics
 ///
-/// Panics if lengths differ, fewer than `k + 1` points are given, or
-/// `k == 0`.
+/// Panics if lengths differ or `k == 0`.
 pub fn retrieval_precision_at_k(embeddings: &[Vec<f32>], labels: &[usize], k: usize) -> f64 {
     assert_eq!(embeddings.len(), labels.len(), "embeddings/labels mismatch");
     assert!(k > 0, "k must be positive");
-    assert!(
-        embeddings.len() > k,
-        "need more than k points ({} <= {k})",
-        embeddings.len()
-    );
-    EmbeddingIndex::from_embeddings(embeddings, labels).precision_at_k(k)
+    let dim = embeddings.first().map_or(1, Vec::len);
+    EmbeddingIndex::from_embeddings_dim(dim, embeddings, labels).precision_at_k(k)
 }
 
 #[cfg(test)]
@@ -75,6 +72,19 @@ mod tests {
         let l = vec![0, 1, 1];
         let p = retrieval_precision_at_k(&e, &l, 1);
         assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn small_corpus_degrades_instead_of_panicking() {
+        assert_eq!(retrieval_precision_at_k(&[], &[], 3), 0.0);
+        assert_eq!(retrieval_precision_at_k(&[vec![1.0, 0.0]], &[0], 3), 0.0);
+        // k larger than the corpus clamps to the available neighbors
+        let e = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
+        let l = vec![0, 0, 1];
+        assert_eq!(
+            retrieval_precision_at_k(&e, &l, 100),
+            retrieval_precision_at_k(&e, &l, 2)
+        );
     }
 
     #[test]

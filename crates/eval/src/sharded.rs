@@ -1,0 +1,792 @@
+//! A sharded, persistent embedding index for corpus-scale retrieval.
+//!
+//! The flat [`EmbeddingIndex`] is the right shape for a few thousand
+//! embeddings: one contiguous matrix, one gemm. The deployment the paper's
+//! §IV-C motivates — embed every owned IP once, then answer "what is this
+//! suspect closest to?" forever — outgrows it in two ways: the corpus
+//! arrives *incrementally* (designs stream in; rebuilding a monolithic
+//! matrix per insert is quadratic), and it must *outlive the process*
+//! (an index that vanishes on exit re-embeds the world on every restart).
+//!
+//! [`ShardedEmbeddingIndex`] stores row-normalized embeddings in
+//! fixed-capacity shards. Inserts append to the open tail shard; a query
+//! computes a per-shard top-k and heap-merges the shard runs into the
+//! global top-k; `precision_at_k` walks shard×shard similarity blocks
+//! through a [`Workspace`]-pooled [`matmul_nt`](Matrix::matmul_nt_into)
+//! without ever materializing the `n×n` Gram matrix. The whole structure
+//! persists through the `G4IP` binary artifact format, pinned to the
+//! checksum of the model weights that produced the embeddings.
+//!
+//! Every score is computed by the same per-row kernel as the flat index,
+//! so flat and sharded results agree **bit for bit** (a property test in
+//! `tests/properties.rs` holds this line).
+
+use gnn4ip_tensor::{read_artifact, write_artifact, BinReader, BinWriter, Matrix, Workspace};
+
+use crate::index::{normalize_into, query_norm, score_row, EmbeddingIndex, QueryHit};
+
+/// Kind tag of the persisted shard-index artifact.
+pub const SHARD_INDEX_KIND: &str = "gnn4ip-shard-index";
+
+/// One fixed-capacity block of row-normalized embeddings.
+#[derive(Debug, Clone, PartialEq)]
+struct Shard {
+    /// Row-major `len x dim` normalized rows.
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl Shard {
+    fn new(capacity: usize, dim: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity * dim),
+            labels: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// An incrementally built, persistent index of row-normalized embeddings,
+/// stored as fixed-capacity shards.
+///
+/// Scores, tie-breaking, and non-finite handling are identical to the flat
+/// [`EmbeddingIndex`]; only the storage layout and algorithms differ.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_eval::ShardedEmbeddingIndex;
+///
+/// let mut index = ShardedEmbeddingIndex::new(2, 2); // dim 2, 2 rows/shard
+/// index.insert(&[1.0, 0.0], 0);
+/// index.insert(&[0.9, 0.1], 0);
+/// index.insert(&[0.0, 2.0], 1); // opens a second shard
+/// assert_eq!(index.num_shards(), 2);
+/// let hits = index.query(&[1.0, 0.05], 2);
+/// assert_eq!(hits[0].label, 0);
+/// assert!(hits[0].score >= hits[1].score);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedEmbeddingIndex {
+    dim: usize,
+    shard_capacity: usize,
+    /// Every shard before the last holds exactly `shard_capacity` rows;
+    /// the last holds `1..=shard_capacity`. An empty index has no shards.
+    shards: Vec<Shard>,
+}
+
+/// A candidate in the k-way heap merge: the head of one shard's sorted
+/// top-k run. Ordered so the rank-best hit is the heap maximum.
+struct MergeHead {
+    hit: QueryHit,
+    shard: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum; reverse rank so "best" is maximal
+        EmbeddingIndex::rank(&self.hit, &other.hit).reverse()
+    }
+}
+
+/// A bounded keeper of the `k` rank-best `(score, global index)` pairs.
+/// The heap top is the *worst* retained hit, so an incoming candidate
+/// either evicts it or is discarded in `O(log k)`.
+///
+/// Candidates MUST be pushed in ascending index order (both call sites
+/// scan rows in insertion order). That precondition collapses the
+/// keep/discard decision to one float compare: a candidate tying the
+/// retained worst on score always carries the larger index, so under
+/// [`EmbeddingIndex::rank`] it loses — only a strictly greater score
+/// evicts.
+struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<WorstFirst>,
+}
+
+struct WorstFirst(QueryHit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // rank() is ascending-is-better; the heap maximum is the worst hit
+        EmbeddingIndex::rank(&self.0, &other.0)
+    }
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn push(&mut self, hit: QueryHit) {
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            // sound only for ascending-index pushes; see the type docs
+            if hit.score > worst.0.score {
+                self.heap.pop();
+                self.heap.push(WorstFirst(hit));
+            }
+        }
+    }
+
+    fn into_hits(self) -> Vec<QueryHit> {
+        self.heap.into_iter().map(|w| w.0).collect()
+    }
+
+    /// Score of the worst retained hit (`-inf` when empty) — the eviction
+    /// threshold for the caller's fast path.
+    fn worst_score(&self) -> f32 {
+        self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0.score)
+    }
+}
+
+impl ShardedEmbeddingIndex {
+    /// Creates an empty index over `dim`-dimensional embeddings with
+    /// `shard_capacity` rows per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `shard_capacity` is zero.
+    pub fn new(dim: usize, shard_capacity: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(shard_capacity > 0, "shard capacity must be positive");
+        Self {
+            dim,
+            shard_capacity,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Re-shards a flat index by copying its normalized rows verbatim —
+    /// no re-normalization, so the rows stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_capacity` is zero.
+    pub fn from_flat(flat: &EmbeddingIndex, shard_capacity: usize) -> Self {
+        let mut index = Self::new(flat.dim(), shard_capacity);
+        for (i, &label) in flat.labels().iter().enumerate() {
+            let shard = index.open_shard();
+            shard.data.extend_from_slice(flat.normalized_row(i));
+            shard.labels.push(label);
+        }
+        index
+    }
+
+    /// Total number of indexed embeddings across all shards.
+    pub fn len(&self) -> usize {
+        let full = self.shards.len().saturating_sub(1) * self.shard_capacity;
+        full + self.shards.last().map_or(0, Shard::len)
+    }
+
+    /// Whether the index holds no embeddings.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rows per shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Number of shards currently allocated.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Label of the embedding at global insertion index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.shards[i / self.shard_capacity].labels[i % self.shard_capacity]
+    }
+
+    /// The stored (normalized) row at global insertion index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn normalized_row(&self, i: usize) -> &[f32] {
+        let shard = &self.shards[i / self.shard_capacity];
+        let p = (i % self.shard_capacity) * self.dim;
+        &shard.data[p..p + self.dim]
+    }
+
+    /// The shard with spare capacity, opening a fresh one when the tail
+    /// shard is full (or no shard exists yet).
+    fn open_shard(&mut self) -> &mut Shard {
+        let full = self
+            .shards
+            .last()
+            .is_none_or(|s| s.len() == self.shard_capacity);
+        if full {
+            self.shards.push(Shard::new(self.shard_capacity, self.dim));
+        }
+        self.shards.last_mut().expect("tail shard exists")
+    }
+
+    /// Appends one embedding (normalized on the way in, exactly like
+    /// [`EmbeddingIndex::insert`]: non-finite or zero-norm rows are stored
+    /// as zero rows and score 0 against everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn insert(&mut self, embedding: &[f32], label: usize) {
+        assert_eq!(
+            embedding.len(),
+            self.dim,
+            "embedding dimension {} != index dimension {}",
+            embedding.len(),
+            self.dim
+        );
+        let shard = self.open_shard();
+        normalize_into(embedding, &mut shard.data);
+        shard.labels.push(label);
+    }
+
+    /// The `k` nearest neighbors of `query` by cosine similarity, highest
+    /// first (ties broken by global insertion index) — bit-identical to
+    /// the flat [`EmbeddingIndex::query`] over the same insertions.
+    ///
+    /// Each shard contributes its own top-k run, kept in a bounded heap
+    /// while its rows are scored (one comparison per losing row); the
+    /// sorted runs are then k-way heap-merged, so the merge costs
+    /// `O(k log s)` for `s` shards rather than a global sort of all
+    /// candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch or `k == 0`.
+    pub fn query(&self, query: &[f32], k: usize) -> Vec<QueryHit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let qnorm = query_norm(query);
+        // per-shard bounded top-k, maintained while scoring: most rows
+        // fail one comparison against the current worst retained hit, so
+        // no shard ever materializes its full score list
+        let mut runs: Vec<Vec<QueryHit>> = Vec::with_capacity(self.shards.len());
+        let mut offset = 0;
+        for shard in &self.shards {
+            let n = shard.len();
+            // clamp per shard: a "give me everything" k (even usize::MAX,
+            // which the flat index accepts) must not size the heap
+            let kk = k.min(n);
+            let mut top = TopK::new(kk);
+            for i in 0..kk {
+                top.push(QueryHit {
+                    index: offset + i,
+                    label: shard.labels[i],
+                    score: score_row(&shard.data[i * self.dim..(i + 1) * self.dim], query, qnorm),
+                });
+            }
+            if kk < n {
+                // hot loop: a losing row costs one dot product and one
+                // float compare — no heap access, no hit construction
+                let mut worst = top.worst_score();
+                for i in kk..n {
+                    let score =
+                        score_row(&shard.data[i * self.dim..(i + 1) * self.dim], query, qnorm);
+                    if score > worst {
+                        top.push(QueryHit {
+                            index: offset + i,
+                            label: shard.labels[i],
+                            score,
+                        });
+                        worst = top.worst_score();
+                    }
+                }
+            }
+            let mut run = top.into_hits();
+            run.sort_unstable_by(EmbeddingIndex::rank);
+            runs.push(run);
+            offset += n;
+        }
+        // k-way merge: the heap holds one head per non-empty sorted run
+        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+        for (si, run) in runs.iter().enumerate() {
+            if let Some(&hit) = run.first() {
+                heap.push(MergeHead {
+                    hit,
+                    shard: si,
+                    pos: 0,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        while out.len() < k {
+            let Some(head) = heap.pop() else { break };
+            out.push(head.hit);
+            let next = head.pos + 1;
+            if let Some(&hit) = runs[head.shard].get(next) {
+                heap.push(MergeHead {
+                    hit,
+                    shard: head.shard,
+                    pos: next,
+                });
+            }
+        }
+        out
+    }
+
+    /// Visits the cosine-similarity Gram matrix one shard×shard block at a
+    /// time: `f(row_offset, col_offset, block)` where `block[i][j]` is the
+    /// similarity of global rows `row_offset + i` and `col_offset + j`.
+    ///
+    /// Block buffers come from `ws` and are recycled across blocks, so the
+    /// peak footprint is three `shard_capacity`-bounded matrices no matter
+    /// how large the corpus grows — the full `n×n` Gram is never
+    /// materialized. Each element is the same contiguous-row dot product
+    /// the flat index's [`EmbeddingIndex::pairwise_similarity`] computes,
+    /// so block values match it bit for bit.
+    pub fn for_each_similarity_block<F>(&self, ws: &mut Workspace, mut f: F)
+    where
+        F: FnMut(usize, usize, &Matrix),
+    {
+        let mut row_offset = 0;
+        for qs in &self.shards {
+            let qn = qs.len();
+            let mut qm = ws.acquire(qn, self.dim);
+            qm.as_mut_slice().copy_from_slice(&qs.data);
+            let mut col_offset = 0;
+            for ds in &self.shards {
+                let dn = ds.len();
+                let mut dm = ws.acquire(dn, self.dim);
+                dm.as_mut_slice().copy_from_slice(&ds.data);
+                let mut block = ws.acquire(qn, dn);
+                qm.matmul_nt_into(&dm, &mut block);
+                f(row_offset, col_offset, &block);
+                ws.release(block);
+                ws.release(dm);
+                col_offset += dn;
+            }
+            ws.release(qm);
+            row_offset += qn;
+        }
+    }
+
+    /// Mean precision@k of same-label retrieval — the sharded, blocked
+    /// form of [`EmbeddingIndex::precision_at_k`], and numerically
+    /// identical to it: `k` clamps to `len() - 1`, fewer than two points
+    /// report 0.0, and the per-query neighbor sets agree exactly because
+    /// both sides select under the same total order on finite scores.
+    ///
+    /// Peak memory is `O(n·k)` for the per-row candidate keepers plus one
+    /// shard×shard block, never the `n×n` Gram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn precision_at_k(&self, k: usize) -> f64 {
+        self.precision_at_k_ws(k, &mut Workspace::new())
+    }
+
+    /// [`ShardedEmbeddingIndex::precision_at_k`] with a caller-provided
+    /// workspace, so repeated evaluations reuse warm block buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn precision_at_k_ws(&self, k: usize, ws: &mut Workspace) -> f64 {
+        assert!(k > 0, "k must be positive");
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let k = k.min(n - 1);
+        let mut tops: Vec<TopK> = (0..n).map(|_| TopK::new(k)).collect();
+        self.for_each_similarity_block(ws, |row_offset, col_offset, block| {
+            for i in 0..block.rows() {
+                let q = row_offset + i;
+                for (j, &score) in block.row(i).iter().enumerate() {
+                    let g = col_offset + j;
+                    if g != q {
+                        tops[q].push(QueryHit {
+                            index: g,
+                            label: 0, // resolved after selection
+                            score,
+                        });
+                    }
+                }
+            }
+        });
+        let mut total = 0.0f64;
+        for (q, top) in tops.into_iter().enumerate() {
+            let own = self.label(q);
+            let hits = top
+                .into_hits()
+                .iter()
+                .filter(|h| self.label(h.index) == own)
+                .count();
+            total += hits as f64 / k as f64;
+        }
+        total / n as f64
+    }
+
+    // --- persistence ---------------------------------------------------
+
+    /// Serializes the index through the `G4IP` artifact format, pinned to
+    /// `pinned_checksum` — by convention the weights checksum of the model
+    /// whose embeddings fill the index, so a stale index cannot silently
+    /// serve scores for weights that no longer exist (the same pinning
+    /// discipline as the embedding-library artifact). Rows round-trip
+    /// bit-exactly.
+    pub fn to_bytes(&self, pinned_checksum: u64) -> Vec<u8> {
+        let mut w = BinWriter::new(SHARD_INDEX_KIND);
+        w.u64(pinned_checksum);
+        w.len_of(self.dim);
+        w.len_of(self.shard_capacity);
+        w.len_of(self.shards.len());
+        for shard in &self.shards {
+            w.len_of(shard.len());
+            for &l in &shard.labels {
+                w.u64(l as u64);
+            }
+            for &v in &shard.data {
+                w.f32(v);
+            }
+        }
+        w.finish()
+    }
+
+    /// Reads back the checksum an artifact was pinned to, without
+    /// deserializing the shards (e.g. to report *which* weights an index
+    /// belongs to before deciding to load it).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a corrupt or wrong-kind artifact.
+    pub fn pinned_checksum(bytes: &[u8]) -> Result<u64, String> {
+        BinReader::open(bytes, SHARD_INDEX_KIND)?.u64()
+    }
+
+    /// Restores an index serialized by [`ShardedEmbeddingIndex::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt artifacts, on a checksum-pin mismatch (an index
+    /// built by different weights is rejected rather than silently serving
+    /// stale similarities), and on shard layouts that violate the
+    /// fixed-capacity invariant.
+    pub fn from_bytes(bytes: &[u8], expected_checksum: u64) -> Result<Self, String> {
+        let mut r = BinReader::open(bytes, SHARD_INDEX_KIND)?;
+        let pinned = r.u64()?;
+        if pinned != expected_checksum {
+            return Err(format!(
+                "shard index was built by weights {pinned:#018x}, \
+                 expected {expected_checksum:#018x}; re-embed instead of loading"
+            ));
+        }
+        let dim = r.len_of()?;
+        let shard_capacity = r.len_of()?;
+        if dim == 0 || shard_capacity == 0 {
+            return Err(format!(
+                "shard index declares zero dim ({dim}) or capacity ({shard_capacity})"
+            ));
+        }
+        let row_bytes = dim
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(8))
+            .ok_or_else(|| format!("implausible dimension {dim}"))?;
+        let n_shards = r.count_of(8)?; // every shard carries a row count
+        let mut shards = Vec::with_capacity(n_shards);
+        for si in 0..n_shards {
+            let rows = r.count_of(row_bytes)?;
+            let expect_full = si + 1 < n_shards;
+            if rows > shard_capacity || rows == 0 || (expect_full && rows != shard_capacity) {
+                return Err(format!(
+                    "shard {si} holds {rows} rows, violating capacity {shard_capacity}"
+                ));
+            }
+            // reserve from `rows` (count_of-bounded by remaining payload),
+            // never from the untrusted `shard_capacity` field — a forged
+            // capacity must not drive a multi-GB allocation
+            let mut shard = Shard::new(rows, dim);
+            for _ in 0..rows {
+                shard.labels.push(
+                    usize::try_from(r.u64()?).map_err(|_| "label overflows usize".to_string())?,
+                );
+            }
+            for _ in 0..rows * dim {
+                shard.data.push(r.f32()?);
+            }
+            shards.push(shard);
+        }
+        r.done()?;
+        Ok(Self {
+            dim,
+            shard_capacity,
+            shards,
+        })
+    }
+
+    /// Writes the artifact to `path` (atomic: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error as text.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        pinned_checksum: u64,
+    ) -> Result<(), String> {
+        write_artifact(path.as_ref(), &self.to_bytes(pinned_checksum))
+    }
+
+    /// Loads an artifact written by [`ShardedEmbeddingIndex::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O, format, or checksum-pin errors as text.
+    pub fn load(path: impl AsRef<std::path::Path>, expected_checksum: u64) -> Result<Self, String> {
+        Self::from_bytes(&read_artifact(path.as_ref())?, expected_checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| {
+                        let x = ((i * 31 + j * 17) as u64).wrapping_mul(2654435761) % 97;
+                        x as f32 / 97.0 - 0.5
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn both(n: usize, dim: usize, cap: usize) -> (EmbeddingIndex, ShardedEmbeddingIndex) {
+        let rows = seeded_rows(n, dim);
+        let mut flat = EmbeddingIndex::new(dim);
+        let mut sharded = ShardedEmbeddingIndex::new(dim, cap);
+        for (i, row) in rows.iter().enumerate() {
+            flat.insert(row, i % 5);
+            sharded.insert(row, i % 5);
+        }
+        (flat, sharded)
+    }
+
+    #[test]
+    fn shards_fill_to_capacity_in_insertion_order() {
+        let (_, sharded) = both(10, 3, 4);
+        assert_eq!(sharded.len(), 10);
+        assert_eq!(sharded.num_shards(), 3); // 4 + 4 + 2
+        for i in 0..10 {
+            assert_eq!(sharded.label(i), i % 5);
+        }
+    }
+
+    #[test]
+    fn query_matches_flat_bit_for_bit() {
+        for cap in [1, 3, 4, 7, 64] {
+            let (flat, sharded) = both(23, 6, cap);
+            let q: Vec<f32> = (0..6).map(|j| 0.3 - j as f32 * 0.1).collect();
+            for k in [1, 2, 5, 23, 40] {
+                let a = flat.query(&q, k);
+                let b = sharded.query(&q, k);
+                assert_eq!(a.len(), b.len(), "cap {cap} k {k}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.index, y.index, "cap {cap} k {k}");
+                    assert_eq!(x.label, y.label);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precision_matches_flat_exactly() {
+        for cap in [1, 4, 9, 64] {
+            let (flat, sharded) = both(17, 5, cap);
+            for k in [1, 3, 8, 30] {
+                assert_eq!(
+                    flat.precision_at_k(k).to_bits(),
+                    sharded.precision_at_k(k).to_bits(),
+                    "cap {cap} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_flat_reshards_without_renormalizing() {
+        let (flat, sharded) = both(11, 4, 3);
+        let reshard = ShardedEmbeddingIndex::from_flat(&flat, 3);
+        assert_eq!(reshard, sharded);
+    }
+
+    #[test]
+    fn non_finite_rows_behave_like_flat() {
+        let mut flat = EmbeddingIndex::new(2);
+        let mut sharded = ShardedEmbeddingIndex::new(2, 2);
+        let rows: [&[f32]; 4] = [&[f32::NAN, 1.0], &[1.0, 0.0], &[0.5, 0.5], &[0.0, 0.0]];
+        for (i, row) in rows.iter().enumerate() {
+            flat.insert(row, i);
+            sharded.insert(row, i);
+        }
+        let hits = sharded.query(&[1.0, 0.1], 4);
+        let expect = flat.query(&[1.0, 0.1], 4);
+        assert_eq!(hits, expect);
+        assert!(hits.iter().all(|h| h.score.is_finite()));
+    }
+
+    #[test]
+    fn huge_k_dumps_everything_like_flat() {
+        // k >> len (even usize::MAX) is a legitimate "give me everything"
+        // call on the flat index; the sharded one must accept it without
+        // sizing heaps from k
+        let (flat, sharded) = both(13, 4, 5);
+        let q = [0.2, -0.4, 0.6, 0.1];
+        for k in [13, 14, 1 << 40, usize::MAX] {
+            assert_eq!(sharded.query(&q, k), flat.query(&q, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_index_queries_to_nothing() {
+        let idx = ShardedEmbeddingIndex::new(3, 8);
+        assert!(idx.is_empty());
+        assert!(idx.query(&[1.0, 0.0, 0.0], 5).is_empty());
+        assert_eq!(idx.precision_at_k(2), 0.0);
+    }
+
+    #[test]
+    fn similarity_blocks_tile_the_full_gram() {
+        let (flat, sharded) = both(13, 4, 5);
+        let gram = flat.pairwise_similarity();
+        let mut ws = Workspace::new();
+        let mut seen = [false; 13 * 13];
+        sharded.for_each_similarity_block(&mut ws, |ro, co, block| {
+            for i in 0..block.rows() {
+                for j in 0..block.cols() {
+                    let (g_i, g_j) = (ro + i, co + j);
+                    assert_eq!(
+                        block.get(i, j).to_bits(),
+                        gram.get(g_i, g_j).to_bits(),
+                        "({g_i},{g_j})"
+                    );
+                    seen[g_i * 13 + g_j] = true;
+                }
+            }
+        });
+        assert!(seen.iter().all(|&s| s), "blocks must cover the full Gram");
+        // and the workspace pools block buffers instead of reallocating
+        let warm = ws.allocations();
+        sharded.for_each_similarity_block(&mut ws, |_, _, _| {});
+        assert_eq!(ws.allocations(), warm, "warm workspace re-allocated");
+    }
+
+    #[test]
+    fn artifact_roundtrips_bit_exactly() {
+        let (_, sharded) = both(19, 4, 6);
+        let bytes = sharded.to_bytes(0xDEAD_BEEF);
+        assert_eq!(
+            ShardedEmbeddingIndex::pinned_checksum(&bytes).expect("pin"),
+            0xDEAD_BEEF
+        );
+        let back = ShardedEmbeddingIndex::from_bytes(&bytes, 0xDEAD_BEEF).expect("loads");
+        assert_eq!(back, sharded);
+        // save -> load -> save is byte-identical
+        assert_eq!(back.to_bytes(0xDEAD_BEEF), bytes);
+    }
+
+    #[test]
+    fn checksum_pin_mismatch_is_rejected() {
+        let (_, sharded) = both(5, 3, 2);
+        let bytes = sharded.to_bytes(1);
+        let err = ShardedEmbeddingIndex::from_bytes(&bytes, 2).expect_err("must reject");
+        assert!(err.contains("weights"), "{err}");
+    }
+
+    #[test]
+    fn hostile_shard_capacity_does_not_drive_allocation() {
+        // a forged artifact declaring an absurd shard capacity but tiny
+        // payload must not reserve capacity*dim floats — the checksum is
+        // integrity, not authentication
+        let mut w = BinWriter::new(SHARD_INDEX_KIND);
+        w.u64(0); // pin
+        w.len_of(2); // dim
+        w.len_of(1 << 56); // hostile capacity
+        w.len_of(1); // one shard
+        w.len_of(1); // one row
+        w.u64(9);
+        w.f32(1.0);
+        w.f32(0.0);
+        let back = ShardedEmbeddingIndex::from_bytes(&w.finish(), 0).expect("loads cheaply");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.label(0), 9);
+    }
+
+    #[test]
+    fn corrupt_shard_layouts_are_rejected() {
+        // hand-build an artifact whose interior shard is not full
+        let mut w = BinWriter::new(SHARD_INDEX_KIND);
+        w.u64(0); // pin
+        w.len_of(2); // dim
+        w.len_of(4); // capacity
+        w.len_of(2); // two shards
+        for _ in 0..2 {
+            w.len_of(1); // 1 row each — first shard must hold 4
+            w.u64(0);
+            w.f32(1.0);
+            w.f32(0.0);
+        }
+        let err = ShardedEmbeddingIndex::from_bytes(&w.finish(), 0).expect_err("must reject");
+        assert!(err.contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gnn4ip-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let (_, sharded) = both(9, 3, 4);
+        let path = dir.join("index.bin");
+        sharded.save(&path, 42).expect("saves");
+        let back = ShardedEmbeddingIndex::load(&path, 42).expect("loads");
+        assert_eq!(back, sharded);
+        assert!(ShardedEmbeddingIndex::load(&path, 43).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,136 @@
+//! Corpus-scale audit pipeline: stream a synthetic design corpus into the
+//! sharded embedding index, then audit disguised variants against it and
+//! report retrieval recall.
+//!
+//! This is the scenario-diversity harness of the deployment story: the
+//! corpus designs are ingested once (parse → DFG → batched embed →
+//! shard-insert, with bounded memory per batch), then every design is
+//! disguised with the behaviour-preserving transforms — `vary_design` for
+//! RTL, `obfuscate_netlist` for gate-level netlists — and audited. A
+//! healthy pipeline retrieves the true source design at rank 1 for almost
+//! every disguise. The filled index is persisted through the `G4IP`
+//! binary artifact format (pinned to the detector weights) and reloaded
+//! to prove warm starts skip re-embedding the corpus.
+//!
+//! Run with: `cargo run --release --example audit_pipeline [-- --designs N --variants V]`
+//! (defaults: 1000 designs, 2 variants each).
+
+use std::path::Path;
+
+use gnn4ip::{run_audit_scenarios, AuditConfig, AuditPipeline, Gnn4Ip, ScenarioSpec};
+
+fn arg_value(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_report(title: &str, r: &gnn4ip::ScenarioReport) {
+    println!("{title}");
+    println!(
+        "  ingested {}/{} designs in {:.2} s ({:.0} designs/s){}",
+        r.ingested,
+        r.designs,
+        r.ingest_secs,
+        r.ingested as f64 / r.ingest_secs.max(1e-9),
+        if r.rejected > 0 {
+            format!(", {} rejected", r.rejected)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  audited  {} disguised variants in {:.2} s ({:.0} audits/s)",
+        r.variants_audited,
+        r.audit_secs,
+        r.variants_audited as f64 / r.audit_secs.max(1e-9),
+    );
+    println!(
+        "  recall@1 {:.1}%   recall@{} {:.1}%   mean top score {:+.4}\n",
+        100.0 * r.recall_at_1,
+        r.k,
+        100.0 * r.recall_at_k,
+        r.mean_top_score
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let n_designs = arg_value(&args, "--designs", 1000);
+    let variants = arg_value(&args, "--variants", 2);
+
+    let detector = Gnn4Ip::with_seed(7);
+    let config = AuditConfig::default();
+    let mut pipeline = AuditPipeline::new(detector, config.clone());
+    println!(
+        "Audit pipeline: shard capacity {}, ingest batch {}, top-{} verdicts\n",
+        config.shard_capacity, config.batch_size, config.top_k
+    );
+
+    // Scenario 1 — RTL corpus (named cores + synthetic fill), source-level
+    // variation as the disguise.
+    let rtl = run_audit_scenarios(&mut pipeline, &ScenarioSpec::rtl(n_designs, variants))?;
+    print_report(
+        &format!("[rtl] {n_designs} designs x {variants} vary_design variants"),
+        &rtl,
+    );
+    println!(
+        "  index: {} embeddings in {} shards",
+        pipeline.index().len(),
+        pipeline.index().num_shards()
+    );
+    println!(
+        "  (corpora beyond the {} named cores are synthetic fill; families there are\n   \
+         near-duplicates of each other, so rank-1 misses at scale are mostly\n   \
+         intra-family confusions — the top score stays ~1.0 either way)\n",
+        gnn4ip::data::named_rtl_designs().len()
+    );
+
+    // Scenario 2 — gate-level netlists, TrustHub-style obfuscation as the
+    // disguise, streamed into the same pipeline (labels keep growing).
+    let nl_designs = (n_designs / 20).clamp(6, 50);
+    let netlist = run_audit_scenarios(&mut pipeline, &ScenarioSpec::netlist(nl_designs, variants))?;
+    print_report(
+        &format!("[netlist] {nl_designs} netlists x {variants} obfuscate_netlist variants"),
+        &netlist,
+    );
+
+    // Persistence — save the filled index, reload it into a fresh pipeline
+    // around the same weights, and prove the warm start serves identical
+    // verdicts without re-embedding anything.
+    let artifact_dir = Path::new("target/artifacts/audit_pipeline");
+    std::fs::create_dir_all(artifact_dir)?;
+    let index_path = artifact_dir.join("audit-index.bin");
+    pipeline.save_index(&index_path)?;
+    let bytes = std::fs::metadata(&index_path)?.len();
+    let t0 = std::time::Instant::now();
+    let mut warm = AuditPipeline::new(
+        Gnn4Ip::from_bytes(&pipeline.detector().to_bytes()).map_err(std::io::Error::other)?,
+        config,
+    );
+    let restored = warm
+        .load_index(&index_path)
+        .map_err(std::io::Error::other)?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let suspect = gnn4ip::data::named_rtl_designs()
+        .into_iter()
+        .find(|d| d.name == "crc8")
+        .expect("crc8 exists");
+    let cold = pipeline.audit(&suspect.source, Some(&suspect.top))?;
+    let hot = warm.audit(&suspect.source, Some(&suspect.top))?;
+    assert_eq!(cold, hot, "reloaded index must serve identical verdicts");
+    println!(
+        "[persistence] {restored} embeddings reloaded from {} ({:.1} KiB) in {load_ms:.1} ms; \
+         verdicts identical bit for bit",
+        index_path.display(),
+        bytes as f64 / 1024.0
+    );
+    println!(
+        "  suspect 'crc8' -> best match '{}' ({:+.4})",
+        hot.best().expect("non-empty").name,
+        hot.best().expect("non-empty").score
+    );
+    Ok(())
+}

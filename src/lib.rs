@@ -41,8 +41,10 @@
 #![warn(missing_docs)]
 
 pub use gnn4ip_core::{
-    corpus_inputs, run_experiment, run_training_pipeline, to_pair_samples, ExperimentOutcome,
-    Gnn4Ip, IpLibrary, LibraryMatch, PipelineArtifacts, Verdict,
+    corpus_inputs, run_audit_scenarios, run_experiment, run_training_pipeline, to_pair_samples,
+    AuditConfig, AuditMatch, AuditPipeline, AuditSource, AuditVerdict, ExperimentOutcome, Gnn4Ip,
+    IngestReport, IpLibrary, LibraryMatch, PipelineArtifacts, ScenarioReport, ScenarioSpec,
+    Verdict,
 };
 
 /// Verilog front end (re-export of `gnn4ip-hdl`).

@@ -324,3 +324,109 @@ proptest! {
         prop_assert_eq!(g0.roots().len(), g1.roots().len());
     }
 }
+
+// ------------------------------------------------------------------- eval
+
+use gnn4ip::eval::{EmbeddingIndex, ShardedEmbeddingIndex};
+
+/// Deterministic pseudo-random embeddings; every 7th row gets a
+/// non-finite component so the zero-row hardening stays under test.
+fn index_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| {
+                    if i % 7 == 6 && j == i % dim {
+                        [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][(i / 7) % 3]
+                    } else {
+                        let x = ((i * 131 + j * 31) as u64 ^ seed).wrapping_mul(2654435761) % 193;
+                        x as f32 / 193.0 - 0.5
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded query equals the flat index bit-for-bit for every shard
+    /// capacity: same neighbor indices, labels, and score bit patterns.
+    #[test]
+    fn sharded_query_matches_flat_bitwise(
+        n in 1usize..40,
+        dim in 1usize..8,
+        cap in 1usize..12,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let rows = index_rows(n, dim, seed);
+        let mut flat = EmbeddingIndex::new(dim);
+        let mut sharded = ShardedEmbeddingIndex::new(dim, cap);
+        for (i, row) in rows.iter().enumerate() {
+            flat.insert(row, i % 4);
+            sharded.insert(row, i % 4);
+        }
+        let query: Vec<f32> = (0..dim)
+            .map(|j| ((j as u64 ^ seed).wrapping_mul(40503) % 101) as f32 / 101.0 - 0.5)
+            .collect();
+        let a = flat.query(&query, k);
+        let b = sharded.query(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(x.label, y.label);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    /// Sharded precision@k equals the flat index exactly (same f64 bits):
+    /// the blocked shard×shard path selects the same neighbor sets as the
+    /// materialized Gram.
+    #[test]
+    fn sharded_precision_matches_flat_bitwise(
+        n in 2usize..32,
+        dim in 1usize..6,
+        cap in 1usize..10,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let rows = index_rows(n, dim, seed);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let flat = EmbeddingIndex::from_embeddings_dim(dim, &rows, &labels);
+        let mut sharded = ShardedEmbeddingIndex::new(dim, cap);
+        for (row, &l) in rows.iter().zip(&labels) {
+            sharded.insert(row, l);
+        }
+        prop_assert_eq!(
+            flat.precision_at_k(k).to_bits(),
+            sharded.precision_at_k(k).to_bits()
+        );
+    }
+
+    /// The shard artifact round-trips to an identical index: same bytes
+    /// back out, same query answers.
+    #[test]
+    fn shard_artifact_save_load_query_identity(
+        n in 1usize..24,
+        dim in 1usize..6,
+        cap in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let rows = index_rows(n, dim, seed);
+        let mut sharded = ShardedEmbeddingIndex::new(dim, cap);
+        for (i, row) in rows.iter().enumerate() {
+            sharded.insert(row, i);
+        }
+        let bytes = sharded.to_bytes(seed);
+        let back = ShardedEmbeddingIndex::from_bytes(&bytes, seed).expect("loads");
+        prop_assert_eq!(&back, &sharded);
+        prop_assert_eq!(back.to_bytes(seed), bytes); // save→load→save identity
+        let query: Vec<f32> = (0..dim).map(|j| 1.0 - j as f32 * 0.25).collect();
+        let k = (n / 2).max(1);
+        prop_assert_eq!(sharded.query(&query, k), back.query(&query, k));
+        // and a different pin is refused
+        prop_assert!(ShardedEmbeddingIndex::from_bytes(&bytes, seed ^ 1).is_err());
+    }
+}
