@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 # the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-STAGES=(build tier1 workspace heavy fmt clippy doc examples audit benches)
+STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve benches)
 
 stage_build() {
     cargo build --release --offline
@@ -59,6 +59,14 @@ stage_audit() {
     # corpus-scale audit pipeline on the synthetic corpus: streaming
     # ingest, recall harness, and shard-index persistence round-trip
     cargo run --release --offline --example audit_pipeline -- --designs 300 --variants 2
+}
+
+stage_serve() {
+    # the concurrent serving path under the release profile: N reader
+    # threads auditing published snapshots while a writer ingests, plus
+    # the pruning/parallel-query bit-identity proptests
+    cargo test -q --release --offline -p gnn4ip-core concurrent_readers
+    cargo test -q --release --offline --test properties -- sharded pruned
 }
 
 stage_benches() {

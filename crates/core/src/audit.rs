@@ -27,12 +27,21 @@
 //! index built by other weights is rejected at load rather than silently
 //! serving stale similarities.
 //!
+//! The pipeline also *serves while it grows*:
+//! [`AuditPipeline::snapshot`] captures an immutable [`AuditSnapshot`] in
+//! `O(sealed shards + tail)` — the sealed embedding shards and name
+//! blocks are shared by `Arc`, only the open tails are copied — and any
+//! number of reader threads audit against their own snapshots while the
+//! writer keeps ingesting. A snapshot can never observe a torn tail,
+//! because it does not observe the writer's tail at all.
+//!
 //! [`run_audit_scenarios`] is the acceptance harness: it pushes
 //! behaviour-preserving `vary_design`/`obfuscate_netlist` variants of a
 //! synthetic corpus through the pipeline and reports how often the true
 //! source design is retrieved (recall@1 / recall@k).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gnn4ip_data::{
@@ -51,6 +60,13 @@ use crate::api::Gnn4Ip;
 /// pinned to the detector weights that produced the embeddings).
 pub const AUDIT_INDEX_KIND: &str = "gnn4ip-audit-index";
 
+/// Format version the audit-index artifact is written at. Its own field
+/// layout is unchanged since v1, but the nested shard-index blob became
+/// v2 (sealed-shard bounds), so the envelope says v2 too — a pre-v2
+/// reader is rejected up front instead of failing deep inside the
+/// nested blob. v1 artifacts (nested v1 blob) still load.
+const AUDIT_INDEX_VERSION: u16 = 2;
+
 /// Tuning knobs of an [`AuditPipeline`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditConfig {
@@ -61,7 +77,9 @@ pub struct AuditConfig {
     pub batch_size: usize,
     /// Worker threads for the parse stage (`0` = one per core).
     pub threads: usize,
-    /// Neighbors reported per [`AuditPipeline::audit`] verdict.
+    /// Neighbors reported per [`AuditPipeline::audit`] verdict. `0` is a
+    /// degenerate but legal setting: every verdict carries no matches and
+    /// never flags piracy.
     pub top_k: usize,
 }
 
@@ -139,6 +157,70 @@ impl AuditVerdict {
     }
 }
 
+/// Label (insertion index) → ingested name, stored with the same
+/// sealed/tail discipline as the embedding shards: full blocks are
+/// immutable and `Arc`-shared, only the open tail is copied by a
+/// snapshot. Block size tracks the index's shard capacity so the two
+/// structures seal in lockstep.
+#[derive(Debug, Clone)]
+struct NameLog {
+    block: usize,
+    sealed: Vec<Arc<Vec<String>>>,
+    tail: Vec<String>,
+}
+
+impl NameLog {
+    fn new(block: usize) -> Self {
+        assert!(block > 0, "name block size must be positive");
+        Self {
+            block,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    fn from_names(names: Vec<String>, block: usize) -> Self {
+        let mut log = Self::new(block);
+        for name in names {
+            log.push(name);
+        }
+        log
+    }
+
+    fn push(&mut self, name: String) {
+        self.tail.push(name);
+        if self.tail.len() == self.block {
+            self.sealed.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sealed.len() * self.block + self.tail.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    fn get(&self, i: usize) -> Option<&str> {
+        let b = i / self.block;
+        if b < self.sealed.len() {
+            self.sealed[b].get(i % self.block).map(String::as_str)
+        } else {
+            self.tail
+                .get(i - self.sealed.len() * self.block)
+                .map(String::as_str)
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &str> {
+        self.sealed
+            .iter()
+            .flat_map(|b| b.iter().map(String::as_str))
+            .chain(self.tail.iter().map(String::as_str))
+    }
+}
+
 /// A streaming audit service: a detector plus a sharded index of every
 /// ingested design's embedding.
 ///
@@ -158,11 +240,12 @@ impl AuditVerdict {
 /// ```
 #[derive(Debug)]
 pub struct AuditPipeline {
-    detector: Gnn4Ip,
+    /// `Arc` so snapshots share the detector (and its embedding cache)
+    /// with the pipeline instead of borrowing from it.
+    detector: Arc<Gnn4Ip>,
     config: AuditConfig,
     index: ShardedEmbeddingIndex,
-    /// Label (insertion index) → ingested name.
-    names: Vec<String>,
+    names: NameLog,
 }
 
 impl AuditPipeline {
@@ -171,17 +254,18 @@ impl AuditPipeline {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shard_capacity`, `batch_size`, or `top_k` is zero.
+    /// Panics if `config.shard_capacity` or `batch_size` is zero
+    /// (`top_k == 0` is legal: verdicts then carry no matches).
     pub fn new(detector: Gnn4Ip, config: AuditConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
-        assert!(config.top_k > 0, "top_k must be positive");
         let dim = detector.model().config().hidden;
         let index = ShardedEmbeddingIndex::new(dim, config.shard_capacity);
+        let names = NameLog::new(config.shard_capacity);
         Self {
-            detector,
+            detector: Arc::new(detector),
             config,
+            names,
             index,
-            names: Vec::new(),
         }
     }
 
@@ -210,13 +294,52 @@ impl AuditPipeline {
         self.names.is_empty()
     }
 
+    /// Name a label was ingested under, or `None` for an out-of-range
+    /// label.
+    pub fn try_name_of(&self, label: usize) -> Option<&str> {
+        self.names.get(label)
+    }
+
     /// Name a label was ingested under.
     ///
     /// # Panics
     ///
-    /// Panics when `label` is out of bounds.
+    /// Panics when `label` is out of bounds. Labels coming from this
+    /// pipeline's own verdicts or from a successfully loaded artifact are
+    /// always in range — [`AuditPipeline::load_index_bytes`] rejects
+    /// artifacts whose index references names that do not exist.
     pub fn name_of(&self, label: usize) -> &str {
-        &self.names[label]
+        self.try_name_of(label).unwrap_or_else(|| {
+            panic!(
+                "label {label} out of range: {} designs ingested",
+                self.names.len()
+            )
+        })
+    }
+
+    /// Captures an immutable, self-contained serving snapshot: the sealed
+    /// embedding shards and sealed name blocks are shared by `Arc` (no row
+    /// or name is copied), only the open tails — at most one shard's worth
+    /// — are cloned, and the detector rides along behind its own `Arc`.
+    ///
+    /// The snapshot audits concurrently with (and completely isolated
+    /// from) further [`ingest`](AuditPipeline::ingest) calls on the
+    /// pipeline: its verdicts are stable forever, so a reader can never
+    /// observe a torn tail or a half-published design. The intended
+    /// serving loop is: writer ingests a batch, publishes a fresh
+    /// snapshot (e.g. into a `Mutex<Arc<AuditSnapshot>>`); readers clone
+    /// the current `Arc` and audit against it. The index side is
+    /// lock-free ([`AuditSnapshot::audit_embedding`] touches no shared
+    /// mutable state); source-level [`AuditSnapshot::audit`] additionally
+    /// takes the detector's shared embedding-cache mutex, held only for
+    /// hash-map lookups.
+    pub fn snapshot(&self) -> AuditSnapshot {
+        AuditSnapshot {
+            detector: Arc::clone(&self.detector),
+            index: self.index.snapshot(),
+            names: self.names.clone(),
+            top_k: self.config.top_k,
+        }
     }
 
     /// Streams designs into the index in batches of
@@ -296,27 +419,16 @@ impl AuditPipeline {
     }
 
     /// [`AuditPipeline::audit`] on a precomputed embedding (no parsing, no
-    /// model pass).
+    /// model pass). An empty index — or `top_k == 0` — yields an empty
+    /// match list ([`AuditVerdict::best`] → `None`) with `piracy` false.
     pub fn audit_embedding(&self, embedding: &[f32]) -> AuditVerdict {
-        let delta = self.detector.delta();
-        let matches: Vec<AuditMatch> = if self.index.is_empty() {
-            Vec::new()
-        } else {
-            self.index
-                .query(embedding, self.config.top_k)
-                .into_iter()
-                .map(|h| AuditMatch {
-                    name: self.names[h.label].clone(),
-                    label: h.label,
-                    score: h.score,
-                    piracy: h.score > delta,
-                })
-                .collect()
-        };
-        AuditVerdict {
-            piracy: matches.first().is_some_and(|m| m.piracy),
-            matches,
-        }
+        build_verdict(
+            &self.index,
+            &self.names,
+            self.detector.delta(),
+            self.config.top_k,
+            embedding,
+        )
     }
 
     // --- persistence ---------------------------------------------------
@@ -325,10 +437,10 @@ impl AuditPipeline {
     /// artifact — pinned to the detector's weights checksum.
     pub fn index_bytes(&self) -> Vec<u8> {
         let checksum = self.detector.model().weights_checksum();
-        let mut w = BinWriter::new(AUDIT_INDEX_KIND);
+        let mut w = BinWriter::with_version(AUDIT_INDEX_KIND, AUDIT_INDEX_VERSION);
         w.u64(checksum);
         w.len_of(self.names.len());
-        for name in &self.names {
+        for name in self.names.iter() {
             w.str(name);
         }
         w.bytes(&self.index.to_bytes(checksum));
@@ -344,9 +456,12 @@ impl AuditPipeline {
     ///
     /// Fails on corrupt artifacts, on an index built by different weights
     /// (embeddings are only valid for the exact weights that produced
-    /// them), and on name/embedding count or dimension mismatches.
+    /// them), on name/embedding count or dimension mismatches, and on an
+    /// index whose stored labels reference names that do not exist — a
+    /// mismatched artifact is rejected here, descriptively, instead of
+    /// deferring a panic to the first query that retrieves the bad label.
     pub fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<usize, String> {
-        let mut r = BinReader::open(bytes, AUDIT_INDEX_KIND)?;
+        let mut r = BinReader::open_versioned(bytes, AUDIT_INDEX_KIND, AUDIT_INDEX_VERSION)?;
         let checksum = r.u64()?;
         let own = self.detector.model().weights_checksum();
         if checksum != own {
@@ -369,6 +484,13 @@ impl AuditPipeline {
                 names.len()
             ));
         }
+        if let Some(bad) = index.labels().find(|&l| l >= names.len()) {
+            return Err(format!(
+                "audit index references label {bad} but only {} names exist; \
+                 the artifact pairs mismatched index and name tables",
+                names.len()
+            ));
+        }
         if index.dim() != self.index.dim() {
             return Err(format!(
                 "audit index dimension {} != detector embedding width {}",
@@ -376,8 +498,10 @@ impl AuditPipeline {
                 self.index.dim()
             ));
         }
+        // the artifact's shard capacity wins; keep names sealing in
+        // lockstep with it
+        self.names = NameLog::from_names(names, index.shard_capacity());
         self.index = index;
-        self.names = names;
         Ok(n)
     }
 
@@ -400,6 +524,138 @@ impl AuditPipeline {
     /// Returns I/O, format, or weights-mismatch errors as text.
     pub fn load_index(&mut self, path: impl AsRef<std::path::Path>) -> Result<usize, String> {
         self.load_index_bytes(&read_artifact(path.as_ref())?)
+    }
+}
+
+/// The one verdict construction, shared by the live pipeline and its
+/// snapshots so both rank, resolve, and threshold identically.
+fn build_verdict(
+    index: &ShardedEmbeddingIndex,
+    names: &NameLog,
+    delta: f32,
+    top_k: usize,
+    embedding: &[f32],
+) -> AuditVerdict {
+    let matches: Vec<AuditMatch> = if top_k == 0 || index.is_empty() {
+        Vec::new()
+    } else {
+        index
+            .query(embedding, top_k)
+            .into_iter()
+            .map(|h| AuditMatch {
+                name: names
+                    .get(h.label)
+                    .expect("labels are validated against the name table at ingest and load")
+                    .to_string(),
+                label: h.label,
+                score: h.score,
+                piracy: h.score > delta,
+            })
+            .collect()
+    };
+    AuditVerdict {
+        piracy: matches.first().is_some_and(|m| m.piracy),
+        matches,
+    }
+}
+
+/// An immutable point-in-time view of an [`AuditPipeline`], produced by
+/// [`AuditPipeline::snapshot`]: the serving half of the read-mostly
+/// architecture.
+///
+/// A snapshot owns everything it needs — `Arc`-shared sealed shards and
+/// name blocks, a private copy of the tails, and the detector behind its
+/// own `Arc` — so it audits without borrowing from or racing the
+/// pipeline it came from. [`audit_embedding`](AuditSnapshot::audit_embedding)
+/// acquires no lock at all; [`audit`](AuditSnapshot::audit) briefly takes
+/// the detector's shared embedding-cache mutex (a hash-map lookup, never
+/// held across an embedding), which it shares with every other user of
+/// that detector. Its verdicts never change: auditing the same suspect
+/// twice against one snapshot returns bit-identical results no matter
+/// what the writer ingests in between.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_core::{AuditConfig, AuditPipeline, AuditSource, Gnn4Ip};
+///
+/// let mut pipeline = AuditPipeline::new(Gnn4Ip::with_seed(7), AuditConfig::default());
+/// let inv = "module inv(input a, output y); assign y = ~a; endmodule";
+/// pipeline.ingest([AuditSource::new("inv", inv, None)]);
+/// let snapshot = pipeline.snapshot();
+/// // the writer moves on; the snapshot's world stays frozen
+/// pipeline.ingest([AuditSource::new(
+///     "buf",
+///     "module b(input a, output y); assign y = a; endmodule",
+///     None,
+/// )]);
+/// assert_eq!(snapshot.len(), 1);
+/// assert_eq!(snapshot.audit(inv, None)?.best().expect("hit").name, "inv");
+/// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AuditSnapshot {
+    detector: Arc<Gnn4Ip>,
+    index: ShardedEmbeddingIndex,
+    names: NameLog,
+    top_k: usize,
+}
+
+impl AuditSnapshot {
+    /// The shared detector (same weights, δ, and embedding cache as the
+    /// pipeline's).
+    pub fn detector(&self) -> &Gnn4Ip {
+        &self.detector
+    }
+
+    /// The frozen shard index.
+    pub fn index(&self) -> &ShardedEmbeddingIndex {
+        &self.index
+    }
+
+    /// Number of designs visible to this snapshot.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the snapshot saw an empty pipeline.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name a label was ingested under, or `None` for an out-of-range
+    /// label.
+    pub fn try_name_of(&self, label: usize) -> Option<&str> {
+        self.names.get(label)
+    }
+
+    /// Audits one suspect source against the snapshot's frozen corpus —
+    /// the same embed → top-k → δ path as [`AuditPipeline::audit`], and
+    /// the same cosine scores (the embedding cache is shared with the
+    /// live pipeline, so resubmitted designs stay cache hits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration failures for the suspect source.
+    pub fn audit(
+        &self,
+        verilog: &str,
+        top: Option<&str>,
+    ) -> Result<AuditVerdict, ParseVerilogError> {
+        let embedding = self.detector.hw2vec(verilog, top)?;
+        Ok(self.audit_embedding(&embedding))
+    }
+
+    /// [`AuditSnapshot::audit`] on a precomputed embedding (no parsing,
+    /// no model pass).
+    pub fn audit_embedding(&self, embedding: &[f32]) -> AuditVerdict {
+        build_verdict(
+            &self.index,
+            &self.names,
+            self.detector.delta(),
+            self.top_k,
+            embedding,
+        )
     }
 }
 
@@ -669,7 +925,160 @@ mod tests {
         let p = AuditPipeline::new(Gnn4Ip::with_seed(6), small_config());
         let verdict = p.audit(INV, None).expect("audits");
         assert!(verdict.matches.is_empty());
+        assert!(verdict.best().is_none());
         assert!(!verdict.piracy);
+    }
+
+    #[test]
+    fn zero_top_k_reports_no_matches() {
+        // regression: top_k == 0 used to be rejected at construction; it
+        // is a legal "index only, never report" configuration and must
+        // yield empty verdicts rather than panicking in the query path
+        let mut p = AuditPipeline::new(
+            Gnn4Ip::with_seed(6),
+            AuditConfig {
+                top_k: 0,
+                ..small_config()
+            },
+        );
+        let report = p.ingest([AuditSource::new("inv", INV, None)]);
+        assert_eq!(report.ingested, 1);
+        let verdict = p.audit(INV, None).expect("audits");
+        assert!(verdict.matches.is_empty());
+        assert!(verdict.best().is_none());
+        assert!(!verdict.piracy);
+        // snapshots inherit the setting
+        let snap = p.snapshot();
+        assert!(snap.audit(INV, None).expect("audits").matches.is_empty());
+    }
+
+    #[test]
+    fn mismatched_name_table_is_rejected_at_load() {
+        // regression: an artifact whose index labels point past the name
+        // table used to load fine and panic later, inside name_of, on the
+        // first query that retrieved the bad label — now it is a
+        // descriptive load-time error
+        let mut p = AuditPipeline::new(Gnn4Ip::with_seed(6), small_config());
+        let checksum = p.detector().model().weights_checksum();
+        let dim = p.index().dim();
+        let mut index = ShardedEmbeddingIndex::new(dim, 2);
+        let row: Vec<f32> = (0..dim).map(|j| 1.0 - j as f32 * 0.01).collect();
+        index.insert(&row, 7); // label 7, but only one name below
+        let mut w = BinWriter::with_version(AUDIT_INDEX_KIND, 2);
+        w.u64(checksum);
+        w.len_of(1);
+        w.str("only_name");
+        w.bytes(&index.to_bytes(checksum));
+        let err = p.load_index_bytes(&w.finish()).expect_err("must reject");
+        assert!(err.contains("label 7"), "{err}");
+        assert!(p.is_empty(), "a rejected artifact must not half-load");
+        // out-of-range lookups on a live pipeline answer None, not garbage
+        assert!(p.try_name_of(7).is_none());
+    }
+
+    #[test]
+    fn snapshots_are_frozen_and_share_sealed_state() {
+        let mut p = pipeline(); // 3 designs, capacity 2
+        let snap = p.snapshot();
+        let before = snap.audit(XOR2, None).expect("audits");
+        p.ingest([AuditSource::new("late", ADD, None)]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(snap.len(), 3, "snapshot must not see later ingests");
+        let after = snap.audit(XOR2, None).expect("audits");
+        assert_eq!(before, after, "snapshot verdicts must be stable");
+        // and a fresh snapshot sees the new design
+        assert_eq!(p.snapshot().len(), 4);
+    }
+
+    /// The serving smoke test: N reader threads audit from published
+    /// snapshots while one writer ingests, and every verdict every reader
+    /// ever sees is internally consistent — scores sorted, labels
+    /// resolvable against that snapshot's own name table, match counts
+    /// bounded — and stable on re-audit (no torn tail is observable,
+    /// because a snapshot has no shared mutable state at all).
+    #[test]
+    fn concurrent_readers_audit_while_writer_ingests() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+
+        let config = AuditConfig {
+            shard_capacity: 4,
+            batch_size: 3,
+            threads: 1,
+            top_k: 3,
+        };
+        let mut p = AuditPipeline::new(Gnn4Ip::with_seed(6), config);
+        p.ingest([
+            AuditSource::new("inv", INV, None),
+            AuditSource::new("xor2", XOR2, None),
+        ]);
+        let probe = p.detector().hw2vec(XOR2, None).expect("probe embeds");
+        let slot: Mutex<Arc<AuditSnapshot>> = Mutex::new(Arc::new(p.snapshot()));
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _reader in 0..4 {
+                scope.spawn(|| {
+                    let mut audits = 0usize;
+                    // keep reading until the writer finishes, with a floor
+                    // so every reader overlaps real ingest work
+                    while !done.load(Ordering::Relaxed) || audits < 40 {
+                        let snap = Arc::clone(&slot.lock().expect("slot"));
+                        let verdict = snap.audit_embedding(&probe);
+                        assert!(!verdict.matches.is_empty(), "seeded index");
+                        assert!(verdict.matches.len() <= 3);
+                        assert!(verdict.matches.len() <= snap.len());
+                        for w in verdict.matches.windows(2) {
+                            assert!(
+                                w[0].score >= w[1].score,
+                                "scores must be sorted: {} < {}",
+                                w[0].score,
+                                w[1].score
+                            );
+                        }
+                        for m in &verdict.matches {
+                            assert!(m.label < snap.len(), "label beyond snapshot");
+                            assert_eq!(
+                                snap.try_name_of(m.label).expect("label resolvable"),
+                                m.name
+                            );
+                            assert!(m.score.is_finite());
+                        }
+                        // immutability: the same snapshot must answer the
+                        // same question identically, forever
+                        assert_eq!(snap.audit_embedding(&probe), verdict);
+                        audits += 1;
+                    }
+                });
+            }
+            // the writer: ingest batches and publish a fresh snapshot
+            // after each, crossing several shard-seal boundaries
+            for wave in 0..8 {
+                let batch: Vec<AuditSource> = (0..3)
+                    .map(|i| {
+                        let name = format!("gen_{wave}_{i}");
+                        let ops = ["&", "|", "^"];
+                        let src = format!(
+                            "module m{wave}_{i}(input a, input b, output y); \
+                             assign y = a {} b; endmodule",
+                            ops[(wave + i) % 3]
+                        );
+                        AuditSource::new(name, src, None)
+                    })
+                    .collect();
+                let report = p.ingest(batch);
+                assert_eq!(report.ingested, 3);
+                *slot.lock().expect("slot") = Arc::new(p.snapshot());
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+
+        assert_eq!(p.len(), 2 + 8 * 3);
+        // the final published snapshot serves the full corpus
+        let last = Arc::clone(&slot.lock().expect("slot"));
+        assert_eq!(last.len(), p.len());
+        let v = last.audit_embedding(&probe);
+        assert_eq!(v.best().expect("hit").name, "xor2");
     }
 
     #[test]

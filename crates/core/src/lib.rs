@@ -51,8 +51,8 @@ mod library;
 
 pub use api::{Gnn4Ip, Verdict, DETECTOR_KIND, LIBRARY_KIND};
 pub use audit::{
-    run_audit_scenarios, AuditConfig, AuditMatch, AuditPipeline, AuditSource, AuditVerdict,
-    IngestReport, ScenarioReport, ScenarioSpec, AUDIT_INDEX_KIND,
+    run_audit_scenarios, AuditConfig, AuditMatch, AuditPipeline, AuditSnapshot, AuditSource,
+    AuditVerdict, IngestReport, ScenarioReport, ScenarioSpec, AUDIT_INDEX_KIND,
 };
 pub use cache::{CacheStats, EmbeddingCache};
 pub use experiment::{

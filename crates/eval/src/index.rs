@@ -182,15 +182,19 @@ impl EmbeddingIndex {
 
     /// The `k` nearest neighbors of `query` by cosine similarity, highest
     /// first (ties broken by insertion index). Returns fewer than `k` hits
-    /// only when the index holds fewer entries. A query with a NaN/inf
-    /// component is treated like a zero query: every score is 0.
+    /// only when the index holds fewer entries; `k == 0` (like an empty
+    /// index) yields an empty hit list rather than being an error. A query
+    /// with a NaN/inf component is treated like a zero query: every score
+    /// is 0.
     ///
     /// # Panics
     ///
-    /// Panics on a dimension mismatch or `k == 0`.
+    /// Panics on a dimension mismatch.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<QueryHit> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        assert!(k > 0, "k must be positive");
+        if k == 0 {
+            return Vec::new();
+        }
         let qnorm = query_norm(query);
         let mut hits: Vec<QueryHit> = (0..self.len())
             .map(|i| QueryHit {
@@ -424,10 +428,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be positive")]
-    fn query_rejects_zero_k() {
+    fn zero_k_query_returns_empty() {
+        // regression: k == 0 used to panic; a "report nothing" query is a
+        // legitimate degenerate request and must return an empty hit list
         let mut idx = EmbeddingIndex::new(1);
         idx.insert(&[1.0], 0);
-        let _ = idx.query(&[1.0], 0);
+        assert!(idx.query(&[1.0], 0).is_empty());
+        // and on an empty index too
+        assert!(EmbeddingIndex::new(1).query(&[1.0], 0).is_empty());
     }
 }

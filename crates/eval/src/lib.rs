@@ -34,5 +34,7 @@ pub use pca::{cluster_separation, pca, PcaProjection};
 pub use retrieval::retrieval_precision_at_k;
 pub use roc::{auc, roc_curve, RocPoint};
 pub use scores::{ScoreRow, ScoreTable};
-pub use sharded::{ShardedEmbeddingIndex, SHARD_INDEX_KIND};
+pub use sharded::{
+    QueryOptions, QueryStats, ShardedEmbeddingIndex, PARALLEL_QUERY_MIN_ROWS, SHARD_INDEX_KIND,
+};
 pub use tsne::{tsne, TsneConfig};

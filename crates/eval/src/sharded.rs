@@ -1,34 +1,76 @@
-//! A sharded, persistent embedding index for corpus-scale retrieval.
+//! A sharded, persistent, read-mostly embedding index for corpus-scale
+//! retrieval and concurrent serving.
 //!
 //! The flat [`EmbeddingIndex`] is the right shape for a few thousand
 //! embeddings: one contiguous matrix, one gemm. The deployment the paper's
 //! §IV-C motivates — embed every owned IP once, then answer "what is this
-//! suspect closest to?" forever — outgrows it in two ways: the corpus
+//! suspect closest to?" forever — outgrows it in three ways: the corpus
 //! arrives *incrementally* (designs stream in; rebuilding a monolithic
-//! matrix per insert is quadratic), and it must *outlive the process*
-//! (an index that vanishes on exit re-embeds the world on every restart).
+//! matrix per insert is quadratic), it must *outlive the process* (an
+//! index that vanishes on exit re-embeds the world on every restart), and
+//! it must keep *serving queries while it grows* (a monolithic `&mut`
+//! structure blocks every reader for the duration of an ingest).
 //!
 //! [`ShardedEmbeddingIndex`] stores row-normalized embeddings in
-//! fixed-capacity shards. Inserts append to the open tail shard; a query
-//! computes a per-shard top-k and heap-merges the shard runs into the
-//! global top-k; `precision_at_k` walks shard×shard similarity blocks
-//! through a [`Workspace`]-pooled [`matmul_nt`](Matrix::matmul_nt_into)
-//! without ever materializing the `n×n` Gram matrix. The whole structure
-//! persists through the `G4IP` binary artifact format, pinned to the
-//! checksum of the model weights that produced the embeddings.
+//! fixed-capacity shards with a sealed/tail split: every full shard is an
+//! immutable, `Arc`-shared [`SealedShard`] carrying precomputed score
+//! bounds (centroid, covering radius, max row norm), and exactly one open
+//! *tail* shard sits behind the mutable insert path. Because the sealed
+//! prefix is immutable, [`snapshot`](ShardedEmbeddingIndex::snapshot) is
+//! cheap — it bumps one `Arc` per sealed shard and copies only the tail —
+//! and a snapshot serves queries forever without seeing (or blocking)
+//! later inserts.
 //!
-//! Every score is computed by the same per-row kernel as the flat index,
-//! so flat and sharded results agree **bit for bit** (a property test in
-//! `tests/properties.rs` holds this line).
+//! Queries are fast twice over. Sealed shards whose *best possible* score
+//! (from the centroid/radius bound) cannot beat the current global top-k
+//! floor are skipped without touching a row, and on corpora large enough
+//! to be worth threading the surviving per-shard scans fan out across
+//! workers via [`fan_out`]. Both paths produce results **bit-identical**
+//! to the flat index (a property test in `tests/properties.rs` holds this
+//! line): every score is computed by the same per-row kernel, pruning only
+//! discards shards whose rows provably lose, and the k-way merge is
+//! order-insensitive.
+//!
+//! The whole structure persists through the `G4IP` binary artifact format
+//! (format v2 serializes the sealed-shard bounds; v1 artifacts still load
+//! by recomputing them), pinned to the checksum of the model weights that
+//! produced the embeddings.
 
-use gnn4ip_tensor::{read_artifact, write_artifact, BinReader, BinWriter, Matrix, Workspace};
+use std::sync::Arc;
+
+use gnn4ip_tensor::{
+    fan_out, read_artifact, worker_count, write_artifact, BinReader, BinWriter, Matrix, Workspace,
+};
 
 use crate::index::{normalize_into, query_norm, score_row, EmbeddingIndex, QueryHit};
 
 /// Kind tag of the persisted shard-index artifact.
 pub const SHARD_INDEX_KIND: &str = "gnn4ip-shard-index";
 
-/// One fixed-capacity block of row-normalized embeddings.
+/// Format version the shard-index artifact is written at: v2 appended
+/// the sealed-shard bounds (centroid, radius, max norm) to each full
+/// shard. v1 artifacts still load; the bounds are recomputed.
+const SHARD_INDEX_VERSION: u16 = 2;
+
+/// Default minimum number of indexed rows before [`query`] fans per-shard
+/// scans across worker threads. Below this, thread spawn/join overhead
+/// dwarfs the scan itself and queries stay single-threaded.
+///
+/// [`query`]: ShardedEmbeddingIndex::query
+pub const PARALLEL_QUERY_MIN_ROWS: usize = 1 << 17;
+
+/// Additive slack applied to a sealed shard's score bound before it is
+/// compared against the current top-k floor. The centroid/radius bound
+/// holds in exact arithmetic; this slack absorbs f32 rounding in both the
+/// bound and the per-row scores, so pruning can never discard a true
+/// top-k hit. Scores live in `[-1, 1]` and the accumulated rounding error
+/// of a `dim`-term dot product of unit vectors is bounded well below
+/// `1e-5` for any practical `dim`, so `1e-4` is a wide margin — and the
+/// flat/sharded bit-identity proptest holds the line empirically.
+const PRUNE_SLACK: f32 = 1e-4;
+
+/// The open tail shard: the one mutable block of the index. Holds
+/// `0..capacity` rows; sealing moves its storage into a [`SealedShard`].
 #[derive(Debug, Clone, PartialEq)]
 struct Shard {
     /// Row-major `len x dim` normalized rows.
@@ -37,10 +79,10 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(capacity: usize, dim: usize) -> Self {
+    fn new(capacity_hint: usize, dim: usize) -> Self {
         Self {
-            data: Vec::with_capacity(capacity * dim),
-            labels: Vec::with_capacity(capacity),
+            data: Vec::with_capacity(capacity_hint * dim),
+            labels: Vec::with_capacity(capacity_hint),
         }
     }
 
@@ -49,11 +91,77 @@ impl Shard {
     }
 }
 
-/// An incrementally built, persistent index of row-normalized embeddings,
-/// stored as fixed-capacity shards.
+/// One full, immutable, `Arc`-shared block of row-normalized embeddings,
+/// carrying precomputed query-independent score bounds.
+#[derive(Debug, PartialEq)]
+struct SealedShard {
+    /// Row-major `capacity x dim` normalized rows.
+    data: Vec<f32>,
+    labels: Vec<usize>,
+    /// Mean of the rows (not itself normalized).
+    centroid: Vec<f32>,
+    /// Covering radius: `max_i ‖rᵢ − centroid‖`.
+    radius: f32,
+    /// `max_i ‖rᵢ‖` — ~1 for normalized rows, 0 for all-zero shards.
+    max_norm: f32,
+}
+
+impl SealedShard {
+    /// Freezes a full tail shard, computing its bounds once.
+    fn seal(shard: Shard, dim: usize) -> Self {
+        debug_assert!(!shard.labels.is_empty(), "sealing an empty shard");
+        let n = shard.labels.len();
+        let mut centroid = vec![0.0f32; dim];
+        for row in shard.data.chunks_exact(dim) {
+            for (c, &v) in centroid.iter_mut().zip(row) {
+                *c += v;
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for c in &mut centroid {
+            *c *= inv;
+        }
+        let mut radius = 0.0f32;
+        let mut max_norm = 0.0f32;
+        for row in shard.data.chunks_exact(dim) {
+            let mut d2 = 0.0f32;
+            let mut n2 = 0.0f32;
+            for (&v, &c) in row.iter().zip(&centroid) {
+                d2 += (v - c) * (v - c);
+                n2 += v * v;
+            }
+            radius = radius.max(d2.sqrt());
+            max_norm = max_norm.max(n2.sqrt());
+        }
+        Self {
+            data: shard.data,
+            labels: shard.labels,
+            centroid,
+            radius,
+            max_norm,
+        }
+    }
+
+    /// Upper bound (in exact arithmetic) on any row's score against the
+    /// query: `dot(r, q̂) = dot(c, q̂) + dot(r − c, q̂) ≤ dot(c, q̂) + ‖r − c‖`
+    /// by Cauchy–Schwarz, and independently `dot(r, q̂) ≤ ‖r‖`. Returns the
+    /// tighter of the two. Always finite on the insert path (non-finite
+    /// embeddings are stored as zero rows) and for loaded artifacts (v2
+    /// bounds are validated at load; a forged non-finite value could
+    /// otherwise force an always-pruned `-inf` bound).
+    fn score_bound(&self, query: &[f32], qnorm: f32) -> f32 {
+        (score_row(&self.centroid, query, qnorm) + self.radius).min(self.max_norm)
+    }
+}
+
+/// An incrementally built, persistent, read-mostly index of row-normalized
+/// embeddings: immutable `Arc`-shared sealed shards plus one open tail.
 ///
 /// Scores, tie-breaking, and non-finite handling are identical to the flat
 /// [`EmbeddingIndex`]; only the storage layout and algorithms differ.
+/// [`snapshot`](ShardedEmbeddingIndex::snapshot) produces an independent
+/// copy in `O(sealed shards + tail)` — not `O(rows)` — so a serving thread
+/// can keep answering queries while a writer ingests.
 ///
 /// # Examples
 ///
@@ -62,9 +170,10 @@ impl Shard {
 ///
 /// let mut index = ShardedEmbeddingIndex::new(2, 2); // dim 2, 2 rows/shard
 /// index.insert(&[1.0, 0.0], 0);
-/// index.insert(&[0.9, 0.1], 0);
-/// index.insert(&[0.0, 2.0], 1); // opens a second shard
+/// index.insert(&[0.9, 0.1], 0); // seals the first shard
+/// index.insert(&[0.0, 2.0], 1); // opens the tail
 /// assert_eq!(index.num_shards(), 2);
+/// assert_eq!(index.num_sealed_shards(), 1);
 /// let hits = index.query(&[1.0, 0.05], 2);
 /// assert_eq!(hits[0].label, 0);
 /// assert!(hits[0].score >= hits[1].score);
@@ -73,16 +182,61 @@ impl Shard {
 pub struct ShardedEmbeddingIndex {
     dim: usize,
     shard_capacity: usize,
-    /// Every shard before the last holds exactly `shard_capacity` rows;
-    /// the last holds `1..=shard_capacity`. An empty index has no shards.
-    shards: Vec<Shard>,
+    /// Immutable full shards, cheaply shared between snapshots.
+    sealed: Vec<Arc<SealedShard>>,
+    /// The one mutable block: `0..shard_capacity` rows. Sealed eagerly the
+    /// moment it fills, so it is never full between calls.
+    tail: Shard,
 }
 
-/// A candidate in the k-way heap merge: the head of one shard's sorted
-/// top-k run. Ordered so the rank-best hit is the heap maximum.
+/// Tuning knobs for [`ShardedEmbeddingIndex::query_opts`].
+///
+/// The defaults (used by [`ShardedEmbeddingIndex::query`]) enable bound
+/// pruning and gate the parallel scan behind
+/// [`PARALLEL_QUERY_MIN_ROWS`]. Whatever the options, query *results* are
+/// bit-identical — only the work done to produce them changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Skip sealed shards whose score bound cannot beat the current
+    /// top-k floor.
+    pub prune: bool,
+    /// Worker threads for the per-shard scans (`0` = one per core).
+    pub threads: usize,
+    /// Minimum total indexed rows before scans fan out across threads;
+    /// smaller corpora always scan on the calling thread.
+    pub parallel_min_rows: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            prune: true,
+            threads: 0,
+            parallel_min_rows: PARALLEL_QUERY_MIN_ROWS,
+        }
+    }
+}
+
+/// What one [`ShardedEmbeddingIndex::query_opts`] call did. Results never
+/// depend on these numbers; they exist so benches and operators can see
+/// pruning and threading actually engage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Sealed shards in the index at query time.
+    pub sealed_shards: usize,
+    /// Sealed shards skipped by the bound check without scanning a row.
+    pub sealed_pruned: usize,
+    /// Rows actually scored.
+    pub rows_scanned: usize,
+    /// Whether the surviving shard scans ran on worker threads.
+    pub parallel: bool,
+}
+
+/// A candidate in the k-way heap merge: the head of one shard run's
+/// sorted top-k. Ordered so the rank-best hit is the heap maximum.
 struct MergeHead {
     hit: QueryHit,
-    shard: usize,
+    run: usize,
     pos: usize,
 }
 
@@ -108,12 +262,15 @@ impl Ord for MergeHead {
 /// The heap top is the *worst* retained hit, so an incoming candidate
 /// either evicts it or is discarded in `O(log k)`.
 ///
-/// Candidates MUST be pushed in ascending index order (both call sites
-/// scan rows in insertion order). That precondition collapses the
+/// For exact top-k selection, candidates MUST be pushed in ascending
+/// index order (the per-shard scans do). That precondition collapses the
 /// keep/discard decision to one float compare: a candidate tying the
 /// retained worst on score always carries the larger index, so under
 /// [`EmbeddingIndex::rank`] it loses — only a strictly greater score
-/// evicts.
+/// evicts. When used as a cross-shard score *floor* (pruning), pushes
+/// arrive out of index order; ties then retain an arbitrary hit, but the
+/// floor — the worst retained *score* — is unaffected, which is all the
+/// pruning comparison reads.
 struct TopK {
     k: usize,
     heap: std::collections::BinaryHeap<WorstFirst>,
@@ -151,7 +308,7 @@ impl TopK {
         if self.heap.len() < self.k {
             self.heap.push(WorstFirst(hit));
         } else if let Some(worst) = self.heap.peek() {
-            // sound only for ascending-index pushes; see the type docs
+            // exact only for ascending-index pushes; see the type docs
             if hit.score > worst.0.score {
                 self.heap.pop();
                 self.heap.push(WorstFirst(hit));
@@ -163,11 +320,60 @@ impl TopK {
         self.heap.into_iter().map(|w| w.0).collect()
     }
 
+    /// Whether `k` hits are retained — the floor is only meaningful then.
+    fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
     /// Score of the worst retained hit (`-inf` when empty) — the eviction
     /// threshold for the caller's fast path.
     fn worst_score(&self) -> f32 {
         self.heap.peek().map_or(f32::NEG_INFINITY, |w| w.0.score)
     }
+}
+
+/// One shard's sorted top-k run: a bounded heap maintained while the rows
+/// are scored (a losing row costs one dot product and one float compare —
+/// no heap access, no hit construction), then sorted by rank. Shared by
+/// the sequential and fanned-out scan paths so their runs are identical.
+fn shard_run(
+    data: &[f32],
+    labels: &[usize],
+    dim: usize,
+    offset: usize,
+    query: &[f32],
+    qnorm: f32,
+    k: usize,
+) -> Vec<QueryHit> {
+    let n = labels.len();
+    // clamp per shard: a "give me everything" k (even usize::MAX, which
+    // the flat index accepts) must not size the heap
+    let kk = k.min(n);
+    let mut top = TopK::new(kk);
+    for i in 0..kk {
+        top.push(QueryHit {
+            index: offset + i,
+            label: labels[i],
+            score: score_row(&data[i * dim..(i + 1) * dim], query, qnorm),
+        });
+    }
+    if kk < n {
+        let mut worst = top.worst_score();
+        for i in kk..n {
+            let score = score_row(&data[i * dim..(i + 1) * dim], query, qnorm);
+            if score > worst {
+                top.push(QueryHit {
+                    index: offset + i,
+                    label: labels[i],
+                    score,
+                });
+                worst = top.worst_score();
+            }
+        }
+    }
+    let mut run = top.into_hits();
+    run.sort_unstable_by(EmbeddingIndex::rank);
+    run
 }
 
 impl ShardedEmbeddingIndex {
@@ -183,7 +389,8 @@ impl ShardedEmbeddingIndex {
         Self {
             dim,
             shard_capacity,
-            shards: Vec::new(),
+            sealed: Vec::new(),
+            tail: Shard::new(0, dim),
         }
     }
 
@@ -196,22 +403,35 @@ impl ShardedEmbeddingIndex {
     pub fn from_flat(flat: &EmbeddingIndex, shard_capacity: usize) -> Self {
         let mut index = Self::new(flat.dim(), shard_capacity);
         for (i, &label) in flat.labels().iter().enumerate() {
-            let shard = index.open_shard();
-            shard.data.extend_from_slice(flat.normalized_row(i));
-            shard.labels.push(label);
+            index.tail.data.extend_from_slice(flat.normalized_row(i));
+            index.tail.labels.push(label);
+            index.seal_tail_if_full();
         }
         index
     }
 
+    /// An independent copy that serves queries concurrently with further
+    /// inserts on `self`: the sealed shards are shared by `Arc` (no row is
+    /// copied) and only the tail — at most one shard — is cloned. This is
+    /// the read-mostly serving primitive: a writer keeps ingesting into
+    /// the original while any number of reader threads query their own
+    /// snapshots, which are immutable and therefore can never observe a
+    /// torn tail.
+    ///
+    /// `Clone` does the same thing; `snapshot` exists to name the intent
+    /// at call sites.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
     /// Total number of indexed embeddings across all shards.
     pub fn len(&self) -> usize {
-        let full = self.shards.len().saturating_sub(1) * self.shard_capacity;
-        full + self.shards.last().map_or(0, Shard::len)
+        self.sealed.len() * self.shard_capacity + self.tail.len()
     }
 
     /// Whether the index holds no embeddings.
     pub fn is_empty(&self) -> bool {
-        self.shards.is_empty()
+        self.sealed.is_empty() && self.tail.labels.is_empty()
     }
 
     /// Embedding dimensionality.
@@ -224,9 +444,15 @@ impl ShardedEmbeddingIndex {
         self.shard_capacity
     }
 
-    /// Number of shards currently allocated.
+    /// Number of shards currently allocated (sealed plus the tail when it
+    /// holds rows).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.sealed.len() + usize::from(!self.tail.labels.is_empty())
+    }
+
+    /// Number of sealed (immutable, bound-carrying) shards.
+    pub fn num_sealed_shards(&self) -> usize {
+        self.sealed.len()
     }
 
     /// Label of the embedding at global insertion index `i`.
@@ -235,7 +461,20 @@ impl ShardedEmbeddingIndex {
     ///
     /// Panics when `i` is out of bounds.
     pub fn label(&self, i: usize) -> usize {
-        self.shards[i / self.shard_capacity].labels[i % self.shard_capacity]
+        let block = i / self.shard_capacity;
+        if block < self.sealed.len() {
+            self.sealed[block].labels[i % self.shard_capacity]
+        } else {
+            self.tail.labels[i - self.sealed.len() * self.shard_capacity]
+        }
+    }
+
+    /// Labels of all embeddings in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|s| s.labels.iter().copied())
+            .chain(self.tail.labels.iter().copied())
     }
 
     /// The stored (normalized) row at global insertion index `i`.
@@ -244,27 +483,29 @@ impl ShardedEmbeddingIndex {
     ///
     /// Panics when `i` is out of bounds.
     pub fn normalized_row(&self, i: usize) -> &[f32] {
-        let shard = &self.shards[i / self.shard_capacity];
-        let p = (i % self.shard_capacity) * self.dim;
-        &shard.data[p..p + self.dim]
+        let block = i / self.shard_capacity;
+        let (data, r) = if block < self.sealed.len() {
+            (&self.sealed[block].data, i % self.shard_capacity)
+        } else {
+            (&self.tail.data, i - self.sealed.len() * self.shard_capacity)
+        };
+        &data[r * self.dim..(r + 1) * self.dim]
     }
 
-    /// The shard with spare capacity, opening a fresh one when the tail
-    /// shard is full (or no shard exists yet).
-    fn open_shard(&mut self) -> &mut Shard {
-        let full = self
-            .shards
-            .last()
-            .is_none_or(|s| s.len() == self.shard_capacity);
-        if full {
-            self.shards.push(Shard::new(self.shard_capacity, self.dim));
+    /// Seals the tail into an immutable bound-carrying shard when full.
+    fn seal_tail_if_full(&mut self) {
+        if self.tail.len() == self.shard_capacity {
+            let full = std::mem::replace(&mut self.tail, Shard::new(self.shard_capacity, self.dim));
+            self.sealed
+                .push(Arc::new(SealedShard::seal(full, self.dim)));
         }
-        self.shards.last_mut().expect("tail shard exists")
     }
 
     /// Appends one embedding (normalized on the way in, exactly like
     /// [`EmbeddingIndex::insert`]: non-finite or zero-norm rows are stored
-    /// as zero rows and score 0 against everything).
+    /// as zero rows and score 0 against everything). Fills the tail shard;
+    /// the moment the tail reaches capacity it is sealed — centroid,
+    /// radius, and max-norm bounds computed once — and a fresh tail opens.
     ///
     /// # Panics
     ///
@@ -277,93 +518,246 @@ impl ShardedEmbeddingIndex {
             embedding.len(),
             self.dim
         );
-        let shard = self.open_shard();
-        normalize_into(embedding, &mut shard.data);
-        shard.labels.push(label);
+        if self.tail.labels.capacity() == 0 {
+            // lazily size the tail so empty indexes stay allocation-free
+            self.tail = Shard::new(self.shard_capacity, self.dim);
+        }
+        normalize_into(embedding, &mut self.tail.data);
+        self.tail.labels.push(label);
+        self.seal_tail_if_full();
     }
 
     /// The `k` nearest neighbors of `query` by cosine similarity, highest
     /// first (ties broken by global insertion index) — bit-identical to
-    /// the flat [`EmbeddingIndex::query`] over the same insertions.
-    ///
-    /// Each shard contributes its own top-k run, kept in a bounded heap
-    /// while its rows are scored (one comparison per losing row); the
-    /// sorted runs are then k-way heap-merged, so the merge costs
-    /// `O(k log s)` for `s` shards rather than a global sort of all
-    /// candidates.
+    /// the flat [`EmbeddingIndex::query`] over the same insertions, with
+    /// default [`QueryOptions`]: bound pruning on, parallel scan gated
+    /// behind [`PARALLEL_QUERY_MIN_ROWS`]. `k == 0` yields an empty list.
     ///
     /// # Panics
     ///
-    /// Panics on a dimension mismatch or `k == 0`.
+    /// Panics on a dimension mismatch.
     pub fn query(&self, query: &[f32], k: usize) -> Vec<QueryHit> {
+        self.query_opts(query, k, &QueryOptions::default()).0
+    }
+
+    /// [`ShardedEmbeddingIndex::query`] with explicit [`QueryOptions`],
+    /// also reporting what the query did ([`QueryStats`]).
+    ///
+    /// The result is bit-identical for every option combination; options
+    /// only steer how much work is spent producing it:
+    ///
+    /// - **Pruning.** Sealed shards are visited in descending order of
+    ///   their precomputed score bound. Once the global top-k floor is
+    ///   established, any sealed shard whose bound (plus a rounding slack)
+    ///   falls below the floor is skipped outright — and since bounds
+    ///   descend and the floor only rises, everything after the first
+    ///   pruned shard is pruned with it.
+    /// - **Parallelism.** When the corpus is at least
+    ///   `parallel_min_rows`, the surviving per-shard scans fan out
+    ///   across [`fan_out`] workers (the floor is then seeded from the
+    ///   tail and the single best-bound shard rather than updated
+    ///   incrementally, which prunes slightly less but keeps workers
+    ///   independent). The scanned-shard *set* may differ between the
+    ///   serial and parallel paths; the merged result never does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn query_opts(
+        &self,
+        query: &[f32],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> (Vec<QueryHit>, QueryStats) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        assert!(k > 0, "k must be positive");
+        let mut stats = QueryStats {
+            sealed_shards: self.sealed.len(),
+            ..QueryStats::default()
+        };
+        if k == 0 || self.is_empty() {
+            return (Vec::new(), stats);
+        }
         let qnorm = query_norm(query);
-        // per-shard bounded top-k, maintained while scoring: most rows
-        // fail one comparison against the current worst retained hit, so
-        // no shard ever materializes its full score list
-        let mut runs: Vec<Vec<QueryHit>> = Vec::with_capacity(self.shards.len());
-        let mut offset = 0;
-        for shard in &self.shards {
-            let n = shard.len();
-            // clamp per shard: a "give me everything" k (even usize::MAX,
-            // which the flat index accepts) must not size the heap
-            let kk = k.min(n);
-            let mut top = TopK::new(kk);
-            for i in 0..kk {
-                top.push(QueryHit {
-                    index: offset + i,
-                    label: shard.labels[i],
-                    score: score_row(&shard.data[i * self.dim..(i + 1) * self.dim], query, qnorm),
-                });
-            }
-            if kk < n {
-                // hot loop: a losing row costs one dot product and one
-                // float compare — no heap access, no hit construction
-                let mut worst = top.worst_score();
-                for i in kk..n {
-                    let score =
-                        score_row(&shard.data[i * self.dim..(i + 1) * self.dim], query, qnorm);
-                    if score > worst {
-                        top.push(QueryHit {
-                            index: offset + i,
-                            label: shard.labels[i],
-                            score,
-                        });
-                        worst = top.worst_score();
-                    }
+        let total = self.len();
+        // pruning is sound only when some row may be left out at all
+        let can_prune = opts.prune && k < total;
+        // the floor never needs more slots than the corpus has rows, so a
+        // "give me everything" k cannot size this heap; without pruning it
+        // is never consulted, so it stays empty
+        let mut floor = TopK::new(if can_prune { k.min(total) } else { 0 });
+        let mut runs: Vec<Vec<QueryHit>> = Vec::with_capacity(self.num_shards());
+
+        // the tail is always scanned (it has no precomputed bound) and,
+        // when pruning, seeds the floor first
+        if !self.tail.labels.is_empty() {
+            let offset = self.sealed.len() * self.shard_capacity;
+            let run = shard_run(
+                &self.tail.data,
+                &self.tail.labels,
+                self.dim,
+                offset,
+                query,
+                qnorm,
+                k,
+            );
+            stats.rows_scanned += self.tail.len();
+            if can_prune {
+                for &hit in &run {
+                    floor.push(hit);
                 }
             }
-            let mut run = top.into_hits();
-            run.sort_unstable_by(EmbeddingIndex::rank);
             runs.push(run);
-            offset += n;
         }
-        // k-way merge: the heap holds one head per non-empty sorted run
+
+        // worker threads engage only past the row gate, and only when the
+        // chunking would actually produce more than one worker
+        let threaded = |shards: usize| {
+            total >= opts.parallel_min_rows && worker_count(shards, opts.threads) > 1
+        };
+        // one scan epilogue for every batch path: fans `sids` across
+        // workers when `parallel`, else walks them on this thread
+        let scan_batch = |sids: &[usize], parallel: bool, runs: &mut Vec<Vec<QueryHit>>| {
+            if parallel {
+                let scanned: Vec<Vec<Vec<QueryHit>>> =
+                    fan_out(sids, opts.threads, |_tid, chunk| {
+                        chunk
+                            .iter()
+                            .map(|&sid| self.sealed_run(sid, query, qnorm, k))
+                            .collect()
+                    });
+                runs.extend(scanned.into_iter().flatten());
+            } else {
+                runs.extend(
+                    sids.iter()
+                        .map(|&sid| self.sealed_run(sid, query, qnorm, k)),
+                );
+            }
+        };
+        if !can_prune && !self.sealed.is_empty() {
+            // exhaustive scan: the bound order is irrelevant, so skip
+            // computing bounds and walk the shards in natural order
+            stats.rows_scanned += self.sealed.len() * self.shard_capacity;
+            stats.parallel = threaded(self.sealed.len());
+            let all: Vec<usize> = (0..self.sealed.len()).collect();
+            scan_batch(&all, stats.parallel, &mut runs);
+        } else if !self.sealed.is_empty() {
+            // visit sealed shards best-bound-first (ties: lower shard id),
+            // so the floor rises as fast as possible and the prune walk
+            // can stop at the first losing shard
+            let mut order: Vec<(usize, f32)> = self
+                .sealed
+                .iter()
+                .map(|s| s.score_bound(query, qnorm))
+                .enumerate()
+                .collect();
+            order.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+
+            let pruned = |floor: &TopK, bound: f32| {
+                // strict <: a shard that can only tie the floor may still
+                // win a tie-break on insertion index, so it is scanned
+                floor.is_full() && bound + PRUNE_SLACK < floor.worst_score()
+            };
+            if threaded(self.sealed.len()) {
+                // seed the floor from the most promising shard, prune the
+                // rest against that fixed floor (a lower bound of the
+                // final floor, so still sound), then fan the survivors out
+                let (&(first, _), rest) = order.split_first().expect("sealed is non-empty");
+                let run = self.sealed_run(first, query, qnorm, k);
+                stats.rows_scanned += self.shard_capacity;
+                for &hit in &run {
+                    floor.push(hit);
+                }
+                runs.push(run);
+                let mut survivors: Vec<usize> = Vec::with_capacity(rest.len());
+                for (i, &(sid, bound)) in rest.iter().enumerate() {
+                    if pruned(&floor, bound) {
+                        // bounds descend from here: everything left loses
+                        stats.sealed_pruned = rest.len() - i;
+                        break;
+                    }
+                    survivors.push(sid);
+                }
+                stats.rows_scanned += survivors.len() * self.shard_capacity;
+                // report what actually happened: heavy pruning can leave
+                // too few survivors for the fan-out to spawn anything
+                stats.parallel = worker_count(survivors.len(), opts.threads) > 1;
+                scan_batch(&survivors, stats.parallel, &mut runs);
+            } else {
+                for (i, &(sid, bound)) in order.iter().enumerate() {
+                    if pruned(&floor, bound) {
+                        stats.sealed_pruned = order.len() - i;
+                        break;
+                    }
+                    let run = self.sealed_run(sid, query, qnorm, k);
+                    stats.rows_scanned += self.shard_capacity;
+                    for &hit in &run {
+                        floor.push(hit);
+                    }
+                    runs.push(run);
+                }
+            }
+        }
+
+        // k-way merge: the heap holds one head per non-empty sorted run.
+        // rank() totally orders hits by (score desc, global index asc), so
+        // the merged output is independent of run order — and pruned
+        // shards contribute nothing they could have won.
         let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
-        for (si, run) in runs.iter().enumerate() {
+        for (ri, run) in runs.iter().enumerate() {
             if let Some(&hit) = run.first() {
                 heap.push(MergeHead {
                     hit,
-                    shard: si,
+                    run: ri,
                     pos: 0,
                 });
             }
         }
-        let mut out = Vec::with_capacity(k.min(self.len()));
+        let mut out = Vec::with_capacity(k.min(total));
         while out.len() < k {
             let Some(head) = heap.pop() else { break };
             out.push(head.hit);
             let next = head.pos + 1;
-            if let Some(&hit) = runs[head.shard].get(next) {
+            if let Some(&hit) = runs[head.run].get(next) {
                 heap.push(MergeHead {
                     hit,
-                    shard: head.shard,
+                    run: head.run,
                     pos: next,
                 });
             }
         }
-        out
+        (out, stats)
+    }
+
+    /// The sorted top-k run of one sealed shard.
+    fn sealed_run(&self, sid: usize, query: &[f32], qnorm: f32, k: usize) -> Vec<QueryHit> {
+        let s = &self.sealed[sid];
+        shard_run(
+            &s.data,
+            &s.labels,
+            self.dim,
+            sid * self.shard_capacity,
+            query,
+            qnorm,
+            k,
+        )
+    }
+
+    /// All shard storage in insertion order: sealed blocks, then the tail
+    /// when it holds rows.
+    fn shard_slices(&self) -> Vec<(&[f32], &[usize])> {
+        let mut v: Vec<(&[f32], &[usize])> = self
+            .sealed
+            .iter()
+            .map(|s| (s.data.as_slice(), s.labels.as_slice()))
+            .collect();
+        if !self.tail.labels.is_empty() {
+            v.push((self.tail.data.as_slice(), self.tail.labels.as_slice()));
+        }
+        v
     }
 
     /// Visits the cosine-similarity Gram matrix one shard×shard block at a
@@ -380,16 +774,17 @@ impl ShardedEmbeddingIndex {
     where
         F: FnMut(usize, usize, &Matrix),
     {
+        let shards = self.shard_slices();
         let mut row_offset = 0;
-        for qs in &self.shards {
-            let qn = qs.len();
+        for &(qdata, qlabels) in &shards {
+            let qn = qlabels.len();
             let mut qm = ws.acquire(qn, self.dim);
-            qm.as_mut_slice().copy_from_slice(&qs.data);
+            qm.as_mut_slice().copy_from_slice(qdata);
             let mut col_offset = 0;
-            for ds in &self.shards {
-                let dn = ds.len();
+            for &(ddata, dlabels) in &shards {
+                let dn = dlabels.len();
                 let mut dm = ws.acquire(dn, self.dim);
-                dm.as_mut_slice().copy_from_slice(&ds.data);
+                dm.as_mut_slice().copy_from_slice(ddata);
                 let mut block = ws.acquire(qn, dn);
                 qm.matmul_nt_into(&dm, &mut block);
                 f(row_offset, col_offset, &block);
@@ -462,24 +857,40 @@ impl ShardedEmbeddingIndex {
 
     // --- persistence ---------------------------------------------------
 
-    /// Serializes the index through the `G4IP` artifact format, pinned to
-    /// `pinned_checksum` — by convention the weights checksum of the model
-    /// whose embeddings fill the index, so a stale index cannot silently
-    /// serve scores for weights that no longer exist (the same pinning
-    /// discipline as the embedding-library artifact). Rows round-trip
-    /// bit-exactly.
+    /// Serializes the index through the `G4IP` artifact format (v2: the
+    /// sealed-shard bounds ride along, so loading skips recomputing
+    /// them), pinned to `pinned_checksum` — by convention the weights
+    /// checksum of the model whose embeddings fill the index, so a stale
+    /// index cannot silently serve scores for weights that no longer
+    /// exist (the same pinning discipline as the embedding-library
+    /// artifact). Rows round-trip bit-exactly.
     pub fn to_bytes(&self, pinned_checksum: u64) -> Vec<u8> {
-        let mut w = BinWriter::new(SHARD_INDEX_KIND);
+        let mut w = BinWriter::with_version(SHARD_INDEX_KIND, SHARD_INDEX_VERSION);
         w.u64(pinned_checksum);
         w.len_of(self.dim);
         w.len_of(self.shard_capacity);
-        w.len_of(self.shards.len());
-        for shard in &self.shards {
-            w.len_of(shard.len());
+        w.len_of(self.num_shards());
+        for shard in &self.sealed {
+            w.len_of(shard.labels.len());
             for &l in &shard.labels {
                 w.u64(l as u64);
             }
             for &v in &shard.data {
+                w.f32(v);
+            }
+            // v2: full shards carry their precomputed bounds
+            for &v in &shard.centroid {
+                w.f32(v);
+            }
+            w.f32(shard.radius);
+            w.f32(shard.max_norm);
+        }
+        if !self.tail.labels.is_empty() {
+            w.len_of(self.tail.labels.len());
+            for &l in &self.tail.labels {
+                w.u64(l as u64);
+            }
+            for &v in &self.tail.data {
                 w.f32(v);
             }
         }
@@ -494,10 +905,13 @@ impl ShardedEmbeddingIndex {
     ///
     /// Fails on a corrupt or wrong-kind artifact.
     pub fn pinned_checksum(bytes: &[u8]) -> Result<u64, String> {
-        BinReader::open(bytes, SHARD_INDEX_KIND)?.u64()
+        BinReader::open_versioned(bytes, SHARD_INDEX_KIND, SHARD_INDEX_VERSION)?.u64()
     }
 
     /// Restores an index serialized by [`ShardedEmbeddingIndex::to_bytes`].
+    /// v2 artifacts restore the sealed-shard bounds directly; v1 artifacts
+    /// (which predate the bounds) load by recomputing them, producing a
+    /// bit-identical index either way.
     ///
     /// # Errors
     ///
@@ -506,7 +920,7 @@ impl ShardedEmbeddingIndex {
     /// stale similarities), and on shard layouts that violate the
     /// fixed-capacity invariant.
     pub fn from_bytes(bytes: &[u8], expected_checksum: u64) -> Result<Self, String> {
-        let mut r = BinReader::open(bytes, SHARD_INDEX_KIND)?;
+        let mut r = BinReader::open_versioned(bytes, SHARD_INDEX_KIND, SHARD_INDEX_VERSION)?;
         let pinned = r.u64()?;
         if pinned != expected_checksum {
             return Err(format!(
@@ -526,7 +940,8 @@ impl ShardedEmbeddingIndex {
             .and_then(|b| b.checked_add(8))
             .ok_or_else(|| format!("implausible dimension {dim}"))?;
         let n_shards = r.count_of(8)?; // every shard carries a row count
-        let mut shards = Vec::with_capacity(n_shards);
+        let mut sealed = Vec::with_capacity(n_shards);
+        let mut tail = Shard::new(0, dim);
         for si in 0..n_shards {
             let rows = r.count_of(row_bytes)?;
             let expect_full = si + 1 < n_shards;
@@ -547,13 +962,50 @@ impl ShardedEmbeddingIndex {
             for _ in 0..rows * dim {
                 shard.data.push(r.f32()?);
             }
-            shards.push(shard);
+            if rows == shard_capacity {
+                // a full shard is sealed; its bounds are stored from v2 on
+                let block = if r.version() >= 2 {
+                    let mut centroid = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        centroid.push(r.f32()?);
+                    }
+                    let radius = r.f32()?;
+                    let max_norm = r.f32()?;
+                    // reject corrupt bounds outright: a forged -inf
+                    // centroid component or negative radius would not
+                    // crash, it would silently over-prune true top-k
+                    // hits, which is worse (NaN alone degrades safely —
+                    // every pruning comparison fails — but there is no
+                    // reason to accept it)
+                    let sane = |v: f32| v.is_finite() && v >= 0.0;
+                    if !sane(radius) || !sane(max_norm) || centroid.iter().any(|v| !v.is_finite()) {
+                        return Err(format!(
+                            "shard {si} carries corrupt bounds \
+                             (radius {radius}, max_norm {max_norm}, or non-finite centroid)"
+                        ));
+                    }
+                    SealedShard {
+                        data: shard.data,
+                        labels: shard.labels,
+                        centroid,
+                        radius,
+                        max_norm,
+                    }
+                } else {
+                    SealedShard::seal(shard, dim)
+                };
+                sealed.push(Arc::new(block));
+            } else {
+                // the (non-full) last shard becomes the open tail
+                tail = shard;
+            }
         }
         r.done()?;
         Ok(Self {
             dim,
             shard_capacity,
-            shards,
+            sealed,
+            tail,
         })
     }
 
@@ -608,14 +1060,32 @@ mod tests {
         (flat, sharded)
     }
 
+    /// Every interesting option combination: serial/parallel ×
+    /// pruned/exhaustive.
+    fn option_grid() -> Vec<QueryOptions> {
+        let mut grid = Vec::new();
+        for prune in [false, true] {
+            for (threads, parallel_min_rows) in [(1, usize::MAX), (3, 0), (0, 0)] {
+                grid.push(QueryOptions {
+                    prune,
+                    threads,
+                    parallel_min_rows,
+                });
+            }
+        }
+        grid
+    }
+
     #[test]
     fn shards_fill_to_capacity_in_insertion_order() {
         let (_, sharded) = both(10, 3, 4);
         assert_eq!(sharded.len(), 10);
         assert_eq!(sharded.num_shards(), 3); // 4 + 4 + 2
+        assert_eq!(sharded.num_sealed_shards(), 2);
         for i in 0..10 {
             assert_eq!(sharded.label(i), i % 5);
         }
+        assert_eq!(sharded.labels().collect::<Vec<_>>().len(), 10);
     }
 
     #[test]
@@ -632,8 +1102,102 @@ mod tests {
                     assert_eq!(x.label, y.label);
                     assert_eq!(x.score.to_bits(), y.score.to_bits());
                 }
+                // and under every option combination
+                for opts in option_grid() {
+                    let (c, _) = sharded.query_opts(&q, k, &opts);
+                    assert_eq!(b, c, "cap {cap} k {k} opts {opts:?}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn pruning_skips_losing_shards_on_clustered_data() {
+        // 6 tight clusters of 8 rows along distinct axes; shards align
+        // with clusters, so a query into one cluster makes the others'
+        // bounds hopeless
+        let dim = 6;
+        let mut sharded = ShardedEmbeddingIndex::new(dim, 8);
+        let mut flat = EmbeddingIndex::new(dim);
+        for c in 0..6 {
+            for i in 0..8 {
+                let mut row = vec![0.0f32; dim];
+                row[c] = 1.0;
+                row[(c + 1) % dim] = 0.02 * i as f32; // small in-cluster spread
+                flat.insert(&row, c);
+                sharded.insert(&row, c);
+            }
+        }
+        let mut q = vec![0.0f32; dim];
+        q[2] = 1.0;
+        let opts = QueryOptions {
+            prune: true,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+        };
+        let (hits, stats) = sharded.query_opts(&q, 4, &opts);
+        assert_eq!(hits, flat.query(&q, 4));
+        assert!(hits.iter().all(|h| h.label == 2));
+        assert_eq!(stats.sealed_shards, 6);
+        assert!(
+            stats.sealed_pruned >= 4,
+            "expected most shards pruned, got {stats:?}"
+        );
+        assert!(stats.rows_scanned < 48);
+        // exhaustive scan agrees and scans everything
+        let (all, full) = sharded.query_opts(
+            &q,
+            4,
+            &QueryOptions {
+                prune: false,
+                ..opts
+            },
+        );
+        assert_eq!(all, hits);
+        assert_eq!(full.sealed_pruned, 0);
+        assert_eq!(full.rows_scanned, 48);
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_and_reports_itself() {
+        let (flat, sharded) = both(40, 5, 4);
+        let q = [0.4, -0.2, 0.1, 0.3, -0.5];
+        let opts = QueryOptions {
+            prune: false,
+            threads: 4,
+            parallel_min_rows: 0,
+        };
+        let (hits, stats) = sharded.query_opts(&q, 7, &opts);
+        assert_eq!(hits, flat.query(&q, 7));
+        assert!(stats.parallel, "threshold 0 must engage the fan-out");
+        // below the threshold the same query stays serial
+        let (same, serial) = sharded.query_opts(
+            &q,
+            7,
+            &QueryOptions {
+                parallel_min_rows: usize::MAX,
+                ..opts
+            },
+        );
+        assert_eq!(same, hits);
+        assert!(!serial.parallel);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_inserts() {
+        let (_, mut sharded) = both(10, 3, 4);
+        let snap = sharded.snapshot();
+        let q = [0.5, -0.1, 0.3];
+        let before = snap.query(&q, 5);
+        // writer keeps inserting: fills the tail, seals, opens a new tail
+        for i in 0..9 {
+            sharded.insert(&[i as f32 * 0.1, 0.2, -0.3], 99);
+        }
+        assert_eq!(sharded.len(), 19);
+        assert_eq!(snap.len(), 10, "snapshot must not see later inserts");
+        assert_eq!(snap.query(&q, 5), before, "snapshot answers must be stable");
+        // the snapshot shares sealed storage with the original
+        assert!(Arc::ptr_eq(&snap.sealed[0], &sharded.sealed[0]));
     }
 
     #[test]
@@ -673,6 +1237,34 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_shards_prune_cleanly() {
+        // a sealed shard of poisoned (zeroed) rows has bound 0; once the
+        // floor is positive it is skipped, and the results still match
+        let mut flat = EmbeddingIndex::new(2);
+        let mut sharded = ShardedEmbeddingIndex::new(2, 2);
+        let rows: [&[f32]; 6] = [
+            &[1.0, 0.0],
+            &[0.9, 0.1],
+            &[f32::NAN, 1.0],
+            &[0.0, 0.0],
+            &[0.8, 0.3],
+            &[0.7, 0.2],
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            flat.insert(row, i);
+            sharded.insert(row, i);
+        }
+        let opts = QueryOptions {
+            prune: true,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+        };
+        let (hits, stats) = sharded.query_opts(&[1.0, 0.05], 2, &opts);
+        assert_eq!(hits, flat.query(&[1.0, 0.05], 2));
+        assert!(stats.sealed_pruned >= 1, "zero-bound shard not pruned");
+    }
+
+    #[test]
     fn huge_k_dumps_everything_like_flat() {
         // k >> len (even usize::MAX) is a legitimate "give me everything"
         // call on the flat index; the sharded one must accept it without
@@ -685,11 +1277,17 @@ mod tests {
     }
 
     #[test]
-    fn empty_index_queries_to_nothing() {
+    fn zero_k_and_empty_index_query_to_nothing() {
         let idx = ShardedEmbeddingIndex::new(3, 8);
         assert!(idx.is_empty());
         assert!(idx.query(&[1.0, 0.0, 0.0], 5).is_empty());
         assert_eq!(idx.precision_at_k(2), 0.0);
+        // k == 0 is "report nothing", not a panic — matching the flat index
+        let (_, filled) = both(5, 3, 2);
+        assert!(filled.query(&[1.0, 0.0, 0.0], 0).is_empty());
+        let (hits, stats) = filled.query_opts(&[1.0, 0.0, 0.0], 0, &QueryOptions::default());
+        assert!(hits.is_empty());
+        assert_eq!(stats.rows_scanned, 0);
     }
 
     #[test]
@@ -728,8 +1326,64 @@ mod tests {
         );
         let back = ShardedEmbeddingIndex::from_bytes(&bytes, 0xDEAD_BEEF).expect("loads");
         assert_eq!(back, sharded);
-        // save -> load -> save is byte-identical
+        // save -> load -> save is byte-identical (bounds included)
         assert_eq!(back.to_bytes(0xDEAD_BEEF), bytes);
+    }
+
+    /// Serializes an index in the v1 layout (no sealed-shard bounds), as
+    /// PR 4 wrote it.
+    fn v1_bytes(index: &ShardedEmbeddingIndex, pin: u64) -> Vec<u8> {
+        let mut w = BinWriter::with_version(SHARD_INDEX_KIND, 1);
+        w.u64(pin);
+        w.len_of(index.dim);
+        w.len_of(index.shard_capacity);
+        w.len_of(index.num_shards());
+        for (data, labels) in index.shard_slices() {
+            w.len_of(labels.len());
+            for &l in labels {
+                w.u64(l as u64);
+            }
+            for &v in data {
+                w.f32(v);
+            }
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn v1_artifacts_load_by_recomputing_bounds() {
+        let (_, sharded) = both(19, 4, 6);
+        let old = v1_bytes(&sharded, 7);
+        let back = ShardedEmbeddingIndex::from_bytes(&old, 7).expect("v1 loads");
+        // recomputed bounds are bit-identical to the originals, so the
+        // whole index compares equal — and queries (pruning included)
+        // behave identically
+        assert_eq!(back, sharded);
+        // re-saving a v1 load produces a current (v2) artifact
+        assert_eq!(back.to_bytes(7), sharded.to_bytes(7));
+    }
+
+    #[test]
+    fn corrupt_v2_bounds_are_rejected() {
+        let mut w = BinWriter::with_version(SHARD_INDEX_KIND, SHARD_INDEX_VERSION);
+        w.u64(0);
+        w.len_of(3); // dim
+        w.len_of(4); // capacity
+        w.len_of(1); // one shard
+        w.len_of(4); // full -> sealed -> carries bounds
+        for i in 0..4u64 {
+            w.u64(i);
+        }
+        for _ in 0..12 {
+            w.f32(0.5);
+        }
+        for _ in 0..3 {
+            w.f32(0.1); // centroid
+        }
+        w.f32(-1.0); // negative radius: corrupt
+        w.f32(1.0);
+        let err = ShardedEmbeddingIndex::from_bytes(&w.finish(), 0).expect_err("must reject");
+        assert!(err.contains("bounds"), "{err}");
     }
 
     #[test]

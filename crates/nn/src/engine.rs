@@ -33,11 +33,11 @@ use gnn4ip_tensor::{
 use crate::graph_input::GraphInput;
 use crate::loss::cosine_embedding_loss;
 use crate::model::{Hw2Vec, Mode};
-use crate::parallel::fan_out;
 use crate::trainer::{
     clip_global_norm, validation_loss, EpochStats, OptimizerKind, PairSample, TrainConfig,
     TrainReport,
 };
+use gnn4ip_tensor::fan_out;
 
 /// Kind tag of the binary checkpoint artifact.
 pub const CHECKPOINT_KIND: &str = "gnn4ip-checkpoint";
@@ -620,6 +620,8 @@ fn microbatch_gradients(
     let results: Vec<(Vec<Matrix>, f32)> = fan_out(batch, threads, |tid, chunk| {
         let tape = Tape::new();
         let vars = model.params().inject(&tape);
+        // per-worker seed stream: `tid` is dense in 0..worker_count(..)
+        // (fan_out's contract), so streams never alias within one batch
         let mut rng = StdRng::seed_from_u64(
             cfg.seed
                 .wrapping_mul(0x9e3779b97f4a7c15)

@@ -30,14 +30,13 @@ mod engine;
 mod graph_input;
 mod loss;
 mod model;
-mod parallel;
 mod trainer;
 
 pub use engine::{EngineConfig, LrSchedule, TrainEngine, CHECKPOINT_KIND};
+pub use gnn4ip_tensor::{fan_out, worker_count};
 pub use graph_input::GraphInput;
 pub use loss::{cosine_embedding_loss, PairLabel, DEFAULT_MARGIN};
 pub use model::{top_k_indices, ConvKind, Hw2Vec, Hw2VecConfig, Mode, Readout, MODEL_KIND};
-pub use parallel::fan_out;
 pub use trainer::{
     cosine_of, embed_all, score_pairs, train, train_with_validation, tune_delta, validation_loss,
     EpochStats, OptimizerKind, PairSample, TrainConfig, TrainReport,

@@ -12,7 +12,7 @@ use gnn4ip_tensor::{
 };
 
 use crate::graph_input::GraphInput;
-use crate::parallel::fan_out;
+use gnn4ip_tensor::fan_out;
 
 thread_local! {
     /// Per-thread scratch for [`Hw2Vec::embed`], so repeated single-graph

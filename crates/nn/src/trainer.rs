@@ -15,7 +15,7 @@ use gnn4ip_tensor::{Adam, GradAccum, Matrix, Optimizer, Sgd, Tape};
 use crate::graph_input::GraphInput;
 use crate::loss::{cosine_embedding_loss, PairLabel, DEFAULT_MARGIN};
 use crate::model::{Hw2Vec, Mode};
-use crate::parallel::fan_out;
+use gnn4ip_tensor::fan_out;
 
 /// One labeled training pair, indexing into a shared graph list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,6 +259,8 @@ fn batch_gradients(
     let results: Vec<(GradAccum, f32)> = fan_out(batch, threads, |tid, chunk| {
         let mut acc = GradAccum::zeros_like(model.params());
         let mut loss_sum = 0.0f32;
+        // per-worker seed stream: `tid` is dense in 0..worker_count(..)
+        // (fan_out's contract), so streams never alias within one batch
         let mut rng = StdRng::seed_from_u64(
             cfg.seed
                 .wrapping_mul(0x9e3779b97f4a7c15)

@@ -4,12 +4,12 @@
 //! libraries as small binary files. No external crates: the format is a
 //! fixed header, little-endian payload, and a trailing content checksum.
 //!
-//! ## File layout (version 1)
+//! ## File layout
 //!
 //! ```text
 //! offset        size  field
 //! 0             4     magic  b"G4IP"
-//! 4             2     format version, u16 LE (currently 1)
+//! 4             2     format version, u16 LE (per kind; see below)
 //! 6             2     kind-tag length K, u16 LE
 //! 8             K     kind tag, ASCII (e.g. "hw2vec-model")
 //! 8+K           …     payload (kind-specific, little-endian)
@@ -23,7 +23,12 @@
 //!
 //! Versioning rule: readers reject unknown magic/kind outright and reject
 //! versions *newer* than they understand; older versions stay readable
-//! for as long as a field layout for them exists.
+//! for as long as a field layout for them exists. Writers stamp the
+//! version their payload layout corresponds to, so unchanged kinds stay
+//! readable by older releases. Version history: v2 added precomputed
+//! per-sealed-shard score bounds to the `gnn4ip-shard-index` payload —
+//! that kind alone writes v2 (and recomputes the bounds when handed a v1
+//! artifact); every other kind still writes the v1 layout.
 
 use crate::optim::{Adam, Sgd};
 use crate::Matrix;
@@ -31,8 +36,17 @@ use crate::Matrix;
 /// File magic shared by every artifact kind.
 pub const MAGIC: [u8; 4] = *b"G4IP";
 
-/// Current format version written by [`BinWriter`].
-pub const FORMAT_VERSION: u16 = 1;
+/// Newest format version any reader accepts (and the highest
+/// [`BinWriter::with_version`] allows). Writers stamp the version their
+/// *payload layout* corresponds to — [`BinWriter::new`] writes v1, the
+/// baseline layout every kind still uses, and only kinds whose payload
+/// actually changed (currently `gnn4ip-shard-index`) opt into newer
+/// versions — so artifacts stay readable by older releases for as long
+/// as their layout is unchanged.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The baseline format version written by [`BinWriter::new`].
+pub const BASE_VERSION: u16 = 1;
 
 /// FNV-1a 64-bit hash — the content checksum of every artifact file.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -70,15 +84,35 @@ pub struct BinWriter {
 }
 
 impl BinWriter {
-    /// Starts an artifact of the given kind tag.
+    /// Starts an artifact of the given kind tag at the baseline
+    /// [`BASE_VERSION`] — right for every kind whose payload layout has
+    /// not changed since v1, which keeps those artifacts readable by
+    /// older releases.
     ///
     /// # Panics
     ///
     /// Panics if the kind tag exceeds `u16::MAX` bytes.
     pub fn new(kind: &str) -> Self {
+        Self::with_version(kind, BASE_VERSION)
+    }
+
+    /// Starts an artifact of the given kind tag at an explicit format
+    /// version — for kinds whose payload layout changed after v1 (they
+    /// must stamp the version their layout corresponds to) and for
+    /// writing compatibility fixtures of older layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind tag exceeds `u16::MAX` bytes or `version` is 0
+    /// or newer than [`FORMAT_VERSION`].
+    pub fn with_version(kind: &str, version: u16) -> Self {
+        assert!(
+            (1..=FORMAT_VERSION).contains(&version),
+            "artifact version {version} outside supported range 1..={FORMAT_VERSION}"
+        );
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&MAGIC);
-        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         let k = u16::try_from(kind.len()).expect("kind tag too long");
         buf.extend_from_slice(&k.to_le_bytes());
         buf.extend_from_slice(kind.as_bytes());
@@ -156,13 +190,34 @@ pub struct BinReader<'a> {
 
 impl<'a> BinReader<'a> {
     /// Validates the envelope of `bytes` and positions the reader at the
-    /// start of the payload.
+    /// start of the payload, accepting only the baseline
+    /// [`BASE_VERSION`] — right for every kind whose payload layout has
+    /// not changed since v1. A reader for a kind with newer layouts must
+    /// use [`BinReader::open_versioned`] with the newest version it can
+    /// parse; accepting a version here and parsing it with an older
+    /// field layout would misread the payload instead of rejecting it.
     ///
     /// # Errors
     ///
     /// Returns a description of the first problem: short input, wrong
     /// magic, unsupported version, kind mismatch, or checksum failure.
     pub fn open(bytes: &'a [u8], expect_kind: &str) -> Result<Self, String> {
+        Self::open_versioned(bytes, expect_kind, BASE_VERSION)
+    }
+
+    /// [`BinReader::open`] accepting versions up to `max_version` — the
+    /// newest layout of this kind the caller knows how to parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem: short input, wrong
+    /// magic, a version newer than `max_version`, kind mismatch, or
+    /// checksum failure.
+    pub fn open_versioned(
+        bytes: &'a [u8],
+        expect_kind: &str,
+        max_version: u16,
+    ) -> Result<Self, String> {
         if bytes.len() < MAGIC.len() + 2 + 2 + 8 {
             return Err(format!("artifact too short ({} bytes)", bytes.len()));
         }
@@ -178,9 +233,10 @@ impl<'a> BinReader<'a> {
             return Err("bad magic: not a gnn4ip artifact".to_string());
         }
         let version = u16::from_le_bytes([body[4], body[5]]);
-        if version > FORMAT_VERSION {
+        if version > max_version {
             return Err(format!(
-                "artifact format v{version} is newer than supported v{FORMAT_VERSION}"
+                "artifact format v{version} is newer than supported v{max_version} \
+                 for kind '{expect_kind}'"
             ));
         }
         let klen = u16::from_le_bytes([body[6], body[7]]) as usize;
@@ -475,7 +531,7 @@ mod tests {
         w.bytes(&[1, 2, 3]);
         let bytes = w.finish();
         let mut r = BinReader::open(&bytes, "test").expect("opens");
-        assert_eq!(r.version(), FORMAT_VERSION);
+        assert_eq!(r.version(), BASE_VERSION, "unchanged kinds stay v1");
         assert_eq!(r.u8().unwrap(), 9);
         assert_eq!(r.u32().unwrap(), 1234);
         assert_eq!(r.u64().unwrap(), u64::MAX - 3);
@@ -538,6 +594,23 @@ mod tests {
         assert!(BinReader::open(&bytes, "v")
             .expect_err("must fail")
             .contains("newer"));
+    }
+
+    #[test]
+    fn older_versions_stay_readable() {
+        let mut w = BinWriter::with_version("v", 1);
+        w.u64(5);
+        let bytes = w.finish();
+        let mut r = BinReader::open(&bytes, "v").expect("v1 opens");
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.u64().unwrap(), 5);
+        r.done().expect("consumed");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn future_writer_version_is_rejected() {
+        let _ = BinWriter::with_version("v", FORMAT_VERSION + 1);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! healthy pipeline retrieves the true source design at rank 1 for almost
 //! every disguise. The filled index is persisted through the `G4IP`
 //! binary artifact format (pinned to the detector weights) and reloaded
-//! to prove warm starts skip re-embedding the corpus.
+//! to prove warm starts skip re-embedding the corpus. Finally, the
+//! read-mostly serving path is demonstrated: an immutable snapshot keeps
+//! answering (identically) while the writer ingests more designs, and
+//! the query stats show how much of the corpus bound-pruning skipped.
 //!
 //! Run with: `cargo run --release --example audit_pipeline [-- --designs N --variants V]`
 //! (defaults: 1000 designs, 2 variants each).
@@ -131,6 +134,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  suspect 'crc8' -> best match '{}' ({:+.4})",
         hot.best().expect("non-empty").name,
         hot.best().expect("non-empty").score
+    );
+
+    // Concurrent serving — freeze a snapshot, keep ingesting into the
+    // pipeline, and show the snapshot's verdicts are (a) isolated from
+    // the writer and (b) bit-identical to what the pipeline answered at
+    // snapshot time. Sealed shards are Arc-shared, so the snapshot cost
+    // is one tail copy, not a corpus copy.
+    let snapshot = pipeline.snapshot();
+    let frozen = snapshot.audit(&suspect.source, Some(&suspect.top))?;
+    let more = run_audit_scenarios(&mut pipeline, &ScenarioSpec::rtl(nl_designs, 1))?;
+    let after = snapshot.audit(&suspect.source, Some(&suspect.top))?;
+    assert_eq!(frozen, after, "snapshot verdicts must be immutable");
+    println!(
+        "\n[serving] snapshot of {} designs kept serving identical verdicts \
+         while the writer ingested {} more (pipeline now {} designs)",
+        snapshot.len(),
+        more.ingested,
+        pipeline.len()
+    );
+
+    // Query anatomy — how much work the default query options skipped.
+    let emb = pipeline
+        .detector()
+        .hw2vec(&suspect.source, Some(&suspect.top))?;
+    let (_, stats) = pipeline.index().query_opts(
+        &emb,
+        pipeline.config().top_k,
+        &gnn4ip::eval::QueryOptions::default(),
+    );
+    println!(
+        "  query anatomy: {} sealed shards, {} pruned by centroid/radius \
+         bounds, {} of {} rows scanned{}",
+        stats.sealed_shards,
+        stats.sealed_pruned,
+        stats.rows_scanned,
+        pipeline.index().len(),
+        if stats.parallel {
+            ", parallel scan"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  (untrained embeddings cluster tightly, so bounds overlap and \
+         pruning is modest here;\n   the audit_pipeline bench's clustered \
+         corpus shows the >=50% shard-skip case)"
     );
     Ok(())
 }

@@ -42,9 +42,9 @@
 
 pub use gnn4ip_core::{
     corpus_inputs, run_audit_scenarios, run_experiment, run_training_pipeline, to_pair_samples,
-    AuditConfig, AuditMatch, AuditPipeline, AuditSource, AuditVerdict, ExperimentOutcome, Gnn4Ip,
-    IngestReport, IpLibrary, LibraryMatch, PipelineArtifacts, ScenarioReport, ScenarioSpec,
-    Verdict,
+    AuditConfig, AuditMatch, AuditPipeline, AuditSnapshot, AuditSource, AuditVerdict,
+    ExperimentOutcome, Gnn4Ip, IngestReport, IpLibrary, LibraryMatch, PipelineArtifacts,
+    ScenarioReport, ScenarioSpec, Verdict,
 };
 
 /// Verilog front end (re-export of `gnn4ip-hdl`).

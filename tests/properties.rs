@@ -327,7 +327,7 @@ proptest! {
 
 // ------------------------------------------------------------------- eval
 
-use gnn4ip::eval::{EmbeddingIndex, ShardedEmbeddingIndex};
+use gnn4ip::eval::{EmbeddingIndex, QueryOptions, ShardedEmbeddingIndex};
 
 /// Deterministic pseudo-random embeddings; every 7th row gets a
 /// non-finite component so the zero-row hardening stays under test.
@@ -378,6 +378,70 @@ proptest! {
             prop_assert_eq!(x.index, y.index);
             prop_assert_eq!(x.label, y.label);
             prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // every pruning/threading combination produces the same bits
+        for prune in [false, true] {
+            for (threads, parallel_min_rows) in [(1, usize::MAX), (2, 0), (0, 0)] {
+                let opts = QueryOptions { prune, threads, parallel_min_rows };
+                let (c, _) = sharded.query_opts(&query, k, &opts);
+                prop_assert_eq!(&b, &c, "opts {:?}", opts);
+            }
+        }
+    }
+
+    /// Bound-based shard pruning and fanned-out shard scans stay
+    /// bit-identical to the flat index on *clustered* corpora — the data
+    /// shape where pruning actually fires, so the rounding-slack safety
+    /// margin is exercised, not just bypassed.
+    #[test]
+    fn pruned_and_parallel_query_matches_flat_bitwise(
+        clusters in 1usize..6,
+        per_cluster in 1usize..12,
+        dim in 2usize..8,
+        cap in 1usize..12,
+        k in 1usize..10,
+        spread in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        // tight clusters along distinct axes, inserted cluster-by-cluster
+        // so shards align with clusters and bounds separate well
+        let n = clusters * per_cluster;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = i / per_cluster;
+                (0..dim)
+                    .map(|j| {
+                        let noise = (((i * 131 + j * 31) as u64 ^ seed)
+                            .wrapping_mul(2654435761)
+                            % 193) as f32
+                            / 193.0
+                            - 0.5;
+                        let axis = if j == c % dim { 1.0 } else { 0.0 };
+                        axis + noise * 0.05 * spread as f32
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut flat = EmbeddingIndex::new(dim);
+        let mut sharded = ShardedEmbeddingIndex::new(dim, cap);
+        for (i, row) in rows.iter().enumerate() {
+            flat.insert(row, i / per_cluster);
+            sharded.insert(row, i / per_cluster);
+        }
+        // query into one cluster's direction: other clusters' shards are
+        // prunable exactly when the bound math is doing its job
+        let target = (seed as usize) % clusters;
+        let mut query = vec![0.0f32; dim];
+        query[target % dim] = 1.0;
+        if dim > 1 {
+            query[(target + 1) % dim] = 0.1;
+        }
+        let expect = flat.query(&query, k);
+        for (threads, parallel_min_rows) in [(1, usize::MAX), (3, 0)] {
+            let opts = QueryOptions { prune: true, threads, parallel_min_rows };
+            let (hits, stats) = sharded.query_opts(&query, k, &opts);
+            prop_assert_eq!(&expect, &hits, "opts {:?} stats {:?}", opts, stats);
+            prop_assert!(stats.sealed_pruned <= stats.sealed_shards);
         }
     }
 
