@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 # the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve benches)
+STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve analysis benches)
 
 stage_build() {
     cargo build --release --offline
@@ -67,6 +67,12 @@ stage_serve() {
     # the pruning/parallel-query bit-identity proptests
     cargo test -q --release --offline -p gnn4ip-core concurrent_readers
     cargo test -q --release --offline --test properties -- sharded pruned
+}
+
+stage_analysis() {
+    # g4check: the workspace invariant lint (must report zero violations)
+    # and the loom-lite exhaustive interleaving check of PublicationSlot
+    cargo run --release --offline -p gnn4ip-analysis --bin g4check
 }
 
 stage_benches() {

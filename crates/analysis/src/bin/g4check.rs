@@ -1,0 +1,137 @@
+//! `g4check` — the workspace invariant gate.
+//!
+//! ```text
+//! g4check [--root PATH] [lint|sched|all]
+//! ```
+//!
+//! - `lint` scans every non-vendored `.rs` file for violations of the
+//!   workspace conventions (see `gnn4ip_analysis::lint::Rule`).
+//! - `sched` exhaustively explores the bounded interleavings of the
+//!   `PublicationSlot` model and re-confirms the checker catches its
+//!   seeded bug.
+//! - `all` (the default) runs both.
+//!
+//! Exit status is non-zero on any violation, which is how
+//! `ci.sh --stage analysis` gates merges.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gnn4ip_analysis::lint::{find_workspace_root, run_lint, LintConfig};
+use gnn4ip_analysis::models::verify_publication_slot;
+
+fn usage() -> &'static str {
+    "usage: g4check [--root PATH] [lint|sched|all]"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut mode: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("g4check: --root requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "lint" | "sched" | "all" if mode.is_none() => mode = Some(arg),
+            other => {
+                eprintln!("g4check: unrecognized argument '{other}'\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mode = mode.unwrap_or_else(|| "all".to_string());
+
+    let mut failed = false;
+    if mode == "lint" || mode == "all" {
+        failed |= !run_lint_stage(root);
+    }
+    if mode == "sched" || mode == "all" {
+        failed |= !run_sched_stage();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_lint_stage(root: Option<PathBuf>) -> bool {
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("g4check: cannot determine current directory: {e}");
+                    return false;
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "g4check: no workspace Cargo.toml found above {} — pass --root",
+                        cwd.display()
+                    );
+                    return false;
+                }
+            }
+        }
+    };
+    let report = match run_lint(&LintConfig { root: root.clone() }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("g4check: lint failed to run: {e}");
+            return false;
+        }
+    };
+    if report.is_clean() {
+        println!(
+            "g4check lint: OK — {} files scanned under {}, 0 violations",
+            report.files_scanned,
+            root.display()
+        );
+        true
+    } else {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        eprintln!(
+            "g4check lint: FAILED — {} violation(s) across {} scanned files",
+            report.violations.len(),
+            report.files_scanned
+        );
+        false
+    }
+}
+
+fn run_sched_stage() -> bool {
+    match verify_publication_slot() {
+        Ok(summary) => {
+            for run in &summary.runs {
+                println!(
+                    "g4check sched: {:<22} {:>6} schedules (deepest {})",
+                    run.name, run.schedules, run.deepest
+                );
+            }
+            println!(
+                "g4check sched: OK — {} schedules explored exhaustively, seeded bug caught",
+                summary.total_schedules
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("g4check sched: FAILED — {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # gnn4ip-analysis
+//!
+//! Machine-checked workspace invariants: the `g4check` binary and the
+//! library behind it.
+//!
+//! The workspace's correctness conventions — fixed-seed randomness, no
+//! stray panics in library code, `#![forbid(unsafe_code)]` everywhere,
+//! deterministic tests, a single registry of `G4IP` artifact kind/version
+//! pairs — used to live only in reviewers' heads. This crate turns them
+//! into two enforcement pillars:
+//!
+//! - [`lint`] — a repo-specific source lint driver: a lightweight
+//!   line/token scanner over the workspace's `.rs` files (zero external
+//!   dependencies, no rustc plumbing) that fails CI on any violation of
+//!   the rules listed in [`lint::Rule`]. Intentional exceptions are
+//!   annotated in-source with `// g4check: allow(rule-name): reason`.
+//! - [`sched`] — a loom-lite deterministic-interleaving checker: a
+//!   cooperative scheduler that exhaustively explores every bounded
+//!   interleaving of the step-level [`sched::Program`] model of a
+//!   concurrent algorithm, asserting invariants along each schedule.
+//!   [`models`] holds the model of `gnn4ip_core::PublicationSlot` — the
+//!   lock-free-style snapshot publication slot — and proves no torn
+//!   reads, per-reader epoch monotonicity, and writer progress over every
+//!   explored schedule (plus a deliberately broken variant the checker
+//!   must catch, so the checker itself stays honest).
+//!
+//! Run both from the workspace root:
+//!
+//! ```text
+//! cargo run -p gnn4ip-analysis --bin g4check            # lint + sched
+//! cargo run -p gnn4ip-analysis --bin g4check -- lint    # lint only
+//! cargo run -p gnn4ip-analysis --bin g4check -- sched   # interleavings only
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod models;
+pub mod sched;
+
+pub use lint::{run_lint, LintConfig, LintReport, Rule, Violation};
+pub use sched::{ExploreReport, Explorer, Program, ScheduleViolation, Step};

@@ -1,0 +1,514 @@
+//! Step-level models of the workspace's concurrent algorithms, verified
+//! by [`sched`](crate::sched).
+//!
+//! [`PublicationModel`] mirrors `gnn4ip_core::PublicationSlot` — the
+//! epoch-stamped snapshot publication slot that standardizes the
+//! writer→readers handoff in the audit serving path — one atomic action
+//! per [`Program::step`]:
+//!
+//! ```text
+//! publish:                          load:                load_if_newer(seen):
+//!   1. lock slot mutex                1. lock               1. e := epoch.load
+//!   2. inner.epoch += 1               2. read (epoch,          (e <= seen → miss,
+//!   3. inner.value := new                 value) pair           done without locking)
+//!   4. unlock                         3. unlock             2..4. as load
+//!   5. epoch.fetch_max(new)
+//! ```
+//!
+//! The invariants asserted along **every** explored interleaving:
+//!
+//! - **No torn read**: a reader never observes an epoch paired with
+//!   another epoch's value (steps 2+3 of publish are invisible because
+//!   the mutex covers them — remove the mutex and the checker proves the
+//!   tear, see [`PublicationModel::guarded`]).
+//! - **Per-reader epoch monotonicity**: successive loads by one reader
+//!   never go backwards.
+//! - **Publication visibility**: a load that began after the reader saw
+//!   `epoch.load() == e` returns a snapshot stamped `>= e` — the atomic
+//!   is only advanced *after* the value is in place, and `fetch_max`
+//!   keeps concurrent writers from regressing it.
+//! - **Writer progress / no deadlock**: every schedule completes; the
+//!   explorer reports any state where all unfinished threads block.
+
+use crate::sched::{Explorer, Program, Step};
+
+/// A bounded writer/reader workload over the publication-slot algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct PublicationModel {
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Publishes each writer performs.
+    pub publishes_per_writer: u64,
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Loads each reader performs.
+    pub loads_per_reader: usize,
+    /// Readers go through the `load_if_newer` fast path (an unlocked
+    /// atomic read that may miss) instead of plain `load`.
+    pub use_if_newer: bool,
+    /// `true` models the real algorithm (pair access under the mutex);
+    /// `false` deliberately removes the mutex so the checker must find
+    /// the torn read — the seeded bug that keeps the checker honest.
+    pub guarded: bool,
+}
+
+impl PublicationModel {
+    /// The real algorithm with one writer, `readers` readers, one
+    /// publish and one load each.
+    pub fn guarded(writers: usize, readers: usize) -> Self {
+        Self {
+            writers,
+            publishes_per_writer: 1,
+            readers,
+            loads_per_reader: 1,
+            use_if_newer: false,
+            guarded: true,
+        }
+    }
+
+    /// The mutex removed: pair writes and pair reads become separately
+    /// schedulable steps, so some interleaving tears.
+    pub fn unguarded() -> Self {
+        Self {
+            writers: 1,
+            publishes_per_writer: 1,
+            readers: 1,
+            loads_per_reader: 1,
+            use_if_newer: false,
+            guarded: false,
+        }
+    }
+
+    fn total_publishes(&self) -> u64 {
+        self.writers as u64 * self.publishes_per_writer
+    }
+}
+
+/// Shared + thread-local state of [`PublicationModel`], cloned at every
+/// scheduler branch.
+#[derive(Debug, Clone)]
+pub struct PublicationState {
+    /// The `AtomicU64` epoch — advanced by `fetch_max` after the slot
+    /// write completes.
+    epoch_atomic: u64,
+    /// The slot mutex owner (`None` = free). Unused when unguarded.
+    lock: Option<usize>,
+    /// The epoch half of the mutex-protected pair.
+    slot_epoch: u64,
+    /// The value half. In the real slot this is the `Arc<T>` payload;
+    /// here it is the epoch the payload was built for, so
+    /// `slot_epoch != slot_value` *is* a torn pair.
+    slot_value: u64,
+    writers: Vec<WriterState>,
+    readers: Vec<ReaderState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct WriterState {
+    pc: usize,
+    /// Epoch claimed under the lock for the in-flight publish.
+    claimed: u64,
+    published: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReaderState {
+    pc: usize,
+    loads_done: usize,
+    /// Newest epoch this reader has returned — monotonicity baseline.
+    last_epoch: u64,
+    /// `epoch.load()` observed at the head of the in-flight
+    /// `load_if_newer`.
+    seen_atomic: u64,
+    /// First half of an unguarded pair read.
+    tmp_epoch: u64,
+}
+
+impl Program for PublicationModel {
+    type State = PublicationState;
+
+    fn init(&self) -> PublicationState {
+        PublicationState {
+            epoch_atomic: 0,
+            lock: None,
+            slot_epoch: 0,
+            slot_value: 0,
+            writers: vec![WriterState::default(); self.writers],
+            readers: vec![ReaderState::default(); self.readers],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.writers + self.readers
+    }
+
+    fn step(&self, state: &mut PublicationState, tid: usize) -> Result<Step, String> {
+        if tid < self.writers {
+            self.writer_step(state, tid)
+        } else {
+            self.reader_step(state, tid)
+        }
+    }
+
+    fn check_final(&self, state: &PublicationState) -> Result<(), String> {
+        let total = self.total_publishes();
+        if state.slot_epoch != state.slot_value {
+            return Err(format!(
+                "slot left torn: epoch {} vs value {}",
+                state.slot_epoch, state.slot_value
+            ));
+        }
+        if self.guarded && state.lock.is_some() {
+            return Err("slot mutex left held".to_string());
+        }
+        if state.slot_epoch != total || state.epoch_atomic != total {
+            return Err(format!(
+                "writer progress violated: {} publishes completed but slot epoch is {} \
+                 and atomic epoch is {}",
+                total, state.slot_epoch, state.epoch_atomic
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl PublicationModel {
+    fn writer_step(&self, state: &mut PublicationState, tid: usize) -> Result<Step, String> {
+        let pc = state.writers[tid].pc;
+        if self.guarded {
+            match pc {
+                // 1. lock
+                0 => {
+                    if state.lock.is_some() {
+                        return Ok(Step::Blocked);
+                    }
+                    state.lock = Some(tid);
+                    state.writers[tid].pc = 1;
+                    Ok(Step::Progress)
+                }
+                // 2. inner.epoch += 1 (first half of the pair write)
+                1 => {
+                    let claimed = state.slot_epoch + 1;
+                    state.writers[tid].claimed = claimed;
+                    state.slot_epoch = claimed;
+                    state.writers[tid].pc = 2;
+                    Ok(Step::Progress)
+                }
+                // 3. inner.value := new (second half)
+                2 => {
+                    state.slot_value = state.writers[tid].claimed;
+                    state.writers[tid].pc = 3;
+                    Ok(Step::Progress)
+                }
+                // 4. unlock
+                3 => {
+                    state.lock = None;
+                    state.writers[tid].pc = 4;
+                    Ok(Step::Progress)
+                }
+                // 5. epoch.fetch_max(new) — publication completes
+                _ => {
+                    let claimed = state.writers[tid].claimed;
+                    state.epoch_atomic = state.epoch_atomic.max(claimed);
+                    self.writer_retire(state, tid)
+                }
+            }
+        } else {
+            match pc {
+                0 => {
+                    let claimed = state.slot_epoch + 1;
+                    state.writers[tid].claimed = claimed;
+                    state.slot_epoch = claimed;
+                    state.writers[tid].pc = 1;
+                    Ok(Step::Progress)
+                }
+                1 => {
+                    state.slot_value = state.writers[tid].claimed;
+                    state.writers[tid].pc = 2;
+                    Ok(Step::Progress)
+                }
+                _ => {
+                    let claimed = state.writers[tid].claimed;
+                    state.epoch_atomic = state.epoch_atomic.max(claimed);
+                    self.writer_retire(state, tid)
+                }
+            }
+        }
+    }
+
+    fn writer_retire(&self, state: &mut PublicationState, tid: usize) -> Result<Step, String> {
+        let w = &mut state.writers[tid];
+        w.published += 1;
+        w.pc = 0;
+        Ok(if w.published == self.publishes_per_writer {
+            Step::Done
+        } else {
+            Step::Progress
+        })
+    }
+
+    fn reader_step(&self, state: &mut PublicationState, tid: usize) -> Result<Step, String> {
+        let r = tid - self.writers;
+        let pc = state.readers[r].pc;
+        if self.guarded {
+            match (pc, self.use_if_newer) {
+                // 1. the load_if_newer fast path: one atomic load, no lock
+                (0, true) => {
+                    let seen = state.epoch_atomic;
+                    if seen <= state.readers[r].last_epoch {
+                        // miss: the caller keeps its current snapshot.
+                        // Legal by construction — the atomic only advances
+                        // after a publish completes, so nothing newer was
+                        // ready when we looked.
+                        return self.reader_retire(state, r);
+                    }
+                    state.readers[r].seen_atomic = seen;
+                    state.readers[r].pc = 1;
+                    Ok(Step::Progress)
+                }
+                (0, false) => {
+                    state.readers[r].seen_atomic = 0;
+                    state.readers[r].pc = 1;
+                    Ok(Step::Progress)
+                }
+                // 2. lock
+                (1, _) => {
+                    if state.lock.is_some() {
+                        return Ok(Step::Blocked);
+                    }
+                    state.lock = Some(tid);
+                    state.readers[r].pc = 2;
+                    Ok(Step::Progress)
+                }
+                // 3. read the pair under the lock, assert, unlock
+                (2, _) => {
+                    let (epoch, value) = (state.slot_epoch, state.slot_value);
+                    self.observe(state, r, epoch, value)?;
+                    state.lock = None;
+                    self.reader_retire(state, r)
+                }
+                (_, _) => Err(format!("reader {r} reached impossible pc {pc}")),
+            }
+        } else {
+            match pc {
+                // unguarded: the two halves of the pair read are separate
+                // steps a writer can land between
+                0 => {
+                    state.readers[r].tmp_epoch = state.slot_epoch;
+                    state.readers[r].pc = 1;
+                    Ok(Step::Progress)
+                }
+                _ => {
+                    let epoch = state.readers[r].tmp_epoch;
+                    let value = state.slot_value;
+                    self.observe(state, r, epoch, value)?;
+                    self.reader_retire(state, r)
+                }
+            }
+        }
+    }
+
+    /// The invariants every completed load asserts.
+    fn observe(
+        &self,
+        state: &mut PublicationState,
+        r: usize,
+        epoch: u64,
+        value: u64,
+    ) -> Result<(), String> {
+        if epoch != value {
+            return Err(format!(
+                "torn read: reader {r} observed epoch {epoch} with value {value}"
+            ));
+        }
+        let reader = &mut state.readers[r];
+        if epoch < reader.last_epoch {
+            return Err(format!(
+                "epoch regression: reader {r} went from {} back to {epoch}",
+                reader.last_epoch
+            ));
+        }
+        if epoch < reader.seen_atomic {
+            return Err(format!(
+                "stale read: reader {r} saw completed publication {} but loaded epoch {epoch}",
+                reader.seen_atomic
+            ));
+        }
+        reader.last_epoch = epoch;
+        Ok(())
+    }
+
+    fn reader_retire(&self, state: &mut PublicationState, r: usize) -> Result<Step, String> {
+        let reader = &mut state.readers[r];
+        reader.loads_done += 1;
+        reader.pc = 0;
+        reader.seen_atomic = 0;
+        Ok(if reader.loads_done == self.loads_per_reader {
+            Step::Done
+        } else {
+            Step::Progress
+        })
+    }
+}
+
+// --- the CI suite -------------------------------------------------------
+
+/// One exploration in the publication-slot suite.
+#[derive(Debug, Clone)]
+pub struct SchedRun {
+    /// Config label.
+    pub name: String,
+    /// Completed schedules explored (exhaustive).
+    pub schedules: usize,
+    /// Deepest schedule length.
+    pub deepest: usize,
+}
+
+/// The aggregate result [`verify_publication_slot`] reports.
+#[derive(Debug, Clone)]
+pub struct SchedSummary {
+    /// Every exploration that ran.
+    pub runs: Vec<SchedRun>,
+    /// Sum of schedules across the passing (guarded) configs.
+    pub total_schedules: usize,
+}
+
+/// The interleaving gate `ci.sh --stage analysis` runs: explores the
+/// publication-slot model across writer/reader workloads (every guarded
+/// config must pass exhaustively) and then checks the checker by
+/// confirming the unguarded variant's torn read *is* found.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant, truncated
+/// exploration, or — worst of all — a seeded bug the checker missed.
+pub fn verify_publication_slot() -> Result<SchedSummary, String> {
+    let explorer = Explorer::exhaustive();
+    let configs: &[(&str, PublicationModel)] = &[
+        ("1w-2r load", PublicationModel::guarded(1, 2)),
+        ("2w-1r load", PublicationModel::guarded(2, 1)),
+        (
+            "1w-1r x2 loads",
+            PublicationModel {
+                writers: 1,
+                publishes_per_writer: 2,
+                readers: 1,
+                loads_per_reader: 2,
+                use_if_newer: false,
+                guarded: true,
+            },
+        ),
+        (
+            "1w-2r if-newer",
+            PublicationModel {
+                writers: 1,
+                publishes_per_writer: 1,
+                readers: 2,
+                loads_per_reader: 1,
+                use_if_newer: true,
+                guarded: true,
+            },
+        ),
+        (
+            "1w x2-1r if-newer x2",
+            PublicationModel {
+                writers: 1,
+                publishes_per_writer: 2,
+                readers: 1,
+                loads_per_reader: 2,
+                use_if_newer: true,
+                guarded: true,
+            },
+        ),
+    ];
+
+    let mut summary = SchedSummary {
+        runs: Vec::new(),
+        total_schedules: 0,
+    };
+    for (name, model) in configs {
+        let report = explorer.explore(model);
+        if let Some(violation) = &report.violation {
+            return Err(format!("config '{name}': {violation}"));
+        }
+        if report.truncated {
+            return Err(format!(
+                "config '{name}': exploration truncated at {} schedules — shrink the model \
+                 or raise the cap",
+                report.schedules
+            ));
+        }
+        summary.total_schedules += report.schedules;
+        summary.runs.push(SchedRun {
+            name: (*name).to_string(),
+            schedules: report.schedules,
+            deepest: report.deepest,
+        });
+    }
+
+    // the checker must catch the seeded bug, or its green means nothing
+    let buggy = explorer.explore(&PublicationModel::unguarded());
+    match &buggy.violation {
+        Some(v) if v.message.contains("torn read") => {}
+        Some(v) => return Err(format!("unguarded model failed for the wrong reason: {v}")),
+        None => {
+            return Err("checker self-test failed: the seeded torn-read bug in the \
+                        unguarded model was not found"
+                .to_string())
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_model_passes_exhaustively() {
+        let report = Explorer::exhaustive().explore(&PublicationModel::guarded(1, 2));
+        assert!(report.passed(), "{:?}", report.violation);
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn unguarded_model_tears() {
+        let report = Explorer::exhaustive().explore(&PublicationModel::unguarded());
+        let violation = report.violation.expect("torn read must be found");
+        assert!(violation.message.contains("torn read"), "{violation}");
+    }
+
+    #[test]
+    fn suite_passes_and_is_thorough() {
+        let summary = verify_publication_slot().expect("suite passes");
+        assert!(
+            summary.total_schedules >= 1000,
+            "only {} schedules explored — the acceptance gate requires >= 1000",
+            summary.total_schedules
+        );
+        assert!(summary.runs.len() >= 5);
+    }
+
+    #[test]
+    fn two_writers_never_regress_the_epoch() {
+        // fetch_max is what keeps a slow writer's late store from
+        // regressing the atomic; the model with 2 writers exercises the
+        // window where writer A's store lands after writer B's
+        let report = Explorer::exhaustive().explore(&PublicationModel::guarded(2, 1));
+        assert!(report.passed(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn if_newer_misses_are_legal_and_checked() {
+        let model = PublicationModel {
+            writers: 1,
+            publishes_per_writer: 1,
+            readers: 2,
+            loads_per_reader: 2,
+            use_if_newer: true,
+            guarded: true,
+        };
+        let report = Explorer::exhaustive().explore(&model);
+        assert!(report.passed(), "{:?}", report.violation);
+    }
+}

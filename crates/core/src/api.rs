@@ -10,7 +10,7 @@
 //! [`Gnn4Ip::embed_many`] are the batched forms — distinct designs in a
 //! batch are embedded in parallel via the tape-free inference path.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use gnn4ip_dfg::graph_from_verilog;
 use gnn4ip_hdl::{design_fingerprint, Fingerprint, ParseVerilogError, StableHasher};
@@ -64,12 +64,27 @@ impl Clone for Gnn4Ip {
         Self {
             model: self.model.clone(),
             delta: self.delta,
-            cache: Mutex::new(self.cache.lock().expect("cache poisoned").clone()),
+            cache: Mutex::new(self.cache_lock().clone()),
         }
     }
 }
 
 impl Gnn4Ip {
+    /// Locks the embedding cache, recovering from poisoning instead of
+    /// cascading the panic: the cache is a pure memo whose individual
+    /// operations never leave it half-updated, so the state behind a
+    /// poisoned lock is still coherent — at worst a panicking scan thread
+    /// failed to record one embedding, which only costs a recompute.
+    fn cache_lock(&self) -> MutexGuard<'_, EmbeddingCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`cache_lock`](Self::cache_lock) through exclusive access — same
+    /// poison-recovery rationale, no locking at all.
+    fn cache_mut(&mut self) -> &mut EmbeddingCache {
+        self.cache.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a detector with the paper's default architecture and an
     /// untuned decision boundary of 0.5.
     pub fn new(config: Hw2VecConfig, seed: u64) -> Self {
@@ -100,7 +115,7 @@ impl Gnn4Ip {
     /// Clears the embedding cache: cached embeddings are only valid for the
     /// weights that produced them.
     pub fn model_mut(&mut self) -> &mut Hw2Vec {
-        self.cache.get_mut().expect("cache poisoned").clear();
+        self.cache_mut().clear();
         &mut self.model
     }
 
@@ -124,16 +139,13 @@ impl Gnn4Ip {
     /// Propagates parse/elaboration failures from the DFG pipeline.
     pub fn hw2vec(&self, verilog: &str, top: Option<&str>) -> Result<Vec<f32>, ParseVerilogError> {
         let fp = self.fingerprint(verilog, top)?;
-        if let Some(e) = self.cache.lock().expect("cache poisoned").get(fp) {
+        if let Some(e) = self.cache_lock().get(fp) {
             return Ok(e);
         }
         // Parse and embed outside the lock: misses are the slow path.
         let g = graph_from_verilog(verilog, top)?;
         let e = self.model.embed(&GraphInput::from_dfg(&g));
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(fp, e.clone());
+        self.cache_lock().insert(fp, e.clone());
         Ok(e)
     }
 
@@ -161,7 +173,7 @@ impl Gnn4Ip {
         let mut seen_misses = std::collections::HashSet::new();
         let mut miss_graphs = Vec::new();
         {
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = self.cache_lock();
             for (i, &fp) in fps.iter().enumerate() {
                 if let Some(e) = cache.get(fp) {
                     out[i] = Some(e);
@@ -178,7 +190,7 @@ impl Gnn4Ip {
         }
         if !miss_graphs.is_empty() {
             let embedded = self.model.embed_batch(&miss_graphs);
-            let mut cache = self.cache.lock().expect("cache poisoned");
+            let mut cache = self.cache_lock();
             for (fp, e) in miss_fps.iter().zip(embedded) {
                 cache.insert(*fp, e);
             }
@@ -190,6 +202,7 @@ impl Gnn4Ip {
         }
         Ok(out
             .into_iter()
+            // g4check: allow(unwrap-in-lib): every miss was inserted into the cache in the loop above, under the same lock this resolve uses
             .map(|e| e.expect("every fingerprint resolved"))
             .collect())
     }
@@ -284,30 +297,22 @@ impl Gnn4Ip {
             None => h.write(&[0]),
         }
         let raw_key = h.finish();
-        if let Some(fp) = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .fingerprint_for_raw(raw_key)
-        {
+        if let Some(fp) = self.cache_lock().fingerprint_for_raw(raw_key) {
             return Ok(fp);
         }
         let fp = design_fingerprint(verilog, top)?;
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .remember_raw(raw_key, fp);
+        self.cache_lock().remember_raw(raw_key, fp);
         Ok(fp)
     }
 
     /// Hit/miss/entry counters of the embedding cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache poisoned").stats()
+        self.cache_lock().stats()
     }
 
     /// Drops every cached embedding and resets the counters.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache poisoned").clear();
+        self.cache_lock().clear();
     }
 
     /// Serializes model + δ to the binary artifact format. The detector
@@ -359,7 +364,7 @@ impl Gnn4Ip {
     /// checksum. Entries are sorted by fingerprint, so the same cache
     /// contents always produce byte-identical artifacts.
     pub fn library_bytes(&self) -> Vec<u8> {
-        let cache = self.cache.lock().expect("cache poisoned");
+        let cache = self.cache_lock();
         let mut entries: Vec<(Fingerprint, Vec<f32>)> =
             cache.embeddings().map(|(fp, e)| (fp, e.to_vec())).collect();
         drop(cache);
@@ -409,7 +414,7 @@ impl Gnn4Ip {
             entries.push((fp, e));
         }
         r.done()?;
-        let cache = self.cache.get_mut().expect("cache poisoned");
+        let cache = self.cache_mut();
         cache.clear();
         for (fp, e) in entries {
             cache.insert(fp, e);

@@ -33,7 +33,11 @@
 //! blocks are shared by `Arc`, only the open tails are copied — and any
 //! number of reader threads audit against their own snapshots while the
 //! writer keeps ingesting. A snapshot can never observe a torn tail,
-//! because it does not observe the writer's tail at all.
+//! because it does not observe the writer's tail at all. The writer hands
+//! snapshots to readers through the epoch-stamped
+//! [`PublicationSlot`](crate::PublicationSlot)
+//! ([`AuditPipeline::publish`] / [`AuditPipeline::serving_slot`]), whose
+//! interleavings are exhaustively model-checked in `gnn4ip-analysis`.
 //!
 //! [`run_audit_scenarios`] is the acceptance harness: it pushes
 //! behaviour-preserving `vary_design`/`obfuscate_netlist` variants of a
@@ -55,6 +59,7 @@ use gnn4ip_nn::{fan_out, GraphInput};
 use gnn4ip_tensor::{read_artifact, write_artifact, BinReader, BinWriter};
 
 use crate::api::Gnn4Ip;
+use crate::serve::PublicationSlot;
 
 /// Kind tag of the persisted audit-index artifact (names + shard index,
 /// pinned to the detector weights that produced the embeddings).
@@ -246,6 +251,10 @@ pub struct AuditPipeline {
     config: AuditConfig,
     index: ShardedEmbeddingIndex,
     names: NameLog,
+    /// The serving slot [`publish`](AuditPipeline::publish) feeds;
+    /// `Arc`-shared with readers via
+    /// [`serving_slot`](AuditPipeline::serving_slot).
+    slot: Arc<PublicationSlot<AuditSnapshot>>,
 }
 
 impl AuditPipeline {
@@ -266,6 +275,7 @@ impl AuditPipeline {
             config,
             names,
             index,
+            slot: Arc::new(PublicationSlot::new()),
         }
     }
 
@@ -326,12 +336,13 @@ impl AuditPipeline {
     /// from) further [`ingest`](AuditPipeline::ingest) calls on the
     /// pipeline: its verdicts are stable forever, so a reader can never
     /// observe a torn tail or a half-published design. The intended
-    /// serving loop is: writer ingests a batch, publishes a fresh
-    /// snapshot (e.g. into a `Mutex<Arc<AuditSnapshot>>`); readers clone
-    /// the current `Arc` and audit against it. The index side is
-    /// lock-free ([`AuditSnapshot::audit_embedding`] touches no shared
-    /// mutable state); source-level [`AuditSnapshot::audit`] additionally
-    /// takes the detector's shared embedding-cache mutex, held only for
+    /// serving loop is: writer ingests a batch, calls
+    /// [`publish`](AuditPipeline::publish); readers poll the
+    /// [`serving_slot`](AuditPipeline::serving_slot) and audit against
+    /// what it returns. The index side is lock-free
+    /// ([`AuditSnapshot::audit_embedding`] touches no shared mutable
+    /// state); source-level [`AuditSnapshot::audit`] additionally takes
+    /// the detector's shared embedding-cache mutex, held only for
     /// hash-map lookups.
     pub fn snapshot(&self) -> AuditSnapshot {
         AuditSnapshot {
@@ -340,6 +351,29 @@ impl AuditPipeline {
             names: self.names.clone(),
             top_k: self.config.top_k,
         }
+    }
+
+    /// Captures a [`snapshot`](AuditPipeline::snapshot) and publishes it
+    /// into the serving slot, returning the publication epoch. This is
+    /// the writer half of the serving loop; reader threads hold the
+    /// [`serving_slot`](AuditPipeline::serving_slot) and pick the new
+    /// snapshot up via [`PublicationSlot::load_if_newer`].
+    ///
+    /// The slot lock is held for a pointer store only — the snapshot is
+    /// built before it is taken — so readers are never blocked behind
+    /// snapshot construction.
+    pub fn publish(&self) -> u64 {
+        self.slot.publish(self.snapshot())
+    }
+
+    /// The epoch-stamped slot this pipeline publishes snapshots into —
+    /// the standardized writer→readers handoff of the serving loop,
+    /// verified interleaving-by-interleaving by the loom-lite checker in
+    /// `gnn4ip-analysis`. Clone the `Arc` into each reader thread;
+    /// nothing is published until the first
+    /// [`publish`](AuditPipeline::publish).
+    pub fn serving_slot(&self) -> Arc<PublicationSlot<AuditSnapshot>> {
+        Arc::clone(&self.slot)
     }
 
     /// Streams designs into the index in batches of
@@ -545,6 +579,7 @@ fn build_verdict(
             .map(|h| AuditMatch {
                 name: names
                     .get(h.label)
+                    // g4check: allow(unwrap-in-lib): ingest appends the name before the row, and load_index_bytes rejects artifacts whose labels exceed the name table
                     .expect("labels are validated against the name table at ingest and load")
                     .to_string(),
                 label: h.label,
@@ -593,6 +628,7 @@ fn build_verdict(
 /// assert_eq!(snapshot.audit(inv, None)?.best().expect("hit").name, "inv");
 /// # Ok::<(), gnn4ip_hdl::ParseVerilogError>(())
 /// ```
+#[must_use = "a snapshot only freezes state so it can be audited or published"]
 #[derive(Debug, Clone)]
 pub struct AuditSnapshot {
     detector: Arc<Gnn4Ip>,
@@ -990,16 +1026,20 @@ mod tests {
         assert_eq!(p.snapshot().len(), 4);
     }
 
-    /// The serving smoke test: N reader threads audit from published
-    /// snapshots while one writer ingests, and every verdict every reader
-    /// ever sees is internally consistent — scores sorted, labels
-    /// resolvable against that snapshot's own name table, match counts
-    /// bounded — and stable on re-audit (no torn tail is observable,
-    /// because a snapshot has no shared mutable state at all).
+    /// The serving smoke test: N reader threads audit from snapshots
+    /// published through the pipeline's [`PublicationSlot`] while one
+    /// writer ingests, and every verdict every reader ever sees is
+    /// internally consistent — scores sorted, labels resolvable against
+    /// that snapshot's own name table, match counts bounded — and stable
+    /// on re-audit (no torn tail is observable, because a snapshot has no
+    /// shared mutable state at all). Readers track the epoch they serve
+    /// and pick up newer snapshots via `load_if_newer`, asserting the
+    /// epoch never goes backwards and the corpus they serve never
+    /// shrinks — the live-system face of the invariants the loom-lite
+    /// checker proves over every bounded interleaving.
     #[test]
     fn concurrent_readers_audit_while_writer_ingests() {
         use std::sync::atomic::{AtomicBool, Ordering};
-        use std::sync::Mutex;
 
         let config = AuditConfig {
             shard_capacity: 4,
@@ -1013,18 +1053,32 @@ mod tests {
             AuditSource::new("xor2", XOR2, None),
         ]);
         let probe = p.detector().hw2vec(XOR2, None).expect("probe embeds");
-        let slot: Mutex<Arc<AuditSnapshot>> = Mutex::new(Arc::new(p.snapshot()));
+        assert_eq!(p.publish(), 1, "first publication is epoch 1");
+        let slot = p.serving_slot();
         let done = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             for _reader in 0..4 {
-                scope.spawn(|| {
+                let slot = Arc::clone(&slot);
+                let (done, probe) = (&done, &probe);
+                scope.spawn(move || {
+                    let first = slot.load().expect("seeded publication");
+                    let mut epoch = first.epoch();
+                    let mut snap = Arc::clone(first.value());
+                    let mut served = snap.len();
                     let mut audits = 0usize;
                     // keep reading until the writer finishes, with a floor
                     // so every reader overlaps real ingest work
                     while !done.load(Ordering::Relaxed) || audits < 40 {
-                        let snap = Arc::clone(&slot.lock().expect("slot"));
-                        let verdict = snap.audit_embedding(&probe);
+                        // the common path: one atomic load when nothing new
+                        if let Some(p) = slot.load_if_newer(epoch) {
+                            assert!(p.epoch() > epoch, "epoch must be monotone");
+                            epoch = p.epoch();
+                            snap = Arc::clone(p.value());
+                            assert!(snap.len() >= served, "served corpus shrank");
+                            served = snap.len();
+                        }
+                        let verdict = snap.audit_embedding(probe);
                         assert!(!verdict.matches.is_empty(), "seeded index");
                         assert!(verdict.matches.len() <= 3);
                         assert!(verdict.matches.len() <= snap.len());
@@ -1046,14 +1100,14 @@ mod tests {
                         }
                         // immutability: the same snapshot must answer the
                         // same question identically, forever
-                        assert_eq!(snap.audit_embedding(&probe), verdict);
+                        assert_eq!(snap.audit_embedding(probe), verdict);
                         audits += 1;
                     }
                 });
             }
             // the writer: ingest batches and publish a fresh snapshot
             // after each, crossing several shard-seal boundaries
-            for wave in 0..8 {
+            for wave in 0..8u64 {
                 let batch: Vec<AuditSource> = (0..3)
                     .map(|i| {
                         let name = format!("gen_{wave}_{i}");
@@ -1061,21 +1115,22 @@ mod tests {
                         let src = format!(
                             "module m{wave}_{i}(input a, input b, output y); \
                              assign y = a {} b; endmodule",
-                            ops[(wave + i) % 3]
+                            ops[(wave as usize + i) % 3]
                         );
                         AuditSource::new(name, src, None)
                     })
                     .collect();
                 let report = p.ingest(batch);
                 assert_eq!(report.ingested, 3);
-                *slot.lock().expect("slot") = Arc::new(p.snapshot());
+                assert_eq!(p.publish(), 2 + wave, "one epoch per publication");
             }
             done.store(true, Ordering::Relaxed);
         });
 
         assert_eq!(p.len(), 2 + 8 * 3);
         // the final published snapshot serves the full corpus
-        let last = Arc::clone(&slot.lock().expect("slot"));
+        let last = slot.load().expect("published");
+        assert_eq!(last.epoch(), 9);
         assert_eq!(last.len(), p.len());
         let v = last.audit_embedding(&probe);
         assert_eq!(v.best().expect("hit").name, "xor2");

@@ -48,6 +48,7 @@ mod audit;
 mod cache;
 mod experiment;
 mod library;
+mod serve;
 
 pub use api::{Gnn4Ip, Verdict, DETECTOR_KIND, LIBRARY_KIND};
 pub use audit::{
@@ -60,3 +61,4 @@ pub use experiment::{
     PipelineArtifacts,
 };
 pub use library::{IpLibrary, LibraryMatch};
+pub use serve::{Publication, PublicationSlot};

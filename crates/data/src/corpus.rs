@@ -253,6 +253,7 @@ fn extract_all(designs: &[Design], instances: &[Instance]) -> Result<Vec<Dfg>, P
             .collect();
         handles
             .into_iter()
+            // g4check: allow(unwrap-in-lib): join only fails if the worker panicked; re-raising that panic on the caller is the correct propagation
             .map(|h| h.join().expect("extraction worker panicked"))
             .collect()
     });

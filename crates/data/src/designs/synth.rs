@@ -51,9 +51,7 @@ impl SynthSize {
 /// purely combinational.
 pub fn synth_design(family_seed: u64, size: SynthSize) -> String {
     let mut rng = StdRng::seed_from_u64(family_seed.wrapping_mul(0x9E3779B97F4A7C15));
-    let width = *[8usize, 12, 16]
-        .get(rng.gen_range(0..3usize))
-        .expect("width");
+    let width = [8usize, 12, 16][rng.gen_range(0..3usize)];
     let n_inputs = rng.gen_range(3..6);
     let n_outputs = rng.gen_range(2..4);
     let layers = size.layers(&mut rng);

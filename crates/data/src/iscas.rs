@@ -403,6 +403,7 @@ pub fn c6288_sized(width: usize) -> String {
         // the low bit of this row is final output bit j
         e.gate("buf", &format!("p{j}"), &[&next[0]]);
         let mut shifted: Vec<String> = next[1..].to_vec();
+        // g4check: allow(unwrap-in-lib): width >= 2, so the adder row above always ran at least once and set the carry
         shifted.push(carry.expect("carry chain"));
         if j == width - 1 {
             for (k, s) in shifted.iter().enumerate() {
@@ -437,6 +438,7 @@ pub fn synth_netlist(seed: u64, gates: usize) -> String {
         let kind = ["and", "or", "nand", "nor", "xor", "xnor", "not"][rng.gen_range(0..7usize)];
         // chain each gate off the most recent net so the whole DAG stays
         // reachable from the outputs (otherwise trim would discard most of it)
+        // g4check: allow(unwrap-in-lib): avail starts as the non-empty input list and only grows
         let a = avail.last().expect("inputs nonempty").clone();
         if kind == "not" {
             e.gate("not", &t, &[&a]);

@@ -156,9 +156,7 @@ fn vary_module(
             let a = input_names[rng.gen_range(0..input_names.len())].clone();
             let b = input_names[rng.gen_range(0..input_names.len())].clone();
             let name = format!("unused_{d}_{}", rng.gen_range(0..10_000u32));
-            let op = *[BinaryOp::And, BinaryOp::Or, BinaryOp::Xor]
-                .get(rng.gen_range(0..3usize))
-                .expect("op");
+            let op = [BinaryOp::And, BinaryOp::Or, BinaryOp::Xor][rng.gen_range(0..3usize)];
             m.items.push(Item::Decl {
                 kind: NetKind::Wire,
                 name: name.clone(),

@@ -110,6 +110,7 @@ impl EmbeddingIndex {
     pub fn from_embeddings(embeddings: &[Vec<f32>], labels: &[usize]) -> Self {
         let dim = embeddings
             .first()
+            // g4check: allow(unwrap-in-lib): the empty-set panic is this constructor's documented contract; from_embeddings_dim is the non-panicking form
             .expect("cannot infer dimension from an empty set; use from_embeddings_dim")
             .len();
         Self::from_embeddings_dim(dim, embeddings, labels)

@@ -220,6 +220,7 @@ impl Default for QueryOptions {
 /// What one [`ShardedEmbeddingIndex::query_opts`] call did. Results never
 /// depend on these numbers; they exist so benches and operators can see
 /// pruning and threading actually engage.
+#[must_use = "query stats exist only to be inspected; dropping them silences the pruning telemetry"]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Sealed shards in the index at query time.
@@ -665,6 +666,7 @@ impl ShardedEmbeddingIndex {
                 // seed the floor from the most promising shard, prune the
                 // rest against that fixed floor (a lower bound of the
                 // final floor, so still sound), then fan the survivors out
+                // g4check: allow(unwrap-in-lib): threaded() required rows >= PARALLEL_QUERY_MIN_ROWS, which implies at least one sealed shard in order
                 let (&(first, _), rest) = order.split_first().expect("sealed is non-empty");
                 let run = self.sealed_run(first, query, qnorm, k);
                 stats.rows_scanned += self.shard_capacity;

@@ -149,6 +149,7 @@ impl<'s> Lexer<'s> {
             self.bump();
             // optional signedness
             if matches!(self.peek(), Some(b's') | Some(b'S')) {
+                // g4check: allow(unwrap-in-lib): the peek in the guard just proved a byte is available
                 text.push(self.bump().expect("peeked") as char);
             }
             let base = self
@@ -212,6 +213,7 @@ impl<'s> Lexer<'s> {
     }
 
     fn punct(&mut self, span: Span) -> Result<Token, ParseVerilogError> {
+        // g4check: allow(unwrap-in-lib): next_token only dispatches here after peeking a byte
         let c = self.bump().expect("caller peeked");
         let p = match c {
             b'(' => Punct::LParen,

@@ -902,6 +902,7 @@ impl Parser {
                     self.expect_punct(Punct::RBrace)?;
                     self.expect_punct(Punct::RBrace)?;
                     let body = if parts.len() == 1 {
+                        // g4check: allow(unwrap-in-lib): pop of a vec whose length the branch just checked is 1
                         parts.pop().expect("one part")
                     } else {
                         Expr::Concat(parts)

@@ -352,6 +352,7 @@ impl TrainEngine {
             self.next_epoch = epoch + 1;
 
             if self.cfg.patience > 0 {
+                // g4check: allow(unwrap-in-lib): TrainEngine::new rejects patience > 0 without a validation split, so val is always computed on this path
                 let val = val.expect("validated above");
                 match &mut self.best {
                     Some(b) if val >= b.val_loss => {
@@ -385,6 +386,7 @@ impl TrainEngine {
                     .cfg
                     .checkpoint_path
                     .clone()
+                    // g4check: allow(unwrap-in-lib): TrainEngine::new rejects checkpoint_every > 0 without a checkpoint_path
                     .expect("checked in TrainEngine::new");
                 self.save_checkpoint(&path)?;
             }
@@ -443,6 +445,7 @@ impl TrainEngine {
                     }
                 }
             }
+            // g4check: allow(unwrap-in-lib): chunks() on the non-empty batch yields at least one group, so the accumulator was seeded
             let mut grads = sums.expect("non-empty group");
             let inv = 1.0 / count.max(1) as f32;
             for g in &mut grads {
@@ -652,6 +655,7 @@ fn microbatch_gradients(
                 None => loss,
             });
         }
+        // g4check: allow(unwrap-in-lib): fan_out chunks are non-empty by construction, so the loop above ran and seeded total
         let total = total.expect("fan_out never passes an empty chunk");
         let loss_sum = total.item();
         let grads = tape.backward(total);
@@ -659,6 +663,7 @@ fn microbatch_gradients(
         (sums, loss_sum)
     });
     let mut iter = results.into_iter();
+    // g4check: allow(unwrap-in-lib): fan_out on a non-empty pair list returns at least one chunk result
     let (mut sums, mut loss) = iter.next().expect("at least one chunk");
     for (s, l) in iter {
         for (a, b) in sums.iter_mut().zip(&s) {

@@ -47,7 +47,7 @@ pub use optim::{Adam, GradAccum, Optimizer, ParamId, ParamStore, Sgd};
 pub use parallel::{fan_out, worker_count};
 pub use serialize::{
     fnv1a64, read_adam, read_artifact, read_sgd, write_adam, write_artifact, write_sgd, BinReader,
-    BinWriter, BASE_VERSION, FORMAT_VERSION, MAGIC, OPT_TAG_ADAM, OPT_TAG_SGD,
+    BinWriter, BASE_VERSION, FORMATS, FORMAT_VERSION, MAGIC, OPT_TAG_ADAM, OPT_TAG_SGD,
 };
 pub use sparse::{mean_adjacency, normalized_adjacency, CsrMatrix};
 pub use tape::{dropout_mask, Gradients, Tape, Var};

@@ -95,6 +95,7 @@ where
                 .collect();
             handles
                 .into_iter()
+                // g4check: allow(unwrap-in-lib): join only fails if the worker panicked; re-raising that panic on the caller is the correct propagation
                 .map(|h| h.join().expect("fan-out worker panicked"))
                 .collect()
         })

@@ -48,6 +48,27 @@ pub const FORMAT_VERSION: u16 = 2;
 /// The baseline format version written by [`BinWriter::new`].
 pub const BASE_VERSION: u16 = 1;
 
+/// The central registry of every `G4IP` artifact `(kind, written
+/// version)` pair produced anywhere in the workspace — the single place
+/// a new kind or a version bump must be declared.
+///
+/// `g4check` (the `gnn4ip-analysis` lint driver) cross-checks this table
+/// against the actual [`BinWriter::new`] / [`BinWriter::with_version`]
+/// call sites in source *and* against the artifact-format table in the
+/// README: a writer producing a pair missing here, a stale row no writer
+/// produces anymore, or a README table that drifted all fail CI. That
+/// makes an artifact version bump a three-line, impossible-to-forget
+/// change: the writer, this table, the README row.
+pub const FORMATS: &[(&str, u16)] = &[
+    ("hw2vec-model", 1),
+    ("engine-config", 1),
+    ("gnn4ip-checkpoint", 1),
+    ("gnn4ip-detector", 1),
+    ("gnn4ip-library", 1),
+    ("gnn4ip-shard-index", 2),
+    ("gnn4ip-audit-index", 2),
+];
+
 /// FNV-1a 64-bit hash — the content checksum of every artifact file.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -113,6 +134,7 @@ impl BinWriter {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&version.to_le_bytes());
+        // g4check: allow(unwrap-in-lib): the oversized-kind panic is this constructor's documented contract; kinds are short compile-time constants
         let k = u16::try_from(kind.len()).expect("kind tag too long");
         buf.extend_from_slice(&k.to_le_bytes());
         buf.extend_from_slice(kind.as_bytes());
@@ -150,6 +172,7 @@ impl BinWriter {
     ///
     /// Panics if the string exceeds `u32::MAX` bytes.
     pub fn str(&mut self, s: &str) {
+        // g4check: allow(unwrap-in-lib): the >4GiB-string panic is this method's documented contract
         self.u32(u32::try_from(s.len()).expect("string too long"));
         self.buf.extend_from_slice(s.as_bytes());
     }
@@ -222,6 +245,7 @@ impl<'a> BinReader<'a> {
             return Err(format!("artifact too short ({} bytes)", bytes.len()));
         }
         let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        // g4check: allow(unwrap-in-lib): split_at(len - 8) yields exactly 8 bytes; the length was checked above
         let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
         let actual = fnv1a64(body);
         if stored != actual {
@@ -302,6 +326,7 @@ impl<'a> BinReader<'a> {
     ///
     /// Fails on truncated payload.
     pub fn u32(&mut self) -> Result<u32, String> {
+        // g4check: allow(unwrap-in-lib): take(4) returned exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
@@ -311,6 +336,7 @@ impl<'a> BinReader<'a> {
     ///
     /// Fails on truncated payload.
     pub fn u64(&mut self) -> Result<u64, String> {
+        // g4check: allow(unwrap-in-lib): take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 

@@ -51,6 +51,7 @@ impl CsrMatrix {
         let mut row_of: Vec<usize> = Vec::with_capacity(sorted.len());
         for (r, c, v) in sorted {
             if row_of.last() == Some(&r) && indices.last() == Some(&c) {
+                // g4check: allow(unwrap-in-lib): values grows in lockstep with indices, whose last() the guard just matched
                 *values.last_mut().expect("values nonempty when merging") += v;
             } else {
                 row_of.push(r);
