@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 # the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve analysis benches)
+STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve corpus analysis benches)
 
 stage_build() {
     cargo build --release --offline
@@ -67,6 +67,13 @@ stage_serve() {
     # the pruning/parallel-query bit-identity proptests
     cargo test -q --release --offline -p gnn4ip-core concurrent_readers
     cargo test -q --release --offline --test properties -- sharded pruned
+}
+
+stage_corpus() {
+    # corpus-scale retrieval smoke at 100k rows: IVF rebalance routing,
+    # int8 quantized shards, and append-only checkpoints — every
+    # bit-identity and incrementality claim is asserted by the harness
+    cargo run --release --offline --example corpus_scale -- --rows 100000
 }
 
 stage_analysis() {

@@ -213,6 +213,30 @@ fn unregistered_format_is_reported_with_line() {
 }
 
 #[test]
+fn unregistered_corpus_kinds_are_reported() {
+    // the corpus checkpoint layout introduced two kinds; a writer call
+    // site for either must be flagged when the registry (which here only
+    // knows demo-kind) hasn't caught up
+    for (name, kind) in [
+        ("corpus-manifest", "gnn4ip-corpus-manifest"),
+        ("corpus-shard", "gnn4ip-corpus-shard"),
+    ] {
+        let src =
+            format!("pub fn save() {{\n    let _w = BinWriter::with_version(\"{kind}\", 1);\n}}\n");
+        let fx = Fixture::with(
+            &format!("registry-{name}"),
+            &[("crates/demo/src/corpus.rs", src.as_str())],
+        );
+        assert_single(
+            &fx.lint(),
+            Rule::FormatRegistry,
+            "crates/demo/src/corpus.rs",
+            2,
+        );
+    }
+}
+
+#[test]
 fn stale_registry_row_is_reported() {
     let fx = Fixture::with(
         "registry-stale",

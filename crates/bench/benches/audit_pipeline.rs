@@ -105,6 +105,7 @@ fn bench_query_pruned_vs_exhaustive(c: &mut Criterion) {
         prune: false,
         threads: 1,
         parallel_min_rows: usize::MAX,
+        int8_scan: true,
     };
     let pruned = QueryOptions {
         prune: true,
@@ -151,11 +152,13 @@ fn bench_query_parallel_vs_serial(c: &mut Criterion) {
         prune: false,
         threads: 1,
         parallel_min_rows: usize::MAX,
+        int8_scan: true,
     };
     let parallel = QueryOptions {
         prune: false,
         threads: 0,
         parallel_min_rows: 0,
+        int8_scan: true,
     };
     let (a, _) = index.query_opts(&query, 10, &serial);
     let (b, stats) = index.query_opts(&query, 10, &parallel);

@@ -53,7 +53,9 @@ use gnn4ip_data::{
     SynthSize, VariationConfig,
 };
 use gnn4ip_dfg::graph_from_verilog;
-use gnn4ip_eval::ShardedEmbeddingIndex;
+use gnn4ip_eval::{
+    QueryOptions, RebalanceOptions, RebalanceReport, ShardStorage, ShardedEmbeddingIndex,
+};
 use gnn4ip_hdl::ParseVerilogError;
 use gnn4ip_nn::{fan_out, GraphInput};
 use gnn4ip_tensor::{read_artifact, write_artifact, BinReader, BinWriter};
@@ -86,6 +88,15 @@ pub struct AuditConfig {
     /// degenerate but legal setting: every verdict carries no matches and
     /// never flags piracy.
     pub top_k: usize,
+    /// Query tuning (pruning, threading, the parallel-scan row gate,
+    /// int8 scanning) applied to every verdict query. Results are
+    /// bit-identical for every setting; only the work spent changes.
+    pub query: QueryOptions,
+    /// Row storage newly sealed shards adopt —
+    /// [`ShardStorage::Int8`] trades ~4x less scan memory traffic for a
+    /// per-shard dequantization slack, with verdicts still bit-identical
+    /// (shortlist rescoring).
+    pub storage: ShardStorage,
 }
 
 impl Default for AuditConfig {
@@ -95,6 +106,8 @@ impl Default for AuditConfig {
             batch_size: 64,
             threads: 0,
             top_k: 5,
+            query: QueryOptions::default(),
+            storage: ShardStorage::F32,
         }
     }
 }
@@ -268,7 +281,7 @@ impl AuditPipeline {
     pub fn new(detector: Gnn4Ip, config: AuditConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
         let dim = detector.model().config().hidden;
-        let index = ShardedEmbeddingIndex::new(dim, config.shard_capacity);
+        let index = ShardedEmbeddingIndex::with_storage(dim, config.shard_capacity, config.storage);
         let names = NameLog::new(config.shard_capacity);
         Self {
             detector: Arc::new(detector),
@@ -350,6 +363,7 @@ impl AuditPipeline {
             index: self.index.snapshot(),
             names: self.names.clone(),
             top_k: self.config.top_k,
+            query: self.config.query,
         }
     }
 
@@ -374,6 +388,20 @@ impl AuditPipeline {
     /// [`publish`](AuditPipeline::publish).
     pub fn serving_slot(&self) -> Arc<PublicationSlot<AuditSnapshot>> {
         Arc::clone(&self.slot)
+    }
+
+    /// Re-clusters the sealed shards into centroid-aligned groups
+    /// ([`ShardedEmbeddingIndex::rebalance`]) and immediately publishes
+    /// the re-clustered snapshot, returning the rebalance report and the
+    /// new publication epoch. Readers holding earlier snapshots are
+    /// unaffected (their `Arc`-shared shards are immutable); readers
+    /// polling the [`serving_slot`](AuditPipeline::serving_slot) pick up
+    /// the better-pruning layout atomically. Verdict names and scores
+    /// are preserved (bit-identically on [`ShardStorage::F32`]).
+    pub fn recluster(&mut self, opts: &RebalanceOptions) -> (RebalanceReport, u64) {
+        let report = self.index.rebalance(opts);
+        let epoch = self.publish();
+        (report, epoch)
     }
 
     /// Streams designs into the index in batches of
@@ -461,6 +489,7 @@ impl AuditPipeline {
             &self.names,
             self.detector.delta(),
             self.config.top_k,
+            &self.config.query,
             embedding,
         )
     }
@@ -568,13 +597,15 @@ fn build_verdict(
     names: &NameLog,
     delta: f32,
     top_k: usize,
+    query: &QueryOptions,
     embedding: &[f32],
 ) -> AuditVerdict {
     let matches: Vec<AuditMatch> = if top_k == 0 || index.is_empty() {
         Vec::new()
     } else {
         index
-            .query(embedding, top_k)
+            .query_opts(embedding, top_k, query)
+            .0
             .into_iter()
             .map(|h| AuditMatch {
                 name: names
@@ -635,6 +666,7 @@ pub struct AuditSnapshot {
     index: ShardedEmbeddingIndex,
     names: NameLog,
     top_k: usize,
+    query: QueryOptions,
 }
 
 impl AuditSnapshot {
@@ -690,6 +722,7 @@ impl AuditSnapshot {
             &self.names,
             self.detector.delta(),
             self.top_k,
+            &self.query,
             embedding,
         )
     }
@@ -886,6 +919,7 @@ mod tests {
             batch_size: 2,
             threads: 1,
             top_k: 3,
+            ..AuditConfig::default()
         }
     }
 
@@ -1046,6 +1080,7 @@ mod tests {
             batch_size: 3,
             threads: 1,
             top_k: 3,
+            ..AuditConfig::default()
         };
         let mut p = AuditPipeline::new(Gnn4Ip::with_seed(6), config);
         p.ingest([
@@ -1177,6 +1212,69 @@ mod tests {
         );
         assert_eq!(fresh.load_index(&path).expect("loads"), 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recluster_preserves_verdicts_and_republishes() {
+        let config = AuditConfig {
+            shard_capacity: 2,
+            batch_size: 4,
+            threads: 1,
+            top_k: 3,
+            ..AuditConfig::default()
+        };
+        let mut p = AuditPipeline::new(Gnn4Ip::with_seed(6), config.clone());
+        let batch: Vec<AuditSource> = (0..12)
+            .map(|i| {
+                let ops = ["&", "|", "^"];
+                AuditSource::new(
+                    format!("gen{i}"),
+                    format!(
+                        "module g{i}(input a, input b, output y); \
+                         assign y = a {} b; endmodule",
+                        ops[i % 3]
+                    ),
+                    None,
+                )
+            })
+            .collect();
+        assert_eq!(p.ingest(batch.clone()).ingested, 12);
+        let probe = p.detector().hw2vec(XOR2, None).expect("probe embeds");
+        let before = p.audit_embedding(&probe);
+        assert_eq!(p.publish(), 1);
+        let (report, epoch) = p.recluster(&RebalanceOptions::default());
+        assert_eq!(epoch, 2, "recluster must republish");
+        assert_eq!(report.centroids, p.index().num_sealed_shards());
+        assert_eq!(report.sealed_rows, 12);
+        // f32 storage: every verdict field survives bit-identically —
+        // rebalance moves storage positions, never labels or scores
+        let key = |v: &AuditVerdict| -> Vec<(String, usize, u32, bool)> {
+            v.matches
+                .iter()
+                .map(|m| (m.name.clone(), m.label, m.score.to_bits(), m.piracy))
+                .collect()
+        };
+        let after = p.audit_embedding(&probe);
+        assert_eq!(key(&before), key(&after));
+        assert_eq!(before.piracy, after.piracy);
+        // readers polling the slot see the re-clustered corpus
+        let slot = p.serving_slot();
+        let published = slot.load().expect("published");
+        assert_eq!(published.epoch(), 2);
+        assert_eq!(key(&published.value().audit_embedding(&probe)), key(&after));
+        // an int8 pipeline over the same corpus retrieves the same best
+        // match (scores may differ within the quantization step)
+        let mut q = AuditPipeline::new(
+            Gnn4Ip::with_seed(6),
+            AuditConfig {
+                storage: ShardStorage::Int8,
+                ..config
+            },
+        );
+        assert_eq!(q.ingest(batch).ingested, 12);
+        q.recluster(&RebalanceOptions::default());
+        let quant = q.audit_embedding(&probe);
+        assert_eq!(quant.best().map(|m| &m.name), after.best().map(|m| &m.name));
     }
 
     #[test]

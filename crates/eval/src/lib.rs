@@ -21,6 +21,7 @@
 
 mod confusion;
 mod index;
+mod manifest;
 mod pca;
 mod retrieval;
 mod roc;
@@ -30,11 +31,16 @@ mod tsne;
 
 pub use confusion::ConfusionMatrix;
 pub use index::{EmbeddingIndex, QueryHit};
+pub use manifest::{
+    shard_file_name, CheckpointReport, ManifestError, CORPUS_MANIFEST_KIND, CORPUS_SHARD_KIND,
+    MANIFEST_FILE,
+};
 pub use pca::{cluster_separation, pca, PcaProjection};
 pub use retrieval::retrieval_precision_at_k;
 pub use roc::{auc, roc_curve, RocPoint};
 pub use scores::{ScoreRow, ScoreTable};
 pub use sharded::{
-    QueryOptions, QueryStats, ShardedEmbeddingIndex, PARALLEL_QUERY_MIN_ROWS, SHARD_INDEX_KIND,
+    QueryOptions, QueryStats, RebalanceOptions, RebalanceReport, ShardStorage,
+    ShardedEmbeddingIndex, PARALLEL_QUERY_MIN_ROWS, SHARD_INDEX_KIND,
 };
 pub use tsne::{tsne, TsneConfig};

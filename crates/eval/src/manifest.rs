@@ -1,0 +1,590 @@
+//! Append-only corpus checkpoints: a manifest plus one file per sealed
+//! shard, so checkpointing a growing corpus writes only the shards
+//! sealed since the last checkpoint instead of rewriting every byte.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/
+//!   manifest.g4m             gnn4ip-corpus-manifest: pin, geometry,
+//!                            content-id list, open tail rows
+//!   shard-<id:016x>.g4s      gnn4ip-corpus-shard: one sealed shard,
+//!                            named by its content id
+//! ```
+//!
+//! Shard files are *content-addressed*: the name is the FNV-1a-64 of the
+//! shard's labels and stored row payload, so an unchanged shard maps to
+//! an existing file and is skipped, and two checkpoints of the same
+//! corpus converge on the same file set. The manifest is written **last**
+//! (atomically, like every G4IP artifact), so a crash mid-checkpoint
+//! leaves the previous manifest intact with at worst some orphaned —
+//! harmless — shard files. Shard files superseded by a
+//! [`rebalance`](crate::ShardedEmbeddingIndex::rebalance) are likewise
+//! left behind rather than deleted; the manifest alone decides which
+//! files are live.
+//!
+//! Loading cross-checks every shard file against the manifest: a missing
+//! file, a file whose recomputed content id disagrees with its name, or
+//! a file whose geometry disagrees with the manifest each fail with a
+//! dedicated [`ManifestError`] variant instead of a panic or a silently
+//! wrong index.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use gnn4ip_tensor::{read_artifact, write_artifact, BinReader, BinWriter, QuantParams};
+
+use crate::sharded::{RowBlock, SealedShard, Shard, ShardStorage, ShardedEmbeddingIndex};
+
+/// Artifact kind of the corpus manifest file.
+pub const CORPUS_MANIFEST_KIND: &str = "gnn4ip-corpus-manifest";
+/// Artifact kind of one sealed-shard file.
+pub const CORPUS_SHARD_KIND: &str = "gnn4ip-corpus-shard";
+/// Version both corpus kinds are written at.
+const CORPUS_VERSION: u16 = 1;
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.g4m";
+
+/// File name of the sealed shard with the given content id.
+pub fn shard_file_name(content_id: u64) -> String {
+    format!("shard-{content_id:016x}.g4s")
+}
+
+/// Why a corpus checkpoint could not be written or loaded. Every variant
+/// names the offending file where one exists, so an operator can tell a
+/// deleted shard from a corrupted one from a manifest for the wrong
+/// weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Filesystem failure (other than a missing shard file).
+    Io(String),
+    /// A file parsed but its contents are malformed or implausible.
+    Format(String),
+    /// The manifest pins different model weights than expected.
+    PinMismatch {
+        /// Checksum the manifest was written under.
+        pinned: u64,
+        /// Checksum the caller expected.
+        expected: u64,
+    },
+    /// The manifest references a shard file that does not exist.
+    MissingShard {
+        /// File name relative to the checkpoint directory.
+        file: String,
+    },
+    /// A shard file's recomputed content id disagrees with the id it was
+    /// stored under — the payload was corrupted or substituted.
+    ShardChecksumMismatch {
+        /// File name relative to the checkpoint directory.
+        file: String,
+        /// Content id the manifest (and file name) promise.
+        expected: u64,
+        /// Content id recomputed from the file's payload.
+        actual: u64,
+    },
+    /// A shard file is internally consistent but does not belong to this
+    /// manifest (wrong geometry or self-declared id).
+    ShardMismatch {
+        /// File name relative to the checkpoint directory.
+        file: String,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "corpus checkpoint I/O error: {e}"),
+            Self::Format(e) => write!(f, "corpus checkpoint format error: {e}"),
+            Self::PinMismatch { pinned, expected } => write!(
+                f,
+                "corpus manifest was built by weights {pinned:#018x}, \
+                 expected {expected:#018x}; re-embed instead of loading"
+            ),
+            Self::MissingShard { file } => {
+                write!(f, "corpus manifest references missing shard file {file}")
+            }
+            Self::ShardChecksumMismatch {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard file {file} content id mismatch: \
+                 stored under {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            Self::ShardMismatch { file, detail } => {
+                write!(
+                    f,
+                    "shard file {file} does not belong to this manifest: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// What one [`ShardedEmbeddingIndex::checkpoint_dir`] call wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Sealed-shard files newly written by this checkpoint.
+    pub shards_written: usize,
+    /// Sealed shards whose content-addressed file already existed.
+    pub shards_reused: usize,
+    /// Bytes written for new shard files (manifest excluded).
+    pub bytes_written: usize,
+    /// Bytes of the (always rewritten) manifest.
+    pub manifest_bytes: usize,
+}
+
+/// Serializes one sealed shard into its content-addressed artifact.
+fn shard_bytes(shard: &SealedShard, dim: usize) -> Vec<u8> {
+    let mut w = BinWriter::with_version(CORPUS_SHARD_KIND, CORPUS_VERSION);
+    w.u64(shard.content_id);
+    w.len_of(dim);
+    w.len_of(shard.labels.len());
+    for &l in &shard.labels {
+        w.u64(l as u64);
+    }
+    match &shard.rows {
+        RowBlock::F32(data) => {
+            w.u8(0);
+            for &v in data {
+                w.f32(v);
+            }
+        }
+        RowBlock::Int8 { q, params, .. } => {
+            w.u8(1);
+            w.f32(params.scale);
+            w.u8(params.zero_point as u8);
+            let codes: Vec<u8> = q.iter().map(|&c| c as u8).collect();
+            w.bytes(&codes);
+        }
+    }
+    for &v in &shard.centroid {
+        w.f32(v);
+    }
+    w.f32(shard.radius);
+    w.f32(shard.max_norm);
+    w.finish()
+}
+
+/// Parses and validates one shard file against the geometry and content
+/// id the manifest promises for it.
+fn parse_shard(
+    bytes: &[u8],
+    file: &str,
+    dim: usize,
+    shard_capacity: usize,
+    expected_id: u64,
+) -> Result<SealedShard, ManifestError> {
+    let fmt = |e: String| ManifestError::Format(format!("{file}: {e}"));
+    let mut r = BinReader::open_versioned(bytes, CORPUS_SHARD_KIND, CORPUS_VERSION).map_err(fmt)?;
+    let declared_id = r.u64().map_err(fmt)?;
+    if declared_id != expected_id {
+        return Err(ManifestError::ShardMismatch {
+            file: file.to_string(),
+            detail: format!(
+                "declares content id {declared_id:#018x}, manifest expects {expected_id:#018x}"
+            ),
+        });
+    }
+    let file_dim = r.len_of().map_err(fmt)?;
+    let rows = r.count_of(8).map_err(fmt)?;
+    if file_dim != dim || rows != shard_capacity {
+        return Err(ManifestError::ShardMismatch {
+            file: file.to_string(),
+            detail: format!("geometry {rows}x{file_dim}, manifest expects {shard_capacity}x{dim}"),
+        });
+    }
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        labels.push(
+            usize::try_from(r.u64().map_err(fmt)?)
+                .map_err(|_| fmt("label overflows usize".to_string()))?,
+        );
+    }
+    let tag = r.u8().map_err(fmt)?;
+    let (data, quant): (Vec<f32>, Option<(Vec<i8>, QuantParams)>) = match tag {
+        0 => {
+            let mut data = Vec::with_capacity(rows * dim);
+            for _ in 0..rows * dim {
+                data.push(r.f32().map_err(fmt)?);
+            }
+            (data, None)
+        }
+        1 => {
+            let scale = r.f32().map_err(fmt)?;
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(fmt(format!("implausible quantization scale {scale}")));
+            }
+            let zero_point = r.u8().map_err(fmt)? as i8;
+            let codes = r.bytes().map_err(fmt)?;
+            if codes.len() != rows * dim {
+                return Err(fmt(format!(
+                    "quantized payload holds {} codes, geometry needs {}",
+                    codes.len(),
+                    rows * dim
+                )));
+            }
+            let q: Vec<i8> = codes.iter().map(|&b| b as i8).collect();
+            (Vec::new(), Some((q, QuantParams { scale, zero_point })))
+        }
+        t => return Err(fmt(format!("unknown row-storage tag {t}"))),
+    };
+    let mut centroid = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        centroid.push(r.f32().map_err(fmt)?);
+    }
+    let radius = r.f32().map_err(fmt)?;
+    let max_norm = r.f32().map_err(fmt)?;
+    r.done().map_err(fmt)?;
+    // same sanity gate as the monolithic loader: a forged non-finite or
+    // negative bound would silently over-prune, which is worse than
+    // failing loudly
+    let sane = |v: f32| v.is_finite() && v >= 0.0;
+    if !sane(radius) || !sane(max_norm) || centroid.iter().any(|v| !v.is_finite()) {
+        return Err(fmt(format!(
+            "corrupt bounds (radius {radius}, max_norm {max_norm}, or non-finite centroid)"
+        )));
+    }
+    let shard = match quant {
+        None => SealedShard::from_f32_parts(data, labels, centroid, radius, max_norm),
+        Some((q, params)) => {
+            SealedShard::from_int8_parts(q, params, labels, dim, centroid, radius, max_norm)
+        }
+    };
+    // the payload must hash to the name it was stored under — catches a
+    // substituted or bit-rotted file whose own artifact checksum is valid
+    if shard.content_id != expected_id {
+        return Err(ManifestError::ShardChecksumMismatch {
+            file: file.to_string(),
+            expected: expected_id,
+            actual: shard.content_id,
+        });
+    }
+    Ok(shard)
+}
+
+impl ShardedEmbeddingIndex {
+    /// Writes an append-only checkpoint of the index into `dir`: one
+    /// content-addressed file per sealed shard (skipping files that
+    /// already exist — an unchanged shard costs zero bytes) and the
+    /// manifest, written last so a crash can never publish a manifest
+    /// whose shards are missing. Checkpointing a corpus that grew by `N`
+    /// rows since the last checkpoint therefore writes `O(N)` bytes, not
+    /// `O(corpus)`.
+    ///
+    /// `pinned_checksum` follows the same discipline as
+    /// [`ShardedEmbeddingIndex::to_bytes`]: the weights checksum of the
+    /// model whose embeddings fill the index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors; never on index contents.
+    pub fn checkpoint_dir(
+        &self,
+        dir: impl AsRef<Path>,
+        pinned_checksum: u64,
+    ) -> Result<CheckpointReport, ManifestError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ManifestError::Io(format!("creating {}: {e}", dir.display())))?;
+        let mut report = CheckpointReport::default();
+        for shard in &self.sealed {
+            let file = dir.join(shard_file_name(shard.content_id));
+            if file.exists() {
+                report.shards_reused += 1;
+                continue;
+            }
+            let bytes = shard_bytes(shard, self.dim);
+            write_artifact(&file, &bytes).map_err(ManifestError::Io)?;
+            report.shards_written += 1;
+            report.bytes_written += bytes.len();
+        }
+        let mut w = BinWriter::with_version(CORPUS_MANIFEST_KIND, CORPUS_VERSION);
+        w.u64(pinned_checksum);
+        w.len_of(self.dim);
+        w.len_of(self.shard_capacity);
+        w.u8(match self.storage {
+            ShardStorage::F32 => 0,
+            ShardStorage::Int8 => 1,
+        });
+        w.len_of(self.sealed.len());
+        for shard in &self.sealed {
+            w.u64(shard.content_id);
+        }
+        w.len_of(self.tail.labels.len());
+        for &l in &self.tail.labels {
+            w.u64(l as u64);
+        }
+        for &v in &self.tail.data {
+            w.f32(v);
+        }
+        let manifest = w.finish();
+        report.manifest_bytes = manifest.len();
+        write_artifact(&dir.join(MANIFEST_FILE), &manifest).map_err(ManifestError::Io)?;
+        Ok(report)
+    }
+
+    /// Loads a checkpoint written by
+    /// [`ShardedEmbeddingIndex::checkpoint_dir`], validating every shard
+    /// file against the manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::PinMismatch`] when the manifest was built by
+    /// different weights; [`ManifestError::MissingShard`] when a
+    /// referenced shard file does not exist;
+    /// [`ManifestError::ShardChecksumMismatch`] when a shard file's
+    /// payload no longer hashes to its content id;
+    /// [`ManifestError::ShardMismatch`] when a (valid) shard file does
+    /// not belong to this manifest; [`ManifestError::Format`] /
+    /// [`ManifestError::Io`] for corrupt files and filesystem failures.
+    pub fn load_dir(dir: impl AsRef<Path>, expected_checksum: u64) -> Result<Self, ManifestError> {
+        let dir = dir.as_ref();
+        let manifest_bytes = read_artifact(&dir.join(MANIFEST_FILE)).map_err(ManifestError::Io)?;
+        let mfmt = |e: String| ManifestError::Format(format!("{MANIFEST_FILE}: {e}"));
+        let mut r =
+            BinReader::open_versioned(&manifest_bytes, CORPUS_MANIFEST_KIND, CORPUS_VERSION)
+                .map_err(mfmt)?;
+        let pinned = r.u64().map_err(mfmt)?;
+        if pinned != expected_checksum {
+            return Err(ManifestError::PinMismatch {
+                pinned,
+                expected: expected_checksum,
+            });
+        }
+        let dim = r.len_of().map_err(mfmt)?;
+        let shard_capacity = r.len_of().map_err(mfmt)?;
+        if dim == 0 || shard_capacity == 0 {
+            return Err(mfmt(format!(
+                "zero dim ({dim}) or shard capacity ({shard_capacity})"
+            )));
+        }
+        let storage = match r.u8().map_err(mfmt)? {
+            0 => ShardStorage::F32,
+            1 => ShardStorage::Int8,
+            t => return Err(mfmt(format!("unknown storage tag {t}"))),
+        };
+        let n_sealed = r.count_of(8).map_err(mfmt)?;
+        let mut ids = Vec::with_capacity(n_sealed);
+        for _ in 0..n_sealed {
+            ids.push(r.u64().map_err(mfmt)?);
+        }
+        let row_bytes = dim
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(8))
+            .ok_or_else(|| mfmt(format!("implausible dimension {dim}")))?;
+        let tail_rows = r.count_of(row_bytes).map_err(mfmt)?;
+        if tail_rows >= shard_capacity {
+            return Err(mfmt(format!(
+                "tail holds {tail_rows} rows, capacity {shard_capacity} would have sealed it"
+            )));
+        }
+        let mut tail = Shard::new(tail_rows, dim);
+        for _ in 0..tail_rows {
+            tail.labels.push(
+                usize::try_from(r.u64().map_err(mfmt)?)
+                    .map_err(|_| mfmt("label overflows usize".to_string()))?,
+            );
+        }
+        for _ in 0..tail_rows * dim {
+            tail.data.push(r.f32().map_err(mfmt)?);
+        }
+        r.done().map_err(mfmt)?;
+
+        let mut sealed = Vec::with_capacity(n_sealed);
+        for id in ids {
+            let file = shard_file_name(id);
+            let bytes = match std::fs::read(dir.join(&file)) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(ManifestError::MissingShard { file });
+                }
+                Err(e) => return Err(ManifestError::Io(format!("reading {file}: {e}"))),
+            };
+            sealed.push(Arc::new(parse_shard(
+                &bytes,
+                &file,
+                dim,
+                shard_capacity,
+                id,
+            )?));
+        }
+        Ok(Self {
+            dim,
+            shard_capacity,
+            storage,
+            sealed,
+            tail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryOptions;
+
+    fn synthetic_index(storage: ShardStorage, rows: usize) -> ShardedEmbeddingIndex {
+        let dim = 6;
+        let mut index = ShardedEmbeddingIndex::with_storage(dim, 4, storage);
+        for i in 0..rows {
+            let row: Vec<f32> = (0..dim)
+                .map(|d| ((i * 31 + d * 17) % 13) as f32 * 0.21 - 1.2)
+                .collect();
+            index.insert(&row, i % 5);
+        }
+        index
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("g4ip-manifest-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_identically() {
+        for storage in [ShardStorage::F32, ShardStorage::Int8] {
+            let index = synthetic_index(storage, 19);
+            let dir = tmp_dir(&format!("roundtrip-{storage:?}"));
+            let report = index.checkpoint_dir(&dir, 0xfeed).unwrap();
+            assert_eq!(report.shards_written, index.num_sealed_shards());
+            assert_eq!(report.shards_reused, 0);
+            let loaded = ShardedEmbeddingIndex::load_dir(&dir, 0xfeed).unwrap();
+            assert_eq!(loaded, index);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn second_checkpoint_writes_only_new_shards() {
+        let mut index = synthetic_index(ShardStorage::Int8, 17); // 4 sealed + tail
+        let dir = tmp_dir("incremental");
+        let first = index.checkpoint_dir(&dir, 1).unwrap();
+        assert_eq!(first.shards_written, 4);
+        for i in 17..26 {
+            index.insert(&[i as f32 * 0.1; 6], i);
+        }
+        let second = index.checkpoint_dir(&dir, 1).unwrap();
+        assert_eq!(second.shards_reused, 4);
+        assert_eq!(second.shards_written, index.num_sealed_shards() - 4);
+        assert!(second.shards_written >= 1);
+        let loaded = ShardedEmbeddingIndex::load_dir(&dir, 1).unwrap();
+        assert_eq!(loaded, index);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pin_mismatch_is_typed() {
+        let index = synthetic_index(ShardStorage::F32, 9);
+        let dir = tmp_dir("pin");
+        index.checkpoint_dir(&dir, 7).unwrap();
+        match ShardedEmbeddingIndex::load_dir(&dir, 8) {
+            Err(ManifestError::PinMismatch {
+                pinned: 7,
+                expected: 8,
+            }) => {}
+            other => panic!("expected PinMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_shard_file_is_typed() {
+        let index = synthetic_index(ShardStorage::F32, 9);
+        let dir = tmp_dir("missing");
+        index.checkpoint_dir(&dir, 0).unwrap();
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "g4s"))
+            .unwrap();
+        std::fs::remove_file(&victim).unwrap();
+        match ShardedEmbeddingIndex::load_dir(&dir, 0) {
+            Err(ManifestError::MissingShard { file }) => {
+                assert_eq!(victim.file_name().unwrap().to_str().unwrap(), file);
+            }
+            other => panic!("expected MissingShard, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_shard_payload_is_typed() {
+        let index = synthetic_index(ShardStorage::Int8, 9);
+        let dir = tmp_dir("corrupt");
+        index.checkpoint_dir(&dir, 0).unwrap();
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "g4s"))
+            .unwrap();
+        // flip one payload bit, then re-seal the artifact checksum so
+        // only the content-id cross-check (or structural validation) can
+        // catch the substitution
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let body_len = bytes.len() - 8;
+        let sum = gnn4ip_tensor::fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&victim, &bytes).unwrap();
+        match ShardedEmbeddingIndex::load_dir(&dir, 0) {
+            Err(ManifestError::ShardChecksumMismatch { .. }) => {}
+            // the flipped byte may instead land in a length/bounds field
+            // and fail structural validation first — also typed, also fine
+            Err(ManifestError::Format(_)) | Err(ManifestError::ShardMismatch { .. }) => {}
+            other => panic!("expected a typed shard error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn swapped_shard_files_are_rejected() {
+        let index = synthetic_index(ShardStorage::F32, 13); // 3 sealed shards
+        let dir = tmp_dir("swap");
+        index.checkpoint_dir(&dir, 0).unwrap();
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "g4s"))
+            .collect();
+        files.sort();
+        assert!(files.len() >= 2);
+        let a = std::fs::read(&files[0]).unwrap();
+        let b = std::fs::read(&files[1]).unwrap();
+        std::fs::write(&files[0], &b).unwrap();
+        std::fs::write(&files[1], &a).unwrap();
+        match ShardedEmbeddingIndex::load_dir(&dir, 0) {
+            Err(ManifestError::ShardMismatch { .. }) => {}
+            other => panic!("expected ShardMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_checkpoint_answers_queries_identically() {
+        let index = synthetic_index(ShardStorage::Int8, 23);
+        let dir = tmp_dir("queries");
+        index.checkpoint_dir(&dir, 3).unwrap();
+        let loaded = ShardedEmbeddingIndex::load_dir(&dir, 3).unwrap();
+        let query = [0.4f32, -0.2, 0.9, 0.1, -0.7, 0.3];
+        for opts in [
+            QueryOptions::default(),
+            QueryOptions {
+                int8_scan: false,
+                ..QueryOptions::default()
+            },
+        ] {
+            let (a, _) = index.query_opts(&query, 5, &opts);
+            let (b, _) = loaded.query_opts(&query, 5, &opts);
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,15 +31,35 @@
 //! discards shards whose rows provably lose, and the k-way merge is
 //! order-insensitive.
 //!
+//! Two more layers kick in at corpus scale (≥ 100k rows). **Routing:**
+//! bound pruning only bites when shards are internally coherent, which
+//! arrival order does not guarantee;
+//! [`rebalance`](ShardedEmbeddingIndex::rebalance) learns k-means-style
+//! centroids from the sealed rows and rebuilds the sealed region in
+//! cluster order, so the descending-bound walk behaves like an IVF probe
+//! of the nearest-centroid shards regardless of how the corpus arrived.
+//! **Quantization:** an index built with [`ShardStorage::Int8`] stores
+//! sealed rows as symmetric int8 with a per-shard calibration header;
+//! queries scan the int8 codes (~4x less memory traffic), then rescore a
+//! provably sufficient shortlist in f32 — the dequantized values are the
+//! canonical rows, so results stay bit-identical to an exhaustive f32
+//! scan of the same index. Shard bounds are computed *before*
+//! quantization and the quantization error bound is folded into the
+//! prune slack, so pruning stays sound.
+//!
 //! The whole structure persists through the `G4IP` binary artifact format
 //! (format v2 serializes the sealed-shard bounds; v1 artifacts still load
 //! by recomputing them), pinned to the checksum of the model weights that
-//! produced the embeddings.
+//! produced the embeddings. For growing corpora the append-only
+//! manifest layout in [`crate::manifest`] checkpoints only newly sealed
+//! shards instead of rewriting the monolithic artifact.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use gnn4ip_tensor::{
-    fan_out, read_artifact, worker_count, write_artifact, BinReader, BinWriter, Matrix, Workspace,
+    dot_i8, fan_out, read_artifact, worker_count, write_artifact, BinReader, BinWriter, Fnv64,
+    Matrix, QuantParams, Workspace,
 };
 
 use crate::index::{normalize_into, query_norm, score_row, EmbeddingIndex, QueryHit};
@@ -69,17 +89,37 @@ pub const PARALLEL_QUERY_MIN_ROWS: usize = 1 << 17;
 /// flat/sharded bit-identity proptest holds the line empirically.
 const PRUNE_SLACK: f32 = 1e-4;
 
+/// How a sealed shard stores its rows.
+///
+/// The tail is always f32 (it is mutable and tiny); the choice applies
+/// when a full tail is sealed. Under [`ShardStorage::Int8`] the sealed
+/// rows are quantized symmetrically with a per-shard calibration
+/// header, and **the dequantized values become the canonical rows**:
+/// every exact score — exhaustive scan, shortlist rescoring,
+/// similarity blocks — is computed from the same deterministic
+/// dequantization, so query results are bit-identical whichever scan
+/// path produced them, while sealed row storage drops to ~1/4 of f32.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardStorage {
+    /// Full-precision rows (the default).
+    #[default]
+    F32,
+    /// Symmetric int8 rows with per-shard scale; exact f32 rescoring of
+    /// a shortlist keeps query results bit-identical.
+    Int8,
+}
+
 /// The open tail shard: the one mutable block of the index. Holds
 /// `0..capacity` rows; sealing moves its storage into a [`SealedShard`].
 #[derive(Debug, Clone, PartialEq)]
-struct Shard {
+pub(crate) struct Shard {
     /// Row-major `len x dim` normalized rows.
-    data: Vec<f32>,
-    labels: Vec<usize>,
+    pub(crate) data: Vec<f32>,
+    pub(crate) labels: Vec<usize>,
 }
 
 impl Shard {
-    fn new(capacity_hint: usize, dim: usize) -> Self {
+    pub(crate) fn new(capacity_hint: usize, dim: usize) -> Self {
         Self {
             data: Vec::with_capacity(capacity_hint * dim),
             labels: Vec::with_capacity(capacity_hint),
@@ -91,67 +131,279 @@ impl Shard {
     }
 }
 
+/// Row payload of one sealed shard: full-precision f32, or symmetric
+/// int8 codes plus the per-shard calibration header.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RowBlock {
+    /// Row-major `rows x dim` f32.
+    F32(Vec<f32>),
+    /// Row-major `rows x dim` int8 codes. The dequantized values are the
+    /// shard's canonical rows.
+    Int8 {
+        q: Vec<i8>,
+        params: QuantParams,
+        /// `max_i Σ_j |dequantize(q_ij)|` — the L1 bound the int8 scan's
+        /// shortlist error analysis divides the query quantization step
+        /// into. Recomputable from `q` and `params`; cached at seal.
+        max_l1: f32,
+    },
+}
+
+impl RowBlock {
+    pub(crate) fn as_ref(&self) -> RowsRef<'_> {
+        match self {
+            RowBlock::F32(data) => RowsRef::F32(data),
+            RowBlock::Int8 { q, params, .. } => RowsRef::Int8 { q, params: *params },
+        }
+    }
+
+    /// Bytes of row payload held (codes/floats plus the quantization
+    /// header; labels and bounds excluded) — the memory-traffic number
+    /// the int8 mode exists to shrink.
+    pub(crate) fn payload_bytes(&self) -> usize {
+        match self {
+            RowBlock::F32(data) => std::mem::size_of_val(data.as_slice()),
+            RowBlock::Int8 { q, .. } => {
+                std::mem::size_of_val(q.as_slice()) + std::mem::size_of::<QuantParams>() + 4
+            }
+        }
+    }
+}
+
+/// Borrowed view of row storage, dispatching the *exact* per-row scoring
+/// kernel over either representation. The int8 arm dequantizes into a
+/// caller scratch buffer and runs the same [`score_row`] the f32 arm
+/// runs — this is the single definition of a row's exact score.
+#[derive(Clone, Copy)]
+pub(crate) enum RowsRef<'a> {
+    F32(&'a [f32]),
+    Int8 { q: &'a [i8], params: QuantParams },
+}
+
+impl RowsRef<'_> {
+    fn score(
+        &self,
+        i: usize,
+        dim: usize,
+        query: &[f32],
+        qnorm: f32,
+        scratch: &mut Vec<f32>,
+    ) -> f32 {
+        match *self {
+            RowsRef::F32(data) => score_row(&data[i * dim..(i + 1) * dim], query, qnorm),
+            RowsRef::Int8 { q, params } => {
+                scratch.clear();
+                scratch.extend(
+                    q[i * dim..(i + 1) * dim]
+                        .iter()
+                        .map(|&c| params.dequantize(c)),
+                );
+                score_row(scratch, query, qnorm)
+            }
+        }
+    }
+
+    /// Materializes every row (dequantizing as needed) into `out`, which
+    /// must hold exactly `rows * dim` floats.
+    pub(crate) fn copy_all_into(&self, out: &mut [f32]) {
+        match *self {
+            RowsRef::F32(data) => out.copy_from_slice(data),
+            RowsRef::Int8 { q, params } => {
+                for (o, &c) in out.iter_mut().zip(q) {
+                    *o = params.dequantize(c);
+                }
+            }
+        }
+    }
+}
+
 /// One full, immutable, `Arc`-shared block of row-normalized embeddings,
 /// carrying precomputed query-independent score bounds.
 #[derive(Debug, PartialEq)]
-struct SealedShard {
-    /// Row-major `capacity x dim` normalized rows.
-    data: Vec<f32>,
-    labels: Vec<usize>,
-    /// Mean of the rows (not itself normalized).
-    centroid: Vec<f32>,
-    /// Covering radius: `max_i ‖rᵢ − centroid‖`.
-    radius: f32,
+pub(crate) struct SealedShard {
+    /// Row payload (`capacity x dim`), f32 or quantized.
+    pub(crate) rows: RowBlock,
+    pub(crate) labels: Vec<usize>,
+    /// Mean of the pre-quantization rows (not itself normalized).
+    pub(crate) centroid: Vec<f32>,
+    /// Covering radius: `max_i ‖rᵢ − centroid‖` (pre-quantization).
+    pub(crate) radius: f32,
     /// `max_i ‖rᵢ‖` — ~1 for normalized rows, 0 for all-zero shards.
-    max_norm: f32,
+    pub(crate) max_norm: f32,
+    /// Additive bound slack covering how far quantization may have moved
+    /// any stored row from the pre-quantization row the bounds describe:
+    /// `√dim · scale ≥ ‖r̂ − r‖` with margin to spare. 0 for f32 shards.
+    pub(crate) quant_slack: f32,
+    /// FNV-1a-64 over the stored labels + row payload — the shard's
+    /// content address in the append-only manifest layout.
+    pub(crate) content_id: u64,
+}
+
+/// Bounds of one row block: `(centroid, radius, max_norm)` exactly as
+/// [`SealedShard`] documents them.
+fn compute_bounds(data: &[f32], dim: usize) -> (Vec<f32>, f32, f32) {
+    let n = data.len() / dim;
+    let mut centroid = vec![0.0f32; dim];
+    for row in data.chunks_exact(dim) {
+        for (c, &v) in centroid.iter_mut().zip(row) {
+            *c += v;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for c in &mut centroid {
+        *c *= inv;
+    }
+    let mut radius = 0.0f32;
+    let mut max_norm = 0.0f32;
+    for row in data.chunks_exact(dim) {
+        let mut d2 = 0.0f32;
+        let mut n2 = 0.0f32;
+        for (&v, &c) in row.iter().zip(&centroid) {
+            d2 += (v - c) * (v - c);
+            n2 += v * v;
+        }
+        radius = radius.max(d2.sqrt());
+        max_norm = max_norm.max(n2.sqrt());
+    }
+    (centroid, radius, max_norm)
+}
+
+/// Content address of a shard's stored payload: FNV-1a-64 over a storage
+/// tag, the labels, and the exact stored row bytes (codes + calibration
+/// for int8). Two shards with the same id hold the same rows under the
+/// same labels; the append-only layout names shard files by this id so
+/// an unchanged shard is never rewritten.
+fn content_id_of(rows: &RowBlock, labels: &[usize]) -> u64 {
+    let mut h = Fnv64::new();
+    for &l in labels {
+        h.update(&(l as u64).to_le_bytes());
+    }
+    match rows {
+        RowBlock::F32(data) => {
+            h.update(&[0u8]);
+            for &v in data {
+                h.update(&v.to_bits().to_le_bytes());
+            }
+        }
+        RowBlock::Int8 { q, params, .. } => {
+            h.update(&[1u8]);
+            h.update(&params.scale.to_bits().to_le_bytes());
+            h.update(&[params.zero_point as u8]);
+            for &c in q {
+                h.update(&[c as u8]);
+            }
+        }
+    }
+    h.finish()
 }
 
 impl SealedShard {
-    /// Freezes a full tail shard, computing its bounds once.
-    fn seal(shard: Shard, dim: usize) -> Self {
+    /// Freezes a full tail shard: bounds are computed once from the f32
+    /// rows, then (under [`ShardStorage::Int8`]) the rows are calibrated
+    /// and quantized, with the quantization displacement folded into
+    /// `quant_slack` so the pre-quantization bounds stay sound for the
+    /// stored rows.
+    fn seal(shard: Shard, dim: usize, storage: ShardStorage) -> Self {
         debug_assert!(!shard.labels.is_empty(), "sealing an empty shard");
-        let n = shard.labels.len();
-        let mut centroid = vec![0.0f32; dim];
-        for row in shard.data.chunks_exact(dim) {
-            for (c, &v) in centroid.iter_mut().zip(row) {
-                *c += v;
+        let (centroid, radius, max_norm) = compute_bounds(&shard.data, dim);
+        let (rows, quant_slack) = match storage {
+            ShardStorage::F32 => (RowBlock::F32(shard.data), 0.0),
+            ShardStorage::Int8 => {
+                let params = QuantParams::calibrate(&shard.data);
+                let mut q = Vec::new();
+                params.quantize_into(&shard.data, &mut q);
+                let max_l1 = max_row_l1(&q, params, dim);
+                // each component moved at most step() = scale/2 (+ fp
+                // rounding), so ‖r̂ − r‖ ≤ √dim·scale/2; double it for a
+                // comfortable margin — slack only costs pruning a little
+                // less, never correctness
+                let slack = (dim as f32).sqrt() * params.scale;
+                (RowBlock::Int8 { q, params, max_l1 }, slack)
             }
-        }
-        let inv = 1.0 / n as f32;
-        for c in &mut centroid {
-            *c *= inv;
-        }
-        let mut radius = 0.0f32;
-        let mut max_norm = 0.0f32;
-        for row in shard.data.chunks_exact(dim) {
-            let mut d2 = 0.0f32;
-            let mut n2 = 0.0f32;
-            for (&v, &c) in row.iter().zip(&centroid) {
-                d2 += (v - c) * (v - c);
-                n2 += v * v;
-            }
-            radius = radius.max(d2.sqrt());
-            max_norm = max_norm.max(n2.sqrt());
-        }
+        };
+        let content_id = content_id_of(&rows, &shard.labels);
         Self {
-            data: shard.data,
+            rows,
             labels: shard.labels,
             centroid,
             radius,
             max_norm,
+            quant_slack,
+            content_id,
+        }
+    }
+
+    /// Assembles a sealed shard from full-precision parts with already
+    /// computed (validated) bounds — the monolithic-artifact load path.
+    pub(crate) fn from_f32_parts(
+        data: Vec<f32>,
+        labels: Vec<usize>,
+        centroid: Vec<f32>,
+        radius: f32,
+        max_norm: f32,
+    ) -> Self {
+        let rows = RowBlock::F32(data);
+        let content_id = content_id_of(&rows, &labels);
+        Self {
+            rows,
+            labels,
+            centroid,
+            radius,
+            max_norm,
+            quant_slack: 0.0,
+            content_id,
+        }
+    }
+
+    /// Assembles a quantized sealed shard from its stored parts (the
+    /// append-only shard-file load path). `max_l1` and `quant_slack` are
+    /// recomputed rather than trusted from the file.
+    pub(crate) fn from_int8_parts(
+        q: Vec<i8>,
+        params: QuantParams,
+        labels: Vec<usize>,
+        dim: usize,
+        centroid: Vec<f32>,
+        radius: f32,
+        max_norm: f32,
+    ) -> Self {
+        let max_l1 = max_row_l1(&q, params, dim);
+        let rows = RowBlock::Int8 { q, params, max_l1 };
+        let content_id = content_id_of(&rows, &labels);
+        Self {
+            rows,
+            labels,
+            centroid,
+            radius,
+            max_norm,
+            quant_slack: (dim as f32).sqrt() * params.scale,
+            content_id,
         }
     }
 
     /// Upper bound (in exact arithmetic) on any row's score against the
     /// query: `dot(r, q̂) = dot(c, q̂) + dot(r − c, q̂) ≤ dot(c, q̂) + ‖r − c‖`
     /// by Cauchy–Schwarz, and independently `dot(r, q̂) ≤ ‖r‖`. Returns the
-    /// tighter of the two. Always finite on the insert path (non-finite
-    /// embeddings are stored as zero rows) and for loaded artifacts (v2
-    /// bounds are validated at load; a forged non-finite value could
-    /// otherwise force an always-pruned `-inf` bound).
+    /// tighter of the two, plus `quant_slack` on quantized shards (whose
+    /// stored rows may sit up to that far from the pre-quantization rows
+    /// the bounds were computed over). Always finite on the insert path
+    /// (non-finite embeddings are stored as zero rows) and for loaded
+    /// artifacts (bounds are validated at load; a forged non-finite value
+    /// could otherwise force an always-pruned `-inf` bound).
     fn score_bound(&self, query: &[f32], qnorm: f32) -> f32 {
         (score_row(&self.centroid, query, qnorm) + self.radius).min(self.max_norm)
+            + self.quant_slack
     }
+}
+
+/// `max_i Σ_j |dequantize(q_ij)|` over the rows of a quantized block.
+fn max_row_l1(q: &[i8], params: QuantParams, dim: usize) -> f32 {
+    let mut max_l1 = 0.0f32;
+    for row in q.chunks_exact(dim) {
+        let l1: f32 = row.iter().map(|&c| params.dequantize(c).abs()).sum();
+        max_l1 = max_l1.max(l1);
+    }
+    max_l1
 }
 
 /// An incrementally built, persistent, read-mostly index of row-normalized
@@ -180,13 +432,15 @@ impl SealedShard {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedEmbeddingIndex {
-    dim: usize,
-    shard_capacity: usize,
+    pub(crate) dim: usize,
+    pub(crate) shard_capacity: usize,
+    /// Row representation newly sealed shards adopt.
+    pub(crate) storage: ShardStorage,
     /// Immutable full shards, cheaply shared between snapshots.
-    sealed: Vec<Arc<SealedShard>>,
+    pub(crate) sealed: Vec<Arc<SealedShard>>,
     /// The one mutable block: `0..shard_capacity` rows. Sealed eagerly the
     /// moment it fills, so it is never full between calls.
-    tail: Shard,
+    pub(crate) tail: Shard,
 }
 
 /// Tuning knobs for [`ShardedEmbeddingIndex::query_opts`].
@@ -205,6 +459,12 @@ pub struct QueryOptions {
     /// Minimum total indexed rows before scans fan out across threads;
     /// smaller corpora always scan on the calling thread.
     pub parallel_min_rows: usize,
+    /// On [`ShardStorage::Int8`] indexes, scan the int8 codes and
+    /// rescore a provably sufficient shortlist in f32 (results stay
+    /// bit-identical). Off forces the exact dequantize-and-score walk on
+    /// every row — the reference path the proptests compare against. No
+    /// effect on f32 indexes.
+    pub int8_scan: bool,
 }
 
 impl Default for QueryOptions {
@@ -213,6 +473,7 @@ impl Default for QueryOptions {
             prune: true,
             threads: 0,
             parallel_min_rows: PARALLEL_QUERY_MIN_ROWS,
+            int8_scan: true,
         }
     }
 }
@@ -225,12 +486,53 @@ impl Default for QueryOptions {
 pub struct QueryStats {
     /// Sealed shards in the index at query time.
     pub sealed_shards: usize,
+    /// Sealed shards whose rows were actually scanned (probed).
+    pub sealed_probed: usize,
     /// Sealed shards skipped by the bound check without scanning a row.
     pub sealed_pruned: usize,
-    /// Rows actually scored.
+    /// Rows actually scored (int8 approximate scores count — they touch
+    /// the row).
     pub rows_scanned: usize,
+    /// Rows whose exact f32 score was recomputed by the int8 shortlist
+    /// rescoring pass (0 on f32 indexes and with `int8_scan` off).
+    pub rows_rescored: usize,
     /// Whether the surviving shard scans ran on worker threads.
     pub parallel: bool,
+}
+
+/// Tuning knobs for [`ShardedEmbeddingIndex::rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceOptions {
+    /// Lloyd refinement iterations over the training sample.
+    pub iters: usize,
+    /// Maximum rows sampled (strided, deterministic) to train centroids;
+    /// the final assignment always visits every sealed row.
+    pub sample: usize,
+    /// Worker threads for the assignment pass (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        Self {
+            iters: 4,
+            sample: 16_384,
+            threads: 0,
+        }
+    }
+}
+
+/// What one [`ShardedEmbeddingIndex::rebalance`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Sealed rows that participated in the re-clustering.
+    pub sealed_rows: usize,
+    /// Centroids trained (= sealed shard count; 0 when nothing to do).
+    pub centroids: usize,
+    /// Lloyd iterations actually run.
+    pub iters: usize,
+    /// Rows whose shard changed (storage moved; labels and scores do not).
+    pub moved: usize,
 }
 
 /// A candidate in the k-way heap merge: the head of one shard run's
@@ -338,7 +640,7 @@ impl TopK {
 /// no heap access, no hit construction), then sorted by rank. Shared by
 /// the sequential and fanned-out scan paths so their runs are identical.
 fn shard_run(
-    data: &[f32],
+    rows: RowsRef<'_>,
     labels: &[usize],
     dim: usize,
     offset: usize,
@@ -350,22 +652,23 @@ fn shard_run(
     // clamp per shard: a "give me everything" k (even usize::MAX, which
     // the flat index accepts) must not size the heap
     let kk = k.min(n);
+    let mut scratch = Vec::with_capacity(dim);
     let mut top = TopK::new(kk);
-    for i in 0..kk {
+    for (i, &label) in labels.iter().enumerate().take(kk) {
         top.push(QueryHit {
             index: offset + i,
-            label: labels[i],
-            score: score_row(&data[i * dim..(i + 1) * dim], query, qnorm),
+            label,
+            score: rows.score(i, dim, query, qnorm, &mut scratch),
         });
     }
     if kk < n {
         let mut worst = top.worst_score();
-        for i in kk..n {
-            let score = score_row(&data[i * dim..(i + 1) * dim], query, qnorm);
+        for (i, &label) in labels.iter().enumerate().skip(kk) {
+            let score = rows.score(i, dim, query, qnorm, &mut scratch);
             if score > worst {
                 top.push(QueryHit {
                     index: offset + i,
-                    label: labels[i],
+                    label,
                     score,
                 });
                 worst = top.worst_score();
@@ -377,6 +680,122 @@ fn shard_run(
     run
 }
 
+/// The query quantized once per [`ShardedEmbeddingIndex::query_opts`]
+/// call with its own symmetric calibration, shared by every int8 shard
+/// scan of that query.
+struct QuantizedQuery {
+    q: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantizedQuery {
+    fn new(query: &[f32]) -> Self {
+        let params = QuantParams::calibrate(query);
+        let mut q = Vec::new();
+        params.quantize_into(query, &mut q);
+        Self { q, params }
+    }
+}
+
+/// The int8 fast path of one quantized shard: approximate every row with
+/// the integer dot product, then exactly rescore the shortlist the
+/// error analysis proves sufficient. Returns the shard's *exact* sorted
+/// top-k run plus how many rows were rescored.
+///
+/// Soundness: with `s_i` the exact (dequantized f32) score and `a_i`
+/// the int8 approximation, `|s_i − a_i| ≤ ε` where
+/// `ε = max_l1 · step_q / qnorm + slack` (`step_q` is half the query's
+/// quantization step; the additive slack absorbs f32 rounding, same
+/// rationale as [`PRUNE_SLACK`]). Let `t` be the k-th largest `a`. Any
+/// row `x` with `a_x < t − 2ε` has `s_x ≤ a_x + ε < t − ε ≤ s_j` for
+/// each of the ≥ k rows with `a_j ≥ t` — strictly below k rows, so `x`
+/// cannot be in the exact top-k under any tie-break. Rescoring
+/// `{i : a_i ≥ t − 2ε}` therefore reproduces the exact run bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn shard_run_int8(
+    q: &[i8],
+    params: QuantParams,
+    max_l1: f32,
+    labels: &[usize],
+    dim: usize,
+    offset: usize,
+    query: &[f32],
+    qq: &QuantizedQuery,
+    qnorm: f32,
+    k: usize,
+) -> (Vec<QueryHit>, usize) {
+    let n = labels.len();
+    let kk = k.min(n);
+    // combined ≤ ~1/127² per integer unit: the products cannot overflow
+    // f32 (see dot_i8 — the integer accumulation itself is exact)
+    let combined = params.scale * qq.params.scale / qnorm;
+    let approx: Vec<f32> = (0..n)
+        .map(|i| dot_i8(&q[i * dim..(i + 1) * dim], &qq.q) as f32 * combined)
+        .collect();
+    let mut tmp = approx.clone();
+    let (_, &mut kth, _) = tmp.select_nth_unstable_by(kk - 1, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let eps = max_l1 * qq.params.step() / qnorm + PRUNE_SLACK;
+    let cut = kth - 2.0 * eps;
+    let rows = RowsRef::Int8 { q, params };
+    let mut scratch = Vec::with_capacity(dim);
+    let mut top = TopK::new(kk);
+    let mut rescored = 0usize;
+    // ascending index order, as TopK's exactness precondition requires
+    for (i, &a) in approx.iter().enumerate() {
+        if a >= cut {
+            rescored += 1;
+            top.push(QueryHit {
+                index: offset + i,
+                label: labels[i],
+                score: rows.score(i, dim, query, qnorm, &mut scratch),
+            });
+        }
+    }
+    let mut run = top.into_hits();
+    run.sort_unstable_by(EmbeddingIndex::rank);
+    (run, rescored)
+}
+
+/// The splitmix64 output function: a stateless deterministic mixer.
+/// [`ShardedEmbeddingIndex::rebalance`] draws its k-means sample indices
+/// from `mix64(0), mix64(1), …` — reproducible like a stride, but with
+/// none of a stride's arithmetic structure to alias against periodic
+/// arrival orders.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Squared L2 norm of each centroid, precomputed so nearest-centroid
+/// assignment reduces to `argmin ‖c‖² − 2·r·c` (the `‖r‖²` term is
+/// constant per row and drops out of the argmin).
+fn centroid_norms2(centroids: &[f32], dim: usize) -> Vec<f32> {
+    centroids
+        .chunks_exact(dim)
+        .map(|c| c.iter().map(|&v| v * v).sum())
+        .collect()
+}
+
+/// Index of the centroid nearest to `row` under squared L2 distance,
+/// ties broken toward the lower index (deterministic).
+fn nearest_centroid(row: &[f32], centroids: &[f32], cnorm2: &[f32], dim: usize) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, (centroid, &n2)) in centroids.chunks_exact(dim).zip(cnorm2).enumerate() {
+        let dot: f32 = centroid.iter().zip(row).map(|(&a, &b)| a * b).sum();
+        let d = n2 - 2.0 * dot;
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
 impl ShardedEmbeddingIndex {
     /// Creates an empty index over `dim`-dimensional embeddings with
     /// `shard_capacity` rows per shard.
@@ -385,14 +804,40 @@ impl ShardedEmbeddingIndex {
     ///
     /// Panics if `dim` or `shard_capacity` is zero.
     pub fn new(dim: usize, shard_capacity: usize) -> Self {
+        Self::with_storage(dim, shard_capacity, ShardStorage::F32)
+    }
+
+    /// [`ShardedEmbeddingIndex::new`] with an explicit sealed-row
+    /// representation. [`ShardStorage::Int8`] quantizes each shard as it
+    /// seals (~4x less sealed row storage); query results remain
+    /// bit-identical to an exhaustive f32 scan of the same index because
+    /// the dequantized values are the canonical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `shard_capacity` is zero.
+    pub fn with_storage(dim: usize, shard_capacity: usize, storage: ShardStorage) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
         assert!(shard_capacity > 0, "shard capacity must be positive");
         Self {
             dim,
             shard_capacity,
+            storage,
             sealed: Vec::new(),
             tail: Shard::new(0, dim),
         }
+    }
+
+    /// The sealed-row representation this index seals shards into.
+    pub fn storage(&self) -> ShardStorage {
+        self.storage
+    }
+
+    /// Bytes of sealed row payload currently held (codes/floats plus
+    /// quantization headers; labels, bounds, and the tail excluded) —
+    /// the memory-traffic number [`ShardStorage::Int8`] shrinks ~4x.
+    pub fn sealed_row_bytes(&self) -> usize {
+        self.sealed.iter().map(|s| s.rows.payload_bytes()).sum()
     }
 
     /// Re-shards a flat index by copying its normalized rows verbatim —
@@ -478,19 +923,31 @@ impl ShardedEmbeddingIndex {
             .chain(self.tail.labels.iter().copied())
     }
 
-    /// The stored (normalized) row at global insertion index `i`.
+    /// The stored (canonical) row at global storage index `i` — borrowed
+    /// from f32 storage, dequantized into an owned buffer on quantized
+    /// sealed shards.
     ///
     /// # Panics
     ///
     /// Panics when `i` is out of bounds.
-    pub fn normalized_row(&self, i: usize) -> &[f32] {
+    pub fn normalized_row(&self, i: usize) -> Cow<'_, [f32]> {
         let block = i / self.shard_capacity;
-        let (data, r) = if block < self.sealed.len() {
-            (&self.sealed[block].data, i % self.shard_capacity)
+        let dim = self.dim;
+        if block < self.sealed.len() {
+            let r = i % self.shard_capacity;
+            match &self.sealed[block].rows {
+                RowBlock::F32(data) => Cow::Borrowed(&data[r * dim..(r + 1) * dim]),
+                RowBlock::Int8 { q, params, .. } => Cow::Owned(
+                    q[r * dim..(r + 1) * dim]
+                        .iter()
+                        .map(|&c| params.dequantize(c))
+                        .collect(),
+                ),
+            }
         } else {
-            (&self.tail.data, i - self.sealed.len() * self.shard_capacity)
-        };
-        &data[r * self.dim..(r + 1) * self.dim]
+            let r = i - self.sealed.len() * self.shard_capacity;
+            Cow::Borrowed(&self.tail.data[r * dim..(r + 1) * dim])
+        }
     }
 
     /// Seals the tail into an immutable bound-carrying shard when full.
@@ -498,7 +955,7 @@ impl ShardedEmbeddingIndex {
         if self.tail.len() == self.shard_capacity {
             let full = std::mem::replace(&mut self.tail, Shard::new(self.shard_capacity, self.dim));
             self.sealed
-                .push(Arc::new(SealedShard::seal(full, self.dim)));
+                .push(Arc::new(SealedShard::seal(full, self.dim, self.storage)));
         }
     }
 
@@ -580,6 +1037,16 @@ impl ShardedEmbeddingIndex {
         }
         let qnorm = query_norm(query);
         let total = self.len();
+        // quantize the query once when any int8 shard scan could use it;
+        // a degenerate qnorm takes score_row's zero-query path, where the
+        // int8 approximation math (which divides by qnorm) has no meaning
+        let qq = match self.storage {
+            ShardStorage::Int8 if opts.int8_scan && qnorm.is_finite() && qnorm >= 1e-12 => {
+                Some(QuantizedQuery::new(query))
+            }
+            _ => None,
+        };
+        let qq = qq.as_ref();
         // pruning is sound only when some row may be left out at all
         let can_prune = opts.prune && k < total;
         // the floor never needs more slots than the corpus has rows, so a
@@ -593,7 +1060,7 @@ impl ShardedEmbeddingIndex {
         if !self.tail.labels.is_empty() {
             let offset = self.sealed.len() * self.shard_capacity;
             let run = shard_run(
-                &self.tail.data,
+                RowsRef::F32(&self.tail.data),
                 &self.tail.labels,
                 self.dim,
                 offset,
@@ -616,31 +1083,42 @@ impl ShardedEmbeddingIndex {
             total >= opts.parallel_min_rows && worker_count(shards, opts.threads) > 1
         };
         // one scan epilogue for every batch path: fans `sids` across
-        // workers when `parallel`, else walks them on this thread
-        let scan_batch = |sids: &[usize], parallel: bool, runs: &mut Vec<Vec<QueryHit>>| {
-            if parallel {
-                let scanned: Vec<Vec<Vec<QueryHit>>> =
-                    fan_out(sids, opts.threads, |_tid, chunk| {
-                        chunk
-                            .iter()
-                            .map(|&sid| self.sealed_run(sid, query, qnorm, k))
-                            .collect()
-                    });
-                runs.extend(scanned.into_iter().flatten());
+        // workers when `parallel`, else walks them on this thread;
+        // returns the per-shard runs plus the rescored-row total
+        let scan_batch = |sids: &[usize], parallel: bool| -> (Vec<Vec<QueryHit>>, usize) {
+            let scans: Vec<(Vec<QueryHit>, usize)> = if parallel {
+                fan_out(sids, opts.threads, |_tid, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&sid| self.sealed_run(sid, query, qq, qnorm, k))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
             } else {
-                runs.extend(
-                    sids.iter()
-                        .map(|&sid| self.sealed_run(sid, query, qnorm, k)),
-                );
+                sids.iter()
+                    .map(|&sid| self.sealed_run(sid, query, qq, qnorm, k))
+                    .collect()
+            };
+            let mut batch_runs = Vec::with_capacity(scans.len());
+            let mut rescored = 0;
+            for (run, rs) in scans {
+                rescored += rs;
+                batch_runs.push(run);
             }
+            (batch_runs, rescored)
         };
         if !can_prune && !self.sealed.is_empty() {
             // exhaustive scan: the bound order is irrelevant, so skip
             // computing bounds and walk the shards in natural order
             stats.rows_scanned += self.sealed.len() * self.shard_capacity;
+            stats.sealed_probed = self.sealed.len();
             stats.parallel = threaded(self.sealed.len());
             let all: Vec<usize> = (0..self.sealed.len()).collect();
-            scan_batch(&all, stats.parallel, &mut runs);
+            let (batch, rescored) = scan_batch(&all, stats.parallel);
+            stats.rows_rescored += rescored;
+            runs.extend(batch);
         } else if !self.sealed.is_empty() {
             // visit sealed shards best-bound-first (ties: lower shard id),
             // so the floor rises as fast as possible and the prune walk
@@ -668,8 +1146,10 @@ impl ShardedEmbeddingIndex {
                 // final floor, so still sound), then fan the survivors out
                 // g4check: allow(unwrap-in-lib): threaded() required rows >= PARALLEL_QUERY_MIN_ROWS, which implies at least one sealed shard in order
                 let (&(first, _), rest) = order.split_first().expect("sealed is non-empty");
-                let run = self.sealed_run(first, query, qnorm, k);
+                let (run, rescored) = self.sealed_run(first, query, qq, qnorm, k);
                 stats.rows_scanned += self.shard_capacity;
+                stats.rows_rescored += rescored;
+                stats.sealed_probed += 1;
                 for &hit in &run {
                     floor.push(hit);
                 }
@@ -684,18 +1164,23 @@ impl ShardedEmbeddingIndex {
                     survivors.push(sid);
                 }
                 stats.rows_scanned += survivors.len() * self.shard_capacity;
+                stats.sealed_probed += survivors.len();
                 // report what actually happened: heavy pruning can leave
                 // too few survivors for the fan-out to spawn anything
                 stats.parallel = worker_count(survivors.len(), opts.threads) > 1;
-                scan_batch(&survivors, stats.parallel, &mut runs);
+                let (batch, rescored) = scan_batch(&survivors, stats.parallel);
+                stats.rows_rescored += rescored;
+                runs.extend(batch);
             } else {
                 for (i, &(sid, bound)) in order.iter().enumerate() {
                     if pruned(&floor, bound) {
                         stats.sealed_pruned = order.len() - i;
                         break;
                     }
-                    let run = self.sealed_run(sid, query, qnorm, k);
+                    let (run, rescored) = self.sealed_run(sid, query, qq, qnorm, k);
                     stats.rows_scanned += self.shard_capacity;
+                    stats.rows_rescored += rescored;
+                    stats.sealed_probed += 1;
                     for &hit in &run {
                         floor.push(hit);
                     }
@@ -734,30 +1219,50 @@ impl ShardedEmbeddingIndex {
         (out, stats)
     }
 
-    /// The sorted top-k run of one sealed shard.
-    fn sealed_run(&self, sid: usize, query: &[f32], qnorm: f32, k: usize) -> Vec<QueryHit> {
+    /// The *exact* sorted top-k run of one sealed shard, plus how many
+    /// rows the int8 shortlist pass rescored (0 on the plain paths).
+    /// Quantized shards take the int8 fast path when the caller built a
+    /// [`QuantizedQuery`]; otherwise every row is scored exactly through
+    /// the shared kernel — both produce the identical run.
+    fn sealed_run(
+        &self,
+        sid: usize,
+        query: &[f32],
+        qq: Option<&QuantizedQuery>,
+        qnorm: f32,
+        k: usize,
+    ) -> (Vec<QueryHit>, usize) {
         let s = &self.sealed[sid];
-        shard_run(
-            &s.data,
-            &s.labels,
-            self.dim,
-            sid * self.shard_capacity,
-            query,
-            qnorm,
-            k,
-        )
+        let offset = sid * self.shard_capacity;
+        match (&s.rows, qq) {
+            (RowBlock::Int8 { q, params, max_l1 }, Some(qq)) => shard_run_int8(
+                q, *params, *max_l1, &s.labels, self.dim, offset, query, qq, qnorm, k,
+            ),
+            _ => (
+                shard_run(
+                    s.rows.as_ref(),
+                    &s.labels,
+                    self.dim,
+                    offset,
+                    query,
+                    qnorm,
+                    k,
+                ),
+                0,
+            ),
+        }
     }
 
-    /// All shard storage in insertion order: sealed blocks, then the tail
+    /// All shard storage in storage order: sealed blocks, then the tail
     /// when it holds rows.
-    fn shard_slices(&self) -> Vec<(&[f32], &[usize])> {
-        let mut v: Vec<(&[f32], &[usize])> = self
+    pub(crate) fn shard_blocks(&self) -> Vec<(RowsRef<'_>, &[usize])> {
+        let mut v: Vec<(RowsRef<'_>, &[usize])> = self
             .sealed
             .iter()
-            .map(|s| (s.data.as_slice(), s.labels.as_slice()))
+            .map(|s| (s.rows.as_ref(), s.labels.as_slice()))
             .collect();
         if !self.tail.labels.is_empty() {
-            v.push((self.tail.data.as_slice(), self.tail.labels.as_slice()));
+            v.push((RowsRef::F32(&self.tail.data), self.tail.labels.as_slice()));
         }
         v
     }
@@ -776,17 +1281,17 @@ impl ShardedEmbeddingIndex {
     where
         F: FnMut(usize, usize, &Matrix),
     {
-        let shards = self.shard_slices();
+        let shards = self.shard_blocks();
         let mut row_offset = 0;
         for &(qdata, qlabels) in &shards {
             let qn = qlabels.len();
             let mut qm = ws.acquire(qn, self.dim);
-            qm.as_mut_slice().copy_from_slice(qdata);
+            qdata.copy_all_into(qm.as_mut_slice());
             let mut col_offset = 0;
             for &(ddata, dlabels) in &shards {
                 let dn = dlabels.len();
                 let mut dm = ws.acquire(dn, self.dim);
-                dm.as_mut_slice().copy_from_slice(ddata);
+                ddata.copy_all_into(dm.as_mut_slice());
                 let mut block = ws.acquire(qn, dn);
                 qm.matmul_nt_into(&dm, &mut block);
                 f(row_offset, col_offset, &block);
@@ -857,6 +1362,202 @@ impl ShardedEmbeddingIndex {
         total / n as f64
     }
 
+    // --- rebalance (IVF routing) ---------------------------------------
+
+    /// Re-clusters the *sealed* rows into centroid-aligned shards so the
+    /// descending-bound walk of [`ShardedEmbeddingIndex::query_opts`]
+    /// prunes well regardless of arrival order — the IVF coarse-quantizer
+    /// stage. The open tail is untouched.
+    ///
+    /// Centroids are seeded from the current shard centroids and refined
+    /// with Lloyd iterations over a deterministic strided sample; the
+    /// final assignment visits every sealed row (fanned out across
+    /// threads), then rows are regrouped by `(cluster, original index)`
+    /// with a stable sort and resealed through the normal path, which
+    /// recomputes every bound (and re-quantizes on
+    /// [`ShardStorage::Int8`] indexes, recalibrating each new shard).
+    ///
+    /// The row *set* is preserved: every `(label, row)` pair survives.
+    /// On [`ShardStorage::F32`] canonical values are bit-identical, so
+    /// query results keep the same labels and scores — only
+    /// [`QueryHit::index`] (the storage position) changes, along with
+    /// how effectively shards prune. On [`ShardStorage::Int8`] the new
+    /// shards re-calibrate, so canonical values may shift within one
+    /// quantization step of the (already dequantized) inputs. The whole
+    /// pass is deterministic: no RNG, no wall clock, stable tie-breaks.
+    pub fn rebalance(&mut self, opts: &RebalanceOptions) -> RebalanceReport {
+        let k = self.sealed.len();
+        let cap = self.shard_capacity;
+        let dim = self.dim;
+        if k < 2 {
+            return RebalanceReport {
+                sealed_rows: k * cap,
+                centroids: k,
+                iters: 0,
+                moved: 0,
+            };
+        }
+        let n = k * cap;
+
+        // Gather the canonical (dequantized) rows and labels once.
+        let mut rows = vec![0.0f32; n * dim];
+        let mut labels: Vec<usize> = Vec::with_capacity(n);
+        for (si, s) in self.sealed.iter().enumerate() {
+            s.rows
+                .as_ref()
+                .copy_all_into(&mut rows[si * cap * dim..(si + 1) * cap * dim]);
+            labels.extend_from_slice(&s.labels);
+        }
+
+        // A strided sample aliases with periodic arrival: round-robin
+        // ingest makes the cluster of row `i` a function of `i mod p`,
+        // and any stride sharing a factor with `p` then samples only a
+        // subset of the clusters — Lloyd never sees the rest and cannot
+        // separate them. Drawing indices from a splitmix64 counter
+        // stream keeps the sample deterministic but structure-free;
+        // occasional duplicate indices merely double-weight a row.
+        let sample = opts.sample.clamp(k, n);
+        let sample_ids: Vec<usize> = (0..sample as u64)
+            .map(|t| (mix64(t) % n as u64) as usize)
+            .collect();
+
+        // Deterministic farthest-point seeding over the sample. (Seeding
+        // from the current shard centroids would collapse under
+        // round-robin arrival — every shard then holds a slice of every
+        // cluster, so all shard centroids coincide and Lloyd cannot pull
+        // them apart.) Ties break toward the lower index; no RNG.
+        let row_of = |ri: usize| &rows[ri * dim..(ri + 1) * dim];
+        let mut centroids = vec![0.0f32; k * dim];
+        centroids[..dim].copy_from_slice(row_of(sample_ids[0]));
+        let d2 = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+        };
+        let mut nearest2: Vec<f32> = sample_ids
+            .iter()
+            .map(|&ri| d2(row_of(ri), &centroids[..dim]))
+            .collect();
+        for c in 1..k {
+            let mut far = 0usize;
+            let mut far_d = -1.0f32;
+            for (i, &d) in nearest2.iter().enumerate() {
+                if d > far_d {
+                    far_d = d;
+                    far = i;
+                }
+            }
+            let seed = row_of(sample_ids[far]).to_vec();
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&seed);
+            for (nd, &ri) in nearest2.iter_mut().zip(&sample_ids) {
+                *nd = nd.min(d2(row_of(ri), &seed));
+            }
+        }
+        let mut iters_run = 0;
+        for _ in 0..opts.iters {
+            let cnorm2 = centroid_norms2(&centroids, dim);
+            let mut sums = vec![0.0f64; k * dim];
+            let mut counts = vec![0usize; k];
+            for &ri in &sample_ids {
+                let row = &rows[ri * dim..(ri + 1) * dim];
+                let c = nearest_centroid(row, &centroids, &cnorm2, dim);
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                    *s += f64::from(v);
+                }
+            }
+            for c in 0..k {
+                // an empty cluster keeps its previous centroid so the
+                // shard count stays fixed
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
+                        *dst = (s * inv) as f32;
+                    }
+                }
+            }
+            iters_run += 1;
+        }
+
+        // Full assignment pass over every sealed row, fanned out.
+        let cnorm2 = centroid_norms2(&centroids, dim);
+        let ids: Vec<usize> = (0..n).collect();
+        let assign: Vec<usize> = fan_out(&ids, opts.threads, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&ri| {
+                    nearest_centroid(&rows[ri * dim..(ri + 1) * dim], &centroids, &cnorm2, dim)
+                })
+                .collect::<Vec<usize>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Cluster sizes rarely divide the shard capacity, so some shards
+        // straddle two consecutive clusters of the concatenation — and
+        // the farthest-point seeding order would put maximally *distant*
+        // clusters next to each other, giving every straddling shard a
+        // covering radius near the inter-cluster distance (and a useless
+        // bound). Rank the clusters along a greedy nearest-neighbor
+        // chain instead: a straddling shard then mixes the most similar
+        // cluster pair available and its bound stays tight.
+        let mut rank = vec![0usize; k];
+        {
+            let mut visited = vec![false; k];
+            let mut cur = 0usize;
+            visited[0] = true;
+            for pos in 1..k {
+                let from = centroids[cur * dim..(cur + 1) * dim].to_vec();
+                let mut next = 0usize;
+                let mut next_d = f32::INFINITY;
+                for (c, cand) in centroids.chunks_exact(dim).enumerate() {
+                    if !visited[c] {
+                        let d = d2(&from, cand);
+                        if d < next_d {
+                            next_d = d;
+                            next = c;
+                        }
+                    }
+                }
+                visited[next] = true;
+                rank[next] = pos;
+                cur = next;
+            }
+        }
+
+        // Stable regroup by (chain rank of cluster, original index) —
+        // deterministic tie-break, and rows of one cluster stay in
+        // arrival order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&ri| (rank[assign[ri]], ri));
+
+        let mut moved = 0usize;
+        let mut sealed = Vec::with_capacity(k);
+        for (new_sid, chunk) in order.chunks(cap).enumerate() {
+            let mut shard = Shard::new(cap, dim);
+            for &ri in chunk {
+                if ri / cap != new_sid {
+                    moved += 1;
+                }
+                shard.labels.push(labels[ri]);
+                shard
+                    .data
+                    .extend_from_slice(&rows[ri * dim..(ri + 1) * dim]);
+            }
+            sealed.push(Arc::new(SealedShard::seal(shard, dim, self.storage)));
+        }
+        self.sealed = sealed;
+
+        RebalanceReport {
+            sealed_rows: n,
+            centroids: k,
+            iters: iters_run,
+            moved,
+        }
+    }
+
     // --- persistence ---------------------------------------------------
 
     /// Serializes the index through the `G4IP` artifact format (v2: the
@@ -865,27 +1566,53 @@ impl ShardedEmbeddingIndex {
     /// checksum of the model whose embeddings fill the index, so a stale
     /// index cannot silently serve scores for weights that no longer
     /// exist (the same pinning discipline as the embedding-library
-    /// artifact). Rows round-trip bit-exactly.
+    /// artifact). Rows round-trip bit-exactly; quantized shards
+    /// serialize their dequantized (canonical) rows, so the reload is a
+    /// plain-f32 index with identical scores.
     pub fn to_bytes(&self, pinned_checksum: u64) -> Vec<u8> {
         let mut w = BinWriter::with_version(SHARD_INDEX_KIND, SHARD_INDEX_VERSION);
         w.u64(pinned_checksum);
         w.len_of(self.dim);
         w.len_of(self.shard_capacity);
         w.len_of(self.num_shards());
+        let mut scratch: Vec<f32> = Vec::new();
         for shard in &self.sealed {
             w.len_of(shard.labels.len());
             for &l in &shard.labels {
                 w.u64(l as u64);
             }
-            for &v in &shard.data {
-                w.f32(v);
+            match &shard.rows {
+                RowBlock::F32(data) => {
+                    for &v in data {
+                        w.f32(v);
+                    }
+                    // v2: full shards carry their precomputed bounds
+                    for &v in &shard.centroid {
+                        w.f32(v);
+                    }
+                    w.f32(shard.radius);
+                    w.f32(shard.max_norm);
+                }
+                block @ RowBlock::Int8 { .. } => {
+                    // The dequantized values are the canonical rows of a
+                    // quantized shard, and a v2 reload scores them as plain
+                    // f32 with zero quantization slack — so the serialized
+                    // bounds must be recomputed from the dequantized data,
+                    // not copied from the (pre-quantization) stored bounds,
+                    // or the reload could over-prune.
+                    scratch.resize(shard.labels.len() * self.dim, 0.0);
+                    block.as_ref().copy_all_into(&mut scratch);
+                    for &v in &scratch {
+                        w.f32(v);
+                    }
+                    let (centroid, radius, max_norm) = compute_bounds(&scratch, self.dim);
+                    for &v in &centroid {
+                        w.f32(v);
+                    }
+                    w.f32(radius);
+                    w.f32(max_norm);
+                }
             }
-            // v2: full shards carry their precomputed bounds
-            for &v in &shard.centroid {
-                w.f32(v);
-            }
-            w.f32(shard.radius);
-            w.f32(shard.max_norm);
         }
         if !self.tail.labels.is_empty() {
             w.len_of(self.tail.labels.len());
@@ -986,15 +1713,15 @@ impl ShardedEmbeddingIndex {
                              (radius {radius}, max_norm {max_norm}, or non-finite centroid)"
                         ));
                     }
-                    SealedShard {
-                        data: shard.data,
-                        labels: shard.labels,
+                    SealedShard::from_f32_parts(
+                        shard.data,
+                        shard.labels,
                         centroid,
                         radius,
                         max_norm,
-                    }
+                    )
                 } else {
-                    SealedShard::seal(shard, dim)
+                    SealedShard::seal(shard, dim, ShardStorage::F32)
                 };
                 sealed.push(Arc::new(block));
             } else {
@@ -1008,6 +1735,7 @@ impl ShardedEmbeddingIndex {
             shard_capacity,
             sealed,
             tail,
+            storage: ShardStorage::F32,
         })
     }
 
@@ -1068,11 +1796,14 @@ mod tests {
         let mut grid = Vec::new();
         for prune in [false, true] {
             for (threads, parallel_min_rows) in [(1, usize::MAX), (3, 0), (0, 0)] {
-                grid.push(QueryOptions {
-                    prune,
-                    threads,
-                    parallel_min_rows,
-                });
+                for int8_scan in [false, true] {
+                    grid.push(QueryOptions {
+                        prune,
+                        threads,
+                        parallel_min_rows,
+                        int8_scan,
+                    });
+                }
             }
         }
         grid
@@ -1136,6 +1867,7 @@ mod tests {
             prune: true,
             threads: 1,
             parallel_min_rows: usize::MAX,
+            int8_scan: true,
         };
         let (hits, stats) = sharded.query_opts(&q, 4, &opts);
         assert_eq!(hits, flat.query(&q, 4));
@@ -1168,6 +1900,7 @@ mod tests {
             prune: false,
             threads: 4,
             parallel_min_rows: 0,
+            int8_scan: true,
         };
         let (hits, stats) = sharded.query_opts(&q, 7, &opts);
         assert_eq!(hits, flat.query(&q, 7));
@@ -1260,6 +1993,7 @@ mod tests {
             prune: true,
             threads: 1,
             parallel_min_rows: usize::MAX,
+            int8_scan: true,
         };
         let (hits, stats) = sharded.query_opts(&[1.0, 0.05], 2, &opts);
         assert_eq!(hits, flat.query(&[1.0, 0.05], 2));
@@ -1340,12 +2074,14 @@ mod tests {
         w.len_of(index.dim);
         w.len_of(index.shard_capacity);
         w.len_of(index.num_shards());
-        for (data, labels) in index.shard_slices() {
+        for (rows, labels) in index.shard_blocks() {
             w.len_of(labels.len());
             for &l in labels {
                 w.u64(l as u64);
             }
-            for &v in data {
+            let mut data = vec![0.0f32; labels.len() * index.dim];
+            rows.copy_all_into(&mut data);
+            for &v in &data {
                 w.f32(v);
             }
         }
@@ -1444,5 +2180,236 @@ mod tests {
         assert_eq!(back, sharded);
         assert!(ShardedEmbeddingIndex::load(&path, 43).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // --- int8 quantized storage ----------------------------------------
+
+    fn int8_index(n: usize, dim: usize, cap: usize) -> ShardedEmbeddingIndex {
+        let rows = seeded_rows(n, dim);
+        let mut index = ShardedEmbeddingIndex::with_storage(dim, cap, ShardStorage::Int8);
+        for (i, row) in rows.iter().enumerate() {
+            index.insert(row, i % 5);
+        }
+        index
+    }
+
+    #[test]
+    fn int8_scan_is_bit_identical_to_its_exact_walk() {
+        // the int8 shortlist-rescoring fast path must agree bit for bit
+        // with the exact dequantize-every-row walk of the same index,
+        // under every option combination
+        for (n, cap) in [(23, 4), (40, 8), (9, 9)] {
+            let index = int8_index(n, 6, cap);
+            let q: Vec<f32> = (0..6).map(|j| 0.4 - j as f32 * 0.13).collect();
+            for k in [1, 3, 7, n] {
+                let reference = index
+                    .query_opts(
+                        &q,
+                        k,
+                        &QueryOptions {
+                            prune: false,
+                            int8_scan: false,
+                            ..QueryOptions::default()
+                        },
+                    )
+                    .0;
+                for opts in option_grid() {
+                    let (hits, _) = index.query_opts(&q, k, &opts);
+                    assert_eq!(hits, reference, "n {n} cap {cap} k {k} opts {opts:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_rescoring_touches_few_rows_and_reports_itself() {
+        let index = int8_index(256, 8, 32);
+        let q: Vec<f32> = (0..8).map(|j| (j as f32 * 0.7).cos()).collect();
+        let opts = QueryOptions {
+            prune: false,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+            int8_scan: true,
+        };
+        let (_, stats) = index.query_opts(&q, 5, &opts);
+        assert!(stats.rows_rescored > 0, "shortlist pass must engage");
+        assert!(
+            stats.rows_rescored < stats.rows_scanned,
+            "rescoring everything defeats the fast path: {stats:?}"
+        );
+        // the exact walk reports zero rescored rows
+        let (_, exact) = index.query_opts(
+            &q,
+            5,
+            &QueryOptions {
+                int8_scan: false,
+                ..opts
+            },
+        );
+        assert_eq!(exact.rows_rescored, 0);
+    }
+
+    #[test]
+    fn int8_sealed_storage_is_about_a_quarter_of_f32() {
+        let (_, f32_index) = both(256, 16, 32);
+        let q_index = int8_index(256, 16, 32);
+        let f32_bytes = f32_index.sealed_row_bytes();
+        let int8_bytes = q_index.sealed_row_bytes();
+        assert!(f32_bytes > 0);
+        assert!(
+            (int8_bytes as f64) <= 0.30 * f32_bytes as f64,
+            "int8 {int8_bytes} vs f32 {f32_bytes}"
+        );
+    }
+
+    #[test]
+    fn int8_non_finite_and_zero_rows_match_the_exact_walk() {
+        let mut index = ShardedEmbeddingIndex::with_storage(2, 2, ShardStorage::Int8);
+        let rows: [&[f32]; 6] = [
+            &[f32::NAN, 1.0],
+            &[1.0, 0.0],
+            &[0.0, 0.0],
+            &[0.5, 0.5],
+            &[f32::INFINITY, 0.1],
+            &[0.3, -0.4],
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            index.insert(row, i);
+        }
+        for opts in option_grid() {
+            let (hits, _) = index.query_opts(&[1.0, 0.1], 6, &opts);
+            let reference = index
+                .query_opts(
+                    &[1.0, 0.1],
+                    6,
+                    &QueryOptions {
+                        prune: false,
+                        int8_scan: false,
+                        ..QueryOptions::default()
+                    },
+                )
+                .0;
+            assert_eq!(hits, reference, "opts {opts:?}");
+        }
+    }
+
+    #[test]
+    fn int8_index_serializes_as_plain_f32_with_identical_scores() {
+        let index = int8_index(19, 6, 4);
+        let bytes = index.to_bytes(5);
+        let back = ShardedEmbeddingIndex::from_bytes(&bytes, 5).expect("loads");
+        assert_eq!(back.storage(), ShardStorage::F32);
+        assert_eq!(back.len(), index.len());
+        let q: Vec<f32> = (0..6).map(|j| 0.2 + j as f32 * 0.05).collect();
+        // the reload stores the dequantized canonical rows, so every
+        // query agrees bit for bit with the quantized original
+        for k in [1, 4, 19] {
+            assert_eq!(back.query(&q, k), index.query(&q, k), "k {k}");
+        }
+    }
+
+    // --- rebalance ------------------------------------------------------
+
+    /// Clustered rows inserted in round-robin (worst-case) arrival order:
+    /// every shard holds a slice of every cluster, so bounds overlap and
+    /// pruning is hopeless until a rebalance regroups them.
+    fn scattered_clusters(dim: usize, clusters: usize, per: usize) -> Vec<(Vec<f32>, usize)> {
+        let mut rows = Vec::new();
+        for i in 0..per {
+            for c in 0..clusters {
+                let mut row = vec![0.0f32; dim];
+                row[c] = 1.0;
+                row[(c + 1) % dim] = 0.03 * i as f32;
+                rows.push((row, c));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn rebalance_restores_pruning_on_scattered_arrival() {
+        let dim = 8;
+        let mut index = ShardedEmbeddingIndex::new(dim, 8);
+        for (row, c) in scattered_clusters(dim, 8, 8) {
+            index.insert(&row, c);
+        }
+        let mut q = vec![0.0f32; dim];
+        q[3] = 1.0;
+        let opts = QueryOptions {
+            prune: true,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+            int8_scan: true,
+        };
+        let before_hits = index.query(&q, 4);
+        let (_, before) = index.query_opts(&q, 4, &opts);
+        assert_eq!(before.sealed_pruned, 0, "round-robin arrival must scatter");
+        let report = index.rebalance(&RebalanceOptions::default());
+        assert_eq!(report.centroids, 8);
+        assert!(report.moved > 0);
+        let (after_hits, after) = index.query_opts(&q, 4, &opts);
+        assert!(
+            after.sealed_pruned >= 5,
+            "rebalanced shards must prune: {after:?}"
+        );
+        // same labels and scores; only storage positions may differ
+        let key = |hits: &[QueryHit]| -> Vec<(usize, u32)> {
+            hits.iter().map(|h| (h.label, h.score.to_bits())).collect()
+        };
+        assert_eq!(key(&after_hits), key(&before_hits));
+    }
+
+    #[test]
+    fn rebalance_is_deterministic_and_preserves_f32_rows() {
+        let (_, mut a) = both(40, 5, 4);
+        let mut b = a.clone();
+        let ra = a.rebalance(&RebalanceOptions::default());
+        let rb = b.rebalance(&RebalanceOptions {
+            threads: 3,
+            ..RebalanceOptions::default()
+        });
+        assert_eq!(ra, rb, "thread count must not change the outcome");
+        assert_eq!(a, b);
+        // the row multiset is preserved exactly
+        let mut rows_before: Vec<Vec<u32>> = (0..40)
+            .map(|i| {
+                both(40, 5, 4)
+                    .1
+                    .normalized_row(i)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        let mut rows_after: Vec<Vec<u32>> = (0..40)
+            .map(|i| a.normalized_row(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        rows_before.sort();
+        rows_after.sort();
+        assert_eq!(rows_before, rows_after);
+    }
+
+    #[test]
+    fn rebalance_on_tiny_indexes_is_a_no_op() {
+        let (_, mut index) = both(5, 3, 8); // tail only, nothing sealed
+        let copy = index.clone();
+        let report = index.rebalance(&RebalanceOptions::default());
+        assert_eq!(report.moved, 0);
+        assert_eq!(report.centroids, 0);
+        assert_eq!(index, copy);
+    }
+
+    #[test]
+    fn content_ids_are_stable_and_payload_sensitive() {
+        let (_, a) = both(8, 3, 4);
+        let (_, b) = both(8, 3, 4);
+        assert_eq!(a.sealed[0].content_id, b.sealed[0].content_id);
+        assert_ne!(
+            a.sealed[0].content_id, a.sealed[1].content_id,
+            "different payloads must get different ids"
+        );
+        // quantized and f32 storage of the same rows hash differently
+        let q = int8_index(8, 3, 4);
+        assert_ne!(a.sealed[0].content_id, q.sealed[0].content_id);
     }
 }

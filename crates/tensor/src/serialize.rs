@@ -67,16 +67,60 @@ pub const FORMATS: &[(&str, u16)] = &[
     ("gnn4ip-library", 1),
     ("gnn4ip-shard-index", 2),
     ("gnn4ip-audit-index", 2),
+    ("gnn4ip-corpus-manifest", 1),
+    ("gnn4ip-corpus-shard", 1),
 ];
+
+/// Streaming FNV-1a 64-bit hasher, for content ids computed over data
+/// that is never materialized as one contiguous byte slice (e.g. a
+/// sealed shard's labels + row payload). Feeding the same bytes in any
+/// chunking produces the same hash as [`fnv1a64`] over their
+/// concatenation.
+///
+/// # Examples
+///
+/// ```
+/// use gnn4ip_tensor::{fnv1a64, Fnv64};
+///
+/// let mut h = Fnv64::new();
+/// h.update(b"gnn");
+/// h.update(b"4ip");
+/// assert_eq!(h.finish(), fnv1a64(b"gnn4ip"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The hash of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// FNV-1a 64-bit hash — the content checksum of every artifact file.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
 }
 
 /// Appends little-endian fields to an artifact buffer; [`finish`]

