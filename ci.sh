@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 # the heavy stage below).
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-240}"
 
-STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve corpus analysis benches)
+STAGES=(build tier1 workspace heavy fmt clippy doc examples audit serve service corpus analysis benches)
 
 stage_build() {
     cargo build --release --offline
@@ -67,6 +67,14 @@ stage_serve() {
     # the pruning/parallel-query bit-identity proptests
     cargo test -q --release --offline -p gnn4ip-core concurrent_readers
     cargo test -q --release --offline --test properties -- sharded pruned
+}
+
+stage_service() {
+    # the audit service surface: every serve-loop protocol/backpressure
+    # test (bounded queue, ordered responses, publish visibility, dot
+    # escaping) and the batched-vs-serial bit-identity proptest
+    cargo test -q --release --offline -p gnn4ip-core service::
+    cargo test -q --release --offline --test properties -- batched
 }
 
 stage_corpus() {

@@ -7,8 +7,8 @@
 //! - `lint` scans every non-vendored `.rs` file for violations of the
 //!   workspace conventions (see `gnn4ip_analysis::lint::Rule`).
 //! - `sched` exhaustively explores the bounded interleavings of the
-//!   `PublicationSlot` model and re-confirms the checker catches its
-//!   seeded bug.
+//!   `PublicationSlot` and `BoundedQueue` models and re-confirms the
+//!   checker catches each one's seeded bug.
 //! - `all` (the default) runs both.
 //!
 //! Exit status is non-zero on any violation, which is how
@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use gnn4ip_analysis::lint::{find_workspace_root, run_lint, LintConfig};
-use gnn4ip_analysis::models::verify_publication_slot;
+use gnn4ip_analysis::models::{verify_bounded_queue, verify_publication_slot};
 
 fn usage() -> &'static str {
     "usage: g4check [--root PATH] [lint|sched|all]"
@@ -114,24 +114,38 @@ fn run_lint_stage(root: Option<PathBuf>) -> bool {
     }
 }
 
+/// One named model-checking suite: label plus its verifier entry point.
+type SchedSuite = (
+    &'static str,
+    fn() -> Result<gnn4ip_analysis::models::SchedSummary, String>,
+);
+
 fn run_sched_stage() -> bool {
-    match verify_publication_slot() {
-        Ok(summary) => {
-            for run in &summary.runs {
+    let suites: &[SchedSuite] = &[
+        ("publication-slot", verify_publication_slot),
+        ("bounded-queue", verify_bounded_queue),
+    ];
+    let mut ok = true;
+    for (suite, verify) in suites {
+        match verify() {
+            Ok(summary) => {
+                for run in &summary.runs {
+                    println!(
+                        "g4check sched [{suite}]: {:<22} {:>6} schedules (deepest {})",
+                        run.name, run.schedules, run.deepest
+                    );
+                }
                 println!(
-                    "g4check sched: {:<22} {:>6} schedules (deepest {})",
-                    run.name, run.schedules, run.deepest
+                    "g4check sched [{suite}]: OK — {} schedules explored exhaustively, \
+                     seeded bug caught",
+                    summary.total_schedules
                 );
             }
-            println!(
-                "g4check sched: OK — {} schedules explored exhaustively, seeded bug caught",
-                summary.total_schedules
-            );
-            true
-        }
-        Err(e) => {
-            eprintln!("g4check sched: FAILED — {e}");
-            false
+            Err(e) => {
+                eprintln!("g4check sched [{suite}]: FAILED — {e}");
+                ok = false;
+            }
         }
     }
+    ok
 }

@@ -17,7 +17,7 @@
 //! | `unwrap-in-lib` | no `.unwrap()`/`.expect(` in non-test library code without a `// g4check: allow` annotation |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present in every non-vendor crate root |
 //! | `wallclock-in-test` | no `Instant::now`/`SystemTime::now` in deterministic test code |
-//! | `format-registry` | every `BinWriter` kind/version written in source appears in tensor's `FORMATS` table and the README spec table |
+//! | `format-registry` | every `BinWriter` kind/version written in source appears in tensor's `FORMATS` table and the README spec table; every `BinReader` site accepts the registered versions of the kind it reads |
 //! | `bad-annotation` | every `g4check: allow(...)` names a real rule |
 //!
 //! Intentional exceptions are annotated in-source:
@@ -50,7 +50,9 @@ pub enum Rule {
     /// deterministic test code.
     WallclockInTest,
     /// A `BinWriter` kind/version pair that drifted from the central
-    /// `FORMATS` registry in `gnn4ip-tensor` or the README spec table.
+    /// `FORMATS` registry in `gnn4ip-tensor` or the README spec table,
+    /// or a `BinReader` site whose accepted version window excludes a
+    /// registered version of the kind it reads.
     FormatRegistry,
     /// A malformed `g4check: allow(...)` annotation or one naming an
     /// unknown rule.
@@ -681,7 +683,7 @@ struct RegistryScan {
     str_consts: BTreeMap<String, Option<String>>,
     /// `const NAME: u16 = n` definitions (None = ambiguous).
     u16_consts: BTreeMap<String, Option<u16>>,
-    /// `BinWriter::new`/`with_version` call sites in non-test code.
+    /// `BinWriter`/`BinReader` call sites in non-test code.
     calls: Vec<CallSite>,
 }
 
@@ -690,8 +692,11 @@ struct CallSite {
     path: PathBuf,
     line: usize,
     kind_expr: String,
-    /// `None` for `BinWriter::new` (implicit v1).
+    /// `None` for `BinWriter::new` / `BinReader::open` (implicit v1).
     version_expr: Option<String>,
+    /// `BinReader` site (checked against the registry's written
+    /// versions) rather than a `BinWriter` site (must match exactly).
+    reader: bool,
 }
 
 /// Collects const definitions and writer call sites from one file's
@@ -729,7 +734,16 @@ fn scan_registry(
     // source (the literals below are split)
     let new_pat: String = ["BinWriter", "::new("].concat();
     let ver_pat: String = ["BinWriter", "::with_version("].concat();
-    for (pat, has_version) in [(new_pat, false), (ver_pat, true)] {
+    let open_pat: String = ["BinReader", "::open("].concat();
+    let openv_pat: String = ["BinReader", "::open_versioned("].concat();
+    // (pattern, has explicit version arg, reader, index of the kind arg —
+    // readers take the byte slice first)
+    for (pat, has_version, reader, kind_arg) in [
+        (new_pat, false, false, 0),
+        (ver_pat, true, false, 0),
+        (open_pat, false, true, 1),
+        (openv_pat, true, true, 1),
+    ] {
         let mut from = 0;
         while let Some(pos) = joined[from..].find(&pat) {
             let at = from + pos;
@@ -737,9 +751,9 @@ fn scan_registry(
             let line = joined[..at].matches('\n').count() + 1;
             if let Some(args) = balanced_args(&joined[args_start..]) {
                 let parts = split_top_level(&args);
-                let kind_expr = parts.first().cloned().unwrap_or_default();
+                let kind_expr = parts.get(kind_arg).cloned().unwrap_or_default();
                 let version_expr = if has_version {
-                    parts.get(1).cloned()
+                    parts.get(kind_arg + 1).cloned()
                 } else {
                     None
                 };
@@ -748,6 +762,7 @@ fn scan_registry(
                     line,
                     kind_expr,
                     version_expr,
+                    reader,
                 });
             }
             from = args_start;
@@ -931,13 +946,13 @@ fn check_registry(
         return Ok(());
     }
 
-    // 1. every writer call site resolves and appears in FORMATS
+    // 1. every writer/reader call site resolves and appears in FORMATS
     let mut written: Vec<(String, u16)> = Vec::new();
     for call in &registry.calls {
         let kind = resolve_kind(&call.kind_expr, &registry.str_consts);
         let version = match &call.version_expr {
             Some(expr) => resolve_version(expr, &registry.u16_consts),
-            None => Some(1), // BinWriter::new writes the baseline version
+            None => Some(1), // new/open default to the baseline version
         };
         let (Some(kind), Some(version)) = (kind, version) else {
             violations.push(Violation {
@@ -956,6 +971,40 @@ fn check_registry(
             });
             continue;
         };
+        if call.reader {
+            // a reader accepts versions 1..=max; every registered
+            // version of the kind it names must fall in that window, or
+            // the reader rejects artifacts the workspace produces
+            let registered: Vec<u16> = formats
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|(_, v)| *v)
+                .collect();
+            if registered.is_empty() {
+                violations.push(Violation {
+                    rule: Rule::FormatRegistry,
+                    path: call.path.clone(),
+                    line: call.line,
+                    message: format!(
+                        "reader accepts artifact kind '{kind}' which is not in the FORMATS \
+                         registry (crates/tensor/src/serialize.rs); register it there and in \
+                         the README spec table"
+                    ),
+                });
+            } else if let Some(newer) = registered.iter().find(|v| **v > version) {
+                violations.push(Violation {
+                    rule: Rule::FormatRegistry,
+                    path: call.path.clone(),
+                    line: call.line,
+                    message: format!(
+                        "reader accepts kind '{kind}' up to v{version} but FORMATS registers \
+                         v{newer}; raise the reader's max_version or it rejects current \
+                         artifacts"
+                    ),
+                });
+            }
+            continue; // readers don't count toward the stale-row check
+        }
         if !formats.iter().any(|(k, v)| *k == kind && *v == version) {
             violations.push(Violation {
                 rule: Rule::FormatRegistry,

@@ -29,6 +29,28 @@
 //!   keeps concurrent writers from regressing it.
 //! - **Writer progress / no deadlock**: every schedule completes; the
 //!   explorer reports any state where all unfinished threads block.
+//!
+//! [`BoundedQueueModel`] mirrors `gnn4ip_core::BoundedQueue` — the
+//! blocking MPMC queue that backpressures the `gnn4ip serve` request
+//! loop. Its mutex discipline is the one already proven above (every
+//! queue access happens under the lock), so each critical section is
+//! modeled as a single atomic step and the modeled concurrency is the
+//! **condvar protocol**: atomically joining a waitset when the predicate
+//! fails, re-checking after every wake, `notify_one` per push/pop,
+//! `notify_all` on close. The invariants along every interleaving:
+//!
+//! - **Capacity**: occupancy never exceeds the bound (backpressure is
+//!   real, not advisory).
+//! - **FIFO, exactly once**: items pop in push order, none duplicated or
+//!   lost — `popped + queued == pushed` at every final state.
+//! - **Close drains**: after `close()`, consumers pop every pending item
+//!   before any sees `None`, producers get their item back, and — the
+//!   part that needs `notify_all` — **every** sleeper wakes. The seeded
+//!   bug ([`BoundedQueueModel::lost_wakeup`]) downgrades close to
+//!   `notify_one`, and the checker must find the stranded-consumer
+//!   deadlock or its green means nothing.
+
+use std::collections::VecDeque;
 
 use crate::sched::{Explorer, Program, Step};
 
@@ -351,6 +373,223 @@ impl PublicationModel {
     }
 }
 
+// --- bounded-queue model ------------------------------------------------
+
+/// A producer/consumer/closer workload over the bounded-queue algorithm
+/// (`gnn4ip_core::BoundedQueue`).
+///
+/// Every real queue access happens inside one mutex-guarded critical
+/// section, so each is a single atomic step here; the modeled
+/// concurrency is the condvar protocol. "Going to sleep" (the failed
+/// predicate check plus joining the waitset) is atomic because
+/// `Condvar::wait` releases the lock and parks in one operation; a
+/// sleeping thread is [`Step::Blocked`] until a notify removes it from
+/// the waitset, after which it re-acquires the lock and re-checks — the
+/// wait loop. Notifies wake the longest-waiting thread (deterministic
+/// FIFO; a sound refinement of the platform's arbitrary choice for the
+/// wakeup-counting invariants checked here).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedQueueModel {
+    /// Queue capacity `push` blocks at.
+    pub capacity: usize,
+    /// Concurrent producer threads.
+    pub producers: usize,
+    /// Pushes each producer attempts (a closed queue fails the rest).
+    pub pushes_per_producer: usize,
+    /// Concurrent consumer threads; each pops until `None`.
+    pub consumers: usize,
+    /// `true` models the real algorithm (`notify_all` in `close`);
+    /// `false` downgrades close to `notify_one` — the seeded lost-wakeup
+    /// bug, which the checker must report as a deadlock.
+    pub notify_all_on_close: bool,
+}
+
+impl BoundedQueueModel {
+    /// The real algorithm: `producers` threads pushing
+    /// `pushes_per_producer` items each into a `capacity`-bounded queue,
+    /// `consumers` threads popping until drained, one closer.
+    pub fn drained(
+        producers: usize,
+        pushes_per_producer: usize,
+        consumers: usize,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            capacity,
+            producers,
+            pushes_per_producer,
+            consumers,
+            notify_all_on_close: true,
+        }
+    }
+
+    /// Close downgraded to `notify_one`: with two consumers asleep at
+    /// close, only one wakes and the other is stranded forever. The
+    /// explorer must find that schedule and report the deadlock.
+    pub fn lost_wakeup() -> Self {
+        Self {
+            capacity: 1,
+            producers: 1,
+            pushes_per_producer: 1,
+            consumers: 2,
+            notify_all_on_close: false,
+        }
+    }
+}
+
+/// Shared + thread-local state of [`BoundedQueueModel`], cloned at every
+/// scheduler branch.
+#[derive(Debug, Clone)]
+pub struct BoundedQueueState {
+    /// Queue contents: items are global push sequence numbers, so FIFO
+    /// and exactly-once are checkable from the pop order alone.
+    items: VecDeque<u64>,
+    closed: bool,
+    /// Sequence number the next successful push enqueues.
+    next_push: u64,
+    /// Sequence number the next pop must dequeue (FIFO invariant).
+    next_pop: u64,
+    /// Producers parked on `not_full`, in wait order.
+    wait_full: Vec<usize>,
+    /// Consumers parked on `not_empty`, in wait order.
+    wait_empty: Vec<usize>,
+    /// Successful pushes per producer.
+    pushes_done: Vec<usize>,
+}
+
+impl Program for BoundedQueueModel {
+    type State = BoundedQueueState;
+
+    fn init(&self) -> BoundedQueueState {
+        BoundedQueueState {
+            items: VecDeque::new(),
+            closed: false,
+            next_push: 0,
+            next_pop: 0,
+            wait_full: Vec::new(),
+            wait_empty: Vec::new(),
+            pushes_done: vec![0; self.producers],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.producers + self.consumers + 1 // + the closer
+    }
+
+    fn step(&self, state: &mut BoundedQueueState, tid: usize) -> Result<Step, String> {
+        if tid < self.producers {
+            self.producer_step(state, tid)
+        } else if tid < self.producers + self.consumers {
+            self.consumer_step(state, tid)
+        } else {
+            self.closer_step(state)
+        }
+    }
+
+    fn check_final(&self, state: &BoundedQueueState) -> Result<(), String> {
+        if !state.items.is_empty() {
+            return Err(format!(
+                "close failed to drain: {} item(s) left queued",
+                state.items.len()
+            ));
+        }
+        if state.next_pop != state.next_push {
+            return Err(format!(
+                "exactly-once violated: {} item(s) pushed but {} popped",
+                state.next_push, state.next_pop
+            ));
+        }
+        if !state.wait_full.is_empty() || !state.wait_empty.is_empty() {
+            return Err("a retired thread was left in a waitset".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl BoundedQueueModel {
+    /// `notify_one`: wake the longest-waiting sleeper, if any.
+    fn wake_one(waitset: &mut Vec<usize>) {
+        if !waitset.is_empty() {
+            waitset.remove(0);
+        }
+    }
+
+    /// One `push` critical section: fail if closed, enqueue if there is
+    /// room (then `not_empty.notify_one()`), otherwise park on
+    /// `not_full`.
+    fn producer_step(&self, state: &mut BoundedQueueState, tid: usize) -> Result<Step, String> {
+        if state.wait_full.contains(&tid) {
+            return Ok(Step::Blocked);
+        }
+        if state.closed {
+            // push returns Err(item): the producer stops, like the serve
+            // parser does on a closed queue
+            return Ok(Step::Done);
+        }
+        if state.items.len() < self.capacity {
+            state.items.push_back(state.next_push);
+            state.next_push += 1;
+            if state.items.len() > self.capacity {
+                return Err(format!(
+                    "capacity exceeded: {} items in a queue bounded at {}",
+                    state.items.len(),
+                    self.capacity
+                ));
+            }
+            Self::wake_one(&mut state.wait_empty);
+            state.pushes_done[tid] += 1;
+            return Ok(if state.pushes_done[tid] >= self.pushes_per_producer {
+                Step::Done
+            } else {
+                Step::Progress
+            });
+        }
+        state.wait_full.push(tid);
+        Ok(Step::Progress)
+    }
+
+    /// One `pop` critical section: dequeue if an item is ready (then
+    /// `not_full.notify_one()`), retire on closed-and-drained (`None`),
+    /// otherwise park on `not_empty`.
+    fn consumer_step(&self, state: &mut BoundedQueueState, tid: usize) -> Result<Step, String> {
+        if state.wait_empty.contains(&tid) {
+            return Ok(Step::Blocked);
+        }
+        if let Some(id) = state.items.pop_front() {
+            if id != state.next_pop {
+                return Err(format!(
+                    "FIFO violated: consumer {} popped item {id} but item {} was next",
+                    tid - self.producers,
+                    state.next_pop
+                ));
+            }
+            state.next_pop += 1;
+            Self::wake_one(&mut state.wait_full);
+            return Ok(Step::Progress);
+        }
+        if state.closed {
+            // pop returned None — closed and drained
+            return Ok(Step::Done);
+        }
+        state.wait_empty.push(tid);
+        Ok(Step::Progress)
+    }
+
+    /// The `close` critical section: set the flag, wake sleepers —
+    /// everyone (correct) or one per condvar (the seeded bug).
+    fn closer_step(&self, state: &mut BoundedQueueState) -> Result<Step, String> {
+        state.closed = true;
+        if self.notify_all_on_close {
+            state.wait_full.clear();
+            state.wait_empty.clear();
+        } else {
+            Self::wake_one(&mut state.wait_full);
+            Self::wake_one(&mut state.wait_empty);
+        }
+        Ok(Step::Done)
+    }
+}
+
 // --- the CI suite -------------------------------------------------------
 
 /// One exploration in the publication-slot suite.
@@ -460,6 +699,72 @@ pub fn verify_publication_slot() -> Result<SchedSummary, String> {
     Ok(summary)
 }
 
+/// The interleaving gate for the serve loop's backpressure primitive:
+/// explores the bounded-queue model across producer/consumer workloads
+/// (every `notify_all` config must pass exhaustively — no lost wakeup,
+/// no deadlock, never over capacity, FIFO exactly once) and then checks
+/// the checker by confirming the `notify_one`-on-close seeded bug *is*
+/// reported as a deadlock.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant, truncated
+/// exploration, or a seeded bug the checker missed.
+pub fn verify_bounded_queue() -> Result<SchedSummary, String> {
+    let explorer = Explorer::exhaustive();
+    let configs: &[(&str, BoundedQueueModel)] = &[
+        ("1p-1c cap1 x2", BoundedQueueModel::drained(1, 2, 1, 1)),
+        ("2p-1c cap1", BoundedQueueModel::drained(2, 1, 1, 1)),
+        ("1p-2c cap1 x2", BoundedQueueModel::drained(1, 2, 2, 1)),
+        ("2p-2c cap2", BoundedQueueModel::drained(2, 1, 2, 2)),
+        ("1p-1c cap2 x3", BoundedQueueModel::drained(1, 3, 1, 2)),
+    ];
+
+    let mut summary = SchedSummary {
+        runs: Vec::new(),
+        total_schedules: 0,
+    };
+    for (name, model) in configs {
+        let report = explorer.explore(model);
+        if let Some(violation) = &report.violation {
+            return Err(format!("config '{name}': {violation}"));
+        }
+        if report.truncated {
+            return Err(format!(
+                "config '{name}': exploration truncated at {} schedules — shrink the model \
+                 or raise the cap",
+                report.schedules
+            ));
+        }
+        summary.total_schedules += report.schedules;
+        summary.runs.push(SchedRun {
+            name: (*name).to_string(),
+            schedules: report.schedules,
+            deepest: report.deepest,
+        });
+    }
+
+    // the checker must catch the seeded lost wakeup, or its green means
+    // nothing
+    let buggy = explorer.explore(&BoundedQueueModel::lost_wakeup());
+    match &buggy.violation {
+        Some(v) if v.message.contains("deadlock") => {}
+        Some(v) => {
+            return Err(format!(
+                "lost-wakeup model failed for the wrong reason: {v}"
+            ))
+        }
+        None => {
+            return Err(
+                "checker self-test failed: the seeded lost-wakeup bug (notify_one \
+                        on close) was not found"
+                    .to_string(),
+            )
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +800,41 @@ mod tests {
         // regressing the atomic; the model with 2 writers exercises the
         // window where writer A's store lands after writer B's
         let report = Explorer::exhaustive().explore(&PublicationModel::guarded(2, 1));
+        assert!(report.passed(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn queue_model_passes_exhaustively() {
+        let report = Explorer::exhaustive().explore(&BoundedQueueModel::drained(1, 2, 2, 1));
+        assert!(report.passed(), "{:?}", report.violation);
+        assert!(report.schedules > 0);
+    }
+
+    #[test]
+    fn lost_wakeup_close_is_found_as_a_deadlock() {
+        let report = Explorer::exhaustive().explore(&BoundedQueueModel::lost_wakeup());
+        let violation = report.violation.expect("lost wakeup must be found");
+        assert!(violation.message.contains("deadlock"), "{violation}");
+    }
+
+    #[test]
+    fn queue_suite_passes_and_is_thorough() {
+        let summary = verify_bounded_queue().expect("suite passes");
+        assert!(
+            summary.total_schedules >= 1000,
+            "only {} schedules explored — the acceptance gate requires >= 1000",
+            summary.total_schedules
+        );
+        assert!(summary.runs.len() >= 5);
+    }
+
+    #[test]
+    fn full_producer_blocks_until_a_pop_frees_a_slot() {
+        // capacity 1, two pushes: the second push must park on not_full
+        // in some schedule and still complete in all of them — the
+        // wakeup chain pop -> notify_one -> re-check is what this config
+        // exercises
+        let report = Explorer::exhaustive().explore(&BoundedQueueModel::drained(1, 2, 1, 1));
         assert!(report.passed(), "{:?}", report.violation);
     }
 

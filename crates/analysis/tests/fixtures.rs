@@ -263,6 +263,103 @@ fn stale_registry_row_is_reported() {
 }
 
 #[test]
+fn reader_of_unregistered_kind_is_reported() {
+    let fx = Fixture::with(
+        "registry-reader-unknown",
+        &[(
+            "crates/demo/src/load.rs",
+            "pub fn load(bytes: &[u8]) {\n    let _r = BinReader::open(bytes, \"mystery-kind\");\n}\n",
+        )],
+    );
+    let report = fx.lint();
+    assert_single(&report, Rule::FormatRegistry, "crates/demo/src/load.rs", 2);
+    assert!(
+        report.violations[0].message.contains("reader"),
+        "{}",
+        report.violations[0]
+    );
+}
+
+#[test]
+fn reader_behind_the_registered_version_is_reported() {
+    // the registry moved late-kind to v2 (and a writer produces it), but
+    // one reader still caps at v1 — it would reject current artifacts
+    let fx = Fixture::with(
+        "registry-reader-stale",
+        &[
+            (
+                "crates/tensor/src/serialize.rs",
+                "pub const FORMATS: &[(&str, u16)] = &[(\"demo-kind\", 1), (\"late-kind\", 2)];\n\
+                 pub struct BinWriter;\n",
+            ),
+            (
+                "README.md",
+                "# demo\n\n| kind | version |\n|---|---|\n| `demo-kind` | v1 |\n| `late-kind` | v2 |\n",
+            ),
+            (
+                "crates/demo/src/late.rs",
+                "pub fn save() {\n    let _w = BinWriter::with_version(\"late-kind\", 2);\n}\n\
+                 pub fn load(bytes: &[u8]) {\n    \
+                 let _r = BinReader::open_versioned(bytes, \"late-kind\", 1);\n}\n",
+            ),
+        ],
+    );
+    let report = fx.lint();
+    assert_single(&report, Rule::FormatRegistry, "crates/demo/src/late.rs", 5);
+    assert!(
+        report.violations[0].message.contains("max_version"),
+        "{}",
+        report.violations[0]
+    );
+}
+
+#[test]
+fn forward_compatible_reader_is_fine() {
+    // a reader may accept versions newer than any registered one — that
+    // is forward compatibility, not drift
+    let fx = Fixture::with(
+        "registry-reader-forward",
+        &[(
+            "crates/demo/src/load.rs",
+            "pub fn load(bytes: &[u8]) {\n    \
+             let _r = BinReader::open_versioned(bytes, \"demo-kind\", 3);\n}\n",
+        )],
+    );
+    let report = fx.lint();
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn a_reader_does_not_keep_a_stale_registry_row_alive() {
+    // ghost-kind is registered, documented, and *read* — but nothing
+    // writes it, so the stale-row check must still fire
+    let fx = Fixture::with(
+        "registry-reader-ghost",
+        &[
+            (
+                "crates/tensor/src/serialize.rs",
+                "pub const FORMATS: &[(&str, u16)] = &[(\"demo-kind\", 1), (\"ghost-kind\", 1)];\n\
+                 pub struct BinWriter;\n",
+            ),
+            (
+                "README.md",
+                "# demo\n\n| kind | version |\n|---|---|\n| `demo-kind` | v1 |\n| `ghost-kind` | v1 |\n",
+            ),
+            (
+                "crates/demo/src/load.rs",
+                "pub fn load(bytes: &[u8]) {\n    let _r = BinReader::open(bytes, \"ghost-kind\");\n}\n",
+            ),
+        ],
+    );
+    assert_single(
+        &fx.lint(),
+        Rule::FormatRegistry,
+        "crates/tensor/src/serialize.rs",
+        1,
+    );
+}
+
+#[test]
 fn readme_drift_is_reported() {
     let fx = Fixture::with(
         "registry-readme",

@@ -54,7 +54,7 @@ use gnn4ip_data::{
 };
 use gnn4ip_dfg::graph_from_verilog;
 use gnn4ip_eval::{
-    QueryOptions, RebalanceOptions, RebalanceReport, ShardStorage, ShardedEmbeddingIndex,
+    QueryHit, QueryOptions, RebalanceOptions, RebalanceReport, ShardStorage, ShardedEmbeddingIndex,
 };
 use gnn4ip_hdl::ParseVerilogError;
 use gnn4ip_nn::{fan_out, GraphInput};
@@ -143,6 +143,95 @@ pub struct IngestReport {
     /// malformed sources instead of aborting a corpus-scale run.
     pub rejected: Vec<(String, String)>,
 }
+
+/// What one [`AuditPipeline::audit_many`] call did, alongside the
+/// per-suspect verdicts: the aggregate the serve loop and the `audit`
+/// subcommand report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Suspects that parsed, embedded, and were scored.
+    pub audited: usize,
+    /// Audited suspects whose verdict flagged piracy.
+    pub flagged: usize,
+    /// Suspects skipped as `(name, parse error)` — like ingest, a batch
+    /// audit keeps going past malformed sources instead of aborting.
+    pub rejected: Vec<(String, String)>,
+}
+
+/// Failure modes of the audit-index persistence surface
+/// ([`AuditPipeline::save_index`] / [`load_index`](AuditPipeline::load_index) /
+/// [`load_index_bytes`](AuditPipeline::load_index_bytes)), one variant per
+/// distinct cause in the style of `gnn4ip_eval::ManifestError` — so the
+/// serve loop and the CLI map failures to protocol responses and exit
+/// codes by matching, never by searching error strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// Reading or writing the artifact file failed (underlying I/O error
+    /// as text).
+    Io(String),
+    /// The artifact bytes are malformed: bad magic, unsupported version,
+    /// checksum failure, truncation, or a corrupt nested shard blob.
+    Format(String),
+    /// The artifact was produced by different detector weights —
+    /// embeddings are only valid for the exact weights that made them.
+    WeightsMismatch {
+        /// Weights checksum stamped into the artifact.
+        artifact: u64,
+        /// This detector's weights checksum.
+        detector: u64,
+    },
+    /// The artifact pairs an index and a name table of different sizes.
+    NameCountMismatch {
+        /// Embedding rows the index holds.
+        embeddings: usize,
+        /// Names the artifact carries.
+        names: usize,
+    },
+    /// A stored label points past the artifact's name table.
+    LabelOutOfRange {
+        /// The out-of-range label.
+        label: usize,
+        /// Names the artifact carries.
+        names: usize,
+    },
+    /// The artifact's embedding dimension does not match the detector's
+    /// embedding width.
+    DimMismatch {
+        /// Dimension stored in the artifact.
+        artifact: usize,
+        /// The detector's embedding width.
+        detector: usize,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "audit index i/o failed: {e}"),
+            Self::Format(e) => write!(f, "audit index artifact is malformed: {e}"),
+            Self::WeightsMismatch { artifact, detector } => write!(
+                f,
+                "audit index was built by weights {artifact:#018x}, this detector \
+                 has {detector:#018x}; re-ingest instead of loading"
+            ),
+            Self::NameCountMismatch { embeddings, names } => write!(
+                f,
+                "audit index holds {embeddings} embeddings but {names} names"
+            ),
+            Self::LabelOutOfRange { label, names } => write!(
+                f,
+                "audit index references label {label} but only {names} names exist; \
+                 the artifact pairs mismatched index and name tables"
+            ),
+            Self::DimMismatch { artifact, detector } => write!(
+                f,
+                "audit index dimension {artifact} != detector embedding width {detector}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
 
 /// One retrieved neighbor of an audited suspect.
 #[derive(Debug, Clone, PartialEq)]
@@ -357,18 +446,37 @@ impl AuditPipeline {
     /// state); source-level [`AuditSnapshot::audit`] additionally takes
     /// the detector's shared embedding-cache mutex, held only for
     /// hash-map lookups.
+    ///
+    /// Every snapshot goes **through the serving slot**: this method
+    /// publishes the captured snapshot (advancing the slot epoch) and
+    /// returns it, so there is exactly one publication path and a
+    /// snapshot held by the caller is always also visible to readers
+    /// polling the [`serving_slot`](AuditPipeline::serving_slot). Use
+    /// [`publish`](AuditPipeline::publish) when only the epoch is
+    /// needed.
     pub fn snapshot(&self) -> AuditSnapshot {
+        let snapshot = self.capture();
+        self.slot.publish(snapshot.clone());
+        snapshot
+    }
+
+    /// Builds the immutable snapshot value — the one construction both
+    /// [`snapshot`](AuditPipeline::snapshot) and
+    /// [`publish`](AuditPipeline::publish) feed into the slot.
+    fn capture(&self) -> AuditSnapshot {
         AuditSnapshot {
             detector: Arc::clone(&self.detector),
             index: self.index.snapshot(),
             names: self.names.clone(),
             top_k: self.config.top_k,
             query: self.config.query,
+            threads: self.config.threads,
+            batch_size: self.config.batch_size,
         }
     }
 
-    /// Captures a [`snapshot`](AuditPipeline::snapshot) and publishes it
-    /// into the serving slot, returning the publication epoch. This is
+    /// Captures the current state and publishes it into the serving
+    /// slot, returning the publication epoch. This is
     /// the writer half of the serving loop; reader threads hold the
     /// [`serving_slot`](AuditPipeline::serving_slot) and pick the new
     /// snapshot up via [`PublicationSlot::load_if_newer`].
@@ -376,8 +484,9 @@ impl AuditPipeline {
     /// The slot lock is held for a pointer store only — the snapshot is
     /// built before it is taken — so readers are never blocked behind
     /// snapshot construction.
+    #[must_use = "the epoch identifies this publication; readers poll load_if_newer with it"]
     pub fn publish(&self) -> u64 {
-        self.slot.publish(self.snapshot())
+        self.slot.publish(self.capture())
     }
 
     /// The epoch-stamped slot this pipeline publishes snapshots into —
@@ -494,6 +603,35 @@ impl AuditPipeline {
         )
     }
 
+    /// Audits a whole portfolio of suspects as one pipeline: each batch of
+    /// [`AuditConfig::batch_size`] suspects is parsed across [`fan_out`]
+    /// workers, embedded through the tape-free
+    /// [`embed_batch`](gnn4ip_nn::Hw2Vec::embed_batch), and scored with a
+    /// **single** [`ShardedEmbeddingIndex::query_many`] call — one shard
+    /// pass over the whole batch instead of one gemv walk per suspect —
+    /// so a directory of suspects flows through the same
+    /// parse → DFG → embed → query stages as ingest, with memory bounded
+    /// by one batch.
+    ///
+    /// Returns one verdict per suspect, in input order (`None` for
+    /// suspects that failed to parse, with the error recorded in the
+    /// report), plus the aggregate [`BatchReport`]. Every verdict is
+    /// bit-identical to what a serial [`audit`](AuditPipeline::audit)
+    /// call on the same suspect returns — batching changes throughput,
+    /// never results.
+    pub fn audit_many(&self, suspects: &[AuditSource]) -> (Vec<Option<AuditVerdict>>, BatchReport) {
+        audit_many_impl(
+            &self.detector,
+            &self.index,
+            &self.names,
+            self.config.top_k,
+            &self.config.query,
+            self.config.threads,
+            self.config.batch_size,
+            suspects,
+        )
+    }
+
     // --- persistence ---------------------------------------------------
 
     /// Serializes the audit index — names plus the nested shard-index
@@ -523,43 +661,48 @@ impl AuditPipeline {
     /// index whose stored labels reference names that do not exist — a
     /// mismatched artifact is rejected here, descriptively, instead of
     /// deferring a panic to the first query that retrieves the bad label.
-    pub fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<usize, String> {
-        let mut r = BinReader::open_versioned(bytes, AUDIT_INDEX_KIND, AUDIT_INDEX_VERSION)?;
-        let checksum = r.u64()?;
+    /// Every failure mode is a distinct [`AuditError`] variant.
+    pub fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<usize, AuditError> {
+        let mut r = BinReader::open_versioned(bytes, AUDIT_INDEX_KIND, AUDIT_INDEX_VERSION)
+            .map_err(AuditError::Format)?;
+        let checksum = r.u64().map_err(AuditError::Format)?;
         let own = self.detector.model().weights_checksum();
         if checksum != own {
-            return Err(format!(
-                "audit index was built by weights {checksum:#018x}, \
-                 this detector has {own:#018x}; re-ingest instead of loading"
-            ));
+            return Err(AuditError::WeightsMismatch {
+                artifact: checksum,
+                detector: own,
+            });
         }
-        let n = r.count_of(4)?; // every name carries a 4-byte length prefix
+        // every name carries a 4-byte length prefix
+        let n = r.count_of(4).map_err(AuditError::Format)?;
         let mut names = Vec::with_capacity(n);
         for _ in 0..n {
-            names.push(r.str()?);
+            names.push(r.str().map_err(AuditError::Format)?);
         }
-        let index = ShardedEmbeddingIndex::from_bytes(r.bytes()?, own)?;
-        r.done()?;
+        let nested = r.bytes().map_err(AuditError::Format)?;
+        // the nested blob is pinned to the same checksum the envelope
+        // carries (already matched against our weights above), so any
+        // failure in here — including its pin check — is artifact
+        // corruption, not a weights mismatch
+        let index = ShardedEmbeddingIndex::from_bytes(nested, own).map_err(AuditError::Format)?;
+        r.done().map_err(AuditError::Format)?;
         if index.len() != names.len() {
-            return Err(format!(
-                "audit index holds {} embeddings but {} names",
-                index.len(),
-                names.len()
-            ));
+            return Err(AuditError::NameCountMismatch {
+                embeddings: index.len(),
+                names: names.len(),
+            });
         }
         if let Some(bad) = index.labels().find(|&l| l >= names.len()) {
-            return Err(format!(
-                "audit index references label {bad} but only {} names exist; \
-                 the artifact pairs mismatched index and name tables",
-                names.len()
-            ));
+            return Err(AuditError::LabelOutOfRange {
+                label: bad,
+                names: names.len(),
+            });
         }
         if index.dim() != self.index.dim() {
-            return Err(format!(
-                "audit index dimension {} != detector embedding width {}",
-                index.dim(),
-                self.index.dim()
-            ));
+            return Err(AuditError::DimMismatch {
+                artifact: index.dim(),
+                detector: self.index.dim(),
+            });
         }
         // the artifact's shard capacity wins; keep names sealing in
         // lockstep with it
@@ -573,9 +716,9 @@ impl AuditPipeline {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error as text.
-    pub fn save_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
-        write_artifact(path.as_ref(), &self.index_bytes())
+    /// Returns the underlying I/O failure as [`AuditError::Io`].
+    pub fn save_index(&self, path: impl AsRef<std::path::Path>) -> Result<(), AuditError> {
+        write_artifact(path.as_ref(), &self.index_bytes()).map_err(AuditError::Io)
     }
 
     /// Loads an audit-index artifact written by
@@ -584,9 +727,10 @@ impl AuditPipeline {
     ///
     /// # Errors
     ///
-    /// Returns I/O, format, or weights-mismatch errors as text.
-    pub fn load_index(&mut self, path: impl AsRef<std::path::Path>) -> Result<usize, String> {
-        self.load_index_bytes(&read_artifact(path.as_ref())?)
+    /// [`AuditError::Io`] for file-system failures, otherwise whatever
+    /// [`AuditPipeline::load_index_bytes`] rejects the bytes with.
+    pub fn load_index(&mut self, path: impl AsRef<std::path::Path>) -> Result<usize, AuditError> {
+        self.load_index_bytes(&read_artifact(path.as_ref()).map_err(AuditError::Io)?)
     }
 }
 
@@ -600,29 +744,103 @@ fn build_verdict(
     query: &QueryOptions,
     embedding: &[f32],
 ) -> AuditVerdict {
-    let matches: Vec<AuditMatch> = if top_k == 0 || index.is_empty() {
+    let hits = if top_k == 0 || index.is_empty() {
         Vec::new()
     } else {
-        index
-            .query_opts(embedding, top_k, query)
-            .0
-            .into_iter()
-            .map(|h| AuditMatch {
-                name: names
-                    .get(h.label)
-                    // g4check: allow(unwrap-in-lib): ingest appends the name before the row, and load_index_bytes rejects artifacts whose labels exceed the name table
-                    .expect("labels are validated against the name table at ingest and load")
-                    .to_string(),
-                label: h.label,
-                score: h.score,
-                piracy: h.score > delta,
-            })
-            .collect()
+        index.query_opts(embedding, top_k, query).0
     };
+    verdict_from_hits(hits, names, delta)
+}
+
+/// Resolves query hits into an [`AuditVerdict`] — the single
+/// hit→match→δ step both the serial and the batched audit paths share,
+/// so they cannot drift.
+fn verdict_from_hits(hits: Vec<QueryHit>, names: &NameLog, delta: f32) -> AuditVerdict {
+    let matches: Vec<AuditMatch> = hits
+        .into_iter()
+        .map(|h| AuditMatch {
+            name: names
+                .get(h.label)
+                // g4check: allow(unwrap-in-lib): ingest appends the name before the row, and load_index_bytes rejects artifacts whose labels exceed the name table
+                .expect("labels are validated against the name table at ingest and load")
+                .to_string(),
+            label: h.label,
+            score: h.score,
+            piracy: h.score > delta,
+        })
+        .collect();
     AuditVerdict {
         piracy: matches.first().is_some_and(|m| m.piracy),
         matches,
     }
+}
+
+/// The one batched-audit implementation, shared by
+/// [`AuditPipeline::audit_many`] and [`AuditSnapshot::audit_many`]:
+/// chunked parse (fan-out) → batched embed → one `query_many` per chunk.
+#[allow(clippy::too_many_arguments)]
+fn audit_many_impl(
+    detector: &Gnn4Ip,
+    index: &ShardedEmbeddingIndex,
+    names: &NameLog,
+    top_k: usize,
+    query: &QueryOptions,
+    threads: usize,
+    batch_size: usize,
+    suspects: &[AuditSource],
+) -> (Vec<Option<AuditVerdict>>, BatchReport) {
+    let delta = detector.delta();
+    let mut verdicts: Vec<Option<AuditVerdict>> = Vec::with_capacity(suspects.len());
+    let mut report = BatchReport::default();
+    for chunk in suspects.chunks(batch_size.max(1)) {
+        let parsed: Vec<Result<GraphInput, ParseVerilogError>> =
+            fan_out(chunk, threads, |_tid, part| {
+                part.iter()
+                    .map(|s| {
+                        graph_from_verilog(&s.source, s.top.as_deref())
+                            .map(|g| GraphInput::from_dfg(&g))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut graphs = Vec::new();
+        let mut slots = Vec::new(); // verdict position of each parsed graph
+        for (suspect, result) in chunk.iter().zip(parsed) {
+            match result {
+                Ok(g) => {
+                    graphs.push(g);
+                    slots.push(verdicts.len());
+                    verdicts.push(None);
+                }
+                Err(e) => {
+                    report.rejected.push((suspect.name.clone(), e.to_string()));
+                    verdicts.push(None);
+                }
+            }
+        }
+        let embeddings = detector.model().embed_batch(&graphs);
+        report.audited += slots.len();
+        if top_k == 0 || index.is_empty() {
+            for slot in slots {
+                verdicts[slot] = Some(AuditVerdict {
+                    matches: Vec::new(),
+                    piracy: false,
+                });
+            }
+            continue;
+        }
+        let results = index.query_many(&embeddings, top_k, query);
+        for (slot, (hits, _stats)) in slots.into_iter().zip(results) {
+            let verdict = verdict_from_hits(hits, names, delta);
+            if verdict.piracy {
+                report.flagged += 1;
+            }
+            verdicts[slot] = Some(verdict);
+        }
+    }
+    (verdicts, report)
 }
 
 /// An immutable point-in-time view of an [`AuditPipeline`], produced by
@@ -667,6 +885,8 @@ pub struct AuditSnapshot {
     names: NameLog,
     top_k: usize,
     query: QueryOptions,
+    threads: usize,
+    batch_size: usize,
 }
 
 impl AuditSnapshot {
@@ -724,6 +944,23 @@ impl AuditSnapshot {
             self.top_k,
             &self.query,
             embedding,
+        )
+    }
+
+    /// [`AuditPipeline::audit_many`] against the snapshot's frozen
+    /// corpus: chunked parse → batched embed → one `query_many` per
+    /// chunk. This is what serve-loop reader threads run, so a whole
+    /// drained request batch is scored in one shard walk.
+    pub fn audit_many(&self, suspects: &[AuditSource]) -> (Vec<Option<AuditVerdict>>, BatchReport) {
+        audit_many_impl(
+            &self.detector,
+            &self.index,
+            &self.names,
+            self.top_k,
+            &self.query,
+            self.threads,
+            self.batch_size,
+            suspects,
         )
     }
 }
@@ -1040,10 +1277,97 @@ mod tests {
         w.str("only_name");
         w.bytes(&index.to_bytes(checksum));
         let err = p.load_index_bytes(&w.finish()).expect_err("must reject");
-        assert!(err.contains("label 7"), "{err}");
+        assert!(
+            matches!(err, AuditError::LabelOutOfRange { label: 7, names: 1 }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("label 7"), "{err}");
         assert!(p.is_empty(), "a rejected artifact must not half-load");
         // out-of-range lookups on a live pipeline answer None, not garbage
         assert!(p.try_name_of(7).is_none());
+    }
+
+    #[test]
+    fn audit_many_matches_serial_audits_bit_for_bit() {
+        // audit_many is the batched form of audit: same parse, same
+        // embedding, one query_many instead of N gemv walks — and the
+        // verdicts must not drift by a single bit. batch_size 2 over 5
+        // suspects also exercises the chunk boundary.
+        let p = pipeline();
+        let suspects = vec![
+            AuditSource::new("s_inv", INV, None),
+            AuditSource::new("s_xor", XOR2, None),
+            AuditSource::new("s_broken", "module broken(", None),
+            AuditSource::new("s_add", ADD, None),
+            AuditSource::new("s_inv2", INV, None),
+        ];
+        let (verdicts, report) = p.audit_many(&suspects);
+        assert_eq!(verdicts.len(), 5);
+        assert_eq!(report.audited, 4);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, "s_broken");
+        assert!(verdicts[2].is_none(), "parse failure yields no verdict");
+        for (i, suspect) in suspects.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let serial = p.audit(&suspect.source, None).expect("parses");
+            let batched = verdicts[i].as_ref().expect("audited");
+            assert_eq!(batched, &serial, "suspect {i} drifted from serial audit");
+            for (a, b) in batched.matches.iter().zip(&serial.matches) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let flagged = verdicts
+            .iter()
+            .flatten()
+            .filter(|verdict| verdict.piracy)
+            .count();
+        assert_eq!(report.flagged, flagged);
+    }
+
+    #[test]
+    fn audit_many_on_empty_pipeline_and_empty_batch() {
+        let p = AuditPipeline::new(Gnn4Ip::with_seed(6), small_config());
+        let (verdicts, report) = p.audit_many(&[]);
+        assert!(verdicts.is_empty());
+        assert_eq!(report, BatchReport::default());
+        let (verdicts, report) = p.audit_many(&[AuditSource::new("s", INV, None)]);
+        assert_eq!(verdicts.len(), 1);
+        let verdict = verdicts[0].as_ref().expect("audited");
+        assert!(verdict.matches.is_empty());
+        assert!(!verdict.piracy);
+        assert_eq!((report.audited, report.flagged), (1, 0));
+    }
+
+    #[test]
+    fn snapshot_audit_many_matches_pipeline() {
+        let p = pipeline();
+        let snap = p.snapshot();
+        let suspects = vec![
+            AuditSource::new("a", XOR2, None),
+            AuditSource::new("b", ADD, None),
+        ];
+        let (from_pipeline, _) = p.audit_many(&suspects);
+        let (from_snapshot, report) = snap.audit_many(&suspects);
+        assert_eq!(from_pipeline, from_snapshot);
+        assert_eq!(report.audited, 2);
+    }
+
+    #[test]
+    fn snapshot_publishes_through_the_slot() {
+        // the deduplicated publication path: snapshot() is not a side
+        // channel around the slot — every captured snapshot is also the
+        // slot's current publication
+        let p = pipeline();
+        let slot = p.serving_slot();
+        assert!(slot.load().is_none(), "nothing published yet");
+        let snap = p.snapshot();
+        let published = slot.load().expect("snapshot() must publish");
+        assert_eq!(published.epoch(), 1);
+        assert_eq!(published.len(), snap.len());
+        // and the epoch counter is shared with publish()
+        assert_eq!(p.publish(), 2);
     }
 
     #[test]
@@ -1196,7 +1520,8 @@ mod tests {
         let err = other
             .load_index_bytes(&p.index_bytes())
             .expect_err("must reject");
-        assert!(err.contains("weights"), "{err}");
+        assert!(matches!(err, AuditError::WeightsMismatch { .. }), "{err:?}");
+        assert!(err.to_string().contains("weights"), "{err}");
     }
 
     #[test]

@@ -49,11 +49,13 @@ mod cache;
 mod experiment;
 mod library;
 mod serve;
+mod service;
 
 pub use api::{Gnn4Ip, Verdict, DETECTOR_KIND, LIBRARY_KIND};
 pub use audit::{
-    run_audit_scenarios, AuditConfig, AuditMatch, AuditPipeline, AuditSnapshot, AuditSource,
-    AuditVerdict, IngestReport, ScenarioReport, ScenarioSpec, AUDIT_INDEX_KIND,
+    run_audit_scenarios, AuditConfig, AuditError, AuditMatch, AuditPipeline, AuditSnapshot,
+    AuditSource, AuditVerdict, BatchReport, IngestReport, ScenarioReport, ScenarioSpec,
+    AUDIT_INDEX_KIND,
 };
 pub use cache::{CacheStats, EmbeddingCache};
 pub use experiment::{
@@ -62,3 +64,4 @@ pub use experiment::{
 };
 pub use library::{IpLibrary, LibraryMatch};
 pub use serve::{Publication, PublicationSlot};
+pub use service::{run_service, BoundedQueue, LatencySummary, ServiceConfig, ServiceReport};

@@ -25,6 +25,18 @@
 //! checker in CI (`ci.sh --stage analysis`), proving no torn reads,
 //! per-reader epoch monotonicity, publication visibility, and writer
 //! progress.
+//!
+//! # The single publication path
+//!
+//! Every snapshot a reader can observe goes through the pipeline's slot:
+//! [`AuditPipeline::publish`](crate::AuditPipeline::publish) captures the
+//! current state and publishes it, and
+//! [`AuditPipeline::snapshot`](crate::AuditPipeline::snapshot) publishes
+//! the same capture before returning it to the caller. There is no side
+//! door that constructs an [`AuditSnapshot`] without the slot seeing it,
+//! so a reader polling [`load_if_newer`](PublicationSlot::load_if_newer)
+//! can never be staler than *any* snapshot in circulation, and the epoch
+//! totally orders everything ever served.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -58,8 +58,8 @@ use std::borrow::Cow;
 use std::sync::Arc;
 
 use gnn4ip_tensor::{
-    dot_i8, fan_out, read_artifact, worker_count, write_artifact, BinReader, BinWriter, Fnv64,
-    Matrix, QuantParams, Workspace,
+    dot_i8, fan_out, gemm_nt, read_artifact, worker_count, write_artifact, BinReader, BinWriter,
+    Fnv64, Matrix, QuantParams, Workspace,
 };
 
 use crate::index::{normalize_into, query_norm, score_row, EmbeddingIndex, QueryHit};
@@ -758,6 +758,257 @@ fn shard_run_int8(
     (run, rescored)
 }
 
+/// One shard's exact sorted top-k run built from already-computed exact
+/// per-row scores — the same bounded-heap pass as [`shard_run`], minus
+/// the scoring. The batched paths gemm a whole block's scores first and
+/// then select per query through this single definition.
+fn run_from_scores(scores: &[f32], labels: &[usize], offset: usize, k: usize) -> Vec<QueryHit> {
+    let n = labels.len();
+    let kk = k.min(n);
+    let nb = n.div_ceil(64);
+    let mut top = TopK::new(kk);
+    // A NaN among the first `kk` rows forces the positional walk:
+    // [`shard_run`] pushes those rows unconditionally, a retained NaN
+    // floor then rejects everything, and [`EmbeddingIndex::rank`] is
+    // not a total order over NaN — no filtered walk reproduces that. A
+    // NaN *beyond* the head never enters serially (`score > worst` is
+    // false), so the filtered walk below drops it the same way.
+    let head_nan = scores[..kk].iter().fold(false, |a, &s| a | s.is_nan());
+    if kk > 0 && !head_nan && nb > kk {
+        // Floor-seeded selection. Block maxes (64-row granules, four
+        // independent max chains so the fold isn't latency-bound) give
+        // a floor that is valid *before* the walk starts: the `kk`-th
+        // largest block max is witnessed by `kk` rows in distinct
+        // blocks, so the true `kk`-th best score can only be higher.
+        // Rows below the floor — in practice almost all of them, block
+        // skips deciding 64 at a time — can then be ignored outright,
+        // and the surviving candidates stream through the same
+        // ascending-index strict-`>` walk as [`shard_run`], which
+        // retains exactly the `kk` rank-best of them (see [`TopK`]).
+        let mut bmax: Vec<f32> = Vec::with_capacity(nb);
+        for block in scores.chunks(64) {
+            // `(s > m) ? s : m` instead of `f32::max`: same result when
+            // `m` is never NaN (it starts at -inf and NaN fails the
+            // compare), and it lowers to one bare max instruction
+            // instead of a NaN-order-correcting sequence
+            let mut m = [f32::NEG_INFINITY; 4];
+            let mut it = block.chunks_exact(4);
+            for ch in &mut it {
+                for (mj, &s) in m.iter_mut().zip(ch) {
+                    *mj = if s > *mj { s } else { *mj };
+                }
+            }
+            let mut mm = f32::NEG_INFINITY;
+            for &mj in &m {
+                mm = if mj > mm { mj } else { mm };
+            }
+            for &s in it.remainder() {
+                mm = if s > mm { s } else { mm };
+            }
+            bmax.push(mm);
+        }
+        let mut order = bmax.clone();
+        let (_, &mut floor, _) = order.select_nth_unstable_by(kk - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut worst = f32::NEG_INFINITY;
+        for (bi, &m) in bmax.iter().enumerate() {
+            // `<` keeps boundary ties: a top-k row may *equal* the floor
+            if m < floor {
+                continue;
+            }
+            let start = bi * 64;
+            let end = (start + 64).min(n);
+            for i in start..end {
+                let score = scores[i];
+                if score >= floor && (!top.is_full() || score > worst) {
+                    top.push(QueryHit {
+                        index: offset + i,
+                        label: labels[i],
+                        score,
+                    });
+                    worst = top.worst_score();
+                }
+            }
+        }
+    } else {
+        // [`shard_run`]'s exact positional walk, minus the scoring
+        for (i, &label) in labels.iter().enumerate().take(kk) {
+            top.push(QueryHit {
+                index: offset + i,
+                label,
+                score: scores[i],
+            });
+        }
+        let mut worst = top.worst_score();
+        for (i, &label) in labels.iter().enumerate().skip(kk) {
+            let score = scores[i];
+            if score > worst {
+                top.push(QueryHit {
+                    index: offset + i,
+                    label,
+                    score,
+                });
+                worst = top.worst_score();
+            }
+        }
+    }
+    let mut run = top.into_hits();
+    run.sort_unstable_by(EmbeddingIndex::rank);
+    run
+}
+
+/// Exact sorted runs of one f32 row block for a *subset* of a query
+/// batch: one blocked [`gemm_nt`] streams the rows once for every
+/// selected query, then each query's run is selected from its score row.
+///
+/// Bit-identity with the serial path: a gemm entry accumulates the same
+/// products in the same order as [`score_row`]'s dot, and the division
+/// by the query norm (with the degenerate-norm zero path) is applied
+/// per entry exactly as [`score_row`] applies it.
+#[allow(clippy::too_many_arguments)]
+fn gemm_runs(
+    rows: &[f32],
+    labels: &[usize],
+    dim: usize,
+    offset: usize,
+    queries: &[Vec<f32>],
+    qnorms: &[f32],
+    select: &[usize],
+    k: usize,
+) -> Vec<Vec<QueryHit>> {
+    let n = labels.len();
+    let mut qbuf: Vec<f32> = Vec::with_capacity(select.len() * dim);
+    for &qi in select {
+        qbuf.extend_from_slice(&queries[qi]);
+    }
+    let mut dots = vec![0.0f32; select.len() * n];
+    gemm_nt(&qbuf, rows, dim, &mut dots);
+    let mut scores = vec![0.0f32; n];
+    let mut out = Vec::with_capacity(select.len());
+    for (si, &qi) in select.iter().enumerate() {
+        let qnorm = qnorms[qi];
+        if !qnorm.is_finite() || qnorm < 1e-12 {
+            // score_row's zero-query path, batched
+            scores.fill(0.0);
+        } else {
+            for (s, &d) in scores.iter_mut().zip(&dots[si * n..(si + 1) * n]) {
+                *s = d / qnorm;
+            }
+        }
+        out.push(run_from_scores(&scores, labels, offset, k));
+    }
+    out
+}
+
+/// The int8 fast path of one quantized shard against a subset of a query
+/// batch: every selected query runs its own integer approximate scan
+/// (exactly [`shard_run_int8`]'s), but the exact rescoring walks **one
+/// merged shortlist** — a row shortlisted by several queries is
+/// dequantized once and rescored through the shared kernel for each of
+/// them. Returns each selected query's exact sorted run plus its own
+/// rescored-row count (identical to what its serial scan would report).
+#[allow(clippy::too_many_arguments)]
+fn shard_runs_int8_batch(
+    q: &[i8],
+    params: QuantParams,
+    max_l1: f32,
+    labels: &[usize],
+    dim: usize,
+    offset: usize,
+    queries: &[Vec<f32>],
+    qnorms: &[f32],
+    sel: &[(usize, &QuantizedQuery)],
+    k: usize,
+) -> Vec<(Vec<QueryHit>, usize)> {
+    let n = labels.len();
+    let kk = k.min(n);
+    let b = sel.len();
+    let mut approx = vec![0.0f32; b * n];
+    let mut cuts = vec![f32::NEG_INFINITY; b];
+    for (si, &(qi, qq)) in sel.iter().enumerate() {
+        let qnorm = qnorms[qi];
+        let combined = params.scale * qq.params.scale / qnorm;
+        let arow = &mut approx[si * n..(si + 1) * n];
+        for (i, a) in arow.iter_mut().enumerate() {
+            *a = dot_i8(&q[i * dim..(i + 1) * dim], &qq.q) as f32 * combined;
+        }
+        let mut tmp = arow.to_vec();
+        let (_, &mut kth, _) = tmp.select_nth_unstable_by(kk - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let eps = max_l1 * qq.params.step() / qnorm + PRUNE_SLACK;
+        cuts[si] = kth - 2.0 * eps;
+    }
+    let mut scratch = Vec::with_capacity(dim);
+    let mut tops: Vec<TopK> = (0..b).map(|_| TopK::new(kk)).collect();
+    let mut rescored = vec![0usize; b];
+    // ascending index order per query, as TopK's exactness requires; the
+    // dequantization is hoisted out of the per-query pushes
+    for i in 0..n {
+        let mut dequantized = false;
+        for (si, &(qi, _)) in sel.iter().enumerate() {
+            if approx[si * n + i] >= cuts[si] {
+                if !dequantized {
+                    scratch.clear();
+                    scratch.extend(
+                        q[i * dim..(i + 1) * dim]
+                            .iter()
+                            .map(|&c| params.dequantize(c)),
+                    );
+                    dequantized = true;
+                }
+                rescored[si] += 1;
+                tops[si].push(QueryHit {
+                    index: offset + i,
+                    label: labels[i],
+                    score: score_row(&scratch, &queries[qi], qnorms[qi]),
+                });
+            }
+        }
+    }
+    tops.into_iter()
+        .zip(rescored)
+        .map(|(top, rs)| {
+            let mut run = top.into_hits();
+            run.sort_unstable_by(EmbeddingIndex::rank);
+            (run, rs)
+        })
+        .collect()
+}
+
+/// k-way merge of per-shard sorted runs into the global top-k: the heap
+/// holds one [`MergeHead`] per non-empty run. `rank()` totally orders
+/// hits by (score desc, global index asc), so the merged output is
+/// independent of run order — and pruned shards contribute nothing they
+/// could have won. Shared by the serial and batched query paths.
+fn merge_runs(runs: &[Vec<QueryHit>], k: usize, total: usize) -> Vec<QueryHit> {
+    let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+    for (ri, run) in runs.iter().enumerate() {
+        if let Some(&hit) = run.first() {
+            heap.push(MergeHead {
+                hit,
+                run: ri,
+                pos: 0,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.hit);
+        let next = head.pos + 1;
+        if let Some(&hit) = runs[head.run].get(next) {
+            heap.push(MergeHead {
+                hit,
+                run: head.run,
+                pos: next,
+            });
+        }
+    }
+    out
+}
+
 /// The splitmix64 output function: a stateless deterministic mixer.
 /// [`ShardedEmbeddingIndex::rebalance`] draws its k-means sample indices
 /// from `mix64(0), mix64(1), …` — reproducible like a stride, but with
@@ -1189,34 +1440,7 @@ impl ShardedEmbeddingIndex {
             }
         }
 
-        // k-way merge: the heap holds one head per non-empty sorted run.
-        // rank() totally orders hits by (score desc, global index asc), so
-        // the merged output is independent of run order — and pruned
-        // shards contribute nothing they could have won.
-        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
-        for (ri, run) in runs.iter().enumerate() {
-            if let Some(&hit) = run.first() {
-                heap.push(MergeHead {
-                    hit,
-                    run: ri,
-                    pos: 0,
-                });
-            }
-        }
-        let mut out = Vec::with_capacity(k.min(total));
-        while out.len() < k {
-            let Some(head) = heap.pop() else { break };
-            out.push(head.hit);
-            let next = head.pos + 1;
-            if let Some(&hit) = runs[head.run].get(next) {
-                heap.push(MergeHead {
-                    hit,
-                    run: head.run,
-                    pos: next,
-                });
-            }
-        }
-        (out, stats)
+        (merge_runs(&runs, k, total), stats)
     }
 
     /// The *exact* sorted top-k run of one sealed shard, plus how many
@@ -1251,6 +1475,350 @@ impl ShardedEmbeddingIndex {
                 0,
             ),
         }
+    }
+
+    /// Scores a whole batch of queries in one pass over the index —
+    /// results **bit-identical**, query by query, to calling
+    /// [`query_opts`](ShardedEmbeddingIndex::query_opts) once per query
+    /// with the same `k` and options (a property test holds this line
+    /// across f32/int8 storage, rebalanced corpora, and every option
+    /// combination).
+    ///
+    /// What batching changes is only the work schedule:
+    ///
+    /// - **One gemm per shard.** Each scanned row block streams through
+    ///   the cache once for the whole batch (blocked [`gemm_nt`] over the
+    ///   shard's rows) instead of once per query, and the gemm's
+    ///   independent accumulator chains hide the add latency a one-query
+    ///   gemv walk is bound by.
+    /// - **One bound walk.** Sealed shards are visited in descending
+    ///   order of their *batch-max* score bound; each query keeps its own
+    ///   rising top-k floor, a shard is scanned only for the queries
+    ///   whose floor its per-query bound still beats, and the walk stops
+    ///   outright when the best remaining bound loses to **every**
+    ///   query's full floor.
+    /// - **One merged shortlist per int8 shard.** Every query runs its
+    ///   own integer approximate scan, but a row shortlisted by several
+    ///   queries is dequantized once and rescored for each of them.
+    ///
+    /// Per-query [`QueryStats`] are preserved: a shard counts as probed
+    /// (and its rows as scanned) for a query only when its rows were
+    /// actually scored *for that query*; `parallel` reports the batch
+    /// walk's single fan-out decision for every query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimension mismatches the index.
+    pub fn query_many(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> Vec<(Vec<QueryHit>, QueryStats)> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        }
+        let nq = queries.len();
+        let base = QueryStats {
+            sealed_shards: self.sealed.len(),
+            ..QueryStats::default()
+        };
+        if nq == 0 {
+            return Vec::new();
+        }
+        if k == 0 || self.is_empty() {
+            return (0..nq).map(|_| (Vec::new(), base)).collect();
+        }
+        let total = self.len();
+        let qnorms: Vec<f32> = queries.iter().map(|q| query_norm(q)).collect();
+        let qqs: Vec<Option<QuantizedQuery>> = queries
+            .iter()
+            .zip(&qnorms)
+            .map(|(q, &qnorm)| match self.storage {
+                ShardStorage::Int8 if opts.int8_scan && qnorm.is_finite() && qnorm >= 1e-12 => {
+                    Some(QuantizedQuery::new(q))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut stats = vec![base; nq];
+        let can_prune = opts.prune && k < total;
+        let mut floors: Vec<TopK> = (0..nq)
+            .map(|_| TopK::new(if can_prune { k.min(total) } else { 0 }))
+            .collect();
+        let mut runs: Vec<Vec<Vec<QueryHit>>> = (0..nq)
+            .map(|_| Vec::with_capacity(self.num_shards()))
+            .collect();
+        let all: Vec<usize> = (0..nq).collect();
+
+        // the tail is always scanned and, when pruning, seeds every floor
+        // first — the batched mirror of the serial walk's opening move
+        if !self.tail.labels.is_empty() {
+            let offset = self.sealed.len() * self.shard_capacity;
+            let tail_runs = gemm_runs(
+                &self.tail.data,
+                &self.tail.labels,
+                self.dim,
+                offset,
+                queries,
+                &qnorms,
+                &all,
+                k,
+            );
+            for (qi, run) in tail_runs.into_iter().enumerate() {
+                stats[qi].rows_scanned += self.tail.labels.len();
+                if can_prune {
+                    for &hit in &run {
+                        floors[qi].push(hit);
+                    }
+                }
+                runs[qi].push(run);
+            }
+        }
+
+        let threaded = |shards: usize| {
+            total >= opts.parallel_min_rows && worker_count(shards, opts.threads) > 1
+        };
+        // drains one shard's batch scan into the per-query accumulators
+        let absorb = |trio: Vec<(usize, Vec<QueryHit>, usize)>,
+                      stats: &mut Vec<QueryStats>,
+                      floors: &mut Vec<TopK>,
+                      runs: &mut Vec<Vec<Vec<QueryHit>>>,
+                      feed_floors: bool| {
+            for (qi, run, rescored) in trio {
+                stats[qi].sealed_probed += 1;
+                stats[qi].rows_scanned += self.shard_capacity;
+                stats[qi].rows_rescored += rescored;
+                if feed_floors {
+                    for &hit in &run {
+                        floors[qi].push(hit);
+                    }
+                }
+                runs[qi].push(run);
+            }
+        };
+
+        if !can_prune && !self.sealed.is_empty() {
+            // exhaustive scan: every shard against the whole batch, in
+            // natural order — bounds are irrelevant
+            let parallel = threaded(self.sealed.len());
+            let sids: Vec<usize> = (0..self.sealed.len()).collect();
+            let scans: Vec<Vec<(usize, Vec<QueryHit>, usize)>> = if parallel {
+                fan_out(&sids, opts.threads, |_tid, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&sid| self.sealed_runs_batch(sid, queries, &qnorms, &qqs, &all, k))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                sids.iter()
+                    .map(|&sid| self.sealed_runs_batch(sid, queries, &qnorms, &qqs, &all, k))
+                    .collect()
+            };
+            for st in stats.iter_mut() {
+                st.parallel = parallel;
+            }
+            for trio in scans {
+                absorb(trio, &mut stats, &mut floors, &mut runs, false);
+            }
+        } else if !self.sealed.is_empty() {
+            // one walk order for the whole batch: descending *batch-max*
+            // bound (ties: lower shard id). Per-query bounds come from a
+            // single gemm over the gathered centroids; each entry is
+            // bit-identical to that shard's serial `score_bound`.
+            let s_count = self.sealed.len();
+            let mut cbuf: Vec<f32> = Vec::with_capacity(s_count * self.dim);
+            for s in &self.sealed {
+                cbuf.extend_from_slice(&s.centroid);
+            }
+            let qflat: Vec<f32> = queries.iter().flatten().copied().collect();
+            let mut cdots = vec![0.0f32; nq * s_count];
+            gemm_nt(&qflat, &cbuf, self.dim, &mut cdots);
+            let bound = |sid: usize, qi: usize| -> f32 {
+                let s = &self.sealed[sid];
+                let qn = qnorms[qi];
+                let score = if !qn.is_finite() || qn < 1e-12 {
+                    0.0
+                } else {
+                    cdots[qi * s_count + sid] / qn
+                };
+                (score + s.radius).min(s.max_norm) + s.quant_slack
+            };
+            let mut order: Vec<(usize, f32)> = (0..s_count)
+                .map(|sid| {
+                    let mut mb = f32::NEG_INFINITY;
+                    for qi in 0..nq {
+                        mb = mb.max(bound(sid, qi));
+                    }
+                    (sid, mb)
+                })
+                .collect();
+            order.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+
+            let pruned =
+                |floor: &TopK, bnd: f32| floor.is_full() && bnd + PRUNE_SLACK < floor.worst_score();
+            // batch-wide early stop: bounds descend in batch-max, so once
+            // the best remaining bound loses to every query's full floor,
+            // everything left is pruned for the whole batch
+            let all_lose = |floors: &[TopK], maxb: f32| {
+                floors
+                    .iter()
+                    .all(|f| f.is_full() && maxb + PRUNE_SLACK < f.worst_score())
+            };
+
+            if threaded(s_count) {
+                // seed every floor from the batch's single most promising
+                // shard, prune the rest against those fixed floors (each a
+                // lower bound of its final floor, so still sound), then
+                // fan the surviving (shard, query subset) scans out
+                // g4check: allow(unwrap-in-lib): threaded() required rows >= PARALLEL_QUERY_MIN_ROWS, which implies at least one sealed shard in order
+                let (&(first, _), rest) = order.split_first().expect("sealed is non-empty");
+                let trio = self.sealed_runs_batch(first, queries, &qnorms, &qqs, &all, k);
+                absorb(trio, &mut stats, &mut floors, &mut runs, true);
+                let mut survivors: Vec<(usize, Vec<usize>)> = Vec::with_capacity(rest.len());
+                for (ri, &(sid, maxb)) in rest.iter().enumerate() {
+                    if all_lose(&floors, maxb) {
+                        for st in stats.iter_mut() {
+                            st.sealed_pruned += rest.len() - ri;
+                        }
+                        break;
+                    }
+                    let mut select: Vec<usize> = Vec::with_capacity(nq);
+                    for qi in 0..nq {
+                        if pruned(&floors[qi], bound(sid, qi)) {
+                            stats[qi].sealed_pruned += 1;
+                        } else {
+                            select.push(qi);
+                        }
+                    }
+                    if !select.is_empty() {
+                        survivors.push((sid, select));
+                    }
+                }
+                let parallel = worker_count(survivors.len(), opts.threads) > 1;
+                for st in stats.iter_mut() {
+                    st.parallel = parallel;
+                }
+                let scans: Vec<Vec<(usize, Vec<QueryHit>, usize)>> = if parallel {
+                    fan_out(&survivors, opts.threads, |_tid, chunk| {
+                        chunk
+                            .iter()
+                            .map(|(sid, select)| {
+                                self.sealed_runs_batch(*sid, queries, &qnorms, &qqs, select, k)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+                } else {
+                    survivors
+                        .iter()
+                        .map(|(sid, select)| {
+                            self.sealed_runs_batch(*sid, queries, &qnorms, &qqs, select, k)
+                        })
+                        .collect()
+                };
+                for trio in scans {
+                    absorb(trio, &mut stats, &mut floors, &mut runs, false);
+                }
+            } else {
+                for (oi, &(sid, maxb)) in order.iter().enumerate() {
+                    if all_lose(&floors, maxb) {
+                        for st in stats.iter_mut() {
+                            st.sealed_pruned += order.len() - oi;
+                        }
+                        break;
+                    }
+                    let mut select: Vec<usize> = Vec::with_capacity(nq);
+                    for qi in 0..nq {
+                        if pruned(&floors[qi], bound(sid, qi)) {
+                            stats[qi].sealed_pruned += 1;
+                        } else {
+                            select.push(qi);
+                        }
+                    }
+                    if select.is_empty() {
+                        continue;
+                    }
+                    let trio = self.sealed_runs_batch(sid, queries, &qnorms, &qqs, &select, k);
+                    absorb(trio, &mut stats, &mut floors, &mut runs, true);
+                }
+            }
+        }
+
+        runs.into_iter()
+            .zip(stats)
+            .map(|(qruns, st)| (merge_runs(&qruns, k, total), st))
+            .collect()
+    }
+
+    /// One sealed shard scanned for a subset of the batch: the f32 arm
+    /// gemms the rows once for every selected query; the int8 arm splits
+    /// the selection into integer-scan queries (merged-shortlist
+    /// rescoring) and exact-walk queries (the rows dequantized once, then
+    /// gemmed). Returns `(query index, exact sorted run, rescored rows)`
+    /// triples.
+    fn sealed_runs_batch(
+        &self,
+        sid: usize,
+        queries: &[Vec<f32>],
+        qnorms: &[f32],
+        qqs: &[Option<QuantizedQuery>],
+        select: &[usize],
+        k: usize,
+    ) -> Vec<(usize, Vec<QueryHit>, usize)> {
+        let s = &self.sealed[sid];
+        let offset = sid * self.shard_capacity;
+        let mut out = Vec::with_capacity(select.len());
+        match &s.rows {
+            RowBlock::F32(data) => {
+                let batch = gemm_runs(
+                    data, &s.labels, self.dim, offset, queries, qnorms, select, k,
+                );
+                for (&qi, run) in select.iter().zip(batch) {
+                    out.push((qi, run, 0));
+                }
+            }
+            RowBlock::Int8 { q, params, max_l1 } => {
+                let mut fast: Vec<(usize, &QuantizedQuery)> = Vec::with_capacity(select.len());
+                let mut exact: Vec<usize> = Vec::new();
+                for &qi in select {
+                    match qqs[qi].as_ref() {
+                        Some(qq) => fast.push((qi, qq)),
+                        None => exact.push(qi),
+                    }
+                }
+                if !fast.is_empty() {
+                    let batch = shard_runs_int8_batch(
+                        q, *params, *max_l1, &s.labels, self.dim, offset, queries, qnorms, &fast, k,
+                    );
+                    for (&(qi, _), (run, rescored)) in fast.iter().zip(batch) {
+                        out.push((qi, run, rescored));
+                    }
+                }
+                if !exact.is_empty() {
+                    // the dequantized values are the canonical rows, so the
+                    // exact walk is an f32 gemm over them
+                    let mut deq = vec![0.0f32; s.labels.len() * self.dim];
+                    s.rows.as_ref().copy_all_into(&mut deq);
+                    let batch = gemm_runs(
+                        &deq, &s.labels, self.dim, offset, queries, qnorms, &exact, k,
+                    );
+                    for (&qi, run) in exact.iter().zip(batch) {
+                        out.push((qi, run, 0));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// All shard storage in storage order: sealed blocks, then the tail
@@ -1841,6 +2409,175 @@ mod tests {
                     assert_eq!(b, c, "cap {cap} k {k} opts {opts:?}");
                 }
             }
+        }
+    }
+
+    /// A batch of seeded queries exercising distinct directions, plus a
+    /// zero query and a poisoned (NaN) query so the batched path must
+    /// reproduce the degenerate zero-score behavior per query.
+    fn query_batch(b: usize, dim: usize) -> Vec<Vec<f32>> {
+        let mut qs: Vec<Vec<f32>> = (0..b)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * 13 + j * 7) % 19) as f32 / 19.0 - 0.4)
+                    .collect()
+            })
+            .collect();
+        if b > 2 {
+            qs[b / 2] = vec![0.0; dim];
+            qs[b - 1][0] = f32::NAN;
+        }
+        qs
+    }
+
+    fn assert_batch_matches_serial(
+        index: &ShardedEmbeddingIndex,
+        queries: &[Vec<f32>],
+        k: usize,
+        opts: &QueryOptions,
+        ctx: &str,
+    ) {
+        let batch = index.query_many(queries, k, opts);
+        assert_eq!(batch.len(), queries.len(), "{ctx}");
+        for (qi, (q, (hits, stats))) in queries.iter().zip(&batch).enumerate() {
+            let (serial, _) = index.query_opts(q, k, opts);
+            assert_eq!(hits.len(), serial.len(), "{ctx} query {qi}");
+            for (x, y) in hits.iter().zip(&serial) {
+                assert_eq!(x.index, y.index, "{ctx} query {qi}");
+                assert_eq!(x.label, y.label, "{ctx} query {qi}");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{ctx} query {qi}: {} vs {}",
+                    x.score,
+                    y.score
+                );
+            }
+            assert_eq!(stats.sealed_shards, index.num_sealed_shards(), "{ctx}");
+            if opts.prune {
+                assert_eq!(
+                    stats.sealed_probed + stats.sealed_pruned,
+                    stats.sealed_shards,
+                    "{ctx} query {qi}: every shard is probed or pruned per query"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_matches_serial_bit_for_bit_f32() {
+        for cap in [1, 4, 7] {
+            let (_, sharded) = both(37, 6, cap);
+            let queries = query_batch(6, 6);
+            for k in [1, 3, 37, 50] {
+                for opts in option_grid() {
+                    assert_batch_matches_serial(
+                        &sharded,
+                        &queries,
+                        k,
+                        &opts,
+                        &format!("f32 cap {cap} k {k} opts {opts:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_matches_serial_bit_for_bit_int8() {
+        for (n, cap) in [(23, 4), (40, 8)] {
+            let index = int8_index(n, 6, cap);
+            let queries = query_batch(5, 6);
+            for k in [1, 3, n] {
+                for opts in option_grid() {
+                    assert_batch_matches_serial(
+                        &index,
+                        &queries,
+                        k,
+                        &opts,
+                        &format!("int8 n {n} cap {cap} k {k} opts {opts:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_matches_serial_after_rebalance() {
+        for storage in [ShardStorage::F32, ShardStorage::Int8] {
+            let rows = seeded_rows(60, 6);
+            let mut index = ShardedEmbeddingIndex::with_storage(6, 8, storage);
+            for (i, row) in rows.iter().enumerate() {
+                index.insert(row, i % 5);
+            }
+            index.rebalance(&RebalanceOptions::default());
+            let queries = query_batch(6, 6);
+            for opts in option_grid() {
+                assert_batch_matches_serial(
+                    &index,
+                    &queries,
+                    4,
+                    &opts,
+                    &format!("rebalanced {storage:?} opts {opts:?}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_many_edge_batches() {
+        let (_, sharded) = both(12, 4, 4);
+        // empty batch
+        assert!(sharded
+            .query_many(&[], 3, &QueryOptions::default())
+            .is_empty());
+        // k == 0 returns one empty result per query
+        let qs = query_batch(3, 4);
+        let zero = sharded.query_many(&qs, 0, &QueryOptions::default());
+        assert_eq!(zero.len(), 3);
+        assert!(zero.iter().all(|(hits, _)| hits.is_empty()));
+        // singleton batch goes through the same batched machinery
+        assert_batch_matches_serial(&sharded, &qs[..1], 3, &QueryOptions::default(), "singleton");
+        // empty index
+        let empty = ShardedEmbeddingIndex::new(4, 4);
+        let none = empty.query_many(&qs, 3, &QueryOptions::default());
+        assert!(none.iter().all(|(hits, _)| hits.is_empty()));
+    }
+
+    #[test]
+    fn query_many_prunes_and_shares_the_walk() {
+        // clustered corpus (see pruning_skips_losing_shards_on_clustered_
+        // data): two queries into different clusters must each keep their
+        // own pruning decisions while sharing one walk
+        let dim = 6;
+        let mut sharded = ShardedEmbeddingIndex::new(dim, 8);
+        for c in 0..6 {
+            for i in 0..8 {
+                let mut row = vec![0.0f32; dim];
+                row[c] = 1.0;
+                row[(c + 1) % dim] = 0.02 * i as f32;
+                sharded.insert(&row, c);
+            }
+        }
+        let mut q2 = vec![0.0f32; dim];
+        q2[2] = 1.0;
+        let mut q5 = vec![0.0f32; dim];
+        q5[4] = 1.0;
+        let opts = QueryOptions {
+            prune: true,
+            threads: 1,
+            parallel_min_rows: usize::MAX,
+            int8_scan: true,
+        };
+        let queries = vec![q2.clone(), q5.clone()];
+        assert_batch_matches_serial(&sharded, &queries, 4, &opts, "clustered pair");
+        let batch = sharded.query_many(&queries, 4, &opts);
+        for (qi, (hits, stats)) in batch.iter().enumerate() {
+            assert_eq!(hits[0].label, [2usize, 4][qi]);
+            assert!(
+                stats.sealed_pruned >= 3,
+                "query {qi} should prune most foreign clusters: {stats:?}"
+            );
         }
     }
 

@@ -43,13 +43,14 @@ mod tape;
 mod workspace;
 
 pub use gradcheck::{check_gradient, GradCheckReport};
-pub use matrix::Matrix;
+pub use matrix::{gemm_nt, Matrix};
 pub use optim::{Adam, GradAccum, Optimizer, ParamId, ParamStore, Sgd};
 pub use parallel::{fan_out, worker_count};
 pub use quant::{dot_i8, QuantParams};
 pub use serialize::{
-    fnv1a64, read_adam, read_artifact, read_sgd, write_adam, write_artifact, write_sgd, BinReader,
-    BinWriter, Fnv64, BASE_VERSION, FORMATS, FORMAT_VERSION, MAGIC, OPT_TAG_ADAM, OPT_TAG_SGD,
+    describe_artifact, fnv1a64, read_adam, read_artifact, read_sgd, write_adam, write_artifact,
+    write_sgd, ArtifactInfo, BinReader, BinWriter, Fnv64, BASE_VERSION, FORMATS, FORMAT_VERSION,
+    MAGIC, OPT_TAG_ADAM, OPT_TAG_SGD,
 };
 pub use sparse::{mean_adjacency, normalized_adjacency, CsrMatrix};
 pub use tape::{dropout_mask, Gradients, Tape, Var};

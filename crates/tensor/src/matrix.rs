@@ -323,22 +323,7 @@ impl Matrix {
             self.rows,
             rhs.rows()
         );
-        const BLOCK: usize = 64;
-        let d = self.cols;
-        for ib in (0..self.rows).step_by(BLOCK) {
-            let imax = (ib + BLOCK).min(self.rows);
-            for jb in (0..rhs.rows()).step_by(BLOCK) {
-                let jmax = (jb + BLOCK).min(rhs.rows());
-                for i in ib..imax {
-                    let arow = &self.data[i * d..(i + 1) * d];
-                    let orow = &mut out.data[i * rhs.rows() + jb..i * rhs.rows() + jmax];
-                    for (o, j) in orow.iter_mut().zip(jb..jmax) {
-                        let brow = &rhs.data[j * d..(j + 1) * d];
-                        *o = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-                    }
-                }
-            }
-        }
+        gemm_nt(&self.data, &rhs.data, self.cols, &mut out.data);
     }
 
     /// Transposed copy.
@@ -613,6 +598,117 @@ impl Matrix {
     }
 }
 
+/// Blocked `A · Bᵀ` over raw row-major slices: `out[i*bn + j] =
+/// dot(a_row_i, b_row_j)` where `a` is `an x dim`, `b` is `bn x dim`, and
+/// the row counts are inferred from the slice lengths.
+///
+/// This is [`Matrix::matmul_nt_into`] without the `Matrix` wrapper, so
+/// callers that already hold contiguous row-major storage (the sharded
+/// index's shard blocks, a flattened query batch) can gemm against it
+/// without copying into a `Matrix` first. Each inner dot product
+/// accumulates left to right over the two contiguous rows — the same
+/// operation order as a scalar `iter().zip().map().sum()` dot — so one
+/// entry of the output is bit-identical to scoring that row pair alone.
+/// Column tiles of `b` are packed transposed so the eight output entries
+/// advancing together read contiguous lanes (a scalar loop takes the
+/// remainder): the independent accumulator chains vectorize and hide the
+/// floating-point add latency that bounds a single gemv walk, without
+/// touching any individual entry's operation order.
+///
+/// # Panics
+///
+/// Panics if `dim` is zero, either slice length is not a multiple of
+/// `dim`, or `out` is not exactly `an * bn` long.
+pub fn gemm_nt(a: &[f32], b: &[f32], dim: usize, out: &mut [f32]) {
+    assert!(dim > 0, "gemm_nt dim must be positive");
+    assert_eq!(a.len() % dim, 0, "gemm_nt lhs length not a multiple of dim");
+    assert_eq!(b.len() % dim, 0, "gemm_nt rhs length not a multiple of dim");
+    let an = a.len() / dim;
+    let bn = b.len() / dim;
+    assert_eq!(
+        out.len(),
+        an * bn,
+        "gemm_nt output length {} != {an}x{bn}",
+        out.len()
+    );
+    const BLOCK: usize = 64;
+    const LANES: usize = 16;
+    // bᵀ tile pack: pack[t * jw + jj] = b[(jb + jj) * dim + t]. The
+    // transpose makes the LANES entries advancing together *contiguous*
+    // in the inner loop, so it vectorizes as plain SIMD lanes instead of
+    // one strided load per accumulator chain; one 8 KiB-per-32-dims tile
+    // amortizes over every `a` row, and the 2x16 micro-kernel reuses each
+    // tile load for two `a` rows.
+    let mut pack = vec![0.0f32; BLOCK.min(bn) * dim];
+    for jb in (0..bn).step_by(BLOCK) {
+        let jmax = (jb + BLOCK).min(bn);
+        let jw = jmax - jb;
+        for jj in 0..jw {
+            let brow = &b[(jb + jj) * dim..(jb + jj + 1) * dim];
+            for (t, &v) in brow.iter().enumerate() {
+                pack[t * jw + jj] = v;
+            }
+        }
+        let mut i = 0;
+        while i + 2 <= an {
+            let a0 = &a[i * dim..(i + 1) * dim];
+            let a1 = &a[(i + 1) * dim..(i + 2) * dim];
+            let mut jj = 0;
+            while jj + LANES <= jw {
+                let mut s0 = [0.0f32; LANES];
+                let mut s1 = [0.0f32; LANES];
+                for t in 0..dim {
+                    let (av0, av1) = (a0[t], a1[t]);
+                    let tile = &pack[t * jw + jj..t * jw + jj + LANES];
+                    for ((x0, x1), &tv) in s0.iter_mut().zip(&mut s1).zip(tile) {
+                        *x0 += av0 * tv;
+                        *x1 += av1 * tv;
+                    }
+                }
+                out[i * bn + jb + jj..i * bn + jb + jj + LANES].copy_from_slice(&s0);
+                out[(i + 1) * bn + jb + jj..(i + 1) * bn + jb + jj + LANES].copy_from_slice(&s1);
+                jj += LANES;
+            }
+            while jj < jw {
+                let (mut s0, mut s1) = (0.0f32, 0.0f32);
+                for t in 0..dim {
+                    let tv = pack[t * jw + jj];
+                    s0 += a0[t] * tv;
+                    s1 += a1[t] * tv;
+                }
+                out[i * bn + jb + jj] = s0;
+                out[(i + 1) * bn + jb + jj] = s1;
+                jj += 1;
+            }
+            i += 2;
+        }
+        if i < an {
+            let arow = &a[i * dim..(i + 1) * dim];
+            let orow = &mut out[i * bn + jb..i * bn + jmax];
+            let mut jj = 0;
+            while jj + LANES <= jw {
+                let mut s = [0.0f32; LANES];
+                for (t, &av) in arow.iter().enumerate() {
+                    let tile = &pack[t * jw + jj..t * jw + jj + LANES];
+                    for (sl, &tv) in s.iter_mut().zip(tile) {
+                        *sl += av * tv;
+                    }
+                }
+                orow[jj..jj + LANES].copy_from_slice(&s);
+                jj += LANES;
+            }
+            while jj < jw {
+                let mut s = 0.0f32;
+                for (t, &av) in arow.iter().enumerate() {
+                    s += av * pack[t * jw + jj];
+                }
+                orow[jj] = s;
+                jj += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +858,42 @@ mod tests {
     #[should_panic(expected = "matmul_nt width mismatch")]
     fn matmul_nt_rejects_width_mismatch() {
         let _ = Matrix::zeros(2, 3).matmul_nt(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn gemm_nt_entries_are_bit_identical_to_scalar_dots() {
+        // straddle the 64-row block boundary on both operands
+        for (m, n, d) in [(3, 5, 4), (70, 65, 16), (1, 130, 8)] {
+            let a: Vec<f32> = (0..m * d)
+                .map(|i| ((i * 13) % 11) as f32 / 7.0 - 0.5)
+                .collect();
+            let b: Vec<f32> = (0..n * d)
+                .map(|i| ((i * 5) % 9) as f32 / 3.0 - 1.0)
+                .collect();
+            let mut out = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, d, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let dot: f32 = a[i * d..(i + 1) * d]
+                        .iter()
+                        .zip(&b[j * d..(j + 1) * d])
+                        .map(|(&x, &y)| x * y)
+                        .sum();
+                    assert_eq!(
+                        out[i * n + j].to_bits(),
+                        dot.to_bits(),
+                        "entry ({i},{j}) of {m}x{n}x{d} not bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_nt output length")]
+    fn gemm_nt_rejects_bad_output_length() {
+        let mut out = vec![0.0f32; 3];
+        gemm_nt(&[1.0, 2.0], &[3.0, 4.0], 2, &mut out);
     }
 
     #[test]

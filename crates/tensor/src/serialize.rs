@@ -123,6 +123,73 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Envelope-level description of a `G4IP` artifact — the header fields
+/// plus the verified content checksum, parsed without knowing the
+/// payload layout. This is what `gnn4ip inspect` prints for *any*
+/// artifact, including kinds newer than this build understands (the
+/// version is reported, not capped, so inspect stays useful on foreign
+/// files).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// Kind tag, e.g. `"gnn4ip-shard-index"`.
+    pub kind: String,
+    /// Format version stamped in the header.
+    pub version: u16,
+    /// FNV-1a-64 content checksum from the trailer (verified).
+    pub checksum: u64,
+    /// Payload size in bytes (header and checksum excluded).
+    pub payload_bytes: usize,
+}
+
+impl ArtifactInfo {
+    /// Whether this exact `(kind, version)` pair appears in the
+    /// [`FORMATS`] registry — i.e. some writer in this workspace
+    /// produces it.
+    pub fn registered(&self) -> bool {
+        FORMATS.contains(&(self.kind.as_str(), self.version))
+    }
+}
+
+/// Parses the envelope of any `G4IP` artifact: magic, version, kind,
+/// and checksum — without interpreting the payload and without capping
+/// the version.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: short input, checksum
+/// mismatch, wrong magic, truncated or non-UTF-8 kind tag.
+pub fn describe_artifact(bytes: &[u8]) -> Result<ArtifactInfo, String> {
+    if bytes.len() < MAGIC.len() + 2 + 2 + 8 {
+        return Err(format!("artifact too short ({} bytes)", bytes.len()));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    // g4check: allow(unwrap-in-lib): split_at(len - 8) yields exactly 8 bytes; the length was checked above
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    let actual = fnv1a64(body);
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        ));
+    }
+    if body[..4] != MAGIC {
+        return Err("bad magic: not a gnn4ip artifact".to_string());
+    }
+    let version = u16::from_le_bytes([body[4], body[5]]);
+    let klen = u16::from_le_bytes([body[6], body[7]]) as usize;
+    if body.len() < 8 + klen {
+        return Err("truncated kind tag".to_string());
+    }
+    let kind = std::str::from_utf8(&body[8..8 + klen])
+        .map_err(|e| format!("kind tag is not UTF-8: {e}"))?
+        .to_string();
+    Ok(ArtifactInfo {
+        payload_bytes: body.len() - 8 - klen,
+        kind,
+        version,
+        checksum: stored,
+    })
+}
+
 /// Appends little-endian fields to an artifact buffer; [`finish`]
 /// seals it with the FNV-1a checksum.
 ///

@@ -41,10 +41,11 @@
 #![warn(missing_docs)]
 
 pub use gnn4ip_core::{
-    corpus_inputs, run_audit_scenarios, run_experiment, run_training_pipeline, to_pair_samples,
-    AuditConfig, AuditMatch, AuditPipeline, AuditSnapshot, AuditSource, AuditVerdict,
-    ExperimentOutcome, Gnn4Ip, IngestReport, IpLibrary, LibraryMatch, PipelineArtifacts,
-    ScenarioReport, ScenarioSpec, Verdict,
+    corpus_inputs, run_audit_scenarios, run_experiment, run_service, run_training_pipeline,
+    to_pair_samples, AuditConfig, AuditError, AuditMatch, AuditPipeline, AuditSnapshot,
+    AuditSource, AuditVerdict, BatchReport, BoundedQueue, ExperimentOutcome, Gnn4Ip, IngestReport,
+    IpLibrary, LatencySummary, LibraryMatch, PipelineArtifacts, Publication, PublicationSlot,
+    ScenarioReport, ScenarioSpec, ServiceConfig, ServiceReport, Verdict,
 };
 
 /// Verilog front end (re-export of `gnn4ip-hdl`).

@@ -564,6 +564,66 @@ proptest! {
         }
     }
 
+    /// `query_many` answers every query in a batch bit-identically to a
+    /// serial `query_opts` loop across storage modes, rebalance, and
+    /// every pruning/threading combination — the blocked-gemm shard pass
+    /// and shared bound walk must be an invisible optimization, never a
+    /// semantic change. Per-query stats keep their accounting invariant
+    /// (every sealed shard is probed or pruned); the shared walk may
+    /// *distribute* probes differently than a serial walk would.
+    #[test]
+    fn batched_query_many_matches_serial_bitwise(
+        n in 1usize..40,
+        n_queries in 0usize..6,
+        dim in 1usize..8,
+        cap in 1usize..12,
+        k in 1usize..12,
+        quantized_flag in 0u8..2,
+        rebalance_flag in 0u8..2,
+        seed in 0u64..1000,
+    ) {
+        let storage = if quantized_flag == 1 { ShardStorage::Int8 } else { ShardStorage::F32 };
+        let rows = index_rows(n, dim, seed);
+        let mut index = ShardedEmbeddingIndex::with_storage(dim, cap, storage);
+        for (i, row) in rows.iter().enumerate() {
+            index.insert(row, i % 4);
+        }
+        if rebalance_flag == 1 {
+            index.rebalance(&RebalanceOptions::default());
+        }
+        let queries: Vec<Vec<f32>> = (0..n_queries)
+            .map(|q| {
+                (0..dim)
+                    .map(|j| {
+                        (((q * 17 + j) as u64 ^ seed).wrapping_mul(40503) % 101) as f32 / 101.0
+                            - 0.5
+                    })
+                    .collect()
+            })
+            .collect();
+        for prune in [false, true] {
+            for int8_scan in [false, true] {
+                for (threads, parallel_min_rows) in [(1, usize::MAX), (2, 0), (0, 0)] {
+                    let opts = QueryOptions { prune, threads, parallel_min_rows, int8_scan };
+                    let batched = index.query_many(&queries, k, &opts);
+                    prop_assert_eq!(batched.len(), queries.len());
+                    for (q, (hits, stats)) in queries.iter().zip(&batched) {
+                        let (expect_hits, _) = index.query_opts(q, k, &opts);
+                        prop_assert_eq!(&expect_hits, hits, "opts {:?}", opts);
+                        prop_assert_eq!(stats.sealed_shards, index.num_sealed_shards());
+                        if prune && k < n {
+                            prop_assert_eq!(
+                                stats.sealed_probed + stats.sealed_pruned,
+                                stats.sealed_shards,
+                                "opts {:?} stats {:?}", opts, stats
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// A v2 monolithic artifact migrates to the append-only checkpoint
     /// layout and back byte-identically, and the loaded corpus answers
     /// queries exactly like the original — for f32 and quantized storage.
