@@ -1,0 +1,473 @@
+//! Phase 2 substrate: the cross-file **symbol graph** over a
+//! [`WorkspaceIndex`].
+//!
+//! Resolves call records to workspace function definitions and computes
+//! the transitive properties the graph lints query:
+//!
+//! - `blocking(f)` — `f` directly performs a blocking operation
+//!   (condvar wait, channel `recv`, `sleep`, line-oriented I/O) or
+//!   transitively calls a workspace fn that does. `BoundedQueue::push`
+//!   and `pop` become blocking with no special-casing: their bodies
+//!   contain the condvar wait.
+//! - `acquires(f)` — the set of lock ids `f` acquires directly or
+//!   transitively, for lock-order-inversion pairing.
+//! - reachability from a set of entry points, with parent links so a
+//!   sample call path can be printed.
+//!
+//! Resolution is precision-first: a method call resolves only through a
+//! known receiver type or a workspace-unique method name that is not a
+//! common std name (`push`, `len`, ...). Unresolved calls produce no
+//! edge — a missed edge costs recall, a wrong edge costs trust.
+
+use std::collections::BTreeMap;
+
+use crate::index::{CallRecord, FnRecord, WorkspaceIndex};
+
+/// Method names that directly block the calling thread.
+pub const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "sleep",
+    "park",
+    "accept",
+    "connect",
+    "read_line",
+    "read_until",
+    "read_to_string",
+    "read_to_end",
+    "flush",
+    "write_all",
+];
+
+/// I/O macros that block when invoked under a lock.
+pub const BLOCKING_MACROS: &[&str] = &[
+    "write!",
+    "writeln!",
+    "print!",
+    "println!",
+    "eprint!",
+    "eprintln!",
+];
+
+/// (type, method) pairs that must never run while a guard is held, even
+/// though they are acquisitions rather than blocking waits.
+pub const NEVER_UNDER_LOCK: &[(&str, &str)] = &[
+    ("BoundedQueue", "push"),
+    ("BoundedQueue", "pop"),
+    ("PublicationSlot", "publish"),
+];
+
+/// Common std method names excluded from unique-name fallback
+/// resolution — `v.push(x)` must not resolve to `BoundedQueue::push`
+/// just because that is the only `push` defined in the workspace.
+const COMMON_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "new",
+    "len",
+    "is_empty",
+    "get",
+    "insert",
+    "remove",
+    "clear",
+    "next",
+    "iter",
+    "clone",
+    "lock",
+    "load",
+    "store",
+    "write",
+    "read",
+    "send",
+    "recv",
+    "wait",
+    "flush",
+    "drain",
+    "extend",
+    "contains",
+    "join",
+    "push_back",
+    "pop_front",
+    "name",
+    "kind",
+    "version",
+    "open",
+    "run",
+    "main",
+    "close",
+    "take",
+    "drop",
+    "fmt",
+    "default",
+    "from",
+    "into",
+    "get_mut",
+    "as_ref",
+    "as_mut",
+    "map",
+    "filter",
+    "count",
+    "find",
+    "last",
+    "first",
+    "split",
+    "merge",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "eq",
+    "cmp",
+    "hash",
+    "index",
+    "call",
+    "apply",
+    "update",
+    "reset",
+    "init",
+    "start",
+    "stop",
+    "finish",
+    "build",
+    "parse",
+    "decode",
+    "encode",
+];
+
+/// One function in the graph: its file and index within that file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnId(pub usize);
+
+/// The resolved cross-file symbol graph.
+pub struct SymbolGraph<'a> {
+    /// (file path, fn record) per graph node, in deterministic order.
+    pub fns: Vec<(&'a str, &'a FnRecord)>,
+    /// Resolved call edges: for each fn, (call index, callee fn).
+    pub call_edges: Vec<Vec<(usize, FnId)>>,
+    /// Transitive blocking property per fn.
+    pub blocking: Vec<bool>,
+    /// Why a fn is directly blocking, for messages ("" = not direct).
+    pub direct_block: Vec<String>,
+    /// Transitive "reaches a NEVER_UNDER_LOCK fn" per fn, with the
+    /// offending target's display name.
+    pub reaches_never: Vec<Option<String>>,
+    /// Transitive lock-id acquisition sets per fn.
+    pub acquires: Vec<Vec<String>>,
+    by_owner_name: BTreeMap<(String, String), Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    method_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> SymbolGraph<'a> {
+    /// Builds the graph: resolution pass then fixpoint passes.
+    pub fn build(index: &'a WorkspaceIndex) -> Self {
+        let mut fns: Vec<(&str, &FnRecord)> = Vec::new();
+        for (path, fi) in &index.files {
+            for f in &fi.fns {
+                fns.push((path.as_str(), f));
+            }
+        }
+
+        let mut by_owner_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut method_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, (_, f)) in fns.iter().enumerate() {
+            match &f.owner {
+                Some(o) => {
+                    by_owner_name
+                        .entry((o.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                    method_by_name.entry(f.name.clone()).or_default().push(i);
+                }
+                None => free_by_name.entry(f.name.clone()).or_default().push(i),
+            }
+        }
+
+        let mut g = SymbolGraph {
+            fns,
+            call_edges: Vec::new(),
+            blocking: Vec::new(),
+            direct_block: Vec::new(),
+            reaches_never: Vec::new(),
+            acquires: Vec::new(),
+            by_owner_name,
+            free_by_name,
+            method_by_name,
+        };
+
+        // resolution pass
+        for i in 0..g.fns.len() {
+            let mut edges = Vec::new();
+            for (ci, call) in g.fns[i].1.calls.iter().enumerate() {
+                for target in g.resolve(call) {
+                    edges.push((ci, FnId(target)));
+                }
+            }
+            g.call_edges.push(edges);
+        }
+
+        g.compute_fixpoints();
+        g
+    }
+
+    /// Candidate definitions for one call record.
+    fn resolve(&self, call: &CallRecord) -> Vec<usize> {
+        if call.callee.ends_with('!') {
+            return Vec::new();
+        }
+        if let Some(recv) = &call.recv {
+            return self
+                .by_owner_name
+                .get(&(recv.clone(), call.callee.clone()))
+                .cloned()
+                .unwrap_or_default();
+        }
+        if call.method {
+            // unique-name fallback, guarded against common std names
+            if COMMON_METHODS.contains(&call.callee.as_str()) {
+                return Vec::new();
+            }
+            let candidates = self
+                .method_by_name
+                .get(&call.callee)
+                .cloned()
+                .unwrap_or_default();
+            let owners: std::collections::BTreeSet<&Option<String>> =
+                candidates.iter().map(|&i| &self.fns[i].1.owner).collect();
+            if owners.len() == 1 {
+                return candidates;
+            }
+            return Vec::new();
+        }
+        self.free_by_name
+            .get(&call.callee)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn compute_fixpoints(&mut self) {
+        let n = self.fns.len();
+        // direct blocking
+        self.direct_block = vec![String::new(); n];
+        for (i, (_, f)) in self.fns.iter().enumerate() {
+            for call in &f.calls {
+                if call.method && BLOCKING_METHODS.contains(&call.callee.as_str()) {
+                    self.direct_block[i] = format!("calls `.{}()`", call.callee);
+                    break;
+                }
+            }
+        }
+        self.blocking = self.direct_block.iter().map(|s| !s.is_empty()).collect();
+
+        // never-under-lock targets
+        self.reaches_never = vec![None; n];
+        for (i, (_, f)) in self.fns.iter().enumerate() {
+            if let Some(o) = &f.owner {
+                if NEVER_UNDER_LOCK.contains(&(o.as_str(), f.name.as_str())) {
+                    self.reaches_never[i] = Some(f.display());
+                }
+            }
+        }
+
+        // direct acquires
+        self.acquires = self
+            .fns
+            .iter()
+            .map(|(_, f)| {
+                let mut ids: Vec<String> = f
+                    .calls
+                    .iter()
+                    .flat_map(|c| c.acquired.iter().cloned())
+                    .collect();
+                ids.sort();
+                ids.dedup();
+                ids
+            })
+            .collect();
+
+        // fixpoint propagation over call edges
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &(_, FnId(j)) in &self.call_edges[i] {
+                    if self.blocking[j] && !self.blocking[i] {
+                        self.blocking[i] = true;
+                        changed = true;
+                    }
+                    if self.reaches_never[i].is_none() {
+                        if let Some(t) = self.reaches_never[j].clone() {
+                            self.reaches_never[i] = Some(t);
+                            changed = true;
+                        }
+                    }
+                    let extra: Vec<String> = self.acquires[j]
+                        .iter()
+                        .filter(|id| !self.acquires[i].contains(*id))
+                        .cloned()
+                        .collect();
+                    if !extra.is_empty() {
+                        self.acquires[i].extend(extra);
+                        self.acquires[i].sort();
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Why calling fn `j` under a lock is hazardous, if it is.
+    pub fn hazard(&self, j: usize) -> Option<String> {
+        if let Some(t) = &self.reaches_never[j] {
+            return Some(format!("reaches `{t}` (must never run under a lock)"));
+        }
+        if self.blocking[j] {
+            let why = if self.direct_block[j].is_empty() {
+                "transitively blocks".to_string()
+            } else {
+                self.direct_block[j].clone()
+            };
+            return Some(format!("blocks ({why})"));
+        }
+        None
+    }
+
+    /// BFS from `entries`, returning a parent map (fn → (parent, call
+    /// line)) covering every reachable fn.
+    pub fn reach(&self, entries: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &e in entries {
+            if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(e) {
+                v.insert(None);
+                queue.push_back(e);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &(_, FnId(j)) in &self.call_edges[i] {
+                if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(j) {
+                    v.insert(Some(i));
+                    queue.push_back(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders `entry → ... → target` from a parent map.
+    pub fn path_to(&self, parent: &BTreeMap<usize, Option<usize>>, target: usize) -> String {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(Some(p)) = parent.get(&cur) {
+            chain.push(*p);
+            cur = *p;
+            if chain.len() > 32 {
+                break;
+            }
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&i| self.fns[i].1.display())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    /// Looks up a fn by file path and display name.
+    pub fn find(&self, path: &str, display: &str) -> Option<usize> {
+        self.fns
+            .iter()
+            .position(|(p, f)| *p == path && f.display() == display)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use std::path::Path;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceIndex {
+        let mut index = WorkspaceIndex::default();
+        for (path, src) in files {
+            index
+                .files
+                .insert((*path).to_string(), index_file(Path::new(path), src));
+        }
+        index
+    }
+
+    #[test]
+    fn blocking_propagates_through_helpers() {
+        let index = ws(&[(
+            "crates/demo/src/lib.rs",
+            "struct Q { state: Mutex<u32>, cv: Condvar }\n\
+impl Q {\n\
+    pub fn push(&self) {\n\
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());\n\
+        state = self.wait(state);\n\
+        drop(state);\n\
+    }\n\
+    fn wait<'a>(&self, g: MutexGuard<'a, u32>) -> MutexGuard<'a, u32> {\n\
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())\n\
+    }\n\
+}\n\
+pub fn outer(q: &Q) { q.push(); }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let push = g.find("crates/demo/src/lib.rs", "Q::push").expect("push");
+        let outer = g.find("crates/demo/src/lib.rs", "outer").expect("outer");
+        assert!(g.blocking[push], "push waits on a condvar");
+        assert!(g.blocking[outer], "outer calls push via typed param");
+    }
+
+    #[test]
+    fn common_method_names_do_not_resolve_blind() {
+        let index = ws(&[(
+            "crates/demo/src/lib.rs",
+            "struct Q;\nimpl Q { pub fn push(&self) { loop {} } }\n\
+             pub fn innocent(v: &mut Vec<u32>) { v.push(1); }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let innocent = g.find("crates/demo/src/lib.rs", "innocent").expect("fn");
+        assert!(
+            g.call_edges[innocent].is_empty(),
+            "Vec::push must not resolve to Q::push"
+        );
+    }
+
+    #[test]
+    fn acquires_accumulate_transitively() {
+        let index = ws(&[(
+            "crates/demo/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+impl S {\n\
+    fn inner(&self) { let g = self.b.lock(); drop(g); }\n\
+    pub fn outer(&self) { let g = self.a.lock(); self.inner(); drop(g); }\n\
+}\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let outer = g.find("crates/demo/src/lib.rs", "S::outer").expect("fn");
+        assert!(g.acquires[outer].contains(&"S::a".to_string()));
+        assert!(g.acquires[outer].contains(&"S::b".to_string()));
+    }
+
+    #[test]
+    fn reachability_paths_render() {
+        let index = ws(&[(
+            "src/bin/tool.rs",
+            "fn main() { step_one(); }\nfn step_one() { step_two(); }\nfn step_two() {}\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let main = g.find("src/bin/tool.rs", "main").expect("main");
+        let two = g.find("src/bin/tool.rs", "step_two").expect("two");
+        let parent = g.reach(&[main]);
+        assert!(parent.contains_key(&two));
+        assert_eq!(g.path_to(&parent, two), "main → step_one → step_two");
+    }
+}

@@ -1,0 +1,2183 @@
+//! Phase 1 of the two-phase analyzer: the workspace **symbol index**.
+//!
+//! A lightweight zero-dependency Rust tokenizer and item indexer that
+//! records, per function: definitions (name, `impl` owner, module path),
+//! call sites with the set of `Mutex` guards live at each one, guard
+//! acquisitions, narrowing `as` casts, float reductions, and panic
+//! sites. The per-file result ([`FileIndex`]) is a *pure function of
+//! that file's text* — all cross-file reasoning happens in the graph
+//! phase ([`crate::graph`]) — so an index can be updated incrementally:
+//! files whose FNV-1a content hash is unchanged reuse their cached
+//! entry verbatim (the shape borrowed from incremental automaton
+//! construction: build once, update per changed input, query many
+//! analyses).
+//!
+//! The index is serialized to `target/g4check/index.v1` in a
+//! hand-rolled line format (the crate is dependency-free by design); a
+//! cache that fails to parse for any reason is discarded and rebuilt,
+//! never trusted partially.
+//!
+//! Deliberate precision limits, documented so misses are not mysteries:
+//!
+//! - A `.lock()` call is a guard acquisition only when its receiver
+//!   resolves to a known field or local (`self.inner`, a typed local, a
+//!   constructor-inferred local). `stdin().lock()` and friends resolve
+//!   to nothing and create no guard — an io lock is not a `Mutex`.
+//! - Method calls resolve to a receiver type only via `self`, typed
+//!   locals/params, same-file struct fields, or `Type::method` paths.
+//! - Guard liveness is statement- and scope-tracked (`let` bindings,
+//!   `if let`/`while let` heads, `drop`, moves into calls — the condvar
+//!   handoff `self.wait(&cond, guard)` kills the guard for the duration
+//!   of the call); `match` arms that bind a guard are not modeled.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lint::{
+    classify, collect_rs_files, parse_allows, strip_source, test_regions, FileKind, StrippedLine,
+};
+
+/// Cache format version; bumped whenever any record shape changes.
+pub const INDEX_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the workspace's standard content address.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallRecord {
+    /// Callee name; a trailing `!` marks a macro invocation.
+    pub callee: String,
+    /// Resolved receiver/owner type head (`BoundedQueue` for
+    /// `queue.push(..)` with a typed local), when known.
+    pub recv: Option<String>,
+    /// `.name(..)` method-call form (vs. free or `Type::name` call).
+    pub method: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lock ids of guards live at the call, minus guards moved *into*
+    /// the call (the condvar handoff idiom).
+    pub held: Vec<String>,
+    /// Lock ids this call acquires (`.lock()` on a resolved receiver,
+    /// or a call to a same-file guard-returning helper).
+    pub acquired: Vec<String>,
+    /// A live guard was moved into this call as a bare argument.
+    pub consumed_guard: bool,
+}
+
+/// One narrowing `as` cast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastRecord {
+    /// 1-based source line.
+    pub line: u32,
+    /// Target type (`i8`, `u8`, `i16`, `u16`, `i32`, `u32`).
+    pub ty: String,
+    /// The value was range-proven immediately before the cast
+    /// (`.clamp(lo, hi) as T`).
+    pub safe: bool,
+}
+
+/// One float-reduction site (`sum`, `product`, float `fold`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionRecord {
+    /// 1-based source line.
+    pub line: u32,
+    /// Which reduction: `sum`, `product`, or `fold`.
+    pub what: String,
+    /// The site shows a float context (turbofish, line text, or the
+    /// enclosing fn signature mentions `f32`/`f64`).
+    pub hinted: bool,
+}
+
+/// A split-accumulator initialization (`let (mut s0, mut s1) = (0.0, ..)`
+/// or `let mut acc = [0.0f32; N]`) — the reassociation idiom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccumRecord {
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One panic site (`panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+/// `.unwrap()`, `.expect(`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicRecord {
+    /// 1-based source line.
+    pub line: u32,
+    /// Which construct panics.
+    pub what: String,
+}
+
+/// Everything recorded about one function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnRecord {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` owner type, for methods.
+    pub owner: Option<String>,
+    /// Enclosing module path inside the file (`a::b`), for messages.
+    pub module: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Defined under `#[test]`/`#[cfg(test)]` or in a test file.
+    pub is_test: bool,
+    /// The doc comment above the fn has a `# Panics` section.
+    pub doc_panics: bool,
+    /// The signature returns a `MutexGuard`.
+    pub returns_guard: bool,
+    /// The signature mentions `f32`/`f64`.
+    pub sig_float: bool,
+    /// Call sites, in source order.
+    pub calls: Vec<CallRecord>,
+    /// Narrowing casts.
+    pub casts: Vec<CastRecord>,
+    /// Float reductions.
+    pub reductions: Vec<ReductionRecord>,
+    /// Split-accumulator initializations.
+    pub accums: Vec<AccumRecord>,
+    /// Panic sites.
+    pub panics: Vec<PanicRecord>,
+}
+
+impl FnRecord {
+    /// Display name: `Owner::name` for methods, bare `name` otherwise.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The index of one source file — a pure function of its text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FileIndex {
+    /// FNV-1a hash of the file's bytes, the incremental-reuse key.
+    pub hash: u64,
+    /// Every function defined in the file, in source order.
+    pub fns: Vec<FnRecord>,
+    /// `g4check: allow(rule)` lines: (1-based line, rule name). Each
+    /// annotation is recorded for its own line and the line below.
+    pub allows: Vec<(u32, String)>,
+}
+
+impl FileIndex {
+    /// Whether `rule` is allowed on 1-based `line`.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows.iter().any(|(l, r)| *l == line && r == rule)
+    }
+}
+
+/// The whole-workspace symbol index, keyed by `/`-separated relative
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkspaceIndex {
+    /// Per-file indexes.
+    pub files: BTreeMap<String, FileIndex>,
+}
+
+/// What an incremental [`build_index`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Files tokenized and indexed from scratch.
+    pub reindexed: usize,
+    /// Files reused from the cache by content hash.
+    pub reused: usize,
+    /// Cached files no longer present in the workspace.
+    pub removed: usize,
+}
+
+/// Builds (or incrementally updates) the symbol index for the workspace
+/// at `root`. Files whose content hash matches `cached` are reused
+/// without re-tokenizing.
+///
+/// # Errors
+///
+/// Returns an error when the workspace or a source file cannot be read.
+pub fn build_index(
+    root: &Path,
+    cached: Option<&WorkspaceIndex>,
+) -> Result<(WorkspaceIndex, IndexStats), String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut index = WorkspaceIndex::default();
+    let mut stats = IndexStats::default();
+    for rel in &files {
+        if classify(rel).is_none() {
+            continue;
+        }
+        let rel_key = rel_key(rel);
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {}: {e}", rel.display()))?;
+        let hash = fnv1a(text.as_bytes());
+        if let Some(prev) = cached.and_then(|c| c.files.get(&rel_key)) {
+            if prev.hash == hash {
+                index.files.insert(rel_key, prev.clone());
+                stats.reused += 1;
+                continue;
+            }
+        }
+        index.files.insert(rel_key.clone(), index_file(rel, &text));
+        stats.reindexed += 1;
+    }
+    if let Some(c) = cached {
+        stats.removed = c
+            .files
+            .keys()
+            .filter(|k| !index.files.contains_key(*k))
+            .count();
+    }
+    Ok((index, stats))
+}
+
+/// Normalizes a relative path into the index key form.
+pub fn rel_key(rel: &Path) -> String {
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Default cache location under the workspace root.
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("g4check").join("index.v1")
+}
+
+// --- tokenizer ----------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Num(String),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: u32,
+}
+
+fn tokenize(lines: &[StrippedLine]) -> Vec<Token> {
+    let mut toks = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                toks.push(Token {
+                    tok: Tok::Ident(s),
+                    line: lineno,
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                toks.push(Token {
+                    tok: Tok::Num(s),
+                    line: lineno,
+                });
+            } else {
+                toks.push(Token {
+                    tok: Tok::Punct(c),
+                    line: lineno,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+fn num_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Num(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+// --- structural pass ----------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RawFn {
+    name: String,
+    owner: Option<String>,
+    module: String,
+    line: u32,
+    /// Token index of the `fn` keyword (for nested-fn skipping).
+    header_tok: usize,
+    /// Token range of the body, inside the braces.
+    body: Option<(usize, usize)>,
+    params: Vec<(String, String)>,
+    returns_guard: bool,
+    sig_float: bool,
+    attr_test: bool,
+    doc_panics: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RawType {
+    fields: BTreeMap<String, String>,
+}
+
+/// Wrapper types whose first generic argument carries the interesting
+/// type head.
+const WRAPPERS: &[&str] = &["Arc", "Rc", "Box", "RefCell", "Cell", "Option"];
+
+/// Extracts the interesting head of a type written as tokens:
+/// `&mut Arc<BoundedQueue<T>>` → `BoundedQueue`.
+fn type_head(toks: &[Token], mut i: usize, end: usize) -> Option<String> {
+    while i < end {
+        match &toks[i].tok {
+            Tok::Punct('&') | Tok::Punct('\'') => i += 1,
+            Tok::Ident(s) if s == "mut" || s == "dyn" => i += 1,
+            Tok::Ident(s)
+                if toks
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|t| t.tok == Tok::Punct('\''))
+                    && !s.is_empty() =>
+            {
+                i += 1
+            }
+            _ => break,
+        }
+    }
+    // path: A::B::C — head is the last segment
+    let mut head: Option<(String, usize)> = None;
+    while i < end {
+        let Some(seg) = ident_at(toks, i) else { break };
+        head = Some((seg.to_string(), i));
+        if punct_at(toks, i + 1) == Some(':') && punct_at(toks, i + 2) == Some(':') {
+            i += 3;
+        } else {
+            break;
+        }
+    }
+    let (name, at) = head?;
+    if WRAPPERS.contains(&name.as_str()) && punct_at(toks, at + 1) == Some('<') {
+        return type_head(toks, at + 2, end);
+    }
+    Some(name)
+}
+
+/// Skips a balanced `<...>` generic group starting at `i` (which must be
+/// `<`), returning the index just past the matching `>`.
+fn skip_generics(toks: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('<') => depth += 1,
+            Some('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Some(';') | Some('{') => return i, // malformed; bail
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds the token index of the matching close for the open bracket at
+/// `i` (`(`/`[`/`{`), or `toks.len()` if unbalanced.
+fn matching_close(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match punct_at(toks, j) {
+            Some('(') | Some('[') | Some('{') => depth += 1,
+            Some(')') | Some(']') | Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+struct Structure {
+    fns: Vec<RawFn>,
+    types: BTreeMap<String, RawType>,
+}
+
+fn structural_pass(
+    toks: &[Token],
+    lines: &[StrippedLine],
+    in_test: &[bool],
+    file_is_test: bool,
+) -> Structure {
+    let mut fns = Vec::new();
+    let mut types: BTreeMap<String, RawType> = BTreeMap::new();
+    let mut depth = 0i32;
+    let mut mods: Vec<(String, i32)> = Vec::new();
+    let mut owners: Vec<(String, i32)> = Vec::new();
+    // scope pushes waiting for their `{`
+    enum Pending {
+        Mod(String),
+        Owner(String),
+    }
+    let mut pending: Option<Pending> = None;
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                match pending.take() {
+                    Some(Pending::Mod(m)) => mods.push((m, depth)),
+                    Some(Pending::Owner(o)) => owners.push((o, depth)),
+                    None => {}
+                }
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                if mods.last().is_some_and(|(_, d)| *d == depth) {
+                    mods.pop();
+                }
+                if owners.last().is_some_and(|(_, d)| *d == depth) {
+                    owners.pop();
+                }
+                depth -= 1;
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                pending = None; // `mod x;` / `impl T;` never happens, but be safe
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    if punct_at(toks, i + 2) == Some('{') {
+                        pending = Some(Pending::Mod(name.to_string()));
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "impl" || kw == "trait" => {
+                let is_impl = kw == "impl";
+                // collect header up to the `{` (or `;` for `impl Trait for T {}`-less)
+                let mut j = i + 1;
+                if is_impl && punct_at(toks, j) == Some('<') {
+                    j = skip_generics(toks, j);
+                }
+                let start = j;
+                while j < toks.len()
+                    && punct_at(toks, j) != Some('{')
+                    && punct_at(toks, j) != Some(';')
+                {
+                    j += 1;
+                }
+                let owner = if is_impl {
+                    let mut for_at = None;
+                    let mut k = start;
+                    while k < j {
+                        if ident_at(toks, k) == Some("for") {
+                            for_at = Some(k + 1);
+                        }
+                        k += 1;
+                    }
+                    type_head(toks, for_at.unwrap_or(start), j)
+                } else {
+                    ident_at(toks, start).map(str::to_string)
+                };
+                if punct_at(toks, j) == Some('{') {
+                    if let Some(o) = owner {
+                        pending = Some(Pending::Owner(o));
+                    }
+                }
+                i = j;
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    let mut j = i + 2;
+                    if punct_at(toks, j) == Some('<') {
+                        j = skip_generics(toks, j);
+                    }
+                    // skip a `where` clause up to `{`/`;`/`(`
+                    while j < toks.len()
+                        && !matches!(punct_at(toks, j), Some('{') | Some(';') | Some('('))
+                    {
+                        j += 1;
+                    }
+                    if punct_at(toks, j) == Some('{') {
+                        let close = matching_close(toks, j);
+                        let rt = parse_struct_fields(toks, j + 1, close);
+                        types.insert(name.to_string(), rt);
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some(name) = ident_at(toks, i + 1) {
+                    let line = toks[i].line;
+                    let mut j = i + 2;
+                    if punct_at(toks, j) == Some('<') {
+                        j = skip_generics(toks, j);
+                    }
+                    if punct_at(toks, j) != Some('(') {
+                        i += 1;
+                        continue;
+                    }
+                    let params_close = matching_close(toks, j);
+                    let params = parse_params(toks, j + 1, params_close);
+                    // return type / where clause up to body `{` or `;`
+                    let mut k = params_close + 1;
+                    while k < toks.len() && !matches!(punct_at(toks, k), Some('{') | Some(';')) {
+                        k += 1;
+                    }
+                    let sig_range = (j, k);
+                    let returns_guard = (sig_range.0..sig_range.1)
+                        .any(|t| matches!(ident_at(toks, t), Some("MutexGuard")));
+                    let sig_float = (sig_range.0..sig_range.1)
+                        .any(|t| matches!(ident_at(toks, t), Some("f32") | Some("f64")));
+                    let body = if punct_at(toks, k) == Some('{') {
+                        Some((k + 1, matching_close(toks, k)))
+                    } else {
+                        None
+                    };
+                    let (attr_test, doc_panics) = attrs_above(lines, line as usize);
+                    let is_test_region = in_test.get(line as usize - 1).copied().unwrap_or(false);
+                    fns.push(RawFn {
+                        name: name.to_string(),
+                        owner: owners.last().map(|(o, _)| o.clone()),
+                        module: mods
+                            .iter()
+                            .map(|(m, _)| m.as_str())
+                            .collect::<Vec<_>>()
+                            .join("::"),
+                        line,
+                        header_tok: i,
+                        body,
+                        params,
+                        returns_guard,
+                        sig_float,
+                        attr_test: attr_test || is_test_region || file_is_test,
+                        doc_panics,
+                    });
+                    // keep walking *into* the body so nested items are found
+                    i = k;
+                    continue;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Structure { fns, types }
+}
+
+/// Parses `name: Type` struct fields between `start` and `end`.
+fn parse_struct_fields(toks: &[Token], start: usize, end: usize) -> RawType {
+    let mut rt = RawType::default();
+    let mut i = start;
+    while i < end {
+        // field name is the ident directly before a `:` at depth 0
+        if let (Some(name), Some(':')) = (ident_at(toks, i), punct_at(toks, i + 1)) {
+            if punct_at(toks, i + 2) != Some(':') && name != "pub" && name != "crate" {
+                // type runs to the next top-level comma
+                let mut j = i + 2;
+                let mut d = 0i32;
+                while j < end {
+                    match punct_at(toks, j) {
+                        Some('<') | Some('(') | Some('[') => d += 1,
+                        Some('>') | Some(')') | Some(']') => d -= 1,
+                        Some(',') if d <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(head) = type_head(toks, i + 2, j) {
+                    rt.fields.insert(name.to_string(), head);
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    rt
+}
+
+/// Parses fn params into (name, type head) pairs; `self` receivers are
+/// skipped.
+fn parse_params(toks: &[Token], start: usize, end: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut i = start;
+    let mut arg_start = start;
+    let mut d = 0i32;
+    let push_arg = |s: usize, e: usize, out: &mut Vec<(String, String)>| {
+        // pattern `[mut] name : Type`
+        let mut k = s;
+        if ident_at(toks, k) == Some("mut") {
+            k += 1;
+        }
+        let Some(name) = ident_at(toks, k) else {
+            return;
+        };
+        if name == "self" || punct_at(toks, k + 1) != Some(':') {
+            return;
+        }
+        if let Some(head) = type_head(toks, k + 2, e) {
+            out.push((name.to_string(), head));
+        }
+    };
+    while i < end {
+        match punct_at(toks, i) {
+            Some('<') | Some('(') | Some('[') => d += 1,
+            Some('>') | Some(')') | Some(']') => d -= 1,
+            Some(',') if d <= 0 => {
+                push_arg(arg_start, i, &mut out);
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    push_arg(arg_start, end, &mut out);
+    out
+}
+
+/// Walks upward from the line above a fn through its doc comments and
+/// attributes, returning (`#[test]`-ish attr present, `# Panics` doc
+/// section present).
+fn attrs_above(lines: &[StrippedLine], fn_line_1based: usize) -> (bool, bool) {
+    let mut attr_test = false;
+    let mut doc_panics = false;
+    let mut idx = fn_line_1based.saturating_sub(1); // 0-based index of fn line
+    while idx > 0 {
+        idx -= 1;
+        let l = &lines[idx];
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        if !code.is_empty() && !is_attr {
+            break;
+        }
+        if code.is_empty() && l.comment.is_empty() {
+            break;
+        }
+        if is_attr && (code.contains("test") || code.contains("bench")) {
+            attr_test = true;
+        }
+        if l.comment.contains("# Panics") {
+            doc_panics = true;
+        }
+    }
+    (attr_test, doc_panics)
+}
+
+// --- body analysis ------------------------------------------------------
+
+/// Methods that create a guard when called on a resolvable lock field.
+const LOCK_METHODS: &[&str] = &["lock"];
+
+/// Macro names worth recording as calls (blocking-I/O macros).
+const IO_MACROS: &[&str] = &["write", "writeln", "print", "println", "eprint", "eprintln"];
+
+/// Panic-site macro names.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Narrowing cast targets tracked by the cast-truncation rule.
+const NARROW_TYPES: &[&str] = &["i8", "u8", "i16", "u16", "i32", "u32"];
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "else", "move",
+    "ref", "as", "let", "fn", "impl", "where", "unsafe", "use", "pub", "crate", "super", "dyn",
+    "mut", "box", "await",
+];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: Option<String>,
+    ids: Vec<String>,
+    bind_depth: Option<i32>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct LetCtx {
+    name: Option<String>,
+    depth: i32,
+    cond: bool,
+    rhs_started: bool,
+    mut_count: usize,
+    guards: Vec<usize>,
+    line: u32,
+    /// token index of the `:` type annotation, if any
+    ty: Option<(usize, usize)>,
+    accum_emitted: bool,
+}
+
+#[derive(Debug)]
+struct OpenCall {
+    rec: usize,
+    close: usize,
+    callee: String,
+    held_at_open: Vec<String>,
+    consumed: Vec<usize>,
+}
+
+/// Per-file context shared by all body analyses.
+struct FileCtx<'a> {
+    toks: &'a [Token],
+    lines: &'a [StrippedLine],
+    types: &'a BTreeMap<String, RawType>,
+    /// (owner, name) → (returns_guard, direct lock ids)
+    sigs: BTreeMap<(Option<String>, String), (bool, Vec<String>)>,
+    /// header token index → token index to resume after the nested fn
+    skip_fns: BTreeMap<usize, usize>,
+}
+
+impl FileCtx<'_> {
+    fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.code.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Resolves the type head of a receiver chain (`["self", "inner"]`).
+fn chain_type(
+    chain: &[String],
+    owner: Option<&str>,
+    env: &BTreeMap<String, String>,
+    types: &BTreeMap<String, RawType>,
+) -> Option<String> {
+    let mut ty: Option<String> = None;
+    for (k, part) in chain.iter().enumerate() {
+        if k == 0 {
+            ty = if part == "self" {
+                owner.map(str::to_string)
+            } else {
+                env.get(part).cloned()
+            };
+        } else {
+            let t = ty.as_deref()?;
+            ty = types.get(t).and_then(|rt| rt.fields.get(part)).cloned();
+        }
+        ty.as_ref()?;
+        let _ = k;
+    }
+    ty
+}
+
+/// Lock id for a `.lock()` receiver chain: `Owner::field` when the
+/// parent type resolves, `fn-qualifier::local` for a typed local mutex,
+/// `None` (no guard) otherwise.
+fn lock_id(
+    chain: &[String],
+    fn_display: &str,
+    owner: Option<&str>,
+    env: &BTreeMap<String, String>,
+    types: &BTreeMap<String, RawType>,
+) -> Option<String> {
+    match chain.len() {
+        0 => None,
+        1 => {
+            let v = &chain[0];
+            if v == "self" {
+                return None; // `self.lock()` is a helper call, not a field
+            }
+            let head = env.get(v)?;
+            if head == "Mutex" {
+                Some(format!("{fn_display}::{v}"))
+            } else {
+                None
+            }
+        }
+        _ => {
+            let parent = chain_type(&chain[..chain.len() - 1], owner, env, types)?;
+            Some(format!("{parent}::{}", chain.last()?))
+        }
+    }
+}
+
+/// Walks back from the `.` before a method name, collecting the
+/// `ident(.ident)*` receiver chain. Returns `None` when the receiver is
+/// an arbitrary expression (`foo().lock()`).
+fn recv_chain(toks: &[Token], dot_idx: usize) -> Option<Vec<String>> {
+    let mut chain = Vec::new();
+    let mut j = dot_idx; // points at the `.`
+    loop {
+        let name = ident_at(toks, j.checked_sub(1)?)?;
+        chain.push(name.to_string());
+        if punct_at(toks, j.checked_sub(2).unwrap_or(usize::MAX)) == Some('.') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    // a chain hanging off `)` / `]` is an expression receiver
+    if j >= 2 {
+        if let Some(c) = punct_at(toks, j - 2) {
+            if c == ')' || c == ']' {
+                return None;
+            }
+        }
+    }
+    chain.reverse();
+    Some(chain)
+}
+
+/// Infers the type head of a `let` RHS from its leading tokens:
+/// constructor paths (`BoundedQueue::new(`), wrapper constructors
+/// (`Arc::new(inner)`), and `.clone()` of a typed local.
+fn infer_rhs_type(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    owner: Option<&str>,
+    env: &BTreeMap<String, String>,
+) -> Option<String> {
+    let mut i = i;
+    while i < end && punct_at(toks, i) == Some('&') {
+        i += 1;
+    }
+    let first = ident_at(toks, i)?;
+    if punct_at(toks, i + 1) == Some(':') && punct_at(toks, i + 2) == Some(':') {
+        // `T::method(...)` — maybe through a path prefix
+        let mut head = first.to_string();
+        let mut j = i;
+        while punct_at(toks, j + 1) == Some(':')
+            && punct_at(toks, j + 2) == Some(':')
+            && ident_at(toks, j + 3).is_some()
+        {
+            j += 3;
+            let seg = ident_at(toks, j).unwrap_or_default().to_string();
+            if punct_at(toks, j + 1) == Some('(')
+                || (punct_at(toks, j + 1) == Some(':') && punct_at(toks, j + 2) == Some(':'))
+            {
+                // `head` so far is the type; `seg` the method — stop at a call
+                if punct_at(toks, j + 1) == Some('(') {
+                    if WRAPPERS.contains(&head.as_str()) {
+                        // Arc::new(inner) / Arc::clone(&x) — look inside
+                        if seg == "clone" {
+                            let mut k = j + 2;
+                            while k < end && punct_at(toks, k) == Some('&') {
+                                k += 1;
+                            }
+                            let inner = ident_at(toks, k)?;
+                            return env.get(inner).cloned();
+                        }
+                        return infer_rhs_type(toks, j + 2, end, owner, env);
+                    }
+                    if head == "Self" {
+                        return owner.map(str::to_string);
+                    }
+                    if head.chars().next().is_some_and(char::is_uppercase) {
+                        return Some(head);
+                    }
+                    return None;
+                }
+                head = seg.clone();
+            } else {
+                head = seg.clone();
+            }
+        }
+        None
+    } else if punct_at(toks, i + 1) == Some('.') {
+        // `x.clone()` keeps x's type
+        if ident_at(toks, i + 2) == Some("clone") && punct_at(toks, i + 3) == Some('(') {
+            return env.get(first).cloned();
+        }
+        None
+    } else {
+        None
+    }
+}
+
+fn is_float_zero(num: &str) -> bool {
+    num.starts_with("0.") || num == "0f32" || num == "0f64"
+}
+
+/// Whether the `=` punct at `i` is a plain assignment (not `==`, `=>`,
+/// `<=`, `+=`, ...).
+fn plain_assign(toks: &[Token], i: usize) -> bool {
+    if punct_at(toks, i) != Some('=') {
+        return false;
+    }
+    if punct_at(toks, i + 1) == Some('=') {
+        return false;
+    }
+    if let Some(prev) = i.checked_sub(1).and_then(|p| punct_at(toks, p)) {
+        if "=!<>+-*/%&|^".contains(prev) {
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_lines)]
+fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
+    let Some((start, end)) = raw.body else { return };
+    let toks = ctx.toks;
+    let owner = raw.owner.as_deref();
+    let fn_display = rec.display();
+    let mut env: BTreeMap<String, String> = raw.params.iter().cloned().collect();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut lets: Vec<LetCtx> = Vec::new();
+    let mut open_calls: Vec<OpenCall> = Vec::new();
+    let mut pending_rebind: Option<String> = None;
+    let mut last_clamp_close: Option<usize> = None;
+    let mut depth = 0i32;
+    let mut bdepth = 0i32; // paren/bracket depth
+
+    let live_ids = |guards: &[Guard]| -> Vec<String> {
+        let mut ids: Vec<String> = guards
+            .iter()
+            .filter(|g| g.alive)
+            .flat_map(|g| g.ids.iter().cloned())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    };
+
+    let mut i = start;
+    while i < end {
+        // nested fn: skip its tokens; it is analyzed on its own
+        if ident_at(toks, i) == Some("fn") {
+            if let Some(&resume) = ctx.skip_fns.get(&i) {
+                i = resume;
+                continue;
+            }
+        }
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                // an `if let` / `while let` binding becomes live inside
+                // the block it guards
+                if let Some(l) = lets.last() {
+                    if l.cond && l.depth == depth - 1 {
+                        for &g in &l.guards {
+                            guards[g].bind_depth = Some(depth);
+                        }
+                        lets.pop();
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                for g in guards.iter_mut() {
+                    if g.alive && g.bind_depth.is_some_and(|d| d > depth) {
+                        g.alive = false;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct('(') | Tok::Punct('[') => {
+                bdepth += 1;
+                i += 1;
+            }
+            Tok::Punct(')') | Tok::Punct(']') => {
+                bdepth -= 1;
+                // close any call whose args end here
+                while let Some(oc) = open_calls.pop_if(|oc| oc.close == i) {
+                    let consumed_ids: Vec<String> = oc
+                        .consumed
+                        .iter()
+                        .flat_map(|&g| guards[g].ids.clone())
+                        .collect();
+                    let held: Vec<String> = oc
+                        .held_at_open
+                        .iter()
+                        .filter(|id| !consumed_ids.contains(id))
+                        .cloned()
+                        .collect();
+                    let consumed_any = !oc.consumed.is_empty();
+                    // a consuming guard-returning call re-arms a rebound
+                    // guard (condvar handoff: `state = self.wait(.., state)`)
+                    let mut revived = false;
+                    if consumed_any {
+                        if let Some(name) = pending_rebind.as_deref() {
+                            let returns_guard = ctx
+                                .sigs
+                                .get(&(owner.map(str::to_string), oc.callee.clone()))
+                                .map(|(rg, _)| *rg)
+                                .unwrap_or(false)
+                                || rec
+                                    .calls
+                                    .get(oc.rec)
+                                    .is_some_and(|c| !c.acquired.is_empty());
+                            if returns_guard {
+                                for &g in &oc.consumed {
+                                    if guards[g].name.as_deref() == Some(name) {
+                                        revived = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for &g in &oc.consumed {
+                        if revived && guards[g].name.as_deref() == pending_rebind.as_deref() {
+                            continue; // stays alive with its old ids
+                        }
+                        guards[g].alive = false;
+                    }
+                    if oc.callee == "clamp" {
+                        last_clamp_close = Some(i);
+                    }
+                    if let Some(c) = rec.calls.get_mut(oc.rec) {
+                        c.held = held;
+                        c.consumed_guard = consumed_any;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct(';') if bdepth == 0 => {
+                // end of statement: temp guards die, let bindings seal
+                while let Some(l) = lets.pop_if(|l| l.depth == depth) {
+                    seal_let(&l, toks, ctx, owner, &mut env, &mut guards);
+                }
+                for g in guards.iter_mut() {
+                    if g.alive && g.bind_depth.is_none() {
+                        g.alive = false;
+                    }
+                }
+                pending_rebind = None;
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                let cond = i
+                    .checked_sub(1)
+                    .and_then(|p| ident_at(toks, p))
+                    .is_some_and(|p| p == "if" || p == "while");
+                let (name, mut_count, after) = parse_let_pattern(toks, i + 1);
+                let ty = if punct_at(toks, after) == Some(':') {
+                    // annotation runs to the `=`
+                    let mut j = after + 1;
+                    let mut d = 0i32;
+                    while j < end {
+                        match punct_at(toks, j) {
+                            Some('<') | Some('(') | Some('[') => d += 1,
+                            Some('>') | Some(')') | Some(']') => d -= 1,
+                            Some('=') if d <= 0 && plain_assign(toks, j) => break,
+                            Some(';') if d <= 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    Some((after + 1, j))
+                } else {
+                    None
+                };
+                lets.push(LetCtx {
+                    name,
+                    depth,
+                    cond,
+                    rhs_started: false,
+                    mut_count,
+                    guards: Vec::new(),
+                    line,
+                    ty,
+                    accum_emitted: false,
+                });
+                i += 1;
+            }
+            Tok::Punct('=') if plain_assign(toks, i) => {
+                if let Some(l) = lets.last_mut() {
+                    if !l.rhs_started {
+                        l.rhs_started = true;
+                        // split-accumulator: `let (mut a, mut b) = (0.0, 0.0)`
+                        // or `let mut acc = [0.0f32; N]` (not `vec![..]`)
+                        let rhs_zero = rhs_float_zero(toks, i + 1, end);
+                        if !l.accum_emitted
+                            && rhs_zero
+                            && (l.mut_count >= 2 || rhs_is_array(toks, i + 1))
+                            && l.mut_count >= 1
+                        {
+                            rec.accums.push(AccumRecord { line: l.line });
+                            l.accum_emitted = true;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+                // plain reassignment: `state = self.wait(...)`
+                if let Some(name) = i
+                    .checked_sub(1)
+                    .and_then(|p| ident_at(toks, p))
+                    .map(str::to_string)
+                {
+                    if guards.iter().any(|g| g.name.as_deref() == Some(&name)) {
+                        pending_rebind = Some(name);
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(name) => {
+                let next = punct_at(toks, i + 1);
+                let is_macro = next == Some('!')
+                    && matches!(punct_at(toks, i + 2), Some('(') | Some('[') | Some('{'));
+                if is_macro {
+                    if PANIC_MACROS.contains(&name.as_str()) {
+                        rec.panics.push(PanicRecord {
+                            line,
+                            what: format!("{name}!"),
+                        });
+                    } else if IO_MACROS.contains(&name.as_str()) {
+                        rec.calls.push(CallRecord {
+                            callee: format!("{name}!"),
+                            recv: None,
+                            method: false,
+                            line,
+                            held: live_ids(&guards),
+                            acquired: Vec::new(),
+                            consumed_guard: false,
+                        });
+                    }
+                    i += 2;
+                    continue;
+                }
+                let paren = if next == Some('(') {
+                    Some(i + 1)
+                } else {
+                    turbofish_paren(toks, i)
+                };
+                if let (Some(paren), false) = (paren, KEYWORDS.contains(&name.as_str())) {
+                    handle_call(
+                        HandleCall {
+                            name,
+                            i,
+                            paren,
+                            line,
+                            owner,
+                            fn_display: &fn_display,
+                            raw,
+                        },
+                        ctx,
+                        &env,
+                        &mut guards,
+                        &mut lets,
+                        &mut open_calls,
+                        &pending_rebind,
+                        rec,
+                        &live_ids,
+                    );
+                    i += 1;
+                    continue;
+                }
+                if name == "as" {
+                    // narrowing cast?
+                    if let Some(ty) = ident_at(toks, i + 1) {
+                        if NARROW_TYPES.contains(&ty) {
+                            let safe = i >= 1
+                                && punct_at(toks, i - 1) == Some(')')
+                                && last_clamp_close == Some(i - 1);
+                            rec.casts.push(CastRecord {
+                                line,
+                                ty: ty.to_string(),
+                                safe,
+                            });
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                // a bare live-guard name as a call argument = a move into
+                // the call (consumption), unless borrowed
+                if let Some(oc_idx) = open_calls.len().checked_sub(1) {
+                    let borrowed = i
+                        .checked_sub(1)
+                        .and_then(|p| punct_at(toks, p))
+                        .is_some_and(|c| c == '&');
+                    let bare = matches!(punct_at(toks, i + 1), Some(',') | Some(')'));
+                    if !borrowed && bare {
+                        if let Some(gi) = guards
+                            .iter()
+                            .position(|g| g.alive && g.name.as_deref() == Some(name.as_str()))
+                        {
+                            open_calls[oc_idx].consumed.push(gi);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let _ = num_at; // silence potential unused in future refactors
+}
+
+/// Whether the RHS starting at `i` contains a float-zero literal among
+/// its first few tokens (tuple of zeros or `[0.0; N]`).
+fn rhs_float_zero(toks: &[Token], i: usize, end: usize) -> bool {
+    let mut j = i;
+    let stop = (i + 16).min(end);
+    while j < stop {
+        if let Some(n) = num_at(toks, j) {
+            if is_float_zero(n) {
+                return true;
+            }
+        }
+        if punct_at(toks, j) == Some(';') {
+            break;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Whether the RHS starting at `i` is an array literal (not `vec![..]`).
+fn rhs_is_array(toks: &[Token], i: usize) -> bool {
+    punct_at(toks, i) == Some('[')
+}
+
+/// Extracts the binding name from a `let` pattern: `mut x`, `Some(x)`,
+/// `Ok(mut g)`. Returns (name, count of `mut` in the pattern, index
+/// after the pattern's first name-ish run).
+fn parse_let_pattern(toks: &[Token], mut i: usize) -> (Option<String>, usize, usize) {
+    let mut mut_count = 0usize;
+    // count every `mut` up to the `=`/`:` at depth 0 (for tuple patterns)
+    let mut j = i;
+    let mut d = 0i32;
+    while j < toks.len() {
+        match punct_at(toks, j) {
+            Some('(') | Some('[') => d += 1,
+            Some(')') | Some(']') => d -= 1,
+            Some('=') if d <= 0 && plain_assign(toks, j) => break,
+            Some(':') if d <= 0 && punct_at(toks, j + 1) != Some(':') => break,
+            Some(';') | Some('{') if d <= 0 => break,
+            _ => {}
+        }
+        if ident_at(toks, j) == Some("mut") {
+            mut_count += 1;
+        }
+        j += 1;
+    }
+    if ident_at(toks, i) == Some("mut") {
+        i += 1;
+    }
+    let name = match ident_at(toks, i) {
+        Some(n) if punct_at(toks, i + 1) == Some('(') => {
+            // tuple-struct pattern `Some(x)` / `Ok(mut g)`
+            let mut k = i + 2;
+            if ident_at(toks, k) == Some("mut") {
+                k += 1;
+            }
+            let inner = ident_at(toks, k).map(str::to_string);
+            let _ = n;
+            return (inner, mut_count, j);
+        }
+        Some(n) => Some(n.to_string()),
+        None => None,
+    };
+    (name, mut_count, i + 1)
+}
+
+/// Seals a completed plain `let`: records the local's inferred type.
+fn seal_let(
+    l: &LetCtx,
+    toks: &[Token],
+    ctx: &FileCtx<'_>,
+    owner: Option<&str>,
+    env: &mut BTreeMap<String, String>,
+    guards: &mut [Guard],
+) {
+    let Some(name) = &l.name else { return };
+    // explicit annotation wins
+    if let Some((s, e)) = l.ty {
+        if let Some(head) = type_head(ctx.toks, s, e) {
+            env.insert(name.clone(), head);
+            bindable(guards, l);
+            return;
+        }
+    }
+    // constructor inference from the RHS (tokens after the `=` were
+    // already walked; re-derive from the annotation-free header)
+    if let Some(eq) = find_assign(toks, l) {
+        if let Some(head) = infer_rhs_type(toks, eq + 1, toks.len(), owner, env) {
+            env.insert(name.clone(), head);
+        }
+    }
+    bindable(guards, l);
+}
+
+fn bindable(guards: &mut [Guard], l: &LetCtx) {
+    for &g in &l.guards {
+        if let Some(gd) = guards.get_mut(g) {
+            gd.bind_depth = Some(l.depth);
+        }
+    }
+}
+
+/// Finds the `=` of a let statement by scanning forward from its line.
+fn find_assign(toks: &[Token], l: &LetCtx) -> Option<usize> {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].line == l.line && ident_at(toks, i) == Some("let") {
+            let mut j = i + 1;
+            let mut d = 0i32;
+            while j < toks.len() {
+                match punct_at(toks, j) {
+                    Some('(') | Some('[') | Some('<') => d += 1,
+                    Some(')') | Some(']') | Some('>') => d -= 1,
+                    Some('=') if d <= 0 && plain_assign(toks, j) => return Some(j),
+                    Some(';') if d <= 0 => return None,
+                    _ => {}
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the `(` of a turbofish call: ident at `i` followed by
+/// `::<…>(`, as in `sum::<f32>()`. Returns the paren's token index.
+fn turbofish_paren(toks: &[Token], i: usize) -> Option<usize> {
+    if punct_at(toks, i + 1) != Some(':')
+        || punct_at(toks, i + 2) != Some(':')
+        || punct_at(toks, i + 3) != Some('<')
+    {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut k = i + 3;
+    while k < toks.len() && k < i + 24 {
+        match punct_at(toks, k) {
+            Some('<') => depth += 1,
+            Some('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (punct_at(toks, k + 1) == Some('(')).then_some(k + 1);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+struct HandleCall<'a> {
+    name: &'a str,
+    i: usize,
+    /// Token index of the call's `(` — `i + 1` except for turbofish calls.
+    paren: usize,
+    line: u32,
+    owner: Option<&'a str>,
+    fn_display: &'a str,
+    raw: &'a RawFn,
+}
+
+/// Records one `name(` call site: resolves its receiver, detects guard
+/// acquisition, and opens a consumption-tracking frame.
+#[allow(clippy::too_many_arguments)]
+fn handle_call(
+    hc: HandleCall<'_>,
+    ctx: &FileCtx<'_>,
+    env: &BTreeMap<String, String>,
+    guards: &mut Vec<Guard>,
+    lets: &mut [LetCtx],
+    open_calls: &mut Vec<OpenCall>,
+    pending_rebind: &Option<String>,
+    rec: &mut FnRecord,
+    live_ids: &dyn Fn(&[Guard]) -> Vec<String>,
+) {
+    let HandleCall {
+        name,
+        i,
+        paren,
+        line,
+        owner,
+        fn_display,
+        raw,
+    } = hc;
+    let toks = ctx.toks;
+    let prev = i.checked_sub(1).and_then(|p| punct_at(toks, p));
+    let prev_is_dot = prev == Some('.');
+    let prev_is_path = prev == Some(':')
+        && i.checked_sub(2)
+            .and_then(|p| punct_at(toks, p))
+            .is_some_and(|c| c == ':');
+
+    // `.unwrap()` / `.expect(` are panic sites, not calls worth edges
+    if prev_is_dot && (name == "unwrap" || name == "expect") {
+        rec.panics.push(PanicRecord {
+            line,
+            what: format!(".{name}("),
+        });
+        return;
+    }
+
+    let mut recv: Option<String> = None;
+    let mut method = false;
+    let mut acquired: Vec<String> = Vec::new();
+
+    if prev_is_dot {
+        method = true;
+        let chain = recv_chain(toks, i - 1);
+        if let Some(chain) = &chain {
+            recv = chain_type(chain, owner, env, ctx.types);
+            if LOCK_METHODS.contains(&name) {
+                if let Some(id) = lock_id(chain, fn_display, owner, env, ctx.types) {
+                    acquired.push(id);
+                }
+            }
+        }
+    } else if prev_is_path {
+        // `Type::method(` / `module::func(`
+        if let Some(seg) = i.checked_sub(3).and_then(|p| ident_at(toks, p)) {
+            if seg == "Self" {
+                recv = owner.map(str::to_string);
+            } else if seg.chars().next().is_some_and(char::is_uppercase) {
+                recv = Some(seg.to_string());
+            }
+        }
+    }
+
+    // same-file guard-returning helper? (`self.lock()`, `self.wait(..)`)
+    if acquired.is_empty() {
+        let owner_key = if method {
+            // only trust helper resolution for `self.helper()` or a
+            // resolved receiver type
+            if recv.is_some() {
+                recv.clone()
+            } else if recv_chain(toks, i - 1).is_some_and(|c| c == ["self"]) {
+                owner.map(str::to_string)
+            } else {
+                None
+            }
+        } else {
+            recv.clone()
+        };
+        let key = (owner_key, name.to_string());
+        if let Some((returns_guard, locks)) = ctx.sigs.get(&key) {
+            if *returns_guard {
+                acquired = locks.clone();
+            }
+        } else if !method && recv.is_none() {
+            // free fn in the same file
+            if let Some((true, locks)) = ctx.sigs.get(&(None, name.to_string())) {
+                acquired = locks.clone();
+            }
+        }
+    }
+
+    let held = live_ids(guards);
+    let rec_idx = rec.calls.len();
+    rec.calls.push(CallRecord {
+        callee: name.to_string(),
+        recv,
+        method,
+        line,
+        held: held.clone(),
+        acquired: acquired.clone(),
+        consumed_guard: false,
+    });
+
+    // float reduction?
+    if (name == "sum" || name == "product" || name == "fold") && method {
+        // turbofish hint: `.sum::<f32>()` has f32/f64 between name and `(`
+        let turbofish_float =
+            (i + 1..paren).any(|k| matches!(ident_at(toks, k), Some("f32") | Some("f64")));
+        let mut hinted =
+            turbofish_float || raw.sig_float || line_mentions_float(ctx.line_text(line));
+        if name == "fold" {
+            // float first arg: `fold(0.0f32, ..)`
+            let mut k = paren + 1;
+            let mut seen_float = false;
+            while k < toks.len() && punct_at(toks, k) != Some(',') {
+                if let Some(n) = num_at(toks, k) {
+                    if n.contains('.') || n.ends_with("f32") || n.ends_with("f64") {
+                        seen_float = true;
+                    }
+                }
+                if matches!(ident_at(toks, k), Some("f32") | Some("f64")) {
+                    seen_float = true;
+                }
+                k += 1;
+                if k > paren + 7 {
+                    break;
+                }
+            }
+            if !seen_float {
+                return finish_call(open_calls, toks, paren, rec_idx, name, held);
+            }
+            hinted = true;
+        }
+        rec.reductions.push(ReductionRecord {
+            line,
+            what: name.to_string(),
+            hinted,
+        });
+    }
+
+    // guard creation
+    if !acquired.is_empty() {
+        let bind_to = lets.last_mut().filter(|l| l.rhs_started || l.cond);
+        match bind_to {
+            Some(l) => {
+                let gi = guards.len();
+                guards.push(Guard {
+                    name: l.name.clone(),
+                    ids: acquired.clone(),
+                    bind_depth: Some(l.depth),
+                    alive: true,
+                });
+                l.guards.push(gi);
+            }
+            None => {
+                // maybe a rebind (`state = self.wait(..)`), else a temp
+                let name = pending_rebind.clone();
+                let revive = name.as_ref().and_then(|n| {
+                    guards
+                        .iter()
+                        .position(|g| g.name.as_deref() == Some(n.as_str()))
+                });
+                match revive {
+                    Some(gi) => {
+                        let mut ids = guards[gi].ids.clone();
+                        for id in &acquired {
+                            if !ids.contains(id) {
+                                ids.push(id.clone());
+                            }
+                        }
+                        guards[gi].ids = ids;
+                        guards[gi].alive = true;
+                    }
+                    None => guards.push(Guard {
+                        name,
+                        ids: acquired.clone(),
+                        bind_depth: None,
+                        alive: true,
+                    }),
+                }
+            }
+        }
+    }
+
+    finish_call(open_calls, toks, paren, rec_idx, name, held);
+}
+
+fn finish_call(
+    open_calls: &mut Vec<OpenCall>,
+    toks: &[Token],
+    paren: usize,
+    rec_idx: usize,
+    name: &str,
+    held: Vec<String>,
+) {
+    let close = matching_close(toks, paren);
+    open_calls.push(OpenCall {
+        rec: rec_idx,
+        close,
+        callee: name.to_string(),
+        held_at_open: held,
+        consumed: Vec::new(),
+    });
+}
+
+fn line_mentions_float(code: &str) -> bool {
+    code.contains("f32") || code.contains("f64")
+}
+
+// --- per-file driver ----------------------------------------------------
+
+/// Indexes one source file. The result depends only on `rel` (for its
+/// file-kind classification) and `text`.
+pub fn index_file(rel: &Path, text: &str) -> FileIndex {
+    let kind = classify(rel);
+    let file_is_test = kind == Some(FileKind::TestFile);
+    let lines = strip_source(text);
+    let in_test = test_regions(&lines);
+    let toks = tokenize(&lines);
+    let st = structural_pass(&toks, &lines, &in_test, file_is_test);
+
+    // same-file signature table: (owner, name) → (returns_guard,
+    // direct lock ids), for resolving guard-returning helpers
+    let mut sigs: BTreeMap<(Option<String>, String), (bool, Vec<String>)> = BTreeMap::new();
+    for f in &st.fns {
+        let mut locks = Vec::new();
+        if let Some((s, e)) = f.body {
+            let env: BTreeMap<String, String> = f.params.iter().cloned().collect();
+            let display = match &f.owner {
+                Some(o) => format!("{o}::{}", f.name),
+                None => f.name.clone(),
+            };
+            let mut i = s;
+            while i < e {
+                if ident_at(&toks, i) == Some("lock")
+                    && punct_at(&toks, i + 1) == Some('(')
+                    && i >= 1
+                    && punct_at(&toks, i - 1) == Some('.')
+                {
+                    if let Some(chain) = recv_chain(&toks, i - 1) {
+                        if let Some(id) =
+                            lock_id(&chain, &display, f.owner.as_deref(), &env, &st.types)
+                        {
+                            if !locks.contains(&id) {
+                                locks.push(id);
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        sigs.insert((f.owner.clone(), f.name.clone()), (f.returns_guard, locks));
+    }
+
+    let mut skip_fns = BTreeMap::new();
+    for f in &st.fns {
+        let resume = match f.body {
+            Some((_, close)) => close + 1,
+            None => f.header_tok + 1,
+        };
+        skip_fns.insert(f.header_tok, resume);
+    }
+
+    let ctx = FileCtx {
+        toks: &toks,
+        lines: &lines,
+        types: &st.types,
+        sigs,
+        skip_fns,
+    };
+
+    let mut fns = Vec::new();
+    for f in &st.fns {
+        let mut rec = FnRecord {
+            name: f.name.clone(),
+            owner: f.owner.clone(),
+            module: f.module.clone(),
+            line: f.line,
+            is_test: f.attr_test,
+            doc_panics: f.doc_panics,
+            returns_guard: f.returns_guard,
+            sig_float: f.sig_float,
+            calls: Vec::new(),
+            casts: Vec::new(),
+            reductions: Vec::new(),
+            accums: Vec::new(),
+            panics: Vec::new(),
+        };
+        analyze_body(f, &ctx, &mut rec);
+        fns.push(rec);
+    }
+
+    // allow annotations (scratch violation list: the lint pass owns
+    // reporting malformed ones)
+    let mut scratch = Vec::new();
+    let allows_map = parse_allows(&lines, rel, &mut scratch);
+    let mut allows = Vec::new();
+    for (line_idx, rules) in &allows_map {
+        for r in rules {
+            allows.push(((line_idx + 1) as u32, r.name().to_string()));
+        }
+    }
+    allows.sort();
+    allows.dedup();
+
+    FileIndex {
+        hash: fnv1a(text.as_bytes()),
+        fns,
+        allows,
+    }
+}
+
+// --- cache serialization ------------------------------------------------
+
+fn esc(s: &str) -> String {
+    s.replace('%', "%25").replace(' ', "%20")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("%20", " ").replace("%25", "%")
+}
+
+fn opt(s: &Option<String>) -> String {
+    match s {
+        Some(v) if !v.is_empty() => esc(v),
+        _ => "-".to_string(),
+    }
+}
+
+fn list(v: &[String]) -> String {
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_opt(s: &str) -> Option<String> {
+    if s == "-" {
+        None
+    } else {
+        Some(unesc(s))
+    }
+}
+
+fn parse_list(s: &str) -> Vec<String> {
+    if s == "-" {
+        Vec::new()
+    } else {
+        s.split(',').map(unesc).collect()
+    }
+}
+
+/// Serializes the index into the cache's line format.
+pub fn to_cache_string(index: &WorkspaceIndex) -> String {
+    let mut out = format!("g4check-index {INDEX_VERSION}\n");
+    for (path, fi) in &index.files {
+        out.push_str(&format!("f {} {:016x}\n", esc(path), fi.hash));
+        for (line, rule) in &fi.allows {
+            out.push_str(&format!("a {line} {}\n", esc(rule)));
+        }
+        for f in &fi.fns {
+            let flags = u8::from(f.is_test)
+                | u8::from(f.doc_panics) << 1
+                | u8::from(f.returns_guard) << 2
+                | u8::from(f.sig_float) << 3;
+            out.push_str(&format!(
+                "n {} {} {} {} {}\n",
+                f.line,
+                flags,
+                esc(&f.name),
+                opt(&f.owner),
+                if f.module.is_empty() {
+                    "-".to_string()
+                } else {
+                    esc(&f.module)
+                },
+            ));
+            for c in &f.calls {
+                let cflags = u8::from(c.method) | u8::from(c.consumed_guard) << 1;
+                out.push_str(&format!(
+                    "c {} {} {} {} {} {}\n",
+                    c.line,
+                    cflags,
+                    esc(&c.callee),
+                    opt(&c.recv),
+                    list(&c.held),
+                    list(&c.acquired),
+                ));
+            }
+            for x in &f.casts {
+                out.push_str(&format!(
+                    "x {} {} {}\n",
+                    x.line,
+                    u8::from(x.safe),
+                    esc(&x.ty)
+                ));
+            }
+            for r in &f.reductions {
+                out.push_str(&format!(
+                    "r {} {} {}\n",
+                    r.line,
+                    u8::from(r.hinted),
+                    esc(&r.what)
+                ));
+            }
+            for m in &f.accums {
+                out.push_str(&format!("m {}\n", m.line));
+            }
+            for p in &f.panics {
+                out.push_str(&format!("p {} {}\n", p.line, esc(&p.what)));
+            }
+        }
+        out.push_str(".\n");
+    }
+    out
+}
+
+/// Parses a cache string back into an index. Any anomaly yields `None` —
+/// a cache is never trusted partially.
+pub fn from_cache_string(text: &str) -> Option<WorkspaceIndex> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let version: u32 = header.strip_prefix("g4check-index ")?.parse().ok()?;
+    if version != INDEX_VERSION {
+        return None;
+    }
+    let mut index = WorkspaceIndex::default();
+    let mut cur: Option<(String, FileIndex)> = None;
+    for line in lines {
+        let mut parts = line.split(' ');
+        let tag = parts.next()?;
+        match tag {
+            "f" => {
+                if cur.is_some() {
+                    return None; // missing terminator
+                }
+                let path = unesc(parts.next()?);
+                let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+                cur = Some((
+                    path,
+                    FileIndex {
+                        hash,
+                        ..FileIndex::default()
+                    },
+                ));
+            }
+            "." => {
+                let (path, fi) = cur.take()?;
+                index.files.insert(path, fi);
+            }
+            "a" => {
+                let fi = &mut cur.as_mut()?.1;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                fi.allows.push((line_no, unesc(parts.next()?)));
+            }
+            "n" => {
+                let fi = &mut cur.as_mut()?.1;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let flags: u8 = parts.next()?.parse().ok()?;
+                let name = unesc(parts.next()?);
+                let owner = parse_opt(parts.next()?);
+                let module = parse_opt(parts.next()?).unwrap_or_default();
+                fi.fns.push(FnRecord {
+                    name,
+                    owner,
+                    module,
+                    line: line_no,
+                    is_test: flags & 1 != 0,
+                    doc_panics: flags & 2 != 0,
+                    returns_guard: flags & 4 != 0,
+                    sig_float: flags & 8 != 0,
+                    calls: Vec::new(),
+                    casts: Vec::new(),
+                    reductions: Vec::new(),
+                    accums: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "c" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let flags: u8 = parts.next()?.parse().ok()?;
+                f.calls.push(CallRecord {
+                    callee: unesc(parts.next()?),
+                    recv: parse_opt(parts.next()?),
+                    method: flags & 1 != 0,
+                    line: line_no,
+                    held: parse_list(parts.next()?),
+                    acquired: parse_list(parts.next()?),
+                    consumed_guard: flags & 2 != 0,
+                });
+            }
+            "x" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let safe: u8 = parts.next()?.parse().ok()?;
+                f.casts.push(CastRecord {
+                    line: line_no,
+                    ty: unesc(parts.next()?),
+                    safe: safe != 0,
+                });
+            }
+            "r" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let hinted: u8 = parts.next()?.parse().ok()?;
+                f.reductions.push(ReductionRecord {
+                    line: line_no,
+                    what: unesc(parts.next()?),
+                    hinted: hinted != 0,
+                });
+            }
+            "m" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                f.accums.push(AccumRecord {
+                    line: parts.next()?.parse().ok()?,
+                });
+            }
+            "p" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                f.panics.push(PanicRecord {
+                    line: line_no,
+                    what: unesc(parts.next()?),
+                });
+            }
+            _ => return None,
+        }
+    }
+    if cur.is_some() {
+        return None;
+    }
+    Some(index)
+}
+
+/// Loads a cached index from `path`, tolerating absence and corruption
+/// (both yield `None` and force a full rebuild).
+pub fn load_cache(path: &Path) -> Option<WorkspaceIndex> {
+    let text = std::fs::read_to_string(path).ok()?;
+    from_cache_string(&text)
+}
+
+/// Persists the index to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns an error when the cache directory or file cannot be written.
+pub fn save_cache(path: &Path, index: &WorkspaceIndex) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating cache dir {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, to_cache_string(index))
+        .map_err(|e| format!("writing cache {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(src: &str) -> FileIndex {
+        index_file(Path::new("crates/demo/src/lib.rs"), src)
+    }
+
+    #[test]
+    fn indexes_fns_with_owners_and_modules() {
+        let src = "mod outer { mod inner { pub fn free() {} } }\n\
+                   struct S { m: Mutex<u32> }\n\
+                   impl S { fn method(&self) { self.m.lock(); } }\n";
+        let fi = idx(src);
+        assert_eq!(fi.fns.len(), 2);
+        assert_eq!(fi.fns[0].name, "free");
+        assert_eq!(fi.fns[0].module, "outer::inner");
+        assert_eq!(fi.fns[1].display(), "S::method");
+        assert_eq!(fi.fns[1].calls[0].acquired, vec!["S::m".to_string()]);
+    }
+
+    #[test]
+    fn raw_strings_produce_no_calls() {
+        let src = "fn f() -> &'static str { r#\"foo() bar.lock()\"# }\n";
+        let fi = idx(src);
+        assert!(fi.fns[0].calls.is_empty());
+    }
+
+    #[test]
+    fn held_guards_tracked_through_scopes() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+        self.go();\n\
+        drop(g);\n\
+        self.go();\n\
+    }\n\
+    fn go(&self) {}\n\
+}\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        let gos: Vec<&CallRecord> = f.calls.iter().filter(|c| c.callee == "go").collect();
+        assert_eq!(gos.len(), 2);
+        assert_eq!(gos[0].held, vec!["S::a".to_string()]);
+        assert!(gos[1].held.is_empty(), "drop(g) must kill the guard");
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_brace() {
+        let src = "struct S { a: Mutex<u32> }\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let x = { let g = self.a.lock(); g.checked_add(1) };\n\
+        self.go();\n\
+    }\n\
+    fn go(&self) {}\n\
+}\n";
+        let fi = idx(src);
+        let go = fi.fns[0].calls.iter().find(|c| c.callee == "go");
+        assert!(go.is_some_and(|c| c.held.is_empty()));
+    }
+
+    #[test]
+    fn guard_moved_into_call_is_consumed() {
+        let src = "struct S { a: Mutex<u32>, c: Condvar }\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let mut state = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+        state = self.wait(&self.c, state);\n\
+        self.go();\n\
+    }\n\
+    fn wait<'a>(&self, c: &Condvar, g: MutexGuard<'a, u32>) -> MutexGuard<'a, u32> { g }\n\
+    fn go(&self) {}\n\
+}\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        let wait = f
+            .calls
+            .iter()
+            .find(|c| c.callee == "wait")
+            .expect("wait call");
+        assert!(
+            wait.held.is_empty(),
+            "handoff must not count as held: {:?}",
+            wait.held
+        );
+        assert!(wait.consumed_guard);
+        let go = f.calls.iter().find(|c| c.callee == "go").expect("go call");
+        assert_eq!(
+            go.held,
+            vec!["S::a".to_string()],
+            "rebind revives the guard"
+        );
+    }
+
+    #[test]
+    fn casts_and_clamp_safety() {
+        let src = "fn q(x: f32) -> i8 { let a = x as i8; let b = x.clamp(-127.0, 127.0) as i8; a.wrapping_add(b) }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        assert_eq!(f.casts.len(), 2);
+        assert!(!f.casts[0].safe);
+        assert!(f.casts[1].safe);
+    }
+
+    #[test]
+    fn reductions_and_hints() {
+        let src = "fn n(xs: &[f32]) -> f32 { xs.iter().map(|v| v * v).sum() }\n\
+                   fn m(xs: &[u64]) -> u64 { xs.iter().sum() }\n";
+        let fi = idx(src);
+        assert!(fi.fns[0].reductions[0].hinted, "sig mentions f32");
+        assert!(!fi.fns[1].reductions[0].hinted);
+    }
+
+    #[test]
+    fn turbofish_reductions_are_detected() {
+        let src = "fn n(xs: &[u64]) -> u32 {\n\
+                       let s = xs.iter().map(|v| (v % 7) as f64)\n\
+                           .sum::<f64>();\n\
+                       s as u32\n\
+                   }\n";
+        let fi = idx(src);
+        assert_eq!(fi.fns[0].reductions.len(), 1, "sum::<f64>() is a reduction");
+        assert!(
+            fi.fns[0].reductions[0].hinted,
+            "turbofish names the float type"
+        );
+    }
+
+    #[test]
+    fn split_accumulators_detected() {
+        let src = "fn k(xs: &[f32]) -> f32 {\n\
+                       let (mut s0, mut s1) = (0.0f32, 0.0f32);\n\
+                       for x in xs { s0 += x; s1 += x; }\n\
+                       s0 + s1\n\
+                   }\n\
+                   fn plain(xs: &[f32]) -> f32 { let mut s = 0.0f32; for x in xs { s += x; } s }\n";
+        let fi = idx(src);
+        assert_eq!(fi.fns[0].accums.len(), 1);
+        assert!(fi.fns[1].accums.is_empty(), "a single accumulator is fine");
+    }
+
+    #[test]
+    fn panic_sites_and_doc_exemptions() {
+        let src = "/// Doc.\n///\n/// # Panics\n///\n/// When x is 0.\npub fn f(x: u32) -> u32 { assert_ne!(x, 0); 1 / x }\n\
+                   fn g() { panic!(\"boom\"); }\n\
+                   fn h(v: Vec<u32>) -> u32 { v.first().copied().unwrap() }\n";
+        let fi = idx(src);
+        assert!(fi.fns[0].doc_panics);
+        assert_eq!(fi.fns[1].panics[0].what, "panic!");
+        assert_eq!(fi.fns[2].panics[0].what, ".unwrap(");
+    }
+
+    #[test]
+    fn typed_locals_resolve_method_receivers() {
+        let src = "fn run() {\n\
+                       let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::make(8));\n\
+                       queue.push(1);\n\
+                       let q2 = Arc::clone(&queue);\n\
+                       q2.push(2);\n\
+                   }\n";
+        let fi = idx(src);
+        let pushes: Vec<&CallRecord> = fi.fns[0]
+            .calls
+            .iter()
+            .filter(|c| c.callee == "push")
+            .collect();
+        assert_eq!(pushes.len(), 2);
+        assert_eq!(pushes[0].recv.as_deref(), Some("BoundedQueue"));
+        assert_eq!(pushes[1].recv.as_deref(), Some("BoundedQueue"));
+    }
+
+    #[test]
+    fn cache_round_trips_losslessly() {
+        let src = "struct S { a: Mutex<u32> }\n\
+impl S {\n\
+    fn f(&self, xs: &[f32]) -> f32 {\n\
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());\n\
+        let n = g.checked_add(1);\n\
+        let q = *xs.first().unwrap_or(&0.0) as i8;\n\
+        xs.iter().map(|v| v * v).sum::<f32>() + f64::from(q) as f32\n\
+    }\n\
+}\n";
+        let fi = idx(src);
+        let mut ws = WorkspaceIndex::default();
+        ws.files.insert("crates/demo/src/lib.rs".to_string(), fi);
+        let text = to_cache_string(&ws);
+        let back = from_cache_string(&text).expect("parse");
+        assert_eq!(ws, back);
+    }
+
+    #[test]
+    fn corrupt_cache_is_rejected() {
+        assert!(from_cache_string("g4check-index 999\n").is_none());
+        assert!(from_cache_string("g4check-index 1\nf a 00").is_none());
+        assert!(from_cache_string("garbage").is_none());
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Vec::<u32>::new().pop().unwrap(); }\n}\nfn lib() {}\n";
+        let fi = idx(src);
+        assert!(fi.fns[0].is_test);
+        assert!(!fi.fns[1].is_test);
+    }
+}

@@ -20,6 +20,12 @@
 //! | `format-registry` | every `BinWriter` kind/version written in source appears in tensor's `FORMATS` table and the README spec table; every `BinReader` site accepts the registered versions of the kind it reads |
 //! | `bad-annotation` | every `g4check: allow(...)` names a real rule |
 //!
+//! Four further rules — `lock-discipline`, `cast-truncation`,
+//! `float-determinism`, and `panic-path` — share this module's
+//! [`Rule`]/[`Violation`] vocabulary but run as *graph* rules over the
+//! cross-file symbol index; see [`crate::rules`] and the workspace
+//! `RULES.md` for their semantics.
+//!
 //! Intentional exceptions are annotated in-source:
 //!
 //! ```text
@@ -57,6 +63,20 @@ pub enum Rule {
     /// A malformed `g4check: allow(...)` annotation or one naming an
     /// unknown rule.
     BadAnnotation,
+    /// Lock-order inversion across functions, or a blocking call
+    /// (I/O, `recv`, condvar waits, `BoundedQueue` push/pop, `publish`)
+    /// while a `Mutex` guard is live. Graph lint over the symbol index.
+    LockDiscipline,
+    /// A narrowing `as` cast on the int8 quantization / serialization
+    /// paths without a proven-range annotation. Graph lint.
+    CastTruncation,
+    /// A float reduction (`sum`, `product`, float `fold`, split
+    /// accumulators) in a bit-identity-critical module outside the
+    /// deterministic-kernel registry. Graph lint.
+    FloatDeterminism,
+    /// An unannotated panic site reachable from a CLI subcommand or
+    /// serve worker entry point via the call graph. Graph lint.
+    PanicPath,
 }
 
 impl Rule {
@@ -69,6 +89,10 @@ impl Rule {
             Rule::WallclockInTest => "wallclock-in-test",
             Rule::FormatRegistry => "format-registry",
             Rule::BadAnnotation => "bad-annotation",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::CastTruncation => "cast-truncation",
+            Rule::FloatDeterminism => "float-determinism",
+            Rule::PanicPath => "panic-path",
         }
     }
 
@@ -81,6 +105,10 @@ impl Rule {
             Rule::WallclockInTest,
             Rule::FormatRegistry,
             Rule::BadAnnotation,
+            Rule::LockDiscipline,
+            Rule::CastTruncation,
+            Rule::FloatDeterminism,
+            Rule::PanicPath,
         ]
     }
 
@@ -201,7 +229,7 @@ pub fn run_lint(config: &LintConfig) -> Result<LintReport, String> {
 
 /// How a file participates in the rules, decided from its relative path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FileKind {
+pub(crate) enum FileKind {
     /// Library source: `src/**` or `crates/<c>/src/**` (minus `src/bin`).
     Library,
     /// Binary / example / bench source: panics are the caller's UX.
@@ -210,7 +238,7 @@ enum FileKind {
     TestFile,
 }
 
-fn classify(rel: &Path) -> Option<FileKind> {
+pub(crate) fn classify(rel: &Path) -> Option<FileKind> {
     let s = rel.to_string_lossy().replace('\\', "/");
     if s.starts_with("target/") || s.starts_with("crates/vendor/") {
         return None; // out of scope entirely
@@ -232,7 +260,11 @@ fn classify(rel: &Path) -> Option<FileKind> {
     Some(FileKind::BinaryLike)
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+pub(crate) fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
     for entry in entries {
@@ -258,23 +290,23 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(
 
 /// One source line, split into the views the rules scan.
 #[derive(Debug, Default, Clone)]
-struct StrippedLine {
+pub(crate) struct StrippedLine {
     /// Code with comments *and* string/char literal contents blanked —
     /// the view token rules scan, so a rule name inside an error message
     /// can never fire.
-    code: String,
+    pub(crate) code: String,
     /// Code with comments blanked but string literals kept — the view
     /// the format-registry scan uses, so literal kind tags resolve.
-    with_str: String,
+    pub(crate) with_str: String,
     /// Concatenated comment text on the line — where allow annotations
     /// live.
-    comment: String,
+    pub(crate) comment: String,
 }
 
 /// Strips `src` into per-line views. Handles `//` and nested `/* */`
 /// comments, plain/raw/byte string literals, and char literals
 /// (distinguished from lifetimes by lookahead).
-fn strip_source(src: &str) -> Vec<StrippedLine> {
+pub(crate) fn strip_source(src: &str) -> Vec<StrippedLine> {
     #[derive(PartialEq)]
     enum Mode {
         Code,
@@ -459,7 +491,7 @@ fn closes_raw(chars: &[char], i: usize, n: u32) -> bool {
 
 /// Whether `code` contains `token` as a whole word (not part of a longer
 /// identifier).
-fn contains_token(code: &str, token: &str) -> bool {
+pub(crate) fn contains_token(code: &str, token: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {
         let at = start + pos;
@@ -482,11 +514,15 @@ fn contains_token(code: &str, token: &str) -> bool {
 }
 
 /// Per-line allow set: rule names suppressed on that line.
-type Allows = BTreeMap<usize, Vec<Rule>>;
+pub(crate) type Allows = BTreeMap<usize, Vec<Rule>>;
 
 /// Parses `g4check: allow(rule, ...)` annotations out of comment text.
 /// An annotation applies to its own line and the next line.
-fn parse_allows(lines: &[StrippedLine], path: &Path, violations: &mut Vec<Violation>) -> Allows {
+pub(crate) fn parse_allows(
+    lines: &[StrippedLine],
+    path: &Path,
+    violations: &mut Vec<Violation>,
+) -> Allows {
     let mut allows = Allows::new();
     for (idx, line) in lines.iter().enumerate() {
         let comment = line.comment.trim();
@@ -531,7 +567,7 @@ fn parse_allows(lines: &[StrippedLine], path: &Path, violations: &mut Vec<Violat
     allows
 }
 
-fn allowed(allows: &Allows, line_idx: usize, rule: Rule) -> bool {
+pub(crate) fn allowed(allows: &Allows, line_idx: usize, rule: Rule) -> bool {
     allows
         .get(&line_idx)
         .is_some_and(|rules| rules.contains(&rule))
@@ -539,7 +575,7 @@ fn allowed(allows: &Allows, line_idx: usize, rule: Rule) -> bool {
 
 /// Marks each line that sits inside a `#[cfg(test)]` block, tracked by
 /// brace depth.
-fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[StrippedLine]) -> Vec<bool> {
     let mut in_test = vec![false; lines.len()];
     let mut depth: i64 = 0;
     let mut pending = false;

@@ -1,0 +1,159 @@
+//! The `lock-discipline` graph rule.
+//!
+//! Three findings, all driven by the per-call `held` guard sets the
+//! indexer records and the transitive properties the graph computes:
+//!
+//! 1. **Blocking under a lock** — a call made while a guard is live
+//!    that directly blocks (condvar wait, channel `recv`, line I/O, a
+//!    blocking macro) or resolves to a workspace fn that transitively
+//!    blocks or reaches a `NEVER_UNDER_LOCK` target (`BoundedQueue`
+//!    push/pop, `PublicationSlot::publish`). The condvar handoff idiom
+//!    (`self.wait(&cond, guard)`) is exempt by construction: the moved
+//!    guard is subtracted from the held set before the check.
+//! 2. **Re-entrant acquisition** — acquiring a lock id already held,
+//!    directly or through a callee, which deadlocks a non-reentrant
+//!    `Mutex`.
+//! 3. **Lock-order inversion** — two lock ids acquired in both orders
+//!    anywhere in the workspace (one witness per order, both cited).
+//!
+//! Test fns are out of scope; binaries and examples are in scope — a
+//! deadlock in demo code is still a deadlock.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::graph::{SymbolGraph, BLOCKING_MACROS, BLOCKING_METHODS};
+use crate::index::WorkspaceIndex;
+use crate::lint::{Rule, Violation};
+
+/// A witness for one ordered acquisition (held → acquired).
+struct Witness {
+    path: String,
+    line: u32,
+    fn_display: String,
+}
+
+/// Runs the rule over the whole graph.
+pub fn check(index: &WorkspaceIndex, graph: &SymbolGraph<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut pairs: BTreeMap<(String, String), Witness> = BTreeMap::new();
+
+    for (i, (path, f)) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = index.files.get(*path);
+        let allowed =
+            |line: u32| file.is_some_and(|fi| fi.allowed(line, Rule::LockDiscipline.name()));
+        let mut flagged_lines: Vec<u32> = Vec::new();
+
+        for (ci, call) in f.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            // 1. blocking under a lock — direct name / macro check
+            let direct_block = (call.method && BLOCKING_METHODS.contains(&call.callee.as_str()))
+                || (BLOCKING_MACROS.contains(&call.callee.as_str()) && f.name != "fmt");
+            let mut reason =
+                direct_block.then(|| format!("`{}` blocks the calling thread", call.callee));
+            // ... or via a resolved workspace callee
+            if reason.is_none() {
+                for &(cj, crate::graph::FnId(j)) in &graph.call_edges[i] {
+                    if cj != ci {
+                        continue;
+                    }
+                    if let Some(h) = graph.hazard(j) {
+                        reason = Some(format!("`{}` {h}", graph.fns[j].1.display()));
+                        break;
+                    }
+                }
+            }
+            if let Some(why) = reason {
+                if !allowed(call.line) && !flagged_lines.contains(&call.line) {
+                    flagged_lines.push(call.line);
+                    violations.push(Violation {
+                        rule: Rule::LockDiscipline,
+                        path: PathBuf::from(path),
+                        line: call.line as usize,
+                        message: format!(
+                            "{} called while holding {} in `{}`: {why}; release the guard \
+                             first or annotate with a justification",
+                            call.callee,
+                            held_list(&call.held),
+                            f.display(),
+                        ),
+                    });
+                }
+            }
+
+            // 2 & 3. acquisition ordering — direct and through callees
+            let mut acquired_here: Vec<String> = call.acquired.clone();
+            for &(cj, crate::graph::FnId(j)) in &graph.call_edges[i] {
+                if cj == ci {
+                    acquired_here.extend(graph.acquires[j].iter().cloned());
+                }
+            }
+            acquired_here.sort();
+            acquired_here.dedup();
+            for a in &acquired_here {
+                for h in &call.held {
+                    if a == h {
+                        if !allowed(call.line) && !flagged_lines.contains(&call.line) {
+                            flagged_lines.push(call.line);
+                            violations.push(Violation {
+                                rule: Rule::LockDiscipline,
+                                path: PathBuf::from(path),
+                                line: call.line as usize,
+                                message: format!(
+                                    "re-acquisition of `{a}` while already held in `{}` — a \
+                                     non-reentrant Mutex deadlocks here",
+                                    f.display(),
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    pairs
+                        .entry((h.clone(), a.clone()))
+                        .or_insert_with(|| Witness {
+                            path: (*path).to_string(),
+                            line: call.line,
+                            fn_display: f.display(),
+                        });
+                }
+            }
+        }
+    }
+
+    // 3. inversions: both orders witnessed
+    for ((l, m), w) in &pairs {
+        if l >= m {
+            continue; // report each unordered pair once, from its lexically-first order
+        }
+        if let Some(rev) = pairs.get(&(m.clone(), l.clone())) {
+            let fi = index.files.get(w.path.as_str());
+            if fi.is_some_and(|f| f.allowed(w.line, Rule::LockDiscipline.name())) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: Rule::LockDiscipline,
+                path: PathBuf::from(&w.path),
+                line: w.line as usize,
+                message: format!(
+                    "lock-order inversion: `{l}` then `{m}` here (in `{}`), but `{m}` then \
+                     `{l}` at {}:{} (in `{}`) — pick one order",
+                    w.fn_display, rev.path, rev.line, rev.fn_display,
+                ),
+            });
+        }
+    }
+
+    violations
+}
+
+fn held_list(held: &[String]) -> String {
+    held.iter()
+        .map(|h| format!("`{h}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

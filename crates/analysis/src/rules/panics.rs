@@ -1,0 +1,83 @@
+//! The `panic-path` graph rule.
+//!
+//! A panic reachable from a CLI subcommand or a serve worker is a
+//! denial-of-service bug wearing a stack trace: one malformed request
+//! or file takes the whole process down. This rule walks the call graph
+//! from every entry point — each non-test fn defined in a `bin` source
+//! file plus the serve-loop entry fns — and reports every reachable
+//! panic site (`panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//! `.unwrap()`, `.expect(`) that is not accounted for:
+//!
+//! - fns documenting their contract with a `# Panics` section are
+//!   exempt (the panic is the API, callers were warned);
+//! - sites annotated `// g4check: allow(panic-path): reason` (or the
+//!   pre-existing `unwrap-in-lib` allow) are exempt;
+//! - test fns are out of scope.
+//!
+//! Each finding cites a concrete call chain from the entry point so
+//! the fix site is obvious.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::graph::SymbolGraph;
+use crate::index::WorkspaceIndex;
+use crate::lint::{Rule, Violation};
+
+/// Entry points that are not in a `bin` file: (file, fn display name).
+pub const EXTRA_ENTRY_POINTS: &[(&str, &str)] = &[("crates/core/src/service.rs", "run_service")];
+
+/// Whether a workspace-relative path is a binary source file.
+fn is_bin_path(path: &str) -> bool {
+    path.split('/').any(|part| part == "bin") || path.ends_with("src/main.rs")
+}
+
+/// Runs the rule over the whole graph.
+pub fn check(index: &WorkspaceIndex, graph: &SymbolGraph<'_>) -> Vec<Violation> {
+    let mut entries = Vec::new();
+    for (i, (path, f)) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        if is_bin_path(path) || EXTRA_ENTRY_POINTS.contains(&(*path, f.display().as_str())) {
+            entries.push(i);
+        }
+    }
+    let parent = graph.reach(&entries);
+
+    // Dedupe by site: many entry points typically reach the same panic,
+    // and one report per site is what a human fixes.
+    let mut seen: BTreeMap<(String, u32), ()> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for &i in parent.keys() {
+        let (path, f) = graph.fns[i];
+        if f.is_test || f.doc_panics {
+            continue;
+        }
+        let Some(fi) = index.files.get(path) else {
+            continue;
+        };
+        for p in &f.panics {
+            if fi.allowed(p.line, Rule::PanicPath.name())
+                || fi.allowed(p.line, "unwrap-in-lib")
+                || seen.contains_key(&(path.to_string(), p.line))
+            {
+                continue;
+            }
+            seen.insert((path.to_string(), p.line), ());
+            violations.push(Violation {
+                rule: Rule::PanicPath,
+                path: PathBuf::from(path),
+                line: p.line as usize,
+                message: format!(
+                    "`{}` in `{}` is reachable from an entry point via {}; return an error, \
+                     document the contract with a `# Panics` section, or annotate",
+                    p.what,
+                    f.display(),
+                    graph.path_to(&parent, i),
+                ),
+            });
+        }
+    }
+    violations
+}

@@ -5,7 +5,9 @@
 
 use std::path::{Path, PathBuf};
 
-use gnn4ip_analysis::lint::{run_lint, LintConfig, LintReport, Rule};
+use gnn4ip_analysis::build_index;
+use gnn4ip_analysis::lint::{run_lint, LintConfig, LintReport, Rule, Violation};
+use gnn4ip_analysis::rules::{run_full, run_graph_rules};
 
 /// A throwaway workspace under the OS temp dir, deleted on drop.
 struct Fixture {
@@ -52,6 +54,13 @@ impl Fixture {
             root: self.root.clone(),
         })
         .expect("fixture lint runs")
+    }
+
+    /// Runs only the phase-2 graph rules (no line lints), so graph
+    /// fixtures don't need `#![forbid(unsafe_code)]` boilerplate.
+    fn graph(&self) -> Vec<Violation> {
+        let (index, _) = build_index(&self.root, None).expect("fixture index builds");
+        run_graph_rules(&index)
     }
 }
 
@@ -382,6 +391,182 @@ fn bad_annotation_is_reported_with_line() {
     assert_single(&fx.lint(), Rule::BadAnnotation, "crates/demo/src/ann.rs", 2);
 }
 
+/// Asserts `violations` holds exactly one finding, of `rule` at
+/// `path:line`.
+fn assert_single_graph(violations: &[Violation], rule: Rule, path: &str, line: usize) {
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one graph violation, got: {violations:#?}"
+    );
+    let v = &violations[0];
+    assert_eq!(v.rule, rule, "wrong rule: {v}");
+    assert_eq!(v.path, Path::new(path), "wrong path: {v}");
+    assert_eq!(v.line, line, "wrong line: {v}");
+}
+
+// ------------------------------------------------- phase-2 graph rules
+
+#[test]
+fn lock_order_inversion_is_reported() {
+    let fx = Fixture::with(
+        "lock-inversion",
+        &[(
+            "crates/demo/src/svc.rs",
+            "use std::sync::Mutex;\n\
+             pub struct Svc { state: Mutex<u64>, log: Mutex<u64> }\n\
+             impl Svc {\n\
+             \x20   pub fn ab(&self) {\n\
+             \x20       let _a = self.state.lock().unwrap();\n\
+             \x20       let _b = self.log.lock().unwrap();\n\
+             \x20   }\n\
+             \x20   pub fn ba(&self) {\n\
+             \x20       let _b = self.log.lock().unwrap();\n\
+             \x20       let _a = self.state.lock().unwrap();\n\
+             \x20   }\n\
+             }\n",
+        )],
+    );
+    let report = fx.graph();
+    assert_single_graph(&report, Rule::LockDiscipline, "crates/demo/src/svc.rs", 10);
+    assert!(
+        report[0].message.contains("lock-order inversion"),
+        "{}",
+        report[0]
+    );
+}
+
+#[test]
+fn blocking_call_under_lock_is_reported() {
+    let fx = Fixture::with(
+        "lock-blocking",
+        &[(
+            "crates/demo/src/svc.rs",
+            "use std::sync::{mpsc::Receiver, Mutex};\n\
+             pub struct Svc { state: Mutex<u64> }\n\
+             impl Svc {\n\
+             \x20   pub fn drain(&self, rx: &Receiver<u64>) {\n\
+             \x20       let mut g = self.state.lock().unwrap();\n\
+             \x20       *g += rx.recv().unwrap_or(0);\n\
+             \x20   }\n\
+             }\n",
+        )],
+    );
+    let report = fx.graph();
+    assert_single_graph(&report, Rule::LockDiscipline, "crates/demo/src/svc.rs", 6);
+    assert!(
+        report[0].message.contains("blocks the calling thread"),
+        "{}",
+        report[0]
+    );
+}
+
+#[test]
+fn unproven_narrowing_cast_on_quant_path_is_reported() {
+    let fx = Fixture::with(
+        "cast-quant",
+        &[(
+            "crates/tensor/src/quant.rs",
+            "pub fn quantize(v: f32, scale: f32) -> i8 {\n\
+             \x20   (v / scale).round() as i8\n\
+             }\n",
+        )],
+    );
+    assert_single_graph(
+        &fx.graph(),
+        Rule::CastTruncation,
+        "crates/tensor/src/quant.rs",
+        2,
+    );
+}
+
+#[test]
+fn clamped_cast_on_quant_path_is_fine() {
+    let fx = Fixture::with(
+        "cast-clamped",
+        &[(
+            "crates/tensor/src/quant.rs",
+            "pub fn quantize(v: f32, scale: f32) -> i8 {\n\
+             \x20   (v / scale).round().clamp(-127.0, 127.0) as i8\n\
+             }\n",
+        )],
+    );
+    let report = fx.graph();
+    assert!(report.is_empty(), "{report:#?}");
+}
+
+#[test]
+fn unregistered_float_reduction_is_reported() {
+    let fx = Fixture::with(
+        "floatdet",
+        &[(
+            "crates/eval/src/manifest.rs",
+            "pub fn checksum(xs: &[f32]) -> f32 {\n\
+             \x20   xs.iter().sum()\n\
+             }\n",
+        )],
+    );
+    let report = fx.graph();
+    assert_single_graph(
+        &report,
+        Rule::FloatDeterminism,
+        "crates/eval/src/manifest.rs",
+        2,
+    );
+    assert!(
+        report[0].message.contains("DETERMINISM_KERNELS"),
+        "{}",
+        report[0]
+    );
+}
+
+#[test]
+fn panic_reachable_from_a_bin_entry_is_reported() {
+    let fx = Fixture::with(
+        "panic-bin",
+        &[
+            (
+                "crates/demo/src/bin/tool.rs",
+                "fn main() {\n\
+                 \x20   let v = parse(\"7\");\n\
+                 \x20   drop(v);\n\
+                 }\n",
+            ),
+            (
+                "crates/demo/src/parse_util.rs",
+                "pub fn parse(s: &str) -> u64 {\n\
+                 \x20   s.parse().unwrap()\n\
+                 }\n",
+            ),
+        ],
+    );
+    let report = fx.graph();
+    assert_single_graph(&report, Rule::PanicPath, "crates/demo/src/parse_util.rs", 2);
+    assert!(report[0].message.contains("main → parse"), "{}", report[0]);
+}
+
+#[test]
+fn documented_panic_contract_is_exempt() {
+    let fx = Fixture::with(
+        "panic-documented",
+        &[(
+            "crates/demo/src/bin/tool.rs",
+            "fn main() {\n\
+             \x20   let v = parse(\"7\");\n\
+             \x20   drop(v);\n\
+             }\n\
+             /// # Panics\n\
+             ///\n\
+             /// Panics on malformed input.\n\
+             fn parse(s: &str) -> u64 {\n\
+             \x20   s.parse().unwrap()\n\
+             }\n",
+        )],
+    );
+    let report = fx.graph();
+    assert!(report.is_empty(), "{report:#?}");
+}
+
 /// The gate the CI stage depends on: the live workspace this test runs
 /// inside must lint clean. A violation here is a real finding in the
 /// repo — fix the code (or annotate with a justification), do not touch
@@ -408,5 +593,34 @@ fn live_workspace_is_clean() {
         report.files_scanned > 50,
         "suspiciously few files scanned ({}) — did the walker break?",
         report.files_scanned
+    );
+}
+
+/// Same gate, phase 2: the live workspace must be clean under every
+/// graph rule (lock discipline, cast truncation, float determinism,
+/// panic reachability). Runs without a cache so the result cannot be
+/// stale.
+#[test]
+fn live_workspace_graph_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels under the root")
+        .to_path_buf();
+    let report = run_full(&LintConfig { root }, None).expect("workspace analysis runs");
+    assert!(
+        report.is_clean(),
+        "live workspace has analysis violations:\n{}",
+        report
+            .all_violations()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_indexed > 50,
+        "suspiciously few files indexed ({}) — did the indexer break?",
+        report.files_indexed
     );
 }

@@ -155,6 +155,12 @@ fn main() {
 
 // ------------------------------------------------------------- Table I
 
+/// Reproduces Table I: RTL vs netlist IP-piracy detection.
+///
+/// # Panics
+///
+/// Panics when corpus generation fails — in a repro harness a partial
+/// table is worse than no table.
 fn table1(scale: Scale) -> (ExperimentOutcome, ExperimentOutcome) {
     eprintln!("[table1] building RTL corpus ...");
     let rtl_corpus = Corpus::build(&scale.rtl_spec()).expect("RTL corpus");
@@ -258,6 +264,12 @@ fn print_rates(rtl: &ExperimentOutcome, net: &ExperimentOutcome) {
 
 // ------------------------------------------------------------ Fig. 4b/4c
 
+/// Reproduces Fig. 4b/4c: graph embeddings of MIPS variants.
+///
+/// # Panics
+///
+/// Panics when design generation or parsing fails — in a repro harness
+/// a partial figure is worse than no figure.
 fn fig4_embeddings(scale: Scale) -> (Vec<Vec<f32>>, Vec<usize>) {
     let per = scale.fig4_instances();
     eprintln!("[fig4] generating {per} instances each of pipeline & single-cycle MIPS ...");
@@ -364,6 +376,12 @@ fn print_fig4c(embeddings: &[Vec<f32>], labels: &[usize]) {
 
 // ------------------------------------------------------------- Table II
 
+/// Reproduces Table II: per-family RTL detection breakdown.
+///
+/// # Panics
+///
+/// Panics when corpus generation fails — in a repro harness a partial
+/// table is worse than no table.
 fn table2(scale: Scale) {
     eprintln!("[table2] training an RTL detector ...");
     let corpus = Corpus::build(&scale.rtl_spec()).expect("corpus");
@@ -479,6 +497,12 @@ fn table2(scale: Scale) {
 
 // ------------------------------------------------------------ Table III
 
+/// Reproduces Table III: per-family netlist detection breakdown.
+///
+/// # Panics
+///
+/// Panics when corpus generation fails — in a repro harness a partial
+/// table is worse than no table.
 fn table3(scale: Scale) {
     eprintln!("[table3] training a netlist detector ...");
     let corpus = Corpus::build(&scale.netlist_spec()).expect("corpus");

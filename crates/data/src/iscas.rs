@@ -64,6 +64,11 @@ impl GateEmitter {
     }
 
     /// XOR tree over many inputs into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ins` is empty — every call site supplies at least
+    /// one input wire.
     fn xor_tree(&mut self, out: &str, ins: &[String]) {
         match ins.len() {
             0 => panic!("empty xor tree"),

@@ -32,8 +32,8 @@ mod tsne;
 pub use confusion::ConfusionMatrix;
 pub use index::{EmbeddingIndex, QueryHit};
 pub use manifest::{
-    shard_file_name, CheckpointReport, ManifestError, CORPUS_MANIFEST_KIND, CORPUS_SHARD_KIND,
-    MANIFEST_FILE,
+    gc_checkpoint_dir, shard_file_name, CheckpointReport, GcReport, ManifestError,
+    CORPUS_MANIFEST_KIND, CORPUS_SHARD_KIND, MANIFEST_FILE,
 };
 pub use pca::{cluster_separation, pca, PcaProjection};
 pub use retrieval::retrieval_precision_at_k;

@@ -158,7 +158,9 @@ fn shard_bytes(shard: &SealedShard, dim: usize) -> Vec<u8> {
         RowBlock::Int8 { q, params, .. } => {
             w.u8(1);
             w.f32(params.scale);
+            // g4check: allow(cast-truncation): i8→u8 reinterprets the bit pattern, round-trips
             w.u8(params.zero_point as u8);
+            // g4check: allow(cast-truncation): i8→u8 reinterprets the bit pattern, round-trips
             let codes: Vec<u8> = q.iter().map(|&c| c as u8).collect();
             w.bytes(&codes);
         }
@@ -220,6 +222,7 @@ fn parse_shard(
             if !(scale.is_finite() && scale > 0.0) {
                 return Err(fmt(format!("implausible quantization scale {scale}")));
             }
+            // g4check: allow(cast-truncation): u8→i8 inverts the writer's bit-pattern cast
             let zero_point = r.u8().map_err(fmt)? as i8;
             let codes = r.bytes().map_err(fmt)?;
             if codes.len() != rows * dim {
@@ -229,6 +232,7 @@ fn parse_shard(
                     rows * dim
                 )));
             }
+            // g4check: allow(cast-truncation): u8→i8 inverts the writer's bit-pattern cast
             let q: Vec<i8> = codes.iter().map(|&b| b as i8).collect();
             (Vec::new(), Some((q, QuantParams { scale, zero_point })))
         }
@@ -424,10 +428,99 @@ impl ShardedEmbeddingIndex {
     }
 }
 
+/// What [`gc_checkpoint_dir`] found (and, unless dry-run, removed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Manifest-referenced shard files present in the directory.
+    pub live: usize,
+    /// Shard files no manifest entry references, sorted by name. In a
+    /// dry run these are what *would* be removed; otherwise they were.
+    pub orphans: Vec<String>,
+    /// Total size of the orphaned files.
+    pub orphan_bytes: u64,
+    /// True when nothing was deleted.
+    pub dry_run: bool,
+}
+
+/// Removes orphaned `shard-*.g4s` files from a checkpoint directory.
+///
+/// Checkpoints are content-addressed and append-only: a rebalance (or
+/// any reshard) writes new shard files and a new manifest, but the old
+/// generation's shard files stay behind forever. This walks `dir`,
+/// parses the manifest's live content-id list (without pin validation —
+/// garbage is garbage whichever weights wrote it), and deletes every
+/// well-formed shard file whose id the manifest no longer references.
+/// Files that don't match the `shard-<16 hex>.g4s` pattern are never
+/// touched. With `dry_run` the report lists the orphans and nothing is
+/// deleted.
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] on filesystem failures, [`ManifestError::Format`]
+/// when the manifest is unreadable — in both cases nothing is deleted.
+pub fn gc_checkpoint_dir(dir: impl AsRef<Path>, dry_run: bool) -> Result<GcReport, ManifestError> {
+    let dir = dir.as_ref();
+    let manifest_bytes = read_artifact(&dir.join(MANIFEST_FILE)).map_err(ManifestError::Io)?;
+    let mfmt = |e: String| ManifestError::Format(format!("{MANIFEST_FILE}: {e}"));
+    let mut r = BinReader::open_versioned(&manifest_bytes, CORPUS_MANIFEST_KIND, CORPUS_VERSION)
+        .map_err(mfmt)?;
+    r.u64().map_err(mfmt)?; // pinned checksum — irrelevant to GC
+    r.len_of().map_err(mfmt)?; // dim
+    r.len_of().map_err(mfmt)?; // shard capacity
+    r.u8().map_err(mfmt)?; // storage tag
+    let n_sealed = r.count_of(8).map_err(mfmt)?;
+    let mut live_ids = Vec::with_capacity(n_sealed);
+    for _ in 0..n_sealed {
+        live_ids.push(r.u64().map_err(mfmt)?);
+    }
+
+    let mut report = GcReport {
+        dry_run,
+        ..GcReport::default()
+    };
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ManifestError::Io(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ManifestError::Io(format!("reading dir entry: {e}")))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id) = parse_shard_file_name(name) else {
+            continue;
+        };
+        if live_ids.contains(&id) {
+            report.live += 1;
+            continue;
+        }
+        report.orphan_bytes += entry
+            .metadata()
+            .map_err(|e| ManifestError::Io(format!("stat {name}: {e}")))?
+            .len();
+        report.orphans.push(name.to_string());
+    }
+    report.orphans.sort();
+    if !dry_run {
+        for name in &report.orphans {
+            std::fs::remove_file(dir.join(name))
+                .map_err(|e| ManifestError::Io(format!("removing {name}: {e}")))?;
+        }
+    }
+    Ok(report)
+}
+
+/// Inverts [`shard_file_name`]: the content id of a well-formed
+/// `shard-<16 hex>.g4s` name, or `None` for anything else.
+fn parse_shard_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("shard-")?.strip_suffix(".g4s")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::QueryOptions;
+    use crate::{QueryOptions, RebalanceOptions};
 
     fn synthetic_index(storage: ShardStorage, rows: usize) -> ShardedEmbeddingIndex {
         let dim = 6;
@@ -476,6 +569,56 @@ mod tests {
         assert!(second.shards_written >= 1);
         let loaded = ShardedEmbeddingIndex::load_dir(&dir, 1).unwrap();
         assert_eq!(loaded, index);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_rebalance_orphans_and_honors_dry_run() {
+        let mut index = synthetic_index(ShardStorage::F32, 25);
+        let dir = tmp_dir("gc-rebalance");
+        index.checkpoint_dir(&dir, 3).unwrap();
+
+        // a rebalance regroups rows into fresh content-addressed shards;
+        // checkpointing again strands the first generation's files
+        index.rebalance(&RebalanceOptions::default());
+        index.checkpoint_dir(&dir, 3).unwrap();
+
+        let dry = gc_checkpoint_dir(&dir, true).unwrap();
+        assert!(dry.dry_run);
+        assert!(!dry.orphans.is_empty(), "rebalance left no orphans?");
+        assert!(dry.orphan_bytes > 0);
+        for name in &dry.orphans {
+            assert!(dir.join(name).exists(), "dry run must not delete {name}");
+        }
+
+        let real = gc_checkpoint_dir(&dir, false).unwrap();
+        assert_eq!(real.orphans, dry.orphans);
+        assert_eq!(real.orphan_bytes, dry.orphan_bytes);
+        for name in &real.orphans {
+            assert!(!dir.join(name).exists(), "{name} should be gone");
+        }
+
+        // the live checkpoint survives the sweep, and a second GC is a no-op
+        let loaded = ShardedEmbeddingIndex::load_dir(&dir, 3).unwrap();
+        assert_eq!(loaded, index);
+        let again = gc_checkpoint_dir(&dir, false).unwrap();
+        assert!(again.orphans.is_empty());
+        assert_eq!(again.live, index.num_sealed_shards());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_ignores_unrelated_files_and_bad_names() {
+        let index = synthetic_index(ShardStorage::Int8, 13);
+        let dir = tmp_dir("gc-ignores");
+        index.checkpoint_dir(&dir, 9).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        std::fs::write(dir.join("shard-zz.g4s"), b"not a shard name").unwrap();
+        let report = gc_checkpoint_dir(&dir, false).unwrap();
+        assert!(report.orphans.is_empty(), "{report:?}");
+        assert_eq!(report.live, index.num_sealed_shards());
+        assert!(dir.join("notes.txt").exists());
+        assert!(dir.join("shard-zz.g4s").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -288,8 +288,10 @@ fn content_id_of(rows: &RowBlock, labels: &[usize]) -> u64 {
         RowBlock::Int8 { q, params, .. } => {
             h.update(&[1u8]);
             h.update(&params.scale.to_bits().to_le_bytes());
+            // g4check: allow(cast-truncation): i8→u8 reinterprets the bit pattern, round-trips
             h.update(&[params.zero_point as u8]);
             for &c in q {
+                // g4check: allow(cast-truncation): i8→u8 reinterprets the bit pattern, round-trips
                 h.update(&[c as u8]);
             }
         }

@@ -101,6 +101,7 @@ impl Parser {
         match self.peek() {
             Some(Token::Ident(_)) => match self.bump() {
                 Some(Token::Ident(n)) => Ok(n),
+                // g4check: allow(panic-path): peek just confirmed an identifier is next
                 _ => unreachable!("peeked identifier"),
             },
             _ => Err(self.unexpected("identifier")),
@@ -299,6 +300,7 @@ impl Parser {
                     Keyword::GateXnor => GateKind::Xnor,
                     Keyword::GateNot => GateKind::Not,
                     Keyword::GateBuf => GateKind::Buf,
+                    // g4check: allow(panic-path): the match arm admits only gate keywords
                     _ => unreachable!("matched gate keyword"),
                 };
                 self.bump();

@@ -8,6 +8,7 @@
 //! gnn4ip serve [--index corpus.g4a] [--socket PATH] [--workers N]
 //!              [--queue-capacity N] [--max-batch N] [--model detector.bin]
 //! gnn4ip inspect FILE...
+//! gnn4ip gc CHECKPOINT_DIR [--dry-run]
 //! ```
 //!
 //! `PATH` arguments accept files and directories; directories are walked
@@ -75,7 +76,7 @@ fn positional(args: &[String]) -> Vec<&str> {
         }
         if a.starts_with("--") {
             // flags with values; bare switches listed here
-            skip = !matches!(a.as_str(), "--netlist" | "--check");
+            skip = !matches!(a.as_str(), "--netlist" | "--check" | "--dry-run");
             let _ = i;
             continue;
         }
@@ -168,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "audit" => audit(rest),
         "serve" => serve(rest),
         "inspect" => inspect(rest),
+        "gc" => gc(rest),
         _ => {
             println!(
                 "gnn4ip — hardware IP piracy detection (GNN4IP, DAC 2021 reproduction)\n\n\
@@ -176,7 +178,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  gnn4ip audit PATH... --index corpus.g4a [--model detector.bin]\n  \
                  gnn4ip serve [--index corpus.g4a] [--socket PATH] [--workers N]\n  \
                  \x20            [--queue-capacity N] [--max-batch N] [--model detector.bin]\n  \
-                 gnn4ip inspect FILE...\n\n\
+                 gnn4ip inspect FILE...\n  \
+                 gnn4ip gc CHECKPOINT_DIR [--dry-run]\n\n\
                  pairwise workflow:\n  \
                  gnn4ip train --out detector.txt [--netlist] [--designs N] [--instances K] [--epochs E]\n  \
                  gnn4ip check A.v B.v [--model detector.txt] [--top1 NAME] [--top2 NAME]\n  \
@@ -359,6 +362,35 @@ fn serve_socket(
     _path: &str,
 ) -> Result<(), String> {
     Err("--socket requires a Unix platform; use stdin/stdout mode".to_string())
+}
+
+/// `gnn4ip gc CHECKPOINT_DIR [--dry-run]` — sweep orphaned shard files.
+fn gc(args: &[String]) -> Result<(), String> {
+    let dirs = positional(args);
+    let [dir] = dirs.as_slice() else {
+        return Err("gc needs exactly one checkpoint directory".to_string());
+    };
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let report = gnn4ip::eval::gc_checkpoint_dir(dir, dry_run).map_err(|e| e.to_string())?;
+    for name in &report.orphans {
+        println!(
+            "{} {name}",
+            if dry_run { "would remove" } else { "removed" }
+        );
+    }
+    println!(
+        "{}: {} live shard file(s), {} orphan(s), {} byte(s){}",
+        dir,
+        report.live,
+        report.orphans.len(),
+        report.orphan_bytes,
+        if dry_run {
+            " reclaimable (dry run)"
+        } else {
+            " reclaimed"
+        },
+    );
+    Ok(())
 }
 
 fn inspect(args: &[String]) -> Result<(), String> {
