@@ -86,8 +86,9 @@ stage_corpus() {
 
 stage_analysis() {
     # g4check: line lints, the cross-file graph rules (lock discipline,
-    # cast truncation, float determinism, panic reachability — see
-    # RULES.md), and the loom-lite exhaustive interleaving checks. The
+    # cast truncation, float determinism, panic reachability, and the
+    # interprocedural taint rules — see RULES.md), and the loom-lite
+    # exhaustive interleaving checks. The
     # scan covers src/, examples/, tests/, and benches/ alike. The JSON
     # report is kept as a build artifact; exit code 1 means findings,
     # anything else from the binary is an infrastructure failure.

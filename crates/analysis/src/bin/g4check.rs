@@ -8,15 +8,19 @@
 //!   per-line workspace conventions (see `gnn4ip_analysis::lint::Rule`).
 //! - `graph` builds the workspace symbol index (incrementally, cached
 //!   under `target/g4check/`) and runs the cross-file dataflow rules:
-//!   lock discipline, cast truncation, float determinism, and panic
-//!   reachability.
+//!   lock discipline, cast truncation, float determinism, panic
+//!   reachability, and the interprocedural taint rules
+//!   (`untrusted-alloc`, `len-overflow`, `error-swallow`).
 //! - `sched` exhaustively explores the bounded interleavings of the
 //!   `PublicationSlot` and `BoundedQueue` models and re-confirms the
 //!   checker catches each one's seeded bug.
 //! - `all` (the default) runs everything.
 //!
 //! `--json` writes a machine-readable report to stdout (human output
-//! moves to stderr); `--no-cache` forces a full re-index.
+//! moves to stderr); `--no-cache` forces a full re-index. The JSON
+//! report carries a `schema_version` and is byte-identical across runs
+//! over an unchanged workspace: violations sort by (path, line, rule)
+//! and nothing time- or machine-dependent is emitted.
 //!
 //! Exit codes, relied on by `ci.sh --stage analysis`:
 //!
@@ -38,6 +42,12 @@ use gnn4ip_analysis::rules::run_full;
 const EXIT_VIOLATIONS: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_INTERNAL: u8 = 3;
+
+/// Version of the `--json` report shape. Consumers pin on this; bump it
+/// whenever a key is added, removed, or changes meaning. The report is
+/// deterministic for a given workspace: violations are sorted by
+/// (path, line, rule) and no timestamps or absolute paths appear.
+const JSON_SCHEMA_VERSION: u32 = 1;
 
 fn usage() -> &'static str {
     "usage: g4check [--root PATH] [--json] [--no-cache] [lint|graph|sched|all]"
@@ -235,6 +245,7 @@ fn render(out: &RunOutcome, root: &std::path::Path, json: bool) -> ExitCode {
 /// Hand-rolled JSON writer (the crate is dependency-free by design).
 fn to_json(out: &RunOutcome, clean: bool) -> String {
     let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema_version\": {JSON_SCHEMA_VERSION},\n"));
     s.push_str(&format!("  \"clean\": {clean},\n"));
     s.push_str(&format!(
         "  \"stages\": [{}],\n",

@@ -13,13 +13,18 @@
 //!   transitively, for lock-order-inversion pairing.
 //! - reachability from a set of entry points, with parent links so a
 //!   sample call path can be printed.
+//! - an interprocedural **taint fixpoint** ([`SymbolGraph::compute_taint`])
+//!   over the per-fn dataflow records: untrusted values from registered
+//!   source fns propagate through let/assign/arg/return edges and across
+//!   resolved call edges until stable, with registered sanitizers and
+//!   limit comparisons clearing taint.
 //!
 //! Resolution is precision-first: a method call resolves only through a
 //! known receiver type or a workspace-unique method name that is not a
 //! common std name (`push`, `len`, ...). Unresolved calls produce no
 //! edge — a missed edge costs recall, a wrong edge costs trust.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::index::{CallRecord, FnRecord, WorkspaceIndex};
 
@@ -384,6 +389,189 @@ impl<'a> SymbolGraph<'a> {
             .iter()
             .position(|(p, f)| *p == path && f.display() == display)
     }
+
+    /// Runs the interprocedural taint fixpoint over the dataflow
+    /// records and resolved call edges. Returns, per fn (parallel to
+    /// [`SymbolGraph::fns`]), the set of tainted node keys (`v:x`,
+    /// `c:k`, `a:k:p`, `r` — see [`crate::index::FlowRecord`]).
+    ///
+    /// Semantics, in the over-approximating spirit of the index:
+    ///
+    /// - A registered **source fn**'s parameters are tainted (the fn is
+    ///   the trust boundary ingesting raw bytes), and every call
+    ///   resolving to it yields a tainted result; registered external
+    ///   source callees (`read_to_string`, ...) taint their results
+    ///   too.
+    /// - Taint follows every flow edge; a call result tainted when its
+    ///   resolved callee's return is tainted, or — for unresolved
+    ///   calls — when any argument is (pass-through like `Some(x)`).
+    /// - A **sanitizer** callee's result is never tainted; a variable
+    ///   compared against a registered **limit** ident is cleared for
+    ///   its whole fn (flow-insensitive: the comparison is taken as the
+    ///   bound that the fn enforces).
+    /// - Test fns do not seed callee parameters: a test feeding crafted
+    ///   bytes into a helper is the test's business, not a finding.
+    pub fn compute_taint(&self, cfg: &TaintConfig<'_>) -> Vec<BTreeSet<String>> {
+        let n = self.fns.len();
+        // resolved targets per (fn, call index)
+        let mut targets: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); n];
+        for (tmap, edges) in targets.iter_mut().zip(&self.call_edges) {
+            for &(ci, FnId(j)) in edges {
+                tmap.entry(ci).or_default().push(j);
+            }
+        }
+        // vars cleared by a comparison against a registered limit
+        let cleared: Vec<BTreeSet<&str>> = self
+            .fns
+            .iter()
+            .map(|(_, f)| {
+                f.flows
+                    .iter()
+                    .filter_map(|d| {
+                        let lim = d.what.strip_prefix("cmp:")?;
+                        cfg.limits.contains(&lim).then_some(d.dst.as_str())
+                    })
+                    .collect()
+            })
+            .collect();
+        let is_source_fn: Vec<bool> = self
+            .fns
+            .iter()
+            .map(|(p, f)| {
+                cfg.source_fns
+                    .iter()
+                    .any(|(sp, sf)| sp == p && *sf == f.display())
+            })
+            .collect();
+
+        let mut tainted: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        for i in 0..n {
+            if is_source_fn[i] {
+                for name in &self.fns[i].1.params {
+                    if name != "_" {
+                        let node = format!("v:{name}");
+                        if !cleared[i].contains(node.as_str()) {
+                            tainted[i].insert(node);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let f = self.fns[i].1;
+                // intra-fn propagation to a local fixpoint
+                loop {
+                    let mut local = false;
+                    for (ci, call) in f.calls.iter().enumerate() {
+                        let node = format!("c:{ci}");
+                        if tainted[i].contains(&node)
+                            || cfg.sanitizers.contains(&call.callee.as_str())
+                        {
+                            continue;
+                        }
+                        let mut t = cfg.source_callees.contains(&call.callee.as_str());
+                        if let Some(ts) = targets[i].get(&ci) {
+                            t = t
+                                || ts
+                                    .iter()
+                                    .any(|&j| is_source_fn[j] || tainted[j].contains("r"));
+                        } else {
+                            // unresolved: pass-through from arguments
+                            let prefix = format!("a:{ci}:");
+                            t = t || tainted[i].iter().any(|k| k.starts_with(&prefix));
+                        }
+                        if t {
+                            tainted[i].insert(node);
+                            local = true;
+                        }
+                    }
+                    for d in &f.flows {
+                        if d.srcs.is_empty()
+                            || tainted[i].contains(&d.dst)
+                            || cleared[i].contains(d.dst.as_str())
+                        {
+                            continue;
+                        }
+                        if let Some(ci) = d
+                            .dst
+                            .strip_prefix("c:")
+                            .and_then(|s| s.parse::<usize>().ok())
+                        {
+                            if f.calls
+                                .get(ci)
+                                .is_some_and(|c| cfg.sanitizers.contains(&c.callee.as_str()))
+                            {
+                                continue;
+                            }
+                        }
+                        if d.srcs.iter().any(|s| tainted[i].contains(s)) {
+                            tainted[i].insert(d.dst.clone());
+                            local = true;
+                        }
+                    }
+                    if !local {
+                        break;
+                    }
+                    changed = true;
+                }
+                // interproc: tainted argument positions seed callee params
+                if f.is_test {
+                    continue;
+                }
+                let mut seeds: Vec<(usize, String)> = Vec::new();
+                for d in &f.flows {
+                    let Some(rest) = d.dst.strip_prefix("a:") else {
+                        continue;
+                    };
+                    if !tainted[i].contains(&d.dst) {
+                        continue;
+                    }
+                    let mut it = rest.split(':');
+                    let ci = it.next().and_then(|s| s.parse::<usize>().ok());
+                    let p = it.next().and_then(|s| s.parse::<usize>().ok());
+                    let (Some(ci), Some(p)) = (ci, p) else {
+                        continue;
+                    };
+                    if let Some(ts) = targets[i].get(&ci) {
+                        for &j in ts {
+                            if let Some(name) = self.fns[j].1.params.get(p) {
+                                if name != "_" {
+                                    seeds.push((j, format!("v:{name}")));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (j, node) in seeds {
+                    if !cleared[j].contains(node.as_str()) && tainted[j].insert(node) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        tainted
+    }
+}
+
+/// Configuration for [`SymbolGraph::compute_taint`]: what is untrusted
+/// and what clears taint. The rule layer owns the registries; the
+/// engine is generic.
+pub struct TaintConfig<'a> {
+    /// (file path, fn display name) rows whose results are untrusted
+    /// and whose own parameters carry raw untrusted input.
+    pub source_fns: &'a [(&'a str, &'a str)],
+    /// External (non-workspace) callee names whose results are
+    /// untrusted.
+    pub source_callees: &'a [&'a str],
+    /// Callee names whose results are never tainted.
+    pub sanitizers: &'a [&'a str],
+    /// Limit idents: a `cmp:<limit>` comparison clears the compared
+    /// variable for its whole fn.
+    pub limits: &'a [&'a str],
 }
 
 #[cfg(test)]
@@ -455,6 +643,112 @@ impl S {\n\
         let outer = g.find("crates/demo/src/lib.rs", "S::outer").expect("fn");
         assert!(g.acquires[outer].contains(&"S::a".to_string()));
         assert!(g.acquires[outer].contains(&"S::b".to_string()));
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn taint_cfg() -> TaintConfig<'static> {
+        TaintConfig {
+            source_fns: &[(LIB, "untrusted_len")],
+            source_callees: &["read_to_string"],
+            sanitizers: &["min"],
+            limits: &["MAX"],
+        }
+    }
+
+    fn alloc_arg(g: &SymbolGraph<'_>, fn_idx: usize) -> String {
+        let k = g.fns[fn_idx]
+            .1
+            .calls
+            .iter()
+            .position(|c| c.callee == "with_capacity")
+            .expect("with_capacity call");
+        format!("a:{k}:0")
+    }
+
+    #[test]
+    fn taint_crosses_two_hops_and_sanitizers_clear() {
+        let index = ws(&[(
+            LIB,
+            "pub fn untrusted_len() -> usize { 7 }\n\
+             pub fn hop(n: usize) -> usize { n }\n\
+             pub fn sink() -> Vec<u8> { let n = untrusted_len(); let m = hop(n); Vec::with_capacity(m) }\n\
+             pub fn clean() -> Vec<u8> { let n = untrusted_len().min(64); Vec::with_capacity(n) }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let t = g.compute_taint(&taint_cfg());
+        let sink = g.find(LIB, "sink").expect("sink");
+        assert!(
+            t[sink].contains(&alloc_arg(&g, sink)),
+            "source → hop → alloc stays tainted: {:?}",
+            t[sink]
+        );
+        let clean = g.find(LIB, "clean").expect("clean");
+        assert!(
+            !t[clean].contains(&alloc_arg(&g, clean)),
+            "`.min(64)` clears the chain: {:?}",
+            t[clean]
+        );
+    }
+
+    #[test]
+    fn taint_cleared_by_limit_comparison() {
+        let index = ws(&[(
+            LIB,
+            "pub fn untrusted_len() -> usize { 7 }\n\
+             pub fn bounded() -> Vec<u8> {\n\
+                 let n = untrusted_len();\n\
+                 if n > MAX { return Vec::new(); }\n\
+                 Vec::with_capacity(n)\n\
+             }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let t = g.compute_taint(&taint_cfg());
+        let bounded = g.find(LIB, "bounded").expect("bounded");
+        assert!(
+            !t[bounded].contains("v:n"),
+            "comparison against MAX clears v:n: {:?}",
+            t[bounded]
+        );
+    }
+
+    #[test]
+    fn source_fn_params_and_external_callees_seed_taint() {
+        let index = ws(&[(
+            LIB,
+            "pub fn untrusted_len(hint: usize) -> usize { hint }\n\
+             pub fn loads(path: &str) -> String { std::fs::read_to_string(path).unwrap_or_default() }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let t = g.compute_taint(&taint_cfg());
+        let src = g.find(LIB, "untrusted_len").expect("src");
+        assert!(t[src].contains("v:hint"), "source params are raw input");
+        assert!(t[src].contains("r"), "and flow to the return value");
+        let loads = g.find(LIB, "loads").expect("loads");
+        assert!(
+            t[loads].contains("r"),
+            "external source callee taints its result: {:?}",
+            t[loads]
+        );
+    }
+
+    #[test]
+    fn test_fns_do_not_seed_callee_params() {
+        let index = ws(&[(
+            LIB,
+            "pub fn untrusted_len() -> usize { 7 }\n\
+             pub fn helper(n: usize) -> usize { n }\n\
+             #[test]\n\
+             fn t() { let n = untrusted_len(); helper(n); }\n",
+        )]);
+        let g = SymbolGraph::build(&index);
+        let t = g.compute_taint(&taint_cfg());
+        let helper = g.find(LIB, "helper").expect("helper");
+        assert!(
+            !t[helper].contains("v:n"),
+            "a test caller must not taint the lib fn: {:?}",
+            t[helper]
+        );
     }
 
     #[test]

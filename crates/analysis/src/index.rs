@@ -3,8 +3,11 @@
 //! A lightweight zero-dependency Rust tokenizer and item indexer that
 //! records, per function: definitions (name, `impl` owner, module path),
 //! call sites with the set of `Mutex` guards live at each one, guard
-//! acquisitions, narrowing `as` casts, float reductions, and panic
-//! sites. The per-file result ([`FileIndex`]) is a *pure function of
+//! acquisitions, narrowing `as` casts, float reductions, panic sites,
+//! and intra-fn dataflow edges ([`FlowRecord`]: let-bindings,
+//! assignments, call-argument positions, return values, field
+//! projections) consumed by the interprocedural taint fixpoint in the
+//! graph phase. The per-file result ([`FileIndex`]) is a *pure function of
 //! that file's text* — all cross-file reasoning happens in the graph
 //! phase ([`crate::graph`]) — so an index can be updated incrementally:
 //! files whose FNV-1a content hash is unchanged reuse their cached
@@ -12,7 +15,7 @@
 //! construction: build once, update per changed input, query many
 //! analyses).
 //!
-//! The index is serialized to `target/g4check/index.v1` in a
+//! The index is serialized to `target/g4check/index.v2` in a
 //! hand-rolled line format (the crate is dependency-free by design); a
 //! cache that fails to parse for any reason is discarded and rebuilt,
 //! never trusted partially.
@@ -29,6 +32,12 @@
 //!   `if let`/`while let` heads, `drop`, moves into calls — the condvar
 //!   handoff `self.wait(&cond, guard)` kills the guard for the duration
 //!   of the call); `match` arms that bind a guard are not modeled.
+//! - Dataflow edges are statement-granular may-flow facts: a binding
+//!   receives every value identifier and call result seen on its
+//!   right-hand side, so `let n = if a { b } else { c }` merges all
+//!   three. Block tails inside `if`/`else` chains can be dropped at
+//!   brace boundaries — the taint phase treats every edge as an
+//!   over-approximation, never a proof of absence.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -38,7 +47,8 @@ use crate::lint::{
 };
 
 /// Cache format version; bumped whenever any record shape changes.
-pub const INDEX_VERSION: u32 = 1;
+/// v2 added dataflow records and positional parameter names.
+pub const INDEX_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — the workspace's standard content address.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -114,6 +124,38 @@ pub struct PanicRecord {
     pub what: String,
 }
 
+/// One intra-fn dataflow fact, consumed by the taint fixpoint in the
+/// graph phase.
+///
+/// Node keys: `v:<name>` (a local or parameter), `c:<k>` (the result of
+/// the `k`-th entry in [`FnRecord::calls`]), `a:<k>:<p>` (argument
+/// position `p` of call `k`, `self` receivers excluded), and `r` (the
+/// fn's return value). A handful of destinations carry *facts* rather
+/// than value edges:
+///
+/// - `arith` with `what = "arith:*"`: an unchecked `a * b`
+///   multiplication whose ident operands are the srcs;
+/// - `alloc` with `what = "alloc:vec!"`: the repeat count of a
+///   `vec![x; n]`;
+/// - `ok` / `_` with `what = "ok:<callee>"` / `"discard:<callee>"`: a
+///   call result discarded via `.ok()` or `let _ =`;
+/// - a `v:` destination with `what = "cmp:<other>"` and empty srcs
+///   records a `<`/`>`/`<=`/`>=` comparison of the variable against
+///   `<other>` (taint-clearing when `<other>` is a registered limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// 1-based source line of the fact.
+    pub line: u32,
+    /// Destination node key.
+    pub dst: String,
+    /// Source node keys feeding the destination (may be empty for
+    /// comparison facts).
+    pub srcs: Vec<String>,
+    /// Edge kind: `let`, `assign`, `iter`, `arg`, `recv:<callee>`,
+    /// `ret`, or one of the fact kinds documented on the type.
+    pub what: String,
+}
+
 /// Everything recorded about one function definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnRecord {
@@ -133,6 +175,10 @@ pub struct FnRecord {
     pub returns_guard: bool,
     /// The signature mentions `f32`/`f64`.
     pub sig_float: bool,
+    /// Positional parameter names (`self` receivers excluded,
+    /// unparseable patterns kept as `_` so positions stay aligned with
+    /// call-site argument indices).
+    pub params: Vec<String>,
     /// Call sites, in source order.
     pub calls: Vec<CallRecord>,
     /// Narrowing casts.
@@ -143,6 +189,8 @@ pub struct FnRecord {
     pub accums: Vec<AccumRecord>,
     /// Panic sites.
     pub panics: Vec<PanicRecord>,
+    /// Intra-fn dataflow facts, in source order.
+    pub flows: Vec<FlowRecord>,
 }
 
 impl FnRecord {
@@ -245,7 +293,7 @@ pub fn rel_key(rel: &Path) -> String {
 
 /// Default cache location under the workspace root.
 pub fn cache_path(root: &Path) -> PathBuf {
-    root.join("target").join("g4check").join("index.v1")
+    root.join("target").join("g4check").join("index.v2")
 }
 
 // --- tokenizer ----------------------------------------------------------
@@ -348,6 +396,8 @@ struct RawFn {
     /// Token range of the body, inside the braces.
     body: Option<(usize, usize)>,
     params: Vec<(String, String)>,
+    /// Positional parameter names (`self` excluded, `_` placeholders).
+    param_names: Vec<String>,
     returns_guard: bool,
     sig_float: bool,
     attr_test: bool,
@@ -567,6 +617,7 @@ fn structural_pass(
                     }
                     let params_close = matching_close(toks, j);
                     let params = parse_params(toks, j + 1, params_close);
+                    let param_names = param_names(toks, j + 1, params_close);
                     // return type / where clause up to body `{` or `;`
                     let mut k = params_close + 1;
                     while k < toks.len() && !matches!(punct_at(toks, k), Some('{') | Some(';')) {
@@ -596,6 +647,7 @@ fn structural_pass(
                         header_tok: i,
                         body,
                         params,
+                        param_names,
                         returns_guard,
                         sig_float,
                         attr_test: attr_test || is_test_region || file_is_test,
@@ -684,6 +736,55 @@ fn parse_params(toks: &[Token], start: usize, end: usize) -> Vec<(String, String
     out
 }
 
+/// Parses fn params into positional *names only*. Unlike
+/// [`parse_params`], every non-`self` parameter yields an entry (an
+/// unparseable pattern becomes `_`), so the vector's indices line up
+/// with call-site argument positions — the alignment the taint phase
+/// relies on to map `a:<k>:<p>` onto the callee's `p`-th parameter.
+fn param_names(toks: &[Token], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let seg = |s: usize, e: usize, out: &mut Vec<String>| {
+        if s >= e {
+            return;
+        }
+        // first usable ident: skip `mut`/`ref` and lifetime names
+        let mut name = None;
+        let mut k = s;
+        while k < e {
+            if let Some(id) = ident_at(toks, k) {
+                let is_lifetime = k >= 1 && punct_at(toks, k - 1) == Some('\'');
+                if id != "mut" && id != "ref" && !is_lifetime {
+                    name = Some(id);
+                    break;
+                }
+            }
+            k += 1;
+        }
+        match name {
+            Some("self") => {} // receiver, not an argument position
+            Some(n) => out.push(n.to_string()),
+            None => out.push("_".to_string()),
+        }
+    };
+    let mut i = start;
+    let mut arg_start = start;
+    let mut d = 0i32;
+    while i < end {
+        match punct_at(toks, i) {
+            Some('<') | Some('(') | Some('[') => d += 1,
+            Some('>') | Some(')') | Some(']') => d -= 1,
+            Some(',') if d <= 0 => {
+                seg(arg_start, i, &mut out);
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    seg(arg_start, end, &mut out);
+    out
+}
+
 /// Walks upward from the line above a fn through its doc comments and
 /// attributes, returning (`#[test]`-ish attr present, `# Panics` doc
 /// section present).
@@ -762,6 +863,332 @@ struct OpenCall {
     callee: String,
     held_at_open: Vec<String>,
     consumed: Vec<usize>,
+}
+
+/// One open call frame in the dataflow pass: collects per-position
+/// argument sources until the call's `)` closes.
+#[derive(Debug)]
+struct FlowCall {
+    /// Token index of the matching `)`.
+    close: usize,
+    /// Index into `rec.calls`, or `None` for transparent calls
+    /// (`.unwrap()` / `.expect(`) whose receiver value passes through.
+    rec: Option<usize>,
+    callee: String,
+    /// Receiver value: (node key, callee the node came from — empty for
+    /// a plain variable root).
+    recv: Option<(String, String)>,
+    /// Sources per argument position, split on top-level commas.
+    args: Vec<Vec<String>>,
+    /// Paren/bracket depth at the callee ident, for comma splitting.
+    open_bdepth: i32,
+    line: u32,
+}
+
+/// Dataflow-extraction state threaded through `analyze_body`. Tracks
+/// open call frames and the current statement's value sources; emits
+/// [`FlowRecord`]s into the fn record as statements seal.
+#[derive(Debug, Default)]
+struct FlowPass {
+    fcalls: Vec<FlowCall>,
+    /// Value sources seen since the last statement boundary, outside
+    /// any open call.
+    stmt_srcs: Vec<String>,
+    /// The statement began with `return`.
+    is_return: bool,
+    /// Destination of a plain `x = ...` reassignment, sealed at `;`.
+    assign_dst: Option<String>,
+    /// Last statement-level call: (node, callee) — the `let _ =`
+    /// discard target.
+    last_call: Option<(String, String)>,
+    /// Last closed call: (close token index, node, callee) — the
+    /// receiver of a chained `foo().bar(` continuation.
+    last_close: Option<(usize, String, String)>,
+}
+
+impl FlowPass {
+    /// Routes a value node to the innermost open context: the current
+    /// argument of the innermost open call, else the statement sources.
+    fn push_value(&mut self, node: String) {
+        let bucket = match self.fcalls.last_mut() {
+            // g4check: allow(unwrap-in-lib): open_call seeds every frame with one bucket
+            Some(fc) => fc.args.last_mut().expect("call frame has an arg bucket"),
+            None => &mut self.stmt_srcs,
+        };
+        if !bucket.contains(&node) {
+            bucket.push(node);
+        }
+    }
+
+    /// Opens a call frame for the callee ident at `i` with its `(` at
+    /// `paren`. `rec_idx` is the `rec.calls` slot the call landed in
+    /// (`None` for transparent panic-method calls).
+    #[allow(clippy::too_many_arguments)]
+    fn open_call(
+        &mut self,
+        toks: &[Token],
+        i: usize,
+        paren: usize,
+        callee: &str,
+        rec_idx: Option<usize>,
+        line: u32,
+        bdepth: i32,
+    ) {
+        let mut recv = None;
+        if i >= 1 && punct_at(toks, i - 1) == Some('.') {
+            if let Some(chain) = recv_chain(toks, i - 1) {
+                // variable-rooted chain: the root carries the value
+                // (`h.rows.min(..)` flows from `v:h`); `self` fields
+                // are not tracked.
+                if let Some(root) = chain.first().filter(|r| r.as_str() != "self") {
+                    recv = Some((format!("v:{root}"), String::new()));
+                }
+            } else if i >= 2 {
+                // expression receiver: `prev()?.name(` — chain from the
+                // previous call's value node if it closed right before.
+                let mut j = i - 2;
+                if punct_at(toks, j) == Some('?') && j >= 1 {
+                    j -= 1;
+                }
+                let mut consumed = None;
+                if let Some((close, node, carried)) = &self.last_close {
+                    if *close == j {
+                        recv = Some((node.clone(), carried.clone()));
+                        consumed = Some(node.clone());
+                    }
+                }
+                // the chain consumes the receiver's value: without this
+                // `let n = src().min(64)` would keep the unsanitized
+                // `c:src` among the statement's sources
+                if let Some(node) = consumed {
+                    let bucket = match self.fcalls.last_mut() {
+                        // g4check: allow(unwrap-in-lib): open_call seeds every frame with one bucket
+                        Some(fc) => fc.args.last_mut().expect("call frame has an arg bucket"),
+                        None => &mut self.stmt_srcs,
+                    };
+                    bucket.retain(|s| s != &node);
+                }
+            }
+        }
+        self.fcalls.push(FlowCall {
+            close: matching_close(toks, paren),
+            rec: rec_idx,
+            callee: callee.to_string(),
+            recv,
+            args: vec![Vec::new()],
+            open_bdepth: bdepth,
+            line,
+        });
+    }
+
+    /// Starts a new argument bucket on the innermost call whose
+    /// top-level comma this is.
+    fn comma(&mut self, bdepth: i32) {
+        if let Some(fc) = self.fcalls.last_mut() {
+            if bdepth == fc.open_bdepth + 1 {
+                fc.args.push(Vec::new());
+            }
+        }
+    }
+
+    /// Closes any call frame ending at token `i`: emits its `arg` and
+    /// `recv` flows and pushes its value node into the parent context.
+    fn close_call(&mut self, i: usize, rec: &mut FnRecord) {
+        while let Some(pos) = self.fcalls.iter().rposition(|f| f.close == i) {
+            let fc = self.fcalls.remove(pos);
+            let Some(k) = fc.rec else {
+                // transparent `.unwrap()`/`.expect(`: the receiver's
+                // value passes through unchanged
+                if let Some((rnode, rcallee)) = fc.recv {
+                    self.push_value(rnode.clone());
+                    self.last_close = Some((i, rnode, rcallee));
+                } else {
+                    self.last_close = None;
+                }
+                continue;
+            };
+            for (p, srcs) in fc.args.iter().enumerate() {
+                if !srcs.is_empty() {
+                    rec.flows.push(FlowRecord {
+                        line: fc.line,
+                        dst: format!("a:{k}:{p}"),
+                        srcs: srcs.clone(),
+                        what: "arg".to_string(),
+                    });
+                }
+            }
+            let node = format!("c:{k}");
+            if let Some((rnode, rcallee)) = &fc.recv {
+                rec.flows.push(FlowRecord {
+                    line: fc.line,
+                    dst: node.clone(),
+                    srcs: vec![rnode.clone()],
+                    what: format!("recv:{}", fc.callee),
+                });
+                if fc.callee == "ok" && rnode.starts_with("c:") && !rcallee.is_empty() {
+                    rec.flows.push(FlowRecord {
+                        line: fc.line,
+                        dst: "ok".to_string(),
+                        srcs: vec![rnode.clone()],
+                        what: format!("ok:{rcallee}"),
+                    });
+                }
+            }
+            self.push_value(node.clone());
+            if self.fcalls.is_empty() {
+                self.last_call = Some((node.clone(), fc.callee.clone()));
+            }
+            self.last_close = Some((i, node, fc.callee));
+        }
+    }
+
+    /// Seals the statement at its `;`: emits `assign`/`ret` flows and
+    /// resets per-statement state. Returns the statement's sources for
+    /// the caller's `let` sealing.
+    fn end_stmt(&mut self, line: u32, rec: &mut FnRecord) -> Vec<String> {
+        let srcs = std::mem::take(&mut self.stmt_srcs);
+        if let Some(dst) = self.assign_dst.take() {
+            if !srcs.is_empty() {
+                rec.flows.push(FlowRecord {
+                    line,
+                    dst: format!("v:{dst}"),
+                    srcs: srcs.clone(),
+                    what: "assign".to_string(),
+                });
+            }
+        }
+        if self.is_return && !srcs.is_empty() {
+            rec.flows.push(FlowRecord {
+                line,
+                dst: "r".to_string(),
+                srcs: srcs.clone(),
+                what: "ret".to_string(),
+            });
+        }
+        self.is_return = false;
+        srcs
+    }
+}
+
+/// Whether the ident at `i` is a plain value use worth a dataflow
+/// source: not a keyword, call, macro, path segment, field/method name,
+/// struct-literal head, lifetime, assignment target, or `_`.
+fn value_ident_ok(toks: &[Token], i: usize, name: &str) -> bool {
+    if name == "_" || name == "self" || KEYWORDS.contains(&name) {
+        return false;
+    }
+    match punct_at(toks, i + 1) {
+        Some('(') | Some('!') | Some('{') | Some(':') => return false,
+        Some('=') if plain_assign(toks, i + 1) => return false,
+        _ => {}
+    }
+    if let Some(p) = i.checked_sub(1).and_then(|p| punct_at(toks, p)) {
+        if p == '.' || p == ':' || p == '\'' {
+            return false;
+        }
+    }
+    true
+}
+
+/// Collects `v:` nodes for every plain value ident in `[from, to)`.
+fn collect_value_idents(toks: &[Token], from: usize, to: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for j in from..to {
+        if let Some(name) = ident_at(toks, j) {
+            if value_ident_ok(toks, j, name) {
+                let node = format!("v:{name}");
+                if !out.contains(&node) {
+                    out.push(node);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the ident at `i` is the root of a receiver chain that ends
+/// in a method call (`x.f.min(..)`): such roots are captured as the
+/// call's receiver, not as plain statement values.
+fn chain_root_of_call(toks: &[Token], i: usize) -> bool {
+    if punct_at(toks, i + 1) != Some('.') {
+        return false;
+    }
+    let mut j = i;
+    while punct_at(toks, j + 1) == Some('.') && ident_at(toks, j + 2).is_some() {
+        j += 2;
+    }
+    punct_at(toks, j + 1) == Some('(') || turbofish_paren(toks, j).is_some()
+}
+
+/// Pre-scans a body for comparison and multiplication facts, skipping
+/// nested fns (they get their own scan).
+fn scan_facts(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
+    let Some((start, end)) = raw.body else { return };
+    let toks = ctx.toks;
+    let mut j = start;
+    while j < end {
+        if ident_at(toks, j) == Some("fn") {
+            if let Some(&resume) = ctx.skip_fns.get(&j) {
+                j = resume;
+                continue;
+            }
+        }
+        match punct_at(toks, j) {
+            Some(c @ ('<' | '>')) => {
+                // skip `<<`/`>>`/`->`/`=>` and turbofish `::<`
+                let prev = j.checked_sub(1).and_then(|p| punct_at(toks, p));
+                let operator = prev != Some(c)
+                    && prev != Some('-')
+                    && prev != Some('=')
+                    && prev != Some(':')
+                    && punct_at(toks, j + 1) != Some(c);
+                let right_at = if punct_at(toks, j + 1) == Some('=') {
+                    j + 2
+                } else {
+                    j + 1
+                };
+                if operator {
+                    let lhs = j.checked_sub(1).and_then(|p| ident_at(toks, p));
+                    let rhs = ident_at(toks, right_at);
+                    if let (Some(a), Some(b)) = (lhs, rhs) {
+                        if !KEYWORDS.contains(&a) && !KEYWORDS.contains(&b) {
+                            let line = toks[j].line;
+                            rec.flows.push(FlowRecord {
+                                line,
+                                dst: format!("v:{a}"),
+                                srcs: Vec::new(),
+                                what: format!("cmp:{b}"),
+                            });
+                            rec.flows.push(FlowRecord {
+                                line,
+                                dst: format!("v:{b}"),
+                                srcs: Vec::new(),
+                                what: format!("cmp:{a}"),
+                            });
+                        }
+                    }
+                }
+            }
+            Some('*') => {
+                // `a * b` with ident operands; `*x` derefs have no
+                // left ident and fall out naturally
+                let lhs = j.checked_sub(1).and_then(|p| ident_at(toks, p));
+                let rhs = ident_at(toks, j + 1);
+                if let (Some(a), Some(b)) = (lhs, rhs) {
+                    if !KEYWORDS.contains(&a) && !KEYWORDS.contains(&b) {
+                        rec.flows.push(FlowRecord {
+                            line: toks[j].line,
+                            dst: "arith".to_string(),
+                            srcs: vec![format!("v:{a}"), format!("v:{b}")],
+                            what: "arith:*".to_string(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
 }
 
 /// Per-file context shared by all body analyses.
@@ -969,6 +1396,8 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
     let mut last_clamp_close: Option<usize> = None;
     let mut depth = 0i32;
     let mut bdepth = 0i32; // paren/bracket depth
+    let mut fp = FlowPass::default();
+    scan_facts(raw, ctx, rec);
 
     let live_ids = |guards: &[Guard]| -> Vec<String> {
         let mut ids: Vec<String> = guards
@@ -1001,8 +1430,27 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                         for &g in &l.guards {
                             guards[g].bind_depth = Some(depth);
                         }
-                        lets.pop();
+                        // g4check: allow(unwrap-in-lib): last() matched two lines up
+                        let l = lets.pop().expect("just matched");
+                        // the condition's sources flow into the binding
+                        if let Some(n) = l.name.as_deref().filter(|n| *n != "_") {
+                            let srcs = std::mem::take(&mut fp.stmt_srcs);
+                            if !srcs.is_empty() {
+                                rec.flows.push(FlowRecord {
+                                    line: l.line,
+                                    dst: format!("v:{n}"),
+                                    srcs,
+                                    what: "let".to_string(),
+                                });
+                            }
+                        }
                     }
+                }
+                // a block boundary ends the condition/header segment —
+                // unless a `let` RHS is mid-flight (`let h = H { .. }`)
+                let in_let_rhs = lets.last().is_some_and(|l| l.rhs_started);
+                if fp.fcalls.is_empty() && !in_let_rhs {
+                    fp.stmt_srcs.clear();
                 }
                 i += 1;
             }
@@ -1021,6 +1469,7 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
             }
             Tok::Punct(')') | Tok::Punct(']') => {
                 bdepth -= 1;
+                fp.close_call(i, rec);
                 // close any call whose args end here
                 while let Some(oc) = open_calls.pop_if(|oc| oc.close == i) {
                     let consumed_ids: Vec<String> = oc
@@ -1076,15 +1525,44 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
             }
             Tok::Punct(';') if bdepth == 0 => {
                 // end of statement: temp guards die, let bindings seal
+                let flow_srcs = fp.end_stmt(line, rec);
                 while let Some(l) = lets.pop_if(|l| l.depth == depth) {
+                    match l.name.as_deref() {
+                        Some("_") => {
+                            // `let _ = fallible(..);` — record the
+                            // discarded call for the error-swallow rule
+                            if let Some((node, callee)) = &fp.last_call {
+                                rec.flows.push(FlowRecord {
+                                    line: l.line,
+                                    dst: "_".to_string(),
+                                    srcs: vec![node.clone()],
+                                    what: format!("discard:{callee}"),
+                                });
+                            }
+                        }
+                        Some(n) if !flow_srcs.is_empty() => {
+                            rec.flows.push(FlowRecord {
+                                line: l.line,
+                                dst: format!("v:{n}"),
+                                srcs: flow_srcs.clone(),
+                                what: "let".to_string(),
+                            });
+                        }
+                        _ => {}
+                    }
                     seal_let(&l, toks, ctx, owner, &mut env, &mut guards);
                 }
+                fp.last_call = None;
                 for g in guards.iter_mut() {
                     if g.alive && g.bind_depth.is_none() {
                         g.alive = false;
                     }
                 }
                 pending_rebind = None;
+                i += 1;
+            }
+            Tok::Punct(',') => {
+                fp.comma(bdepth);
                 i += 1;
             }
             Tok::Ident(kw) if kw == "let" => {
@@ -1149,6 +1627,9 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                     .and_then(|p| ident_at(toks, p))
                     .map(str::to_string)
                 {
+                    if bdepth == 0 && fp.fcalls.is_empty() {
+                        fp.assign_dst = Some(name.clone());
+                    }
                     if guards.iter().any(|g| g.name.as_deref() == Some(&name)) {
                         pending_rebind = Some(name);
                     }
@@ -1160,6 +1641,37 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                 let is_macro = next == Some('!')
                     && matches!(punct_at(toks, i + 2), Some('(') | Some('[') | Some('{'));
                 if is_macro {
+                    if name == "vec" && punct_at(toks, i + 2) == Some('[') {
+                        // `vec![x; n]`: the repeat count is an
+                        // allocation-size fact for the taint rules
+                        let close = matching_close(toks, i + 2);
+                        let mut semi = None;
+                        let mut d = 0i32;
+                        let mut j = i + 3;
+                        while j < close {
+                            match punct_at(toks, j) {
+                                Some('(') | Some('[') | Some('{') => d += 1,
+                                Some(')') | Some(']') | Some('}') => d -= 1,
+                                Some(';') if d <= 0 => {
+                                    semi = Some(j);
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if let Some(s) = semi {
+                            let srcs = collect_value_idents(toks, s + 1, close);
+                            if !srcs.is_empty() {
+                                rec.flows.push(FlowRecord {
+                                    line,
+                                    dst: "alloc".to_string(),
+                                    srcs,
+                                    what: "alloc:vec!".to_string(),
+                                });
+                            }
+                        }
+                    }
                     if PANIC_MACROS.contains(&name.as_str()) {
                         rec.panics.push(PanicRecord {
                             line,
@@ -1185,6 +1697,7 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                     turbofish_paren(toks, i)
                 };
                 if let (Some(paren), false) = (paren, KEYWORDS.contains(&name.as_str())) {
+                    let calls_before = rec.calls.len();
                     handle_call(
                         HandleCall {
                             name,
@@ -1204,6 +1717,10 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                         rec,
                         &live_ids,
                     );
+                    // `.unwrap()`/`.expect(` push no CallRecord and get
+                    // a transparent frame instead
+                    let rec_idx = (rec.calls.len() > calls_before).then_some(calls_before);
+                    fp.open_call(toks, i, paren, name, rec_idx, line, bdepth);
                     i += 1;
                     continue;
                 }
@@ -1223,6 +1740,62 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
                     }
                     i += 1;
                     continue;
+                }
+                // --- dataflow value uses ---------------------------------
+                if name == "return" {
+                    fp.stmt_srcs.clear();
+                    fp.is_return = true;
+                } else if name == "for" {
+                    // `for pat in expr {`: the binding flows from the
+                    // iterated expression's value idents
+                    let (bind, _, _) = parse_let_pattern(toks, i + 1);
+                    if let Some(b) = bind.filter(|b| b != "_") {
+                        let mut j = i + 1;
+                        while j < end && ident_at(toks, j) != Some("in") {
+                            j += 1;
+                        }
+                        let mut stop = j;
+                        let mut d = 0i32;
+                        while stop < end {
+                            match punct_at(toks, stop) {
+                                Some('(') | Some('[') => d += 1,
+                                Some(')') | Some(']') => d -= 1,
+                                Some('{') if d <= 0 => break,
+                                _ => {}
+                            }
+                            stop += 1;
+                        }
+                        let mut srcs = collect_value_idents(toks, j + 1, stop);
+                        // a bare range ident sits right before the loop
+                        // `{`, which value_ident_ok reads as a struct
+                        // literal; struct literals are not legal in a
+                        // for-range, so admit it (`for line in lines {`)
+                        if let Some(n) = stop.checked_sub(1).and_then(|p| ident_at(toks, p)) {
+                            let glued = stop
+                                .checked_sub(2)
+                                .and_then(|p| punct_at(toks, p))
+                                .is_some_and(|c| c == '.' || c == ':' || c == '\'');
+                            if !KEYWORDS.contains(&n) && n != "_" && n != "self" && !glued {
+                                let node = format!("v:{n}");
+                                if !srcs.contains(&node) {
+                                    srcs.push(node);
+                                }
+                            }
+                        }
+                        if !srcs.is_empty() {
+                            rec.flows.push(FlowRecord {
+                                line,
+                                dst: format!("v:{b}"),
+                                srcs,
+                                what: "iter".to_string(),
+                            });
+                        }
+                    }
+                } else if !KEYWORDS.contains(&name.as_str())
+                    && !chain_root_of_call(toks, i)
+                    && value_ident_ok(toks, i, name)
+                {
+                    fp.push_value(format!("v:{name}"));
                 }
                 // a bare live-guard name as a call argument = a move into
                 // the call (consumption), unless borrowed
@@ -1245,6 +1818,20 @@ fn analyze_body(raw: &RawFn, ctx: &FileCtx<'_>, rec: &mut FnRecord) {
             }
             _ => i += 1,
         }
+    }
+    // the body's tail expression (sources since the last `;`) feeds the
+    // return value
+    if !fp.stmt_srcs.is_empty() {
+        let tail_line = toks
+            .get(end.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(raw.line);
+        rec.flows.push(FlowRecord {
+            line: tail_line,
+            dst: "r".to_string(),
+            srcs: std::mem::take(&mut fp.stmt_srcs),
+            what: "ret".to_string(),
+        });
     }
     let _ = num_at; // silence potential unused in future refactors
 }
@@ -1699,11 +2286,13 @@ pub fn index_file(rel: &Path, text: &str) -> FileIndex {
             doc_panics: f.doc_panics,
             returns_guard: f.returns_guard,
             sig_float: f.sig_float,
+            params: f.param_names.clone(),
             calls: Vec::new(),
             casts: Vec::new(),
             reductions: Vec::new(),
             accums: Vec::new(),
             panics: Vec::new(),
+            flows: Vec::new(),
         };
         analyze_body(f, &ctx, &mut rec);
         fns.push(rec);
@@ -1784,7 +2373,7 @@ pub fn to_cache_string(index: &WorkspaceIndex) -> String {
                 | u8::from(f.returns_guard) << 2
                 | u8::from(f.sig_float) << 3;
             out.push_str(&format!(
-                "n {} {} {} {} {}\n",
+                "n {} {} {} {} {} {}\n",
                 f.line,
                 flags,
                 esc(&f.name),
@@ -1794,6 +2383,7 @@ pub fn to_cache_string(index: &WorkspaceIndex) -> String {
                 } else {
                     esc(&f.module)
                 },
+                list(&f.params),
             ));
             for c in &f.calls {
                 let cflags = u8::from(c.method) | u8::from(c.consumed_guard) << 1;
@@ -1828,6 +2418,15 @@ pub fn to_cache_string(index: &WorkspaceIndex) -> String {
             }
             for p in &f.panics {
                 out.push_str(&format!("p {} {}\n", p.line, esc(&p.what)));
+            }
+            for d in &f.flows {
+                out.push_str(&format!(
+                    "d {} {} {} {}\n",
+                    d.line,
+                    esc(&d.what),
+                    esc(&d.dst),
+                    list(&d.srcs),
+                ));
             }
         }
         out.push_str(".\n");
@@ -1880,6 +2479,7 @@ pub fn from_cache_string(text: &str) -> Option<WorkspaceIndex> {
                 let name = unesc(parts.next()?);
                 let owner = parse_opt(parts.next()?);
                 let module = parse_opt(parts.next()?).unwrap_or_default();
+                let params = parse_list(parts.next()?);
                 fi.fns.push(FnRecord {
                     name,
                     owner,
@@ -1889,11 +2489,13 @@ pub fn from_cache_string(text: &str) -> Option<WorkspaceIndex> {
                     doc_panics: flags & 2 != 0,
                     returns_guard: flags & 4 != 0,
                     sig_float: flags & 8 != 0,
+                    params,
                     calls: Vec::new(),
                     casts: Vec::new(),
                     reductions: Vec::new(),
                     accums: Vec::new(),
                     panics: Vec::new(),
+                    flows: Vec::new(),
                 });
             }
             "c" => {
@@ -1942,6 +2544,18 @@ pub fn from_cache_string(text: &str) -> Option<WorkspaceIndex> {
                 f.panics.push(PanicRecord {
                     line: line_no,
                     what: unesc(parts.next()?),
+                });
+            }
+            "d" => {
+                let f = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let what = unesc(parts.next()?);
+                let dst = unesc(parts.next()?);
+                f.flows.push(FlowRecord {
+                    line: line_no,
+                    dst,
+                    srcs: parse_list(parts.next()?),
+                    what,
                 });
             }
             _ => return None,
@@ -2169,8 +2783,126 @@ impl S {\n\
     #[test]
     fn corrupt_cache_is_rejected() {
         assert!(from_cache_string("g4check-index 999\n").is_none());
-        assert!(from_cache_string("g4check-index 1\nf a 00").is_none());
+        assert!(from_cache_string("g4check-index 2\nf a 00").is_none());
+        assert!(
+            from_cache_string("g4check-index 1\n").is_none(),
+            "a v1 cache is stale once flows exist"
+        );
         assert!(from_cache_string("garbage").is_none());
+    }
+
+    #[test]
+    fn dataflow_let_assign_and_return() {
+        let src = "fn f(n: usize) -> usize { let a = n; let mut b = a; b = a; b }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        assert_eq!(f.params, vec!["n".to_string()]);
+        let lets: Vec<&FlowRecord> = f.flows.iter().filter(|d| d.what == "let").collect();
+        assert_eq!(lets[0].dst, "v:a");
+        assert_eq!(lets[0].srcs, vec!["v:n".to_string()]);
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "assign" && d.dst == "v:b" && d.srcs.contains(&"v:a".to_string())));
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "ret" && d.dst == "r" && d.srcs == vec!["v:b".to_string()]));
+    }
+
+    #[test]
+    fn dataflow_call_args_and_results() {
+        let src = "fn f(n: usize) -> Vec<u8> { let v = Vec::with_capacity(n); v }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        let k = f
+            .calls
+            .iter()
+            .position(|c| c.callee == "with_capacity")
+            .expect("call indexed");
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "arg" && d.dst == format!("a:{k}:0") && d.srcs == ["v:n"]));
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "let" && d.dst == "v:v" && d.srcs == [format!("c:{k}")]));
+    }
+
+    #[test]
+    fn dataflow_field_projection_and_receiver_chain() {
+        let src = "fn f(h: Header) -> usize { let r = h.rows; let s = h.cols.min(r); s }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        // field projection: the whole-struct root carries the value
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "let" && d.dst == "v:r" && d.srcs == ["v:h"]));
+        // method chain: the call node flows from its receiver root
+        let k = f
+            .calls
+            .iter()
+            .position(|c| c.callee == "min")
+            .expect("min call");
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "recv:min" && d.dst == format!("c:{k}") && d.srcs == ["v:h"]));
+    }
+
+    #[test]
+    fn dataflow_cmp_arith_and_vec_facts() {
+        let src = "fn f(rows: usize, cols: usize) -> Vec<u8> {\n\
+                       if rows > MAX_ROWS { return Vec::new(); }\n\
+                       let n = rows * cols;\n\
+                       vec![0u8; n]\n\
+                   }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "cmp:MAX_ROWS" && d.dst == "v:rows"));
+        assert!(
+            f.flows
+                .iter()
+                .any(|d| d.what == "arith:*"
+                    && d.srcs == ["v:rows".to_string(), "v:cols".to_string()])
+        );
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "alloc:vec!" && d.srcs == ["v:n"]));
+    }
+
+    #[test]
+    fn dataflow_discard_records() {
+        let src = "fn f(s: String) { let _ = parse_config(s); check(s).ok(); }\n\
+                   fn parse_config(s: String) -> Result<u32, ()> { s.parse().map_err(|_| ()) }\n\
+                   fn check(s: String) -> Result<(), ()> { let _ = s; Ok(()) }\n";
+        let fi = idx(src);
+        let f = &fi.fns[0];
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "discard:parse_config" && d.dst == "_"));
+        assert!(f
+            .flows
+            .iter()
+            .any(|d| d.what == "ok:check" && d.dst == "ok"));
+    }
+
+    #[test]
+    fn dataflow_params_keep_positions() {
+        let src = "impl S { fn m(&self, mut a: u32, (b, c): (u32, u32), d: &[u8]) {} }\n";
+        let fi = idx(src);
+        assert_eq!(
+            fi.fns[0].params,
+            vec!["a".to_string(), "b".to_string(), "d".to_string()],
+            "self excluded, tuple pattern approximated by its first ident"
+        );
     }
 
     #[test]

@@ -20,11 +20,12 @@
 //! | `format-registry` | every `BinWriter` kind/version written in source appears in tensor's `FORMATS` table and the README spec table; every `BinReader` site accepts the registered versions of the kind it reads |
 //! | `bad-annotation` | every `g4check: allow(...)` names a real rule |
 //!
-//! Four further rules — `lock-discipline`, `cast-truncation`,
-//! `float-determinism`, and `panic-path` — share this module's
-//! [`Rule`]/[`Violation`] vocabulary but run as *graph* rules over the
-//! cross-file symbol index; see [`crate::rules`] and the workspace
-//! `RULES.md` for their semantics.
+//! Seven further rules — `lock-discipline`, `cast-truncation`,
+//! `float-determinism`, `panic-path`, and the taint trio
+//! `untrusted-alloc` / `len-overflow` / `error-swallow` — share this
+//! module's [`Rule`]/[`Violation`] vocabulary but run as *graph* rules
+//! over the cross-file symbol index; see [`crate::rules`] and the
+//! workspace `RULES.md` for their semantics.
 //!
 //! Intentional exceptions are annotated in-source:
 //!
@@ -77,6 +78,16 @@ pub enum Rule {
     /// An unannotated panic site reachable from a CLI subcommand or
     /// serve worker entry point via the call graph. Graph lint.
     PanicPath,
+    /// A tainted (attacker-influenced) length reaching an allocation
+    /// site (`Vec::with_capacity`, `reserve`, `vec![x; n]`) without a
+    /// registered bound check on the way. Taint graph lint.
+    UntrustedAlloc,
+    /// Tainted operands in unchecked `usize` length arithmetic
+    /// (`rows * cols` without `checked_mul`). Taint graph lint.
+    LenOverflow,
+    /// A `Result` from a fallible parse of untrusted data discarded via
+    /// `let _ =` or `.ok()` in non-test library code. Taint graph lint.
+    ErrorSwallow,
 }
 
 impl Rule {
@@ -93,6 +104,9 @@ impl Rule {
             Rule::CastTruncation => "cast-truncation",
             Rule::FloatDeterminism => "float-determinism",
             Rule::PanicPath => "panic-path",
+            Rule::UntrustedAlloc => "untrusted-alloc",
+            Rule::LenOverflow => "len-overflow",
+            Rule::ErrorSwallow => "error-swallow",
         }
     }
 
@@ -109,6 +123,9 @@ impl Rule {
             Rule::CastTruncation,
             Rule::FloatDeterminism,
             Rule::PanicPath,
+            Rule::UntrustedAlloc,
+            Rule::LenOverflow,
+            Rule::ErrorSwallow,
         ]
     }
 

@@ -13,6 +13,10 @@
 //!   registry ([`crate::lint::Rule::FloatDeterminism`]).
 //! - [`panics`] — panic sites reachable from CLI / serve entry points
 //!   ([`crate::lint::Rule::PanicPath`]).
+//! - [`taint`] — untrusted input reaching allocation, arithmetic, and
+//!   error-discard sinks ([`crate::lint::Rule::UntrustedAlloc`],
+//!   [`crate::lint::Rule::LenOverflow`],
+//!   [`crate::lint::Rule::ErrorSwallow`]).
 //!
 //! [`run_full`] is the whole-analyzer driver: incremental index build
 //! (phase 1), graph rules (phase 2), and the line lints, in one report.
@@ -21,6 +25,7 @@ pub mod casts;
 pub mod floatdet;
 pub mod locks;
 pub mod panics;
+pub mod taint;
 
 use std::path::Path;
 
@@ -36,6 +41,7 @@ pub fn run_graph_rules(index: &WorkspaceIndex) -> Vec<Violation> {
     violations.extend(casts::check(index));
     violations.extend(floatdet::check(index));
     violations.extend(panics::check(index, &graph));
+    violations.extend(taint::check(index, &graph));
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     violations
 }

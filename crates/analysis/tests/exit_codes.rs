@@ -141,3 +141,44 @@ fn json_report_carries_violations_and_reuse() {
         "stdout: {stdout}"
     );
 }
+
+/// The machine report is versioned and deterministic: two runs over an
+/// unchanged workspace produce byte-identical stdout. `--no-cache`
+/// keeps the cold/warm counters out of the comparison — determinism is
+/// a property of the workspace, not of cache history.
+#[test]
+fn json_report_is_versioned_and_byte_identical() {
+    let ws = Workspace::with(
+        "deterministic",
+        &[
+            (
+                "crates/tensor/src/quant.rs",
+                "pub fn q(v: f32) -> i8 {\n    v as i8\n}\n",
+            ),
+            (
+                "crates/tensor/src/serialize.rs",
+                "pub fn s(v: u32) -> u8 {\n    v as u8\n}\n",
+            ),
+        ],
+    );
+    let first = g4check(&["--root", &ws.arg(), "--json", "--no-cache", "graph"]);
+    let second = g4check(&["--root", &ws.arg(), "--json", "--no-cache", "graph"]);
+    assert_eq!(code(&first), 1);
+    assert_eq!(code(&second), 1);
+    assert_eq!(
+        first.stdout,
+        second.stdout,
+        "reports differ:\n{}\n---\n{}",
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("\"schema_version\": 1"), "stdout: {stdout}");
+    // the stable (path, line, rule) sort puts quant.rs after serialize.rs
+    let quant = stdout.find("quant.rs").expect("quant violation");
+    let serialize = stdout.find("serialize.rs").expect("serialize violation");
+    assert!(
+        quant < serialize,
+        "violations not sorted by path:\n{stdout}"
+    );
+}

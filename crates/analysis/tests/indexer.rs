@@ -116,10 +116,14 @@ fn incremental_rebuild_equals_full_rebuild() {
     assert_eq!(stats1.reindexed, 0);
     assert_eq!(warm, cold);
 
-    // edit one file, delete the other, add a third
+    // edit one file (giving it let/arg/return dataflow records, so the
+    // equivalence below covers the v2 flow serialization), delete the
+    // other, add a third
     std::fs::write(
         ws.root.join("crates/demo/src/lib.rs"),
-        "pub fn stable() -> u32 {\n    42\n}\npub fn fresh() {}\n",
+        "pub fn stable() -> u32 {\n    42\n}\n\
+         pub fn fresh(n: usize) -> usize {\n    let m = n.min(4);\n    grow(m)\n}\n\
+         fn grow(m: usize) -> usize {\n    m + 1\n}\n",
     )
     .expect("edit file");
     std::fs::remove_file(ws.root.join("crates/demo/src/other.rs")).expect("remove file");
@@ -138,6 +142,24 @@ fn incremental_rebuild_equals_full_rebuild() {
     assert_eq!(stats2.reindexed, 2, "edited + added");
     assert_eq!(stats2.removed, 1, "deleted file leaves the index");
     assert!(!incremental.files.contains_key("crates/demo/src/other.rs"));
+
+    // the equivalence must extend to the dataflow records, not just the
+    // structural ones: the edited fn's let/arg flows and positional
+    // params are present on both sides
+    let fresh = incremental.files["crates/demo/src/lib.rs"]
+        .fns
+        .iter()
+        .find(|f| f.name == "fresh")
+        .expect("fresh indexed");
+    assert_eq!(fresh.params, vec!["n"]);
+    assert!(
+        fresh
+            .flows
+            .iter()
+            .any(|d| d.dst == "v:m" && d.what == "let"),
+        "{:#?}",
+        fresh.flows
+    );
 }
 
 #[test]
@@ -151,14 +173,33 @@ fn cache_file_round_trips_through_disk() {
              \x20   pub fn get(&self) -> u64 {\n\
              \x20       *self.x.lock().unwrap()\n\
              \x20   }\n\
+             \x20   pub fn grow(&self, n: usize) -> Vec<u64> {\n\
+             \x20       let cap = n.min(9);\n\
+             \x20       Vec::with_capacity(cap)\n\
+             \x20   }\n\
              }\n",
         )],
     );
     let (index, _) = build_index(&ws.root, None).expect("build");
-    let cache = ws.root.join("target/g4check/index.v1");
+    let cache = ws.root.join("target/g4check/index.v2");
     save_cache(&cache, &index).expect("save cache");
     let loaded = load_cache(&cache).expect("cache parses");
     assert_eq!(loaded, index);
+    // the v2 additions survive the disk round-trip explicitly: `d`
+    // dataflow lines and positional parameter names on the `n` line
+    let grow = loaded.files["crates/demo/src/lib.rs"]
+        .fns
+        .iter()
+        .find(|f| f.name == "grow")
+        .expect("grow indexed");
+    assert_eq!(grow.params, vec!["n"], "self is skipped, n keeps slot 0");
+    assert!(
+        grow.flows
+            .iter()
+            .any(|d| d.dst == "v:cap" && d.what == "let"),
+        "{:#?}",
+        grow.flows
+    );
 
     let (rebuilt, stats) = build_index(&ws.root, Some(&loaded)).expect("rebuild from disk cache");
     assert_eq!(rebuilt, index);

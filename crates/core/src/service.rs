@@ -247,6 +247,12 @@ pub struct ServiceConfig {
     /// Most audit requests one worker drains into a single
     /// [`AuditSnapshot::audit_many`](crate::audit::AuditSnapshot::audit_many) batch.
     pub max_batch: usize,
+    /// Most bytes one AUDIT/INGEST body may hold. A dot-stuffed body
+    /// arrives before the handler sees any of it, so without this cap a
+    /// hostile client grows the parser's buffer without bound; an
+    /// oversized body is drained (to keep the protocol in sync) and
+    /// answered with a typed `ERR`.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -255,6 +261,7 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             max_batch: 32,
+            max_body_bytes: 1 << 20,
         }
     }
 }
@@ -353,21 +360,56 @@ fn one_line(s: &str) -> String {
     s.replace(['\n', '\r'], " ")
 }
 
-/// Reads a dot-terminated body (SMTP-style: a lone `.` ends the body, a
-/// leading `..` unescapes to `.`). Returns `None` on EOF before the
-/// terminator.
-fn read_body(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> Option<String> {
-    let mut body = String::new();
+/// Why [`read_body`] returned no body.
+#[derive(Debug, PartialEq, Eq)]
+enum BodyError {
+    /// EOF (or an input error) before the `.` terminator: the session
+    /// is over, there is nothing left to parse.
+    Eof,
+    /// The body outgrew [`ServiceConfig::max_body_bytes`]. The rest of
+    /// the body was drained through the terminator, so the protocol
+    /// stream is still in sync and the session continues.
+    TooLarge,
+}
+
+/// Drains lines through the `.` terminator without storing them.
+fn drain_to_dot(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<(), BodyError> {
     for line in lines {
-        let line = line.ok()?;
+        match line.as_deref() {
+            Ok(".") => return Ok(()),
+            Ok(_) => {}
+            Err(_) => return Err(BodyError::Eof),
+        }
+    }
+    Err(BodyError::Eof)
+}
+
+/// Reads a dot-terminated body (SMTP-style: a lone `.` ends the body, a
+/// leading `..` unescapes to `.`), holding at most `max_body_bytes`.
+fn read_body(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    max_body_bytes: usize,
+) -> Result<String, BodyError> {
+    let mut body = String::new();
+    while let Some(line) = lines.next() {
+        let Ok(line) = line else {
+            return Err(BodyError::Eof);
+        };
         if line == "." {
-            return Some(body);
+            return Ok(body);
+        }
+        let projected = body.len() + line.len() + 1;
+        if projected > max_body_bytes {
+            drain_to_dot(lines)?;
+            return Err(BodyError::TooLarge);
         }
         let unescaped = line.strip_prefix('.').filter(|_| line.starts_with(".."));
         body.push_str(unescaped.map_or(line.as_str(), |rest| rest));
         body.push('\n');
     }
-    None
+    Err(BodyError::Eof)
 }
 
 /// Formats the one-line response for a scored audit.
@@ -496,11 +538,22 @@ pub fn run_service<R: BufRead, W: Write + Send>(
             };
             match cmd {
                 "AUDIT" if !arg.is_empty() => {
-                    let Some(body) = read_body(&mut lines) else {
-                        let _ = reply_tx.send(format!(
-                            "ERR audit {arg}: EOF before the '.' body terminator"
-                        ));
-                        break;
+                    let body = match read_body(&mut lines, config.max_body_bytes) {
+                        Ok(body) => body,
+                        Err(BodyError::TooLarge) => {
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(format!(
+                                "ERR audit {arg}: body exceeds max_body_bytes={}",
+                                config.max_body_bytes
+                            ));
+                            continue;
+                        }
+                        Err(BodyError::Eof) => {
+                            let _ = reply_tx.send(format!(
+                                "ERR audit {arg}: EOF before the '.' body terminator"
+                            ));
+                            break;
+                        }
                     };
                     let job = AuditJob {
                         suspect: AuditSource::new(arg, body, None),
@@ -514,11 +567,22 @@ pub fn run_service<R: BufRead, W: Write + Send>(
                     }
                 }
                 "INGEST" if !arg.is_empty() => {
-                    let Some(body) = read_body(&mut lines) else {
-                        let _ = reply_tx.send(format!(
-                            "ERR ingest {arg}: EOF before the '.' body terminator"
-                        ));
-                        break;
+                    let body = match read_body(&mut lines, config.max_body_bytes) {
+                        Ok(body) => body,
+                        Err(BodyError::TooLarge) => {
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(format!(
+                                "ERR ingest {arg}: body exceeds max_body_bytes={}",
+                                config.max_body_bytes
+                            ));
+                            continue;
+                        }
+                        Err(BodyError::Eof) => {
+                            let _ = reply_tx.send(format!(
+                                "ERR ingest {arg}: EOF before the '.' body terminator"
+                            ));
+                            break;
+                        }
                     };
                     let report = pipeline.ingest([AuditSource::new(arg.clone(), body, None)]);
                     stats
@@ -745,7 +809,43 @@ mod tests {
         let raw = "AUDIT x\nline1\n..dotline\n.\n";
         let mut lines = raw.as_bytes().lines();
         let _cmd = lines.next();
-        let body = read_body(&mut lines).expect("terminated");
+        let body = read_body(&mut lines, 1 << 20).expect("terminated");
         assert_eq!(body, "line1\n.dotline\n");
+    }
+
+    /// An oversized body draws a typed ERR, leaves the stream in sync
+    /// (the next request still parses), and never buffers the excess.
+    #[test]
+    fn oversized_body_is_rejected_in_sync() {
+        let mut lines = "0123456789\nabcdef\n.\n".as_bytes().lines();
+        assert_eq!(read_body(&mut lines, 8), Err(BodyError::TooLarge));
+        assert_eq!(lines.next().map(|l| l.expect("utf8")), None, "drained");
+
+        let mut input = String::new();
+        input.push_str("INGEST big\n");
+        input.push_str(&"x".repeat(256));
+        input.push_str("\n.\n");
+        input.push_str(&format!("INGEST inv\n{INV}\n.\n"));
+        input.push_str("SHUTDOWN\n");
+        let mut pipeline = service_pipeline();
+        let mut out: Vec<u8> = Vec::new();
+        let report = run_service(
+            &mut pipeline,
+            &ServiceConfig {
+                max_body_bytes: 128,
+                ..ServiceConfig::default()
+            },
+            input.as_bytes(),
+            &mut out,
+        )
+        .expect("service runs");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one response per request:\n{text}");
+        assert_eq!(lines[0], "ERR ingest big: body exceeds max_body_bytes=128");
+        assert_eq!(lines[1], "OK ingested=1 rejected=0");
+        assert_eq!(lines[2], "OK bye");
+        assert_eq!(report.ingested, 1);
+        assert_eq!(report.rejected, 1);
     }
 }

@@ -44,6 +44,15 @@ pub const CORPUS_SHARD_KIND: &str = "gnn4ip-corpus-shard";
 const CORPUS_VERSION: u16 = 1;
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.g4m";
+/// Largest embedding dimension a manifest may declare. Real detector
+/// embeddings are a few hundred wide; anything past this is a corrupt
+/// or hostile header, and bounding `dim` here keeps every downstream
+/// `rows * dim` product and `with_capacity(dim)` allocation provably
+/// small (registered in the analyzer's `TAINT_LIMITS`).
+pub const MAX_DIM: usize = 1 << 16;
+/// Largest per-shard row count a manifest may declare; bounds the
+/// geometry the same way [`MAX_DIM`] does.
+pub const MAX_SHARD_ROWS: usize = 1 << 20;
 
 /// File name of the sealed shard with the given content id.
 pub fn shard_file_name(content_id: u64) -> String {
@@ -366,6 +375,15 @@ impl ShardedEmbeddingIndex {
         if dim == 0 || shard_capacity == 0 {
             return Err(mfmt(format!(
                 "zero dim ({dim}) or shard capacity ({shard_capacity})"
+            )));
+        }
+        // the geometry is attacker-controlled until bounded: these two
+        // comparisons are what lets every later `rows * dim` product
+        // and `with_capacity` call trust the header
+        if dim > MAX_DIM || shard_capacity > MAX_SHARD_ROWS {
+            return Err(mfmt(format!(
+                "implausible geometry {shard_capacity}x{dim} \
+                 (limits {MAX_SHARD_ROWS}x{MAX_DIM})"
             )));
         }
         let storage = match r.u8().map_err(mfmt)? {

@@ -6,7 +6,8 @@
 //! gnn4ip ingest PATH... --index corpus.g4a [--model detector.bin] [--check]
 //! gnn4ip audit PATH... --index corpus.g4a [--model detector.bin]
 //! gnn4ip serve [--index corpus.g4a] [--socket PATH] [--workers N]
-//!              [--queue-capacity N] [--max-batch N] [--model detector.bin]
+//!              [--queue-capacity N] [--max-batch N] [--max-body-bytes N]
+//!              [--model detector.bin]
 //! gnn4ip inspect FILE...
 //! gnn4ip gc CHECKPOINT_DIR [--dry-run]
 //! ```
@@ -177,7 +178,8 @@ fn run(args: &[String]) -> Result<(), String> {
                  gnn4ip ingest PATH... --index corpus.g4a [--model detector.bin] [--check]\n  \
                  gnn4ip audit PATH... --index corpus.g4a [--model detector.bin]\n  \
                  gnn4ip serve [--index corpus.g4a] [--socket PATH] [--workers N]\n  \
-                 \x20            [--queue-capacity N] [--max-batch N] [--model detector.bin]\n  \
+                 \x20            [--queue-capacity N] [--max-batch N] [--max-body-bytes N]\n  \
+                 \x20            [--model detector.bin]\n  \
                  gnn4ip inspect FILE...\n  \
                  gnn4ip gc CHECKPOINT_DIR [--dry-run]\n\n\
                  pairwise workflow:\n  \
@@ -305,6 +307,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         workers: flag_usize(args, "--workers", 2)?,
         queue_capacity: flag_usize(args, "--queue-capacity", 64)?,
         max_batch: flag_usize(args, "--max-batch", 32)?,
+        max_body_bytes: flag_usize(args, "--max-body-bytes", 1 << 20)?,
     };
     match flag_value(args, "--socket") {
         Some(path) => serve_socket(&mut pipeline, &config, path),
